@@ -1,0 +1,115 @@
+// Ablation (DESIGN.md): iterative-solver choice for the embedded linear
+// systems (unbounded until, property class P0) — Jacobi vs Gauss-Seidel vs
+// SOR — and the effect of the Fox-Glynn-style Poisson window vs a naive
+// fixed-length series on transient analysis.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/checker.hpp"
+#include "ctmc/foxglynn.hpp"
+#include "ctmc/uniformisation.hpp"
+#include "logic/parser.hpp"
+#include "models/synthetic.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace csrl;
+
+Mrm workload(std::size_t states) {
+  // Tandem queue: the forward bias makes Gauss-Seidel ordering matter.
+  const std::size_t side = states;
+  return tandem_queue_mrm(side, side, 1.0, 1.5, 1.2);
+}
+
+void print_comparison() {
+  std::printf("=== Ablation: linear solvers for unbounded until (P0) ===\n");
+  const FormulaPtr formula = parse_formula("P=? [ !full2 U blocked ]");
+  std::printf("%9s  %10s  %12s  %10s\n", "states", "jacobi", "gauss-seidel",
+              "sor(1.2)");
+  for (std::size_t side : {8u, 16u, 32u, 48u}) {
+    const Mrm model = workload(side);
+    std::printf("%9zu", model.num_states());
+    for (LinearMethod method : {LinearMethod::kJacobi, LinearMethod::kGaussSeidel,
+                                LinearMethod::kSor}) {
+      CheckOptions options;
+      options.solver.method = method;
+      options.solver.omega = 1.2;
+      const Checker checker(model, options);
+      WallTimer timer;
+      const double value = checker.value_initially(*formula);
+      benchmark::DoNotOptimize(value);
+      std::printf("  %7.2f ms", timer.seconds() * 1e3);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void solve_with(benchmark::State& state, LinearMethod method, double omega) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const Mrm model = workload(side);
+  CheckOptions options;
+  options.solver.method = method;
+  options.solver.omega = omega;
+  const Checker checker(model, options);
+  const FormulaPtr formula = parse_formula("P=? [ !full2 U blocked ]");
+  double value = 0.0;
+  for (auto _ : state) {
+    value = checker.value_initially(*formula);
+    benchmark::DoNotOptimize(value);
+  }
+  state.counters["probability"] = value;
+}
+
+void BM_P0_Jacobi(benchmark::State& state) {
+  solve_with(state, LinearMethod::kJacobi, 1.0);
+}
+void BM_P0_GaussSeidel(benchmark::State& state) {
+  solve_with(state, LinearMethod::kGaussSeidel, 1.0);
+}
+void BM_P0_Sor(benchmark::State& state) {
+  solve_with(state, LinearMethod::kSor, 1.2);
+}
+BENCHMARK(BM_P0_Jacobi)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_P0_GaussSeidel)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_P0_Sor)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+// Poisson-window ablation: the adaptive window vs always starting at n=0.
+void BM_PoissonWindowAdaptive(benchmark::State& state) {
+  const double lt = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    const PoissonWeights w = poisson_weights(lt, 1e-10);
+    benchmark::DoNotOptimize(w.total);
+    state.counters["window"] = static_cast<double>(w.right - w.left + 1);
+  }
+}
+BENCHMARK(BM_PoissonWindowAdaptive)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_TransientLargeHorizon(benchmark::State& state) {
+  // Steady-state detection makes long horizons cheap; toggling it off
+  // shows the cost of the full series.
+  const Mrm model = workload(16);
+  TransientOptions options;
+  options.steady_state_detection = state.range(0) != 0;
+  StateSet target(model.num_states());
+  target.insert(0);
+  double value = 0.0;
+  for (auto _ : state) {
+    value = transient_reach(model.chain(), target, 500.0, options)[0];
+    benchmark::DoNotOptimize(value);
+  }
+  state.counters["probability"] = value;
+}
+BENCHMARK(BM_TransientLargeHorizon)->Arg(0)->Arg(1)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_comparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Section 5.3 of the paper: properties Q1-Q3 checked end to end on the
+// 9-state ad hoc station model (SRN -> reachability graph -> CSRL checker).
+// Q1 exercises the P2 pipeline (duality), Q2 the P1 pipeline
+// (uniformisation), Q3 the P3 pipeline (Theorem-1 reduction + engine).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/checker.hpp"
+#include "logic/parser.hpp"
+#include "models/adhoc.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace csrl;
+
+void print_properties() {
+  const Mrm model = build_adhoc_mrm();
+  const Checker checker(model);
+  std::printf("=== Section 5.3: properties Q1-Q3 ===\n");
+  struct Row {
+    const char* name;
+    const char* query;
+    const char* bounded;
+  };
+  const Row rows[] = {
+      {"Q1 (reward-bounded eventually, P2)", kQueryQ1, kPropertyQ1},
+      {"Q2 (time-bounded eventually, P1)", kQueryQ2, kPropertyQ2},
+      {"Q3 (time+reward until, P3)", kQueryQ3, kPropertyQ3},
+  };
+  for (const Row& row : rows) {
+    WallTimer timer;
+    const double value = checker.value_initially(*parse_formula(row.query));
+    const bool verdict = checker.holds_initially(*parse_formula(row.bounded));
+    std::printf("%-36s  p = %.8f  %-13s (%.2f ms)\n", row.name, value,
+                verdict ? "-> HOLDS" : "-> VIOLATED", timer.seconds() * 1e3);
+  }
+  std::printf("\n");
+}
+
+void check_property(benchmark::State& state, const char* query) {
+  const Mrm model = build_adhoc_mrm();
+  const Checker checker(model);
+  const FormulaPtr formula = parse_formula(query);
+  double value = 0.0;
+  for (auto _ : state) {
+    value = checker.value_initially(*formula);
+    benchmark::DoNotOptimize(value);
+  }
+  state.counters["probability"] = value;
+}
+
+void BM_Q1_RewardBounded(benchmark::State& state) {
+  check_property(state, kQueryQ1);
+}
+void BM_Q2_TimeBounded(benchmark::State& state) {
+  check_property(state, kQueryQ2);
+}
+void BM_Q3_TimeRewardBounded(benchmark::State& state) {
+  check_property(state, kQueryQ3);
+}
+BENCHMARK(BM_Q1_RewardBounded)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Q2_TimeBounded)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Q3_TimeRewardBounded)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_properties();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

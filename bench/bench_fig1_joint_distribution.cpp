@@ -1,0 +1,73 @@
+// Figure 1 of the paper illustrates the two-dimensional stochastic
+// process (X_t, Y_t) — CTMC state vs accumulated reward with an absorbing
+// barrier at the reward bound r.  This bench regenerates the quantity the
+// figure depicts: the joint probability surface
+//
+//   Pr{Y_t <= r, X_t = success}
+//
+// over a (t, r) grid on the Q3 reduced model, which is precisely the
+// function the barrier process was introduced to define.  The printed
+// series shows both marginals' behaviour: increasing in r for fixed t
+// (the barrier relaxes) and converging over t to the reward-bounded
+// reachability probability.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/engines/sericola_engine.hpp"
+#include "models/adhoc.hpp"
+
+namespace {
+
+using namespace csrl;
+
+double surface_point(double t, double r) {
+  const Mrm reduced = build_q3_reduced_mrm();
+  const SericolaEngine engine(1e-9);
+  StateSet success(reduced.num_states());
+  success.insert(3);
+  return engine.joint_probability_all_starts(reduced, t, r,
+                                             success)[reduced.initial_state()];
+}
+
+void print_surface() {
+  std::printf("=== Figure 1: joint distribution of (X_t, Y_t) ===\n");
+  std::printf("Pr{Y_t <= r, X_t = success} on the Q3 reduced model\n\n");
+  const double times[] = {1.0, 2.0, 4.0, 8.0, 16.0, 24.0};
+  const double rewards[] = {100.0, 200.0, 400.0, 600.0, 1200.0, 2400.0};
+  std::printf("t \\ r   ");
+  for (double r : rewards) std::printf("%9.0f", r);
+  std::printf("\n");
+  for (double t : times) {
+    std::printf("%5.0f h ", t);
+    for (double r : rewards) std::printf("%9.5f", surface_point(t, r));
+    std::printf("\n");
+  }
+  std::printf("\nrows increase with t (more time to reach the goal), "
+              "columns with r (the Figure-1 barrier moves up)\n\n");
+}
+
+void BM_JointSurfacePoint(benchmark::State& state) {
+  const double t = static_cast<double>(state.range(0));
+  const double r = static_cast<double>(state.range(1));
+  double value = 0.0;
+  for (auto _ : state) {
+    value = surface_point(t, r);
+    benchmark::DoNotOptimize(value);
+  }
+  state.counters["probability"] = value;
+}
+BENCHMARK(BM_JointSurfacePoint)
+    ->Args({4, 200})
+    ->Args({24, 600})
+    ->Args({24, 2400})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_surface();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Table 2 of the paper: the occupation-time-distribution algorithm
+// (Sericola) on the Q3 reduced model, sweeping the a-priori error bound
+// epsilon from 1e-1 to 1e-8.  Reported per row: the truncation depth
+// N_eps, the computed path probability, and the wall-clock time.
+//
+// Paper reference rows (Pentium III, 1 GHz):
+//   eps    N    value        time
+//   1e-1   496  0.44831203    76.27 s
+//   1e-8   594  0.49540399   110.78 s
+//
+// Shape expectations: N grows logarithmically-slowly in 1/eps, the value
+// converges monotonically from below, time grows mildly with N.  Absolute
+// values sit ~0.3% above the paper's (see EXPERIMENTS.md).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/engines/sericola_engine.hpp"
+#include "models/adhoc.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace csrl;
+
+double run_once(double epsilon, std::size_t* steps_out = nullptr) {
+  const Mrm reduced = build_q3_reduced_mrm();
+  const SericolaEngine engine(epsilon);
+  StateSet success(reduced.num_states());
+  success.insert(3);
+  if (steps_out) *steps_out = engine.truncation_depth(reduced, kTimeBoundHours);
+  return engine.joint_probability_all_starts(
+      reduced, kTimeBoundHours, kRewardBoundMah, success)[reduced.initial_state()];
+}
+
+void print_table() {
+  std::printf("=== Table 2: occupation time distributions (Sericola) ===\n");
+  std::printf("Q3 on the reduced 5-state MRM, t=%.0f h, r=%.0f mAh\n",
+              kTimeBoundHours, kRewardBoundMah);
+  std::printf("%-8s %6s  %-14s %10s\n", "eps", "N", "value", "time");
+  for (double eps : {1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8}) {
+    std::size_t steps = 0;
+    WallTimer timer;
+    const double value = run_once(eps, &steps);
+    std::printf("%-8.0e %6zu  %.8f %9.2f ms\n", eps, steps, value,
+                timer.seconds() * 1e3);
+  }
+  std::printf("paper's converged value: %.8f (see EXPERIMENTS.md)\n\n",
+              kPaperQ3Reference);
+}
+
+void BM_SericolaQ3(benchmark::State& state) {
+  const double epsilon = std::pow(10.0, -static_cast<double>(state.range(0)));
+  double value = 0.0;
+  std::size_t steps = 0;
+  for (auto _ : state) {
+    value = run_once(epsilon, &steps);
+    benchmark::DoNotOptimize(value);
+  }
+  state.counters["probability"] = value;
+  state.counters["N_eps"] = static_cast<double>(steps);
+}
+BENCHMARK(BM_SericolaQ3)->DenseRange(1, 8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Sensitivity analysis of the paper's case study: how the Q3 verdict
+// responds to the battery budget, the mission duration and the doze
+// policy.  This is the kind of design-space exploration the paper's
+// Section 5 motivates ("systems are expected to perform well under power
+// constraints") — each sweep is a column of CSRL checks on the same
+// reduced model.
+//
+//   $ ./adhoc_sensitivity
+#include <cstdio>
+
+#include "core/engines/sericola_engine.hpp"
+#include "core/reward_ops.hpp"
+#include "models/adhoc.hpp"
+#include "mrm/mrm.hpp"
+
+namespace {
+
+using namespace csrl;
+
+double q3(const Mrm& reduced, double t, double r) {
+  const SericolaEngine engine(1e-9);
+  StateSet success(reduced.num_states());
+  success.insert(3);
+  return engine.joint_probability_all_starts(reduced, t, r,
+                                             success)[reduced.initial_state()];
+}
+
+/// Reduced Q3 model with a scaled doze policy: `doze_factor` scales the
+/// rate of entering doze mode (1.0 = the paper's 12/h).
+Mrm reduced_with_doze_factor(double doze_factor) {
+  CsrBuilder b(5, 5);
+  b.add(0, 1, 3.75);
+  b.add(1, 0, 12.0 * doze_factor);
+  b.add(1, 2, 6.0);
+  b.add(2, 1, 15.0);
+  b.add(1, 3, 0.75);
+  b.add(1, 4, 0.75);
+  b.add(2, 3, 0.75);
+  b.add(2, 4, 0.75);
+  return Mrm(Ctmc(b.build()), {20.0, 100.0, 200.0, 0.0, 0.0}, Labelling(5), 1);
+}
+
+}  // namespace
+
+int main() {
+  const Mrm reduced = build_q3_reduced_mrm();
+
+  std::printf("Q3: launch an outbound call within t hours and r mAh,\n"
+              "    using the phone only for ad hoc relaying before\n\n");
+
+  std::printf("--- battery budget sweep (t = 24 h) ---\n");
+  std::printf("%10s  %12s  %s\n", "r (mAh)", "probability", "P>0.5 verdict");
+  for (double r : {150.0, 300.0, 450.0, 600.0, 750.0, 1000.0, 1500.0}) {
+    const double p = q3(reduced, kTimeBoundHours, r);
+    std::printf("%10.0f  %12.8f  %s\n", r, p, p > 0.5 ? "HOLDS" : "violated");
+  }
+
+  std::printf("\n--- mission duration sweep (r = 600 mAh) ---\n");
+  std::printf("%10s  %12s\n", "t (h)", "probability");
+  for (double t : {1.0, 2.0, 4.0, 8.0, 16.0, 24.0, 48.0}) {
+    std::printf("%10.0f  %12.8f\n", t, q3(reduced, t, kRewardBoundMah));
+  }
+  std::printf("(saturates once absorption beats the deadline: the reward\n"
+              " budget, not the clock, is what binds at t = 24)\n");
+
+  std::printf("\n--- doze-policy sweep (t = 24 h, r = 600 mAh) ---\n");
+  std::printf("%12s  %12s  %14s\n", "doze factor", "probability",
+              "E[drain]/h idle");
+  for (double factor : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    const Mrm variant = reduced_with_doze_factor(factor);
+    const double p = q3(variant, kTimeBoundHours, kRewardBoundMah);
+    // Long-run drain of the idle/doze cycling alone (ignore absorption by
+    // removing it from the comparison: use short-horizon expected reward).
+    const double drain = expected_accumulated_reward(variant, 1.0);
+    std::printf("%12.1f  %12.8f  %11.1f mA\n", factor, p, drain);
+  }
+  std::printf("(counter-intuitively, dozing *hurts* Q3: it lowers the drain\n"
+              " rate but suspends the call thread, so the budget leaks away\n"
+              " at 20 mA without any chance of launching — exactly the kind\n"
+              " of trade-off CSRL's joint time/reward bounds expose)\n");
+  return 0;
+}

@@ -1,0 +1,203 @@
+#include "core/checker.hpp"
+
+#include <cmath>
+
+#include "core/engines/discretisation_engine.hpp"
+#include "util/error.hpp"
+
+namespace csrl {
+
+Checker::Checker(const Mrm& model, CheckOptions options)
+    : model_(&model), options_(options) {}
+
+StateSet Checker::sat(const Formula& f) const {
+  // Cheap leaves are not worth a string key; numerically expensive nodes
+  // (temporal/steady/reward operators under boolean structure) are.
+  if (!options_.cache_sat_sets || f.kind() == FormulaKind::kTrue ||
+      f.kind() == FormulaKind::kAtomic) {
+    return compute_sat(f);
+  }
+  const std::string key = f.to_string();
+  if (const auto it = sat_cache_.find(key); it != sat_cache_.end())
+    return it->second;
+  StateSet result = compute_sat(f);
+  sat_cache_.emplace(key, result);
+  return result;
+}
+
+StateSet Checker::compute_sat(const Formula& f) const {
+  const std::size_t n = model_->num_states();
+  switch (f.kind()) {
+    case FormulaKind::kTrue:
+      return StateSet(n, /*filled=*/true);
+    case FormulaKind::kAtomic:
+      return model_->labelling().states_with(f.name());
+    case FormulaKind::kNot:
+      return sat(*f.operand()).complement();
+    case FormulaKind::kAnd:
+      return sat(*f.lhs()) & sat(*f.rhs());
+    case FormulaKind::kOr:
+      return sat(*f.lhs()) | sat(*f.rhs());
+    case FormulaKind::kProb: {
+      if (f.is_query())
+        throw ModelError(
+            "sat: P=? is a quantitative query and has no truth value; use "
+            "values() or give a probability bound");
+      const std::vector<double> probs = path_probabilities(*f.path());
+      StateSet result(n);
+      for (std::size_t s = 0; s < n; ++s)
+        if (compare(f.comparison(), probs[s], f.bound())) result.insert(s);
+      return result;
+    }
+    case FormulaKind::kSteady: {
+      if (f.is_query())
+        throw ModelError(
+            "sat: S=? is a quantitative query and has no truth value; use "
+            "values() or give a probability bound");
+      const StateSet phi = sat(*f.operand());
+      const std::vector<double> probs = steady_probabilities(phi);
+      StateSet result(n);
+      for (std::size_t s = 0; s < n; ++s)
+        if (compare(f.comparison(), probs[s], f.bound())) result.insert(s);
+      return result;
+    }
+    case FormulaKind::kReward: {
+      if (f.is_query())
+        throw ModelError(
+            "sat: R=? is a quantitative query and has no truth value; use "
+            "values() or give a reward bound");
+      const std::vector<double> expectations = reward_values(f);
+      StateSet result(n);
+      for (std::size_t s = 0; s < n; ++s)
+        if (compare(f.comparison(), expectations[s], f.bound()))
+          result.insert(s);
+      return result;
+    }
+  }
+  throw Error("Checker::sat: invalid formula kind");
+}
+
+bool Checker::holds_initially(const Formula& f) const {
+  return sat(f).contains(model_->initial_state());
+}
+
+std::vector<double> Checker::values(const Formula& f) const {
+  if (f.kind() == FormulaKind::kProb && f.is_query())
+    return path_probabilities(*f.path());
+  if (f.kind() == FormulaKind::kSteady && f.is_query())
+    return steady_probabilities(sat(*f.operand()));
+  if (f.kind() == FormulaKind::kReward && f.is_query()) return reward_values(f);
+  return sat(f).indicator();
+}
+
+double Checker::value_initially(const Formula& f) const {
+  return values(f)[model_->initial_state()];
+}
+
+std::vector<double> Checker::path_probabilities(const PathFormula& p) const {
+  if (p.kind() == PathKind::kNext) return next_probabilities(p);
+  if (p.kind() == PathKind::kWeakUntil) {
+    // Phi W Psi fails exactly when the path leaves Phi before reaching Psi
+    // within the bounds: the complement is (Phi & !Psi) U (!Phi & !Psi).
+    const FormulaPtr not_psi = Formula::negation(p.target());
+    const PathFormulaPtr complement = PathFormula::until(
+        p.time(), p.reward(), Formula::conjunction(p.lhs(), not_psi),
+        Formula::conjunction(Formula::negation(p.lhs()), not_psi));
+    std::vector<double> probs = until_probabilities(*complement);
+    for (double& v : probs) v = 1.0 - v;
+    return probs;
+  }
+  if (p.kind() == PathKind::kGlobally) {
+    // Pr(G^I_J Phi) = 1 - Pr(F^I_J !Phi): the violating paths are exactly
+    // those that eventually reach a !Phi-state within the bounds.
+    const PathFormulaPtr complement = PathFormula::eventually(
+        p.time(), p.reward(), Formula::negation(p.target()));
+    std::vector<double> probs = until_probabilities(*complement);
+    for (double& v : probs) v = 1.0 - v;
+    return probs;
+  }
+  return until_probabilities(p);
+}
+
+std::vector<double> Checker::next_probabilities(const PathFormula& p) const {
+  const std::size_t n = model_->num_states();
+  const StateSet targets = sat(*p.target());
+  const Interval& time = p.time();
+  const Interval& reward = p.reward();
+
+  std::vector<double> result(n, 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    const double exit = model_->chain().exit_rate(s);
+    if (exit == 0.0) continue;  // no next transition ever happens
+    const double rho = model_->reward(s);
+
+    // Per target transition: the jump instant T ~ Exp(exit) must satisfy
+    // T in I and rho(s)*T + iota(s, s') in J; both constraints intersect
+    // to one interval [a, b] of admissible jump instants.  (Without
+    // impulses the interval is the same for every arc, but the per-arc
+    // loop costs the same here.)
+    double acc = 0.0;
+    for (const auto& e : model_->rates().row(s)) {
+      if (!targets.contains(e.col)) continue;
+      const double iota = model_->impulse(s, e.col);
+      double a = time.lo;
+      double b = time.hi;
+      if (rho > 0.0) {
+        a = std::max(a, (reward.lo - iota) / rho);
+        b = std::min(b, (reward.hi - iota) / rho);
+      } else if (iota < reward.lo || iota > reward.hi) {
+        continue;  // the jump reward is exactly iota; it misses the window
+      }
+      if (a > b) continue;
+      const double mass = std::exp(-exit * std::max(a, 0.0)) -
+                          (std::isinf(b) ? 0.0 : std::exp(-exit * b));
+      acc += e.value / exit * mass;
+    }
+    result[s] = acc;
+  }
+  return result;
+}
+
+std::vector<double> Checker::until_probabilities(const PathFormula& p) const {
+  const StateSet phi = sat(*p.lhs());
+  const StateSet psi = sat(*p.target());
+  const Interval& time = p.time();
+  const Interval& reward = p.reward();
+
+  // An unsatisfiable right-hand side makes the until fail surely; deciding
+  // this here keeps the numerical pipelines (and their preconditions, e.g.
+  // the duality's positive rewards) out of the trivial case.
+  if (psi.empty()) return std::vector<double>(model_->num_states(), 0.0);
+
+  if (reward.is_unbounded()) {
+    if (time.is_unbounded()) return unbounded_until(phi, psi);
+    return time_bounded_until(phi, psi, time);
+  }
+  if (time.is_unbounded()) return reward_bounded_until(phi, psi, reward);
+
+  // Both dimensions bounded: property class P3.  The paper's three
+  // procedures cover intervals anchored at 0; general windows (its
+  // Section-6 outlook) are served by the discretisation engine's grid
+  // extension.
+  if (time.lo != 0.0 || reward.lo != 0.0) {
+    if (options_.engine != P3Engine::kDiscretisation)
+      throw ModelError(
+          "until: general time/reward windows are only implemented by the "
+          "discretisation engine (set CheckOptions::engine to "
+          "kDiscretisation) or the simulator");
+    const DiscretisationEngine engine(options_.discretisation_step);
+    const std::size_t n = model_->num_states();
+    std::vector<double> result(n, 0.0);
+    for (std::size_t s = 0; s < n; ++s) {
+      Mrm from_s(Ctmc(model_->rates()), model_->rewards(),
+                 model_->labelling(), s);
+      if (model_->has_impulse_rewards())
+        from_s = from_s.with_impulses(model_->impulse_rewards());
+      result[s] = engine.interval_until(from_s, phi, psi, time, reward);
+    }
+    return result;
+  }
+  return time_reward_bounded_until(phi, psi, time.hi, reward.hi);
+}
+
+}  // namespace csrl

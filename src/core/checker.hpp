@@ -1,0 +1,99 @@
+// The CSRL model checker (Section 3 of the paper).
+//
+// Checking is the usual bottom-up traversal of the formula parse tree:
+// every subformula is resolved to the set Sat(Phi) of states satisfying
+// it.  Boolean connectives are set operations; the temporal operators
+// dispatch to numerical procedures chosen by the shape of their time
+// interval I and reward interval J, following the paper's taxonomy:
+//
+//   P0  (I, J unbounded)        linear system on the embedded DTMC [13]
+//   P1  (only I bounded)        absorbing transform + transient analysis [3]
+//   P2  (only J bounded)        duality transform [4, Thm 1] + P1
+//   P3  (I and J bounded)       Theorem 1 reduction + a joint-distribution
+//                               engine (Section 4; selectable, Sericola by
+//                               default)
+//
+// The steady-state operator S~p follows [2]: BSCC analysis, one stationary
+// distribution per BSCC, and unbounded reachability towards the BSCCs.
+//
+// Extensions beyond the paper's fragment (its Section 6 outlook):
+//   * general time intervals [t1, t2] for reward-unbounded until, via the
+//     standard two-phase scheme; through duality this also yields general
+//     reward intervals [r1, r2] for time-unbounded until;
+//   * quantitative queries P=?[...] / S=?[...].
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/options.hpp"
+#include "logic/formula.hpp"
+#include "mrm/mrm.hpp"
+#include "util/state_set.hpp"
+
+namespace csrl {
+
+/// Model checker bound to one model.  The model must outlive the checker.
+class Checker {
+ public:
+  explicit Checker(const Mrm& model, CheckOptions options = {});
+
+  /// The set Sat(f).  Throws ModelError if f contains a quantitative query
+  /// node (P=? / S=?), which has no truth value.
+  StateSet sat(const Formula& f) const;
+
+  /// Convenience: does the model's initial state satisfy f?  (Requires a
+  /// point-mass initial distribution.)
+  bool holds_initially(const Formula& f) const;
+
+  /// Per-state quantitative values: probabilities for P=?/S=? roots,
+  /// 0/1 indicators for boolean-valued formulas.
+  std::vector<double> values(const Formula& f) const;
+
+  /// values(f) at the initial state.
+  double value_initially(const Formula& f) const;
+
+  /// Pr_s(path formula) for every state s.
+  std::vector<double> path_probabilities(const PathFormula& p) const;
+
+  /// Per-state expected-reward values of a kReward formula
+  /// (reward_formulas.cpp): E_s[Y_t], E_s[rho(X_t)], expected reward to
+  /// reach a target (+infinity where reaching is not almost sure), or the
+  /// long-run reward rate.  Impulse rewards are included via their arrival
+  /// intensity except in the instantaneous measure.
+  std::vector<double> reward_values(const Formula& f) const;
+
+  /// Long-run probability of sitting in `phi_states`, for every start
+  /// state.
+  std::vector<double> steady_probabilities(const StateSet& phi_states) const;
+
+  const Mrm& model() const { return *model_; }
+  const CheckOptions& options() const { return options_; }
+
+ private:
+  StateSet compute_sat(const Formula& f) const;
+  std::vector<double> next_probabilities(const PathFormula& p) const;
+  std::vector<double> until_probabilities(const PathFormula& p) const;
+
+  // The four property classes (until.cpp).
+  std::vector<double> unbounded_until(const StateSet& phi,
+                                      const StateSet& psi) const;
+  std::vector<double> time_bounded_until(const StateSet& phi,
+                                         const StateSet& psi,
+                                         Interval time) const;
+  std::vector<double> reward_bounded_until(const StateSet& phi,
+                                           const StateSet& psi,
+                                           Interval reward) const;
+  std::vector<double> time_reward_bounded_until(const StateSet& phi,
+                                                const StateSet& psi, double t,
+                                                double r) const;
+
+  const Mrm* model_;
+  CheckOptions options_;
+  // Sat-set memo keyed by the canonical printed form (fully parenthesised
+  // and deterministic, so equal strings mean equal semantics).
+  mutable std::unordered_map<std::string, StateSet> sat_cache_;
+};
+
+}  // namespace csrl

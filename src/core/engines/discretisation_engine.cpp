@@ -1,0 +1,222 @@
+#include "core/engines/discretisation_engine.hpp"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace csrl {
+
+namespace {
+
+/// Closest integer to x if it is within `tol`, throws otherwise.
+std::size_t as_natural(double x, double tol, const char* what) {
+  const double rounded = std::round(x);
+  if (!(rounded >= 0.0) || std::abs(x - rounded) > tol)
+    throw ModelError(std::string("DiscretisationEngine: ") + what +
+                     " must be a non-negative integer multiple (got " +
+                     std::to_string(x) + "); rescale rewards/step first");
+  return static_cast<std::size_t>(rounded);
+}
+
+}  // namespace
+
+DiscretisationEngine::DiscretisationEngine(double step) : step_(step) {
+  if (!(step > 0.0) || !std::isfinite(step))
+    throw ModelError("DiscretisationEngine: step must be positive and finite");
+}
+
+std::string DiscretisationEngine::name() const {
+  return "discretisation-d=" + std::to_string(step_);
+}
+
+JointDistribution DiscretisationEngine::joint_distribution(const Mrm& model,
+                                                           double t,
+                                                           double r) const {
+  JointDistribution result;
+  if (joint_distribution_trivial_case(model, t, r, result)) return result;
+
+  const std::size_t n = model.num_states();
+  const double d = step_;
+
+  // Integer reward rates and grid-aligned horizon/bound, as the paper
+  // requires.
+  std::vector<std::size_t> rho(n);
+  for (std::size_t s = 0; s < n; ++s)
+    rho[s] = as_natural(model.reward(s), 1e-9, "every reward rate");
+  const std::size_t total_steps = as_natural(t / d, 1e-6, "t/d");
+  const std::size_t reward_cells = as_natural(r / d, 1e-6, "r/d");
+  if (total_steps == 0)
+    throw ModelError("DiscretisationEngine: t must be at least one step d");
+
+  for (std::size_t s = 0; s < n; ++s)
+    if (model.chain().exit_rate(s) * d >= 1.0)
+      throw ModelError(
+          "DiscretisationEngine: step too coarse, E(s)*d must stay below 1 "
+          "(state " + std::to_string(s) + ")");
+
+  // F is stored row-major as F[s * width + k]; k ranges over 0..R.  Reward
+  // indices beyond R can never come back under the bound (rewards are
+  // non-negative), so the columns above R need not be tracked at all.
+  const std::size_t width = reward_cells + 1;
+  std::vector<double> current(n * width, 0.0);
+  std::vector<double> next(n * width, 0.0);
+  auto cell = [width](std::vector<double>& f, std::size_t s, std::size_t k)
+      -> double& { return f[s * width + k]; };
+
+  // First iterate F^1: one step of duration d from the initial
+  // distribution; state s0 has earned reward index rho(s0).
+  for (std::size_t s = 0; s < n; ++s) {
+    const double mass = model.initial_distribution()[s];
+    if (mass == 0.0) continue;
+    if (rho[s] <= reward_cells) cell(current, s, rho[s]) += mass / d;
+  }
+
+  // Incoming transitions drive the second summand; iterate over the
+  // transposed rate matrix so each new cell gathers its donors.  With
+  // impulse rewards (the Section-6 extension, following the approach of
+  // the later impulse-reward work) a firing additionally displaces the
+  // reward index by iota/d, which must therefore sit on the grid.
+  const CsrMatrix incoming = model.rates().transposed();
+  struct Donor {
+    std::size_t state;
+    double weight;      // R(donor, s) * d
+    std::size_t shift;  // rho(donor) + iota(donor, s)/d
+  };
+  std::vector<std::vector<Donor>> donors(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (const auto& e : incoming.row(s)) {
+      std::size_t shift = rho[e.col];
+      if (model.has_impulse_rewards()) {
+        const double iota = model.impulse(e.col, s);
+        if (iota > 0.0)
+          shift += as_natural(iota / d, 1e-6, "every impulse divided by d");
+      }
+      donors[s].push_back({e.col, e.value * d, shift});
+    }
+  }
+
+  for (std::size_t j = 1; j < total_steps; ++j) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t s = 0; s < n; ++s) {
+      const double stay = 1.0 - model.chain().exit_rate(s) * d;
+      const std::size_t shift = rho[s];
+      for (std::size_t k = shift; k <= reward_cells; ++k)
+        cell(next, s, k) = cell(current, s, k - shift) * stay;
+      for (const Donor& donor : donors[s]) {
+        for (std::size_t k = donor.shift; k <= reward_cells; ++k)
+          cell(next, s, k) +=
+              cell(current, donor.state, k - donor.shift) * donor.weight;
+      }
+    }
+    current.swap(next);
+  }
+
+  result.per_state.assign(n, 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k <= reward_cells; ++k) acc += cell(current, s, k);
+    result.per_state[s] = acc * d;
+  }
+  result.steps = total_steps;
+  return result;
+}
+
+double DiscretisationEngine::interval_until(const Mrm& model,
+                                            const StateSet& phi,
+                                            const StateSet& psi, Interval time,
+                                            Interval reward) const {
+  const std::size_t n = model.num_states();
+  if (phi.size() != n || psi.size() != n)
+    throw ModelError("interval_until: universe size mismatch");
+  if (!time.has_upper_bound() || !reward.has_upper_bound())
+    throw ModelError(
+        "interval_until: both upper bounds must be finite (unbounded "
+        "dimensions are the P0/P1/P2 pipelines' job)");
+
+  const double d = step_;
+  std::vector<std::size_t> rho(n);
+  for (std::size_t s = 0; s < n; ++s)
+    rho[s] = as_natural(model.reward(s), 1e-9, "every reward rate");
+  const std::size_t t_hi = as_natural(time.hi / d, 1e-6, "t2/d");
+  const std::size_t t_lo = as_natural(time.lo / d, 1e-6, "t1/d");
+  const std::size_t r_hi = as_natural(reward.hi / d, 1e-6, "r2/d");
+  const std::size_t r_lo = as_natural(reward.lo / d, 1e-6, "r1/d");
+  for (std::size_t s = 0; s < n; ++s)
+    if (model.chain().exit_rate(s) * d >= 1.0)
+      throw ModelError(
+          "interval_until: step too coarse, E(s)*d must stay below 1");
+
+  // Mass classification helpers.  Both grid coordinates only grow along a
+  // path, so "past either window" means the mass can never qualify.
+  const auto in_windows = [&](std::size_t j, std::size_t k) {
+    return j >= t_lo && j <= t_hi && k >= r_lo && k <= r_hi;
+  };
+
+  const std::size_t width = r_hi + 1;
+  std::vector<double> current(n * width, 0.0);
+  std::vector<double> next(n * width, 0.0);
+  const auto cell = [width](std::vector<double>& f, std::size_t s,
+                            std::size_t k) -> double& {
+    return f[s * width + k];
+  };
+
+  double success = 0.0;  // accumulated probability mass (not density)
+
+  // Harvest pass at grid instant j: satisfied mass leaves the grid, mass
+  // stuck in states that cannot carry the path onward is dropped (fail).
+  const auto classify = [&](std::vector<double>& f, std::size_t j) {
+    for (std::size_t s = 0; s < n; ++s) {
+      const bool is_psi = psi.contains(s);
+      const bool is_phi = phi.contains(s);
+      for (std::size_t k = 0; k <= r_hi; ++k) {
+        double& mass = cell(f, s, k);
+        if (mass == 0.0) continue;
+        if (is_psi && in_windows(j, k)) {
+          success += mass * d;
+          mass = 0.0;
+        } else if (!is_phi) {
+          // Neither satisfied here nor able to continue: the paths die.
+          mass = 0.0;
+        }
+      }
+    }
+  };
+
+  // Grid instant 0: the initial distribution as densities (mass / d).
+  for (std::size_t s = 0; s < n; ++s) {
+    const double mass = model.initial_distribution()[s];
+    if (mass > 0.0) cell(current, s, 0) += mass / d;
+  }
+  classify(current, 0);
+
+  const CsrMatrix incoming = model.rates().transposed();
+  for (std::size_t j = 1; j <= t_hi; ++j) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t s = 0; s < n; ++s) {
+      const double stay = 1.0 - model.chain().exit_rate(s) * d;
+      const std::size_t shift = rho[s];
+      for (std::size_t k = shift; k <= r_hi; ++k)
+        cell(next, s, k) = cell(current, s, k - shift) * stay;
+      for (const auto& e : incoming.row(s)) {
+        const std::size_t donor = e.col;
+        std::size_t donor_shift = rho[donor];
+        if (model.has_impulse_rewards()) {
+          const double iota = model.impulse(donor, s);
+          if (iota > 0.0)
+            donor_shift +=
+                as_natural(iota / d, 1e-6, "every impulse divided by d");
+        }
+        const double weight = e.value * d;
+        for (std::size_t k = donor_shift; k <= r_hi; ++k)
+          cell(next, s, k) += cell(current, donor, k - donor_shift) * weight;
+      }
+    }
+    current.swap(next);
+    classify(current, j);
+  }
+  return std::min(success, 1.0);
+}
+
+}  // namespace csrl

@@ -1,0 +1,139 @@
+#include "core/engines/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ctmc/uniformisation.hpp"
+#include "util/error.hpp"
+
+namespace csrl {
+
+double JointDistribution::probability_in(const StateSet& states) const {
+  double acc = 0.0;
+  for (std::size_t s : states.members()) {
+    if (s >= per_state.size())
+      throw ModelError("JointDistribution::probability_in: universe mismatch");
+    acc += per_state[s];
+  }
+  return acc;
+}
+
+std::vector<double> JointDistributionEngine::joint_probability_all_starts(
+    const Mrm& model, double t, double r, const StateSet& target) const {
+  const std::size_t n = model.num_states();
+  if (target.size() != n)
+    throw ModelError("joint_probability_all_starts: universe mismatch");
+  std::vector<double> result(n, 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    Mrm from_s(Ctmc(model.rates()), model.rewards(), model.labelling(), s);
+    if (model.has_impulse_rewards())
+      from_s = from_s.with_impulses(model.impulse_rewards());
+    result[s] = joint_distribution(from_s, t, r).probability_in(target);
+  }
+  return result;
+}
+
+bool joint_distribution_trivial_case(const Mrm& model, double t, double r,
+                                     JointDistribution& out) {
+  if (!(t >= 0.0) || !std::isfinite(t))
+    throw ModelError("joint_distribution: time bound must be finite and >= 0");
+  if (!(r >= 0.0) || !std::isfinite(r))
+    throw ModelError("joint_distribution: reward bound must be finite and >= 0");
+
+  const std::size_t n = model.num_states();
+
+  // At t = 0 no reward has accumulated yet, so the joint distribution is
+  // the initial distribution itself.
+  if (t == 0.0 || n == 0) {
+    out.per_state = model.initial_distribution();
+    out.steps = 0;
+    return true;
+  }
+
+  // Y_t <= max_reward * t holds along every path — but only without
+  // impulses (jumps can add reward arbitrarily often) — so a reward bound
+  // at or above that level never binds and plain transient analysis is
+  // exact.
+  if (!model.has_impulse_rewards() && r >= model.max_reward() * t) {
+    out.per_state =
+        transient_distribution(model.chain(), model.initial_distribution(), t);
+    out.steps = 0;
+    return true;
+  }
+
+  // r == 0 with a binding bound: Y_t stays at zero exactly on the paths
+  // that never enter a positive-reward state (sojourns are almost surely
+  // positive) and never fire a positive-impulse transition.  Freeze the
+  // positive-reward states and reroute impulse-carrying transitions into a
+  // sink, then read off the transient distribution.
+  if (r == 0.0) {
+    const std::size_t sink = n;
+    CsrBuilder rates(n + 1, n + 1);
+    for (std::size_t s = 0; s < n; ++s) {
+      if (model.reward(s) > 0.0) continue;
+      for (const auto& e : model.rates().row(s)) {
+        const bool tainted = model.impulse(s, e.col) > 0.0;
+        rates.add(s, tainted ? sink : e.col, e.value);
+      }
+    }
+    const Ctmc frozen(rates.build());
+    std::vector<double> initial = model.initial_distribution();
+    initial.push_back(0.0);
+    std::vector<double> pi = transient_distribution(frozen, initial, t);
+    pi.pop_back();  // the sink collects the mass that broke the bound
+    for (std::size_t s = 0; s < n; ++s)
+      if (model.reward(s) > 0.0) pi[s] = 0.0;
+    out.per_state = std::move(pi);
+    out.steps = 0;
+    return true;
+  }
+
+  return false;
+}
+
+bool joint_all_starts_trivial_case(const Mrm& model, double t, double r,
+                                   const StateSet& target,
+                                   std::vector<double>& out) {
+  if (!(t >= 0.0) || !std::isfinite(t))
+    throw ModelError("joint_distribution: time bound must be finite and >= 0");
+  if (!(r >= 0.0) || !std::isfinite(r))
+    throw ModelError("joint_distribution: reward bound must be finite and >= 0");
+  const std::size_t n = model.num_states();
+  if (target.size() != n)
+    throw ModelError("joint_all_starts_trivial_case: universe mismatch");
+
+  if (t == 0.0 || n == 0) {
+    out = target.indicator();
+    return true;
+  }
+
+  if (!model.has_impulse_rewards() && r >= model.max_reward() * t) {
+    out = transient_reach(model.chain(), target, t);
+    return true;
+  }
+
+  if (r == 0.0) {
+    const std::size_t sink = n;
+    CsrBuilder rates(n + 1, n + 1);
+    StateSet zero_reward_targets(n + 1);
+    for (std::size_t s = 0; s < n; ++s) {
+      if (model.reward(s) > 0.0) continue;
+      if (target.contains(s)) zero_reward_targets.insert(s);
+      for (const auto& e : model.rates().row(s)) {
+        const bool tainted = model.impulse(s, e.col) > 0.0;
+        rates.add(s, tainted ? sink : e.col, e.value);
+      }
+    }
+    const Ctmc frozen(rates.build());
+    const std::vector<double> extended =
+        transient_reach(frozen, zero_reward_targets, t);
+    out.assign(extended.begin(), extended.begin() + static_cast<long>(n));
+    for (std::size_t s = 0; s < n; ++s)
+      if (model.reward(s) > 0.0) out[s] = 0.0;
+    return true;
+  }
+
+  return false;
+}
+
+}  // namespace csrl

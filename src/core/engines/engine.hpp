@@ -1,0 +1,77 @@
+// Engine interface for the paper's central numerical problem.
+//
+// Theorems 1 and 2 reduce time- and reward-bounded until (property class
+// P3) to "reward-bounded instant-of-time reachability": the joint
+// probability  Pr{Y_t <= r, X_t = j}  on the two-dimensional process
+// (X_t, Y_t) of Figure 1, evaluated on the reduced model.  Section 4 of
+// the paper develops three procedures for it; each is implemented behind
+// this common interface so the checker, the benches and the cross-
+// validating tests can swap them freely:
+//
+//   * ErlangEngine          (Section 4.2, pseudo-Erlang approximation)
+//   * DiscretisationEngine  (Section 4.3, Tijms-Veldman)
+//   * SericolaEngine        (Section 4.4, occupation-time distributions)
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mrm/mrm.hpp"
+#include "util/state_set.hpp"
+
+namespace csrl {
+
+/// Result of a joint-distribution computation.
+struct JointDistribution {
+  /// per_state[j] = Pr{Y_t <= r, X_t = j}, from the model's initial
+  /// distribution.
+  std::vector<double> per_state;
+  /// Algorithm-specific effort indicator: Sericola reports the truncation
+  /// depth N_epsilon, the Erlang engine the number of uniformisation steps
+  /// on the expanded chain, the discretisation engine the number of time
+  /// steps t/d.
+  std::size_t steps = 0;
+
+  /// Sum of per_state over a set of interest (e.g. Sat(Psi)).
+  double probability_in(const StateSet& states) const;
+};
+
+/// A procedure computing the joint state/accumulated-reward distribution.
+class JointDistributionEngine {
+ public:
+  virtual ~JointDistributionEngine() = default;
+
+  /// Pr{Y_t <= r, X_t = j} for all j, starting from the model's initial
+  /// distribution.  Requires t >= 0 and r >= 0.
+  virtual JointDistribution joint_distribution(const Mrm& model, double t,
+                                               double r) const = 0;
+
+  /// For every start state s, Pr_s{Y_t <= r, X_t in target}.  This is the
+  /// shape Sat-set computation needs.  The default implementation runs
+  /// joint_distribution() once per state with a point-mass initial
+  /// distribution; engines with a cheaper all-states formulation override
+  /// it.
+  virtual std::vector<double> joint_probability_all_starts(
+      const Mrm& model, double t, double r, const StateSet& target) const;
+
+  /// Short human-readable name ("sericola", "erlang-256", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Shared preprocessing used by every engine: handles the trivial cases
+/// t == 0 (distribution is the initial one), r large enough that the
+/// reward bound cannot bind (plain transient analysis applies), and r == 0
+/// (exact via transient analysis with positive-reward states frozen).
+/// Returns true and fills `out` if the case was trivial.
+bool joint_distribution_trivial_case(const Mrm& model, double t, double r,
+                                     JointDistribution& out);
+
+/// The same trivial cases in the all-start-states shape: fills out[s] with
+/// Pr_s{Y_t <= r, X_t in target} when t, r make the problem degenerate.
+bool joint_all_starts_trivial_case(const Mrm& model, double t, double r,
+                                   const StateSet& target,
+                                   std::vector<double>& out);
+
+}  // namespace csrl

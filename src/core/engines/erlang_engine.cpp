@@ -1,0 +1,108 @@
+#include "core/engines/erlang_engine.hpp"
+
+#include <string>
+
+#include "ctmc/foxglynn.hpp"
+#include "util/error.hpp"
+
+namespace csrl {
+
+ErlangEngine::ErlangEngine(std::size_t phases, TransientOptions transient)
+    : phases_(phases), transient_(transient) {
+  if (phases_ == 0)
+    throw ModelError("ErlangEngine: the number of phases must be positive");
+}
+
+std::string ErlangEngine::name() const {
+  return "erlang-" + std::to_string(phases_);
+}
+
+Ctmc ErlangEngine::expand(const Mrm& model, double r) const {
+  const std::size_t n = model.num_states();
+  const std::size_t k = phases_;
+  const std::size_t exceeded = n * k;
+  const double phase_rate_per_reward = static_cast<double>(k) / r;
+
+  CsrBuilder rates(n * k + 1, n * k + 1);
+  for (std::size_t s = 0; s < n; ++s) {
+    const double advance = model.reward(s) * phase_rate_per_reward;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t from = s * k + i;
+      for (const auto& e : model.rates().row(s)) {
+        const double iota =
+            model.has_impulse_rewards() ? model.impulse(s, e.col) : 0.0;
+        if (iota == 0.0) {
+          // Plain transitions leave the consumed reward budget untouched.
+          rates.add(from, e.col * k + i, e.value);
+          continue;
+        }
+        // An impulse iota crosses a Poisson(iota * k / r) number of budget
+        // phases (the budget is a Poisson process of rate k/r along the
+        // reward axis); running out of phases crosses the bound.
+        const PoissonWeights jumps =
+            poisson_weights(iota * phase_rate_per_reward, 1e-12);
+        double mass_within = 0.0;
+        for (std::size_t j = jumps.left; j <= jumps.right && i + j < k; ++j) {
+          rates.add(from, e.col * k + i + j, e.value * jumps.weight(j));
+          mass_within += jumps.weight(j);
+        }
+        const double spill = e.value * (1.0 - mass_within);
+        if (spill > 0.0) rates.add(from, exceeded, spill);
+      }
+      // Budget phase completion; the k-th completion crosses the bound.
+      if (advance > 0.0)
+        rates.add(from, i + 1 < k ? from + 1 : exceeded, advance);
+    }
+  }
+  return Ctmc(rates.build());
+}
+
+JointDistribution ErlangEngine::joint_distribution(const Mrm& model, double t,
+                                                   double r) const {
+  JointDistribution result;
+  if (joint_distribution_trivial_case(model, t, r, result)) return result;
+
+  const std::size_t n = model.num_states();
+  const std::size_t k = phases_;
+  const Ctmc expanded = expand(model, r);
+
+  std::vector<double> initial(expanded.num_states(), 0.0);
+  for (std::size_t s = 0; s < n; ++s)
+    initial[s * k] = model.initial_distribution()[s];
+
+  const std::vector<double> pi =
+      transient_distribution(expanded, initial, t, transient_);
+
+  result.per_state.assign(n, 0.0);
+  for (std::size_t s = 0; s < n; ++s)
+    for (std::size_t i = 0; i < k; ++i) result.per_state[s] += pi[s * k + i];
+  result.steps =
+      poisson_weights(expanded.max_exit_rate() * t, transient_.epsilon).right;
+  return result;
+}
+
+std::vector<double> ErlangEngine::joint_probability_all_starts(
+    const Mrm& model, double t, double r, const StateSet& target) const {
+  std::vector<double> result;
+  if (joint_all_starts_trivial_case(model, t, r, target, result)) return result;
+
+  const std::size_t n = model.num_states();
+  const std::size_t k = phases_;
+  const Ctmc expanded = expand(model, r);
+
+  // Terminal set: any phase copy of a target state (the budget may be
+  // partially consumed as long as it never ran out).
+  StateSet expanded_target(expanded.num_states());
+  for (std::size_t s : target.members())
+    for (std::size_t i = 0; i < k; ++i) expanded_target.insert(s * k + i);
+
+  const std::vector<double> u =
+      transient_reach(expanded, expanded_target, t, transient_);
+
+  // A fresh start state has consumed no budget: phase 0.
+  result.assign(n, 0.0);
+  for (std::size_t s = 0; s < n; ++s) result[s] = u[s * k];
+  return result;
+}
+
+}  // namespace csrl

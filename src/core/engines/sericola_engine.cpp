@@ -1,0 +1,235 @@
+#include "core/engines/sericola_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ctmc/foxglynn.hpp"
+#include "matrix/vector_ops.hpp"
+#include "util/error.hpp"
+
+namespace csrl {
+
+namespace {
+
+/// States grouped into reward classes: levels 0 = rho_0 < ... < rho_m with
+/// class 0 always anchored at reward zero (possibly empty), as Sericola's
+/// recursion requires.
+struct RewardClasses {
+  std::vector<double> levels;              // size m + 1
+  std::vector<std::size_t> class_of;       // per state
+  std::vector<std::vector<std::size_t>> members;  // per class
+};
+
+RewardClasses classify(const Mrm& model) {
+  RewardClasses rc;
+  rc.levels = model.distinct_rewards();
+  if (rc.levels.empty() || rc.levels.front() > 0.0)
+    rc.levels.insert(rc.levels.begin(), 0.0);
+
+  rc.class_of.resize(model.num_states());
+  rc.members.resize(rc.levels.size());
+  for (std::size_t s = 0; s < model.num_states(); ++s) {
+    const auto it = std::lower_bound(rc.levels.begin(), rc.levels.end(),
+                                     model.reward(s));
+    const auto c = static_cast<std::size_t>(it - rc.levels.begin());
+    rc.class_of[s] = c;
+    rc.members[c].push_back(s);
+  }
+  return rc;
+}
+
+/// Bernstein basis value C(n,k) x^k (1-x)^{n-k}, stable in log space.
+double bernstein(std::size_t n, std::size_t k, double x) {
+  if (x == 0.0) return k == 0 ? 1.0 : 0.0;
+  const double dn = static_cast<double>(n);
+  const double dk = static_cast<double>(k);
+  const double log_choose = std::lgamma(dn + 1.0) - std::lgamma(dk + 1.0) -
+                            std::lgamma(dn - dk + 1.0);
+  return std::exp(log_choose + dk * std::log(x) +
+                  (dn - dk) * std::log1p(-x));
+}
+
+/// Triangular store for the per-level coefficient vectors c(h, n, k): one
+/// slot per reward interval h in 1..m and jump count k in 0..N, each a
+/// vector over states.
+class LevelStore {
+ public:
+  LevelStore(std::size_t m, std::size_t max_n, std::size_t num_states)
+      : stride_(max_n + 1),
+        num_states_(num_states),
+        data_(m * stride_ * num_states, 0.0) {}
+
+  double* slot(std::size_t h, std::size_t k) {
+    return data_.data() + ((h - 1) * stride_ + k) * num_states_;
+  }
+  const double* slot(std::size_t h, std::size_t k) const {
+    return data_.data() + ((h - 1) * stride_ + k) * num_states_;
+  }
+  std::span<const double> span(std::size_t h, std::size_t k) const {
+    return {slot(h, k), num_states_};
+  }
+
+ private:
+  std::size_t stride_;
+  std::size_t num_states_;
+  std::vector<double> data_;
+};
+
+}  // namespace
+
+SericolaEngine::SericolaEngine(double epsilon) : epsilon_(epsilon) {
+  if (!(epsilon > 0.0 && epsilon < 1.0))
+    throw ModelError("SericolaEngine: epsilon must lie in (0, 1)");
+}
+
+std::string SericolaEngine::name() const { return "sericola"; }
+
+std::size_t SericolaEngine::truncation_depth(const Mrm& model, double t) const {
+  const double lambda =
+      model.chain().max_exit_rate() > 0.0 ? model.chain().max_exit_rate() : 1.0;
+  return poisson_weights(lambda * t, epsilon_).right;
+}
+
+std::vector<double> SericolaEngine::joint_probability_all_starts(
+    const Mrm& model, double t, double r, const StateSet& target) const {
+  std::vector<double> trivial;
+  if (joint_all_starts_trivial_case(model, t, r, target, trivial))
+    return trivial;
+
+  if (model.has_impulse_rewards())
+    throw ModelError(
+        "SericolaEngine: occupation-time distributions are a rate-reward "
+        "result ([23]); for impulse rewards use the discretisation or "
+        "pseudo-Erlang engine, or the simulator");
+
+  // From here on: t > 0, 0 < r < max_reward * t, hence m >= 1 and the
+  // reward interval index h* below exists.
+  const std::size_t num_states = model.num_states();
+  const RewardClasses rc = classify(model);
+  const std::size_t m = rc.levels.size() - 1;
+
+  std::size_t h_star = m;
+  for (std::size_t h = 1; h <= m; ++h) {
+    if (r < rc.levels[h] * t) {
+      h_star = h;
+      break;
+    }
+  }
+  const double span_h =
+      (rc.levels[h_star] - rc.levels[h_star - 1]) * t;
+  double x = (r - rc.levels[h_star - 1] * t) / span_h;
+  x = std::clamp(x, 0.0, 1.0 - 1e-16);
+
+  const double lambda =
+      model.chain().max_exit_rate() > 0.0 ? model.chain().max_exit_rate() : 1.0;
+  const CsrMatrix p = model.chain().uniformised_dtmc(lambda);
+  const PoissonWeights weights = poisson_weights(lambda * t, epsilon_);
+  const std::size_t max_n = weights.right;
+
+  // c(h, n, k) vectors for the current and previous jump count n, plus the
+  // cache of products P * c(h, n-1, k) both sweeps consume.
+  LevelStore current(m, max_n, num_states);
+  LevelStore previous(m, max_n, num_states);
+  LevelStore products(m, max_n, num_states);
+
+  std::vector<double> u = target.indicator();  // u = P^n v
+  std::vector<double> scratch(num_states, 0.0);
+  std::vector<double> transient(num_states, 0.0);
+  std::vector<double> exceed(num_states, 0.0);  // accumulates H * weights
+
+  for (std::size_t n = 0; n <= max_n; ++n) {
+    if (n > 0) {
+      p.multiply(u, scratch);
+      u.swap(scratch);
+      for (std::size_t h = 1; h <= m; ++h) {
+        for (std::size_t k = 0; k < n; ++k) {
+          std::span<double> out{products.slot(h, k), num_states};
+          p.multiply(previous.span(h, k), out);
+        }
+      }
+    }
+
+    // High sweep: rows with rho(i) >= rho_h, h ascending, k ascending.
+    for (std::size_t h = 1; h <= m; ++h) {
+      const double rho_h = rc.levels[h];
+      const double rho_h1 = rc.levels[h - 1];
+      for (std::size_t k = 0; k <= n; ++k) {
+        double* c = current.slot(h, k);
+        for (std::size_t cls = h; cls <= m; ++cls) {
+          const double rho_i = rc.levels[cls];
+          const double a = (rho_i - rho_h) / (rho_i - rho_h1);
+          const double b = (rho_h - rho_h1) / (rho_i - rho_h1);
+          for (std::size_t i : rc.members[cls]) {
+            if (k == 0) {
+              c[i] = h == 1 ? u[i] : current.slot(h - 1, n)[i];
+            } else {
+              c[i] = a * current.slot(h, k - 1)[i] +
+                     b * products.slot(h, k - 1)[i];
+            }
+          }
+        }
+      }
+    }
+
+    // Low sweep: rows with rho(i) <= rho_{h-1}, h descending, k descending.
+    for (std::size_t h = m; h >= 1; --h) {
+      const double rho_h = rc.levels[h];
+      const double rho_h1 = rc.levels[h - 1];
+      for (std::size_t k = n + 1; k-- > 0;) {
+        double* c = current.slot(h, k);
+        for (std::size_t cls = 0; cls < h; ++cls) {
+          const double rho_i = rc.levels[cls];
+          const double a = (rho_h1 - rho_i) / (rho_h - rho_i);
+          const double b = (rho_h - rho_h1) / (rho_h - rho_i);
+          for (std::size_t i : rc.members[cls]) {
+            if (k == n) {
+              c[i] = h == m ? 0.0 : current.slot(h + 1, 0)[i];
+            } else {
+              c[i] =
+                  a * current.slot(h, k + 1)[i] + b * products.slot(h, k)[i];
+            }
+          }
+        }
+      }
+    }
+
+    const double w = weights.weight(n);
+    axpy(w, u, transient);
+    if (w > 0.0) {
+      for (std::size_t k = 0; k <= n; ++k) {
+        const double basis = bernstein(n, k, x);
+        if (basis > 0.0) axpy(w * basis, current.span(h_star, k), exceed);
+      }
+    }
+
+    std::swap(current, previous);
+  }
+
+  std::vector<double> result(num_states, 0.0);
+  for (std::size_t i = 0; i < num_states; ++i)
+    result[i] = std::clamp(transient[i] - exceed[i], 0.0, 1.0);
+  return result;
+}
+
+JointDistribution SericolaEngine::joint_distribution(const Mrm& model, double t,
+                                                     double r) const {
+  JointDistribution result;
+  if (joint_distribution_trivial_case(model, t, r, result)) return result;
+
+  // One vector pass per final state j (cumulatively the cost of the
+  // paper-faithful matrix recursion); the initial distribution then picks
+  // out the required mixture of start states.
+  const std::size_t n = model.num_states();
+  result.per_state.assign(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    StateSet single(n);
+    single.insert(j);
+    const std::vector<double> h_col =
+        joint_probability_all_starts(model, t, r, single);
+    result.per_state[j] = dot(model.initial_distribution(), h_col);
+  }
+  result.steps = truncation_depth(model, t);
+  return result;
+}
+
+}  // namespace csrl

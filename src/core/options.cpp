@@ -1,0 +1,23 @@
+#include "core/options.hpp"
+
+#include "core/engines/discretisation_engine.hpp"
+#include "core/engines/erlang_engine.hpp"
+#include "core/engines/sericola_engine.hpp"
+#include "util/error.hpp"
+
+namespace csrl {
+
+std::unique_ptr<JointDistributionEngine> make_engine(const CheckOptions& options) {
+  switch (options.engine) {
+    case P3Engine::kSericola:
+      return std::make_unique<SericolaEngine>(options.sericola_epsilon);
+    case P3Engine::kDiscretisation:
+      return std::make_unique<DiscretisationEngine>(options.discretisation_step);
+    case P3Engine::kErlang:
+      return std::make_unique<ErlangEngine>(options.erlang_phases,
+                                            options.transient);
+  }
+  throw Error("make_engine: invalid engine selector");
+}
+
+}  // namespace csrl

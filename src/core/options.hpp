@@ -1,0 +1,52 @@
+// Configuration of the model checker.
+#pragma once
+
+#include <memory>
+
+#include "core/engines/engine.hpp"
+#include "ctmc/uniformisation.hpp"
+#include "matrix/solvers.hpp"
+
+namespace csrl {
+
+/// Which of the paper's three procedures decides time- and reward-bounded
+/// until formulas (property class P3).
+enum class P3Engine {
+  kSericola,        // Section 4.4 — the default: a-priori error bound
+  kDiscretisation,  // Section 4.3
+  kErlang,          // Section 4.2
+};
+
+/// All knobs of the checking pipeline.  The defaults give at least ~9
+/// significant digits on well-conditioned models.
+struct CheckOptions {
+  /// Engine for P3 (time- and reward-bounded until) formulas.
+  P3Engine engine = P3Engine::kSericola;
+
+  /// Error bound for the Sericola engine's Poisson truncation.
+  double sericola_epsilon = 1e-9;
+
+  /// Erlang order k of the pseudo-Erlang engine.
+  std::size_t erlang_phases = 256;
+
+  /// Step size d of the Tijms-Veldman engine.  Callers must align t, r and
+  /// the reward structure with it (see DiscretisationEngine).
+  double discretisation_step = 1.0 / 64.0;
+
+  /// Transient-analysis controls for time-bounded until (P1) and the
+  /// duality-based reward-bounded until (P2).
+  TransientOptions transient{};
+
+  /// Linear-solver controls for unbounded until (P0) and the steady-state
+  /// operator.
+  SolverOptions solver{};
+
+  /// Memoise Sat sets by the (canonical) printed form of subformulas, so
+  /// repeated fragments across queries are checked once per Checker.
+  bool cache_sat_sets = true;
+};
+
+/// Instantiate the configured P3 engine.
+std::unique_ptr<JointDistributionEngine> make_engine(const CheckOptions& options);
+
+}  // namespace csrl

@@ -1,0 +1,45 @@
+// Steady-state operator (following [2]; the paper omits it from its
+// exposition but the logic and our checker support it).
+//
+// For each start state s the long-run probability of sitting in Phi is
+//
+//   sum_B  Pr{reach BSCC B from s} * pi_B(Phi /\ B),
+//
+// where pi_B is the stationary distribution of the chain restricted to
+// the bottom strongly connected component B.
+#include "core/checker.hpp"
+#include "ctmc/graph.hpp"
+#include "ctmc/stationary.hpp"
+#include "util/error.hpp"
+
+namespace csrl {
+
+std::vector<double> Checker::steady_probabilities(
+    const StateSet& phi_states) const {
+  const std::size_t n = model_->num_states();
+  if (phi_states.size() != n)
+    throw ModelError("steady_probabilities: universe size mismatch");
+  if (n == 0) return {};
+
+  const std::vector<StateSet> bsccs = bottom_sccs(model_->rates());
+  const StateSet everything(n, /*filled=*/true);
+
+  std::vector<double> result(n, 0.0);
+  for (const StateSet& bscc : bsccs) {
+    const std::vector<std::size_t> members = bscc.members();
+    const std::vector<double> pi =
+        component_stationary(model_->chain(), members, options_.solver);
+
+    double phi_mass = 0.0;
+    for (std::size_t i = 0; i < members.size(); ++i)
+      if (phi_states.contains(members[i])) phi_mass += pi[i];
+    if (phi_mass == 0.0) continue;
+
+    // Pr{eventually absorbed in this BSCC}, for every start state.
+    const std::vector<double> reach = unbounded_until(everything, bscc);
+    for (std::size_t s = 0; s < n; ++s) result[s] += reach[s] * phi_mass;
+  }
+  return result;
+}
+
+}  // namespace csrl

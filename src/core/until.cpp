@@ -1,0 +1,168 @@
+// Implementation of the four until property classes (P0-P3).
+#include <cmath>
+#include <unordered_map>
+
+#include "core/checker.hpp"
+#include "ctmc/graph.hpp"
+#include "ctmc/uniformisation.hpp"
+#include "mrm/transform.hpp"
+#include "util/error.hpp"
+
+namespace csrl {
+
+namespace {
+
+/// Qualitative precomputation for unbounded until on the transition graph:
+/// prob-0 states (cannot reach Psi through Phi) and prob-1 states (cannot
+/// avoid doing so).
+struct UntilPrecomputation {
+  StateSet zero;
+  StateSet one;
+};
+
+UntilPrecomputation qualitative_until(const CsrMatrix& adjacency,
+                                      const StateSet& phi,
+                                      const StateSet& psi) {
+  const StateSet through = phi - psi;
+  UntilPrecomputation pre;
+  pre.zero = backward_reachable(adjacency, psi, through).complement();
+  // A state misses probability 1 exactly if it can wander into a prob-0
+  // state while staying in Phi \ Psi.
+  pre.one = backward_reachable(adjacency, pre.zero, through).complement();
+  return pre;
+}
+
+}  // namespace
+
+std::vector<double> Checker::unbounded_until(const StateSet& phi,
+                                             const StateSet& psi) const {
+  const std::size_t n = model_->num_states();
+  const CsrMatrix p = model_->chain().embedded_dtmc();
+  const UntilPrecomputation pre = qualitative_until(model_->rates(), phi, psi);
+
+  std::vector<double> result(n, 0.0);
+  for (std::size_t s : pre.one.members()) result[s] = 1.0;
+
+  const StateSet maybe = (pre.zero | pre.one).complement();
+  const std::vector<std::size_t> maybe_states = maybe.members();
+  if (maybe_states.empty()) return result;
+
+  // x = A x + b on the maybe states, with A the embedded DTMC restricted
+  // to maybe x maybe and b the one-step probability into the prob-1 set.
+  std::unordered_map<std::size_t, std::size_t> compact;
+  compact.reserve(maybe_states.size());
+  for (std::size_t i = 0; i < maybe_states.size(); ++i)
+    compact.emplace(maybe_states[i], i);
+
+  CsrBuilder a(maybe_states.size(), maybe_states.size());
+  std::vector<double> b(maybe_states.size(), 0.0);
+  for (std::size_t i = 0; i < maybe_states.size(); ++i) {
+    for (const auto& e : p.row(maybe_states[i])) {
+      if (pre.one.contains(e.col)) {
+        b[i] += e.value;
+      } else if (const auto it = compact.find(e.col); it != compact.end()) {
+        a.add(i, it->second, e.value);
+      }
+    }
+  }
+
+  const std::vector<double> x = solve_fixpoint(a.build(), b, options_.solver);
+  for (std::size_t i = 0; i < maybe_states.size(); ++i)
+    result[maybe_states[i]] = x[i];
+  return result;
+}
+
+std::vector<double> Checker::time_bounded_until(const StateSet& phi,
+                                                const StateSet& psi,
+                                                Interval time) const {
+  // I = [0, t]: make Psi and the illegal states absorbing, then transient
+  // analysis at t decides the formula ([3]; the paper's P1 recipe).
+  if (time.lo == 0.0) {
+    if (!time.has_upper_bound())
+      return unbounded_until(phi, psi);
+    const Mrm frozen =
+        make_absorbing(*model_, (phi - psi).complement(), /*zero_reward=*/false);
+    std::vector<double> result =
+        transient_reach(frozen.chain(), psi, time.hi, options_.transient);
+    // Psi-states satisfy the until immediately and are absorbing in the
+    // frozen chain: pin them to exactly 1 rather than 1 - truncation error.
+    for (std::size_t s : psi.members()) result[s] = 1.0;
+    return result;
+  }
+
+  // I = [t1, t2] with t1 > 0: the standard two-phase scheme.  Phase 2
+  // computes the terminal vector v; phase 1 pushes it backward over [0, t1]
+  // on the chain with ~Phi absorbing (Phi must hold throughout [0, t1]).
+  const std::size_t n = model_->num_states();
+  std::vector<double> v;
+  if (time.lo == time.hi) {
+    v = (phi & psi).indicator();
+  } else {
+    v = time_bounded_until(phi, psi, Interval::upto(time.hi - time.lo));
+    for (std::size_t s = 0; s < n; ++s)
+      if (!phi.contains(s)) v[s] = 0.0;
+  }
+  const Mrm holding = make_absorbing(*model_, phi.complement(),
+                                     /*zero_reward=*/false);
+  std::vector<double> result =
+      transient_backward(holding.chain(), v, time.lo, options_.transient);
+  // Starting in a ~Phi state, Phi fails immediately at every t' < t1.
+  for (std::size_t s = 0; s < n; ++s)
+    if (!phi.contains(s)) result[s] = 0.0;
+  return result;
+}
+
+std::vector<double> Checker::reward_bounded_until(const StateSet& phi,
+                                                  const StateSet& psi,
+                                                  Interval reward) const {
+  // P2: swap the reward bound into a time bound on the dual model
+  // [4, Thm 1].  Sat sets live on the same state space, so they transfer
+  // unchanged.
+  //
+  // For J = [0, r] we apply the P1 absorbing transform *before* dualising:
+  // the until probability is insensitive to it, and it relaxes the
+  // duality's positivity precondition to the states the paths actually
+  // traverse (Psi-states and illegal states may then carry reward 0).
+  if (reward.lo == 0.0) {
+    const Mrm frozen =
+        make_absorbing(*model_, (phi - psi).complement(), /*zero_reward=*/false);
+    const Mrm dual_model = dual(frozen);
+    std::vector<double> result = transient_reach(dual_model.chain(), psi,
+                                                 reward.hi, options_.transient);
+    for (std::size_t s : psi.members()) result[s] = 1.0;
+    return result;
+  }
+
+  // General reward interval [r1, r2]: dualise the full model (every
+  // non-absorbing state needs positive reward) and run the two-phase
+  // time-interval scheme there.
+  const Mrm dual_model = dual(*model_);
+  const Checker dual_checker(dual_model, options_);
+  return dual_checker.time_bounded_until(phi, psi, reward);
+}
+
+std::vector<double> Checker::time_reward_bounded_until(const StateSet& phi,
+                                                       const StateSet& psi,
+                                                       double t,
+                                                       double r) const {
+  if (!(t >= 0.0) || !(r >= 0.0))
+    throw ModelError("until: time and reward bounds must be >= 0");
+
+  // Theorem 1: amalgamating reduction, then reward-bounded instant-of-time
+  // reachability of the "success" state via the configured engine
+  // (Theorem 2).
+  const UntilReduction reduction = reduce_for_until(*model_, phi, psi);
+  StateSet target(reduction.model.num_states());
+  target.insert(reduction.success_state);
+
+  const auto engine = make_engine(options_);
+  const std::vector<double> h =
+      engine->joint_probability_all_starts(reduction.model, t, r, target);
+
+  const std::size_t n = model_->num_states();
+  std::vector<double> result(n, 0.0);
+  for (std::size_t s = 0; s < n; ++s) result[s] = h[reduction.state_map[s]];
+  return result;
+}
+
+}  // namespace csrl

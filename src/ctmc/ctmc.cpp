@@ -1,0 +1,62 @@
+#include "ctmc/ctmc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace csrl {
+
+Ctmc::Ctmc(CsrMatrix rates) : rates_(std::move(rates)) {
+  if (rates_.rows() != rates_.cols())
+    throw ModelError("Ctmc: rate matrix must be square");
+  for (std::size_t s = 0; s < rates_.rows(); ++s)
+    for (const auto& e : rates_.row(s))
+      if (!(e.value >= 0.0) || !std::isfinite(e.value))
+        throw ModelError("Ctmc: negative or non-finite rate at (" +
+                         std::to_string(s) + ", " + std::to_string(e.col) + ")");
+  exit_rates_ = rates_.row_sums();
+  max_exit_rate_ = exit_rates_.empty()
+                       ? 0.0
+                       : *std::max_element(exit_rates_.begin(), exit_rates_.end());
+}
+
+CsrMatrix Ctmc::generator() const {
+  CsrBuilder b(num_states(), num_states());
+  for (std::size_t s = 0; s < num_states(); ++s) {
+    for (const auto& e : rates_.row(s)) b.add(s, e.col, e.value);
+    b.add(s, s, -exit_rates_[s]);
+  }
+  return b.build();
+}
+
+CsrMatrix Ctmc::embedded_dtmc() const {
+  CsrBuilder b(num_states(), num_states());
+  for (std::size_t s = 0; s < num_states(); ++s) {
+    if (is_absorbing(s)) {
+      b.add(s, s, 1.0);
+      continue;
+    }
+    for (const auto& e : rates_.row(s)) b.add(s, e.col, e.value / exit_rates_[s]);
+  }
+  return b.build();
+}
+
+CsrMatrix Ctmc::uniformised_dtmc(double lambda) const {
+  if (!(lambda > 0.0))
+    throw ModelError("Ctmc::uniformised_dtmc: lambda must be positive");
+  // A tiny relative slack absorbs floating-point noise in callers that pass
+  // exactly max_exit_rate().
+  if (lambda < max_exit_rate_ * (1.0 - 1e-12))
+    throw ModelError("Ctmc::uniformised_dtmc: lambda below max exit rate");
+  CsrBuilder b(num_states(), num_states());
+  for (std::size_t s = 0; s < num_states(); ++s) {
+    for (const auto& e : rates_.row(s)) b.add(s, e.col, e.value / lambda);
+    const double self = 1.0 - exit_rates_[s] / lambda;
+    if (self > 0.0) b.add(s, s, self);
+  }
+  return b.build();
+}
+
+}  // namespace csrl

@@ -1,0 +1,67 @@
+#include "ctmc/foxglynn.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace csrl {
+
+double poisson_pmf(std::size_t n, double lambda) {
+  if (lambda < 0.0) throw NumericalError("poisson_pmf: negative rate");
+  if (lambda == 0.0) return n == 0 ? 1.0 : 0.0;
+  const double x = static_cast<double>(n);
+  return std::exp(-lambda + x * std::log(lambda) - std::lgamma(x + 1.0));
+}
+
+PoissonWeights poisson_weights(double lambda_t, double epsilon) {
+  if (!(lambda_t >= 0.0))
+    throw NumericalError("poisson_weights: negative lambda*t");
+  if (!(epsilon > 0.0 && epsilon < 1.0))
+    throw NumericalError("poisson_weights: epsilon must be in (0, 1)");
+
+  PoissonWeights result;
+  if (lambda_t == 0.0) {
+    result.left = result.right = 0;
+    result.weights = {1.0};
+    result.total = 1.0;
+    return result;
+  }
+
+  // Grow the window outwards from the mode, always annexing the heavier
+  // neighbour, until the captured mass reaches 1 - epsilon.  Poisson pmfs
+  // are unimodal, so this yields the smallest such window.
+  const auto mode = static_cast<std::size_t>(std::floor(lambda_t));
+  std::deque<double> window{poisson_pmf(mode, lambda_t)};
+  std::size_t left = mode;
+  std::size_t right = mode;
+  double total = window.front();
+  double below = left == 0 ? 0.0 : window.front() * static_cast<double>(left) / lambda_t;
+  double above = window.back() * lambda_t / static_cast<double>(right + 1);
+
+  const double target = 1.0 - epsilon;
+  while (total < target) {
+    const bool can_go_down = left > 0;
+    if (can_go_down && below >= above) {
+      window.push_front(below);
+      total += below;
+      --left;
+      below = left == 0 ? 0.0
+                        : window.front() * static_cast<double>(left) / lambda_t;
+    } else {
+      window.push_back(above);
+      total += above;
+      ++right;
+      above = window.back() * lambda_t / static_cast<double>(right + 1);
+      if (above == 0.0 && (!can_go_down || below == 0.0)) break;  // underflow floor
+    }
+  }
+
+  result.left = left;
+  result.right = right;
+  result.weights.assign(window.begin(), window.end());
+  result.total = total;
+  return result;
+}
+
+}  // namespace csrl

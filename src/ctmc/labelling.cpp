@@ -1,0 +1,48 @@
+#include "ctmc/labelling.hpp"
+
+#include "util/error.hpp"
+
+namespace csrl {
+
+std::size_t Labelling::add_proposition(const std::string& name) {
+  if (name.empty()) throw ModelError("Labelling: empty proposition name");
+  const auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const std::size_t id = names_.size();
+  names_.push_back(name);
+  index_.emplace(name, id);
+  sets_.emplace_back(num_states_);
+  return id;
+}
+
+bool Labelling::has_proposition(const std::string& name) const {
+  return index_.contains(name);
+}
+
+void Labelling::add_label(std::size_t state, const std::string& name) {
+  if (state >= num_states_)
+    throw ModelError("Labelling::add_label: state out of range");
+  sets_[add_proposition(name)].insert(state);
+}
+
+bool Labelling::has_label(std::size_t state, const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) return false;
+  return sets_[it->second].contains(state);
+}
+
+const StateSet& Labelling::states_with(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end())
+    throw ModelError("Labelling: unknown atomic proposition '" + name + "'");
+  return sets_[it->second];
+}
+
+std::vector<std::string> Labelling::labels_of(std::size_t state) const {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < names_.size(); ++i)
+    if (sets_[i].contains(state)) out.push_back(names_[i]);
+  return out;
+}
+
+}  // namespace csrl

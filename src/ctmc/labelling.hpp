@@ -1,0 +1,58 @@
+// Atomic-proposition labelling of a state space.
+//
+// CSRL state formulas bottom out in atomic propositions ("buffer empty",
+// "Call_Incoming", ...).  A Labelling maps proposition names to the set of
+// states they hold in; the checker resolves leaves of the formula parse
+// tree against it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/state_set.hpp"
+
+namespace csrl {
+
+/// Assignment of atomic propositions to states of a fixed universe.
+class Labelling {
+ public:
+  Labelling() = default;
+
+  /// Labelling over `num_states` states with no propositions yet.
+  explicit Labelling(std::size_t num_states) : num_states_(num_states) {}
+
+  std::size_t num_states() const { return num_states_; }
+
+  /// Register a proposition name (idempotent); returns its index.
+  std::size_t add_proposition(const std::string& name);
+
+  bool has_proposition(const std::string& name) const;
+
+  /// Label `state` with `name`, registering the proposition if new.
+  void add_label(std::size_t state, const std::string& name);
+
+  /// True if `state` is labelled with `name` (false for unknown names).
+  bool has_label(std::size_t state, const std::string& name) const;
+
+  /// The set of states labelled `name`.  Throws ModelError for a name that
+  /// was never registered — in a logic context that is almost always a typo
+  /// in the formula, and silently returning the empty set would make the
+  /// formula trivially (un)satisfied.
+  const StateSet& states_with(const std::string& name) const;
+
+  /// All registered proposition names, in registration order.
+  const std::vector<std::string>& propositions() const { return names_; }
+
+  /// Names of the propositions holding in `state`.
+  std::vector<std::string> labels_of(std::size_t state) const;
+
+ private:
+  std::size_t num_states_ = 0;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::size_t> index_;
+  std::vector<StateSet> sets_;
+};
+
+}  // namespace csrl

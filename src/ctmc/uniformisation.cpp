@@ -1,0 +1,112 @@
+#include "ctmc/uniformisation.hpp"
+
+#include <cmath>
+
+#include "ctmc/foxglynn.hpp"
+#include "matrix/vector_ops.hpp"
+#include "util/error.hpp"
+
+namespace csrl {
+
+namespace {
+
+double resolve_rate(const Ctmc& chain, const TransientOptions& options) {
+  if (options.uniformisation_rate != 0.0) {
+    if (options.uniformisation_rate < chain.max_exit_rate())
+      throw ModelError("transient analysis: uniformisation rate below max exit rate");
+    return options.uniformisation_rate;
+  }
+  return chain.max_exit_rate() > 0.0 ? chain.max_exit_rate() : 1.0;
+}
+
+/// Shared series loop.  `step` advances the iterate by one power of P;
+/// the Poisson-weighted iterates are accumulated into `result`.
+template <typename StepFn>
+void accumulate_series(std::vector<double>& iterate, std::vector<double>& scratch,
+                       std::vector<double>& result, const PoissonWeights& weights,
+                       const TransientOptions& options, StepFn step) {
+  if (weights.left == 0) axpy(weights.weights[0], iterate, result);
+  for (std::size_t n = 1; n <= weights.right; ++n) {
+    step(iterate, scratch);
+    if (options.steady_state_detection &&
+        max_abs_diff(iterate, scratch) <= options.steady_state_tolerance) {
+      // The iterate has converged: every further power of P yields the
+      // same vector, so the rest of the Poisson mass multiplies it.
+      double remaining = 0.0;
+      for (std::size_t m = std::max(n, weights.left); m <= weights.right; ++m)
+        remaining += weights.weight(m);
+      axpy(remaining, scratch, result);
+      iterate.swap(scratch);
+      return;
+    }
+    iterate.swap(scratch);
+    if (n >= weights.left) axpy(weights.weight(n), iterate, result);
+  }
+}
+
+}  // namespace
+
+std::vector<double> transient_distribution(const Ctmc& chain,
+                                           std::span<const double> initial,
+                                           double t,
+                                           const TransientOptions& options) {
+  const std::size_t n = chain.num_states();
+  if (initial.size() != n)
+    throw ModelError("transient_distribution: initial distribution size mismatch");
+  for (double v : initial)
+    if (!(v >= 0.0) || !std::isfinite(v))
+      throw ModelError("transient_distribution: initial entries must be >= 0");
+  if (!(t >= 0.0) || !std::isfinite(t))
+    throw ModelError("transient_distribution: time must be finite and >= 0");
+
+  std::vector<double> pi(initial.begin(), initial.end());
+  // With every state absorbing the distribution never moves; returning it
+  // directly also avoids charging the truncation error for nothing.
+  if (t == 0.0 || n == 0 || chain.max_exit_rate() == 0.0) return pi;
+
+  const double lambda = resolve_rate(chain, options);
+  const CsrMatrix p = chain.uniformised_dtmc(lambda);
+  const PoissonWeights weights = poisson_weights(lambda * t, options.epsilon);
+
+  std::vector<double> result(n, 0.0);
+  std::vector<double> scratch(n, 0.0);
+  accumulate_series(pi, scratch, result, weights, options,
+                    [&p](const std::vector<double>& x, std::vector<double>& y) {
+                      p.multiply_left(x, y);
+                    });
+  return result;
+}
+
+std::vector<double> transient_backward(const Ctmc& chain,
+                                       std::span<const double> terminal,
+                                       double t, const TransientOptions& options) {
+  const std::size_t n = chain.num_states();
+  if (terminal.size() != n)
+    throw ModelError("transient_backward: terminal vector size mismatch");
+  if (!(t >= 0.0) || !std::isfinite(t))
+    throw ModelError("transient_backward: time must be finite and >= 0");
+
+  std::vector<double> u(terminal.begin(), terminal.end());
+  if (t == 0.0 || n == 0 || chain.max_exit_rate() == 0.0) return u;
+
+  const double lambda = resolve_rate(chain, options);
+  const CsrMatrix p = chain.uniformised_dtmc(lambda);
+  const PoissonWeights weights = poisson_weights(lambda * t, options.epsilon);
+
+  std::vector<double> result(n, 0.0);
+  std::vector<double> scratch(n, 0.0);
+  accumulate_series(u, scratch, result, weights, options,
+                    [&p](const std::vector<double>& x, std::vector<double>& y) {
+                      p.multiply(x, y);
+                    });
+  return result;
+}
+
+std::vector<double> transient_reach(const Ctmc& chain, const StateSet& target,
+                                    double t, const TransientOptions& options) {
+  if (target.size() != chain.num_states())
+    throw ModelError("transient_reach: target universe size mismatch");
+  return transient_backward(chain, target.indicator(), t, options);
+}
+
+}  // namespace csrl

@@ -1,0 +1,56 @@
+// Transient analysis of CTMCs by uniformisation.
+//
+// This is the workhorse behind model checking time-bounded until (property
+// class P1 of the paper, following [3]), the dual reward-bounded until
+// (P2), and the pseudo-Erlang engine for the combined case (P3).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ctmc/ctmc.hpp"
+#include "util/state_set.hpp"
+
+namespace csrl {
+
+/// Controls for uniformisation-based transient analysis.
+struct TransientOptions {
+  /// Bound on the truncation error of the Poisson series (L1, a priori).
+  double epsilon = 1e-10;
+  /// Uniformisation rate lambda; 0 selects max exit rate automatically
+  /// (with a fallback of 1.0 for a chain where every state is absorbing).
+  double uniformisation_rate = 0.0;
+  /// Stop iterating powers of P early once the iterate is stationary to
+  /// within steady_state_tolerance and attribute the remaining Poisson
+  /// mass to that iterate.
+  bool steady_state_detection = true;
+  double steady_state_tolerance = 1e-14;
+};
+
+/// Forward transient analysis: the state distribution at time t >= 0,
+/// starting from `initial` (non-negative, typically summing to 1).
+/// Returns a vector of size num_states; entries sum to sum(initial) up to
+/// the truncation error.
+std::vector<double> transient_distribution(const Ctmc& chain,
+                                           std::span<const double> initial,
+                                           double t,
+                                           const TransientOptions& options = {});
+
+/// Backward transient analysis with an arbitrary terminal value vector v:
+/// returns u with u(s) = E_s[v(X_t)] = (e^{Qt} v)(s).  With v an indicator
+/// this is occupancy probability; with v a vector of until-probabilities it
+/// implements the two-phase scheme for general time intervals.
+std::vector<double> transient_backward(const Ctmc& chain,
+                                       std::span<const double> terminal,
+                                       double t,
+                                       const TransientOptions& options = {});
+
+/// Backward transient analysis: for every state s, the probability
+/// Pr_s{X_t in target} of occupying `target` at time t when starting in s.
+/// One uniformisation run delivers the value for all start states, which is
+/// exactly the shape Sat-set computation needs.
+std::vector<double> transient_reach(const Ctmc& chain, const StateSet& target,
+                                    double t,
+                                    const TransientOptions& options = {});
+
+}  // namespace csrl

@@ -1,0 +1,33 @@
+// Explicit-state file format for labelled Markov reward models, in the
+// tradition of the MRMC / PRISM explicit interfaces.  A model `prefix`
+// consists of four text files:
+//
+//   prefix.tra   "<#states> <#transitions>" header, then one
+//                "<src> <dst> <rate>" line per transition
+//   prefix.lab   first line: all atomic propositions, space separated;
+//                then "<state> <ap> <ap> ..." lines (states with no
+//                labels may be omitted)
+//   prefix.rew   "<state> <reward>" lines (missing states have reward 0)
+//   prefix.init  "<state> <probability>" lines (a single "<state>" line
+//                denotes a point mass)
+//   prefix.imp   "<src> <dst> <impulse>" lines; the file is optional and
+//                only written/required when the model carries impulse
+//                rewards
+//
+// Lines starting with '#' are comments everywhere.
+#pragma once
+
+#include <string>
+
+#include "mrm/mrm.hpp"
+
+namespace csrl {
+
+/// Write the four files for `model` under `prefix`.
+void save_mrm(const Mrm& model, const std::string& prefix);
+
+/// Load a model saved by save_mrm (or written by hand).  Throws ModelError
+/// on malformed content, including the offending file and line number.
+Mrm load_mrm(const std::string& prefix);
+
+}  // namespace csrl

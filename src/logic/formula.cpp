@@ -1,0 +1,420 @@
+#include "logic/formula.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace csrl {
+
+bool compare(Comparison cmp, double value, double bound) {
+  switch (cmp) {
+    case Comparison::kLess:
+      return value < bound;
+    case Comparison::kLessEqual:
+      return value <= bound;
+    case Comparison::kGreater:
+      return value > bound;
+    case Comparison::kGreaterEqual:
+      return value >= bound;
+  }
+  throw Error("compare: invalid comparison");
+}
+
+std::string to_string(Comparison cmp) {
+  switch (cmp) {
+    case Comparison::kLess:
+      return "<";
+    case Comparison::kLessEqual:
+      return "<=";
+    case Comparison::kGreater:
+      return ">";
+    case Comparison::kGreaterEqual:
+      return ">=";
+  }
+  throw Error("to_string: invalid comparison");
+}
+
+namespace {
+
+std::string format_number(double x) {
+  std::ostringstream out;
+  out.precision(15);
+  out << x;
+  return out.str();
+}
+
+/// Renders the time and reward intervals in concrete syntax: time bounds
+/// as "[lo,hi]", reward bounds as "{lo,hi}"; unconstrained intervals are
+/// omitted entirely.
+std::string format_bounds(const Interval& time, const Interval& reward) {
+  std::string out;
+  if (!time.is_unbounded()) {
+    out += "[" + format_number(time.lo) + ",";
+    out += time.has_upper_bound() ? format_number(time.hi) : std::string("inf");
+    out += "]";
+  }
+  if (!reward.is_unbounded()) {
+    out += "{" + format_number(reward.lo) + ",";
+    out +=
+        reward.has_upper_bound() ? format_number(reward.hi) : std::string("inf");
+    out += "}";
+  }
+  return out;
+}
+
+void validate_interval(const Interval& i, const char* what) {
+  if (!(i.lo >= 0.0) || std::isnan(i.hi) || i.hi < i.lo)
+    throw ModelError(std::string("PathFormula: ill-formed ") + what +
+                     " interval (need 0 <= lo <= hi)");
+}
+
+FormulaPtr make_node(Formula&& node);
+
+}  // namespace
+
+// Formula is only constructible through the factories below; a private
+// default constructor plus this helper keeps make_shared unusable from the
+// outside while avoiding a friend declaration per factory.
+namespace {
+struct FormulaAccess : Formula {};
+
+FormulaPtr make_node(Formula&& node) {
+  auto owned = std::make_shared<FormulaAccess>();
+  static_cast<Formula&>(*owned) = std::move(node);
+  return owned;
+}
+}  // namespace
+
+FormulaPtr Formula::make_true() {
+  Formula f;
+  f.kind_ = FormulaKind::kTrue;
+  return make_node(std::move(f));
+}
+
+FormulaPtr Formula::make_false() { return negation(make_true()); }
+
+FormulaPtr Formula::atomic(std::string name) {
+  if (name.empty()) throw ModelError("Formula::atomic: empty name");
+  Formula f;
+  f.kind_ = FormulaKind::kAtomic;
+  f.name_ = std::move(name);
+  return make_node(std::move(f));
+}
+
+FormulaPtr Formula::negation(FormulaPtr operand) {
+  if (!operand) throw ModelError("Formula::negation: null operand");
+  Formula f;
+  f.kind_ = FormulaKind::kNot;
+  f.lhs_ = std::move(operand);
+  return make_node(std::move(f));
+}
+
+FormulaPtr Formula::conjunction(FormulaPtr lhs, FormulaPtr rhs) {
+  if (!lhs || !rhs) throw ModelError("Formula::conjunction: null operand");
+  Formula f;
+  f.kind_ = FormulaKind::kAnd;
+  f.lhs_ = std::move(lhs);
+  f.rhs_ = std::move(rhs);
+  return make_node(std::move(f));
+}
+
+FormulaPtr Formula::disjunction(FormulaPtr lhs, FormulaPtr rhs) {
+  if (!lhs || !rhs) throw ModelError("Formula::disjunction: null operand");
+  Formula f;
+  f.kind_ = FormulaKind::kOr;
+  f.lhs_ = std::move(lhs);
+  f.rhs_ = std::move(rhs);
+  return make_node(std::move(f));
+}
+
+FormulaPtr Formula::implication(FormulaPtr lhs, FormulaPtr rhs) {
+  return disjunction(negation(std::move(lhs)), std::move(rhs));
+}
+
+FormulaPtr Formula::probability(Comparison cmp, double bound,
+                                PathFormulaPtr path) {
+  if (!path) throw ModelError("Formula::probability: null path formula");
+  if (!(bound >= 0.0 && bound <= 1.0))
+    throw ModelError("Formula::probability: bound must lie in [0, 1]");
+  Formula f;
+  f.kind_ = FormulaKind::kProb;
+  f.path_ = std::move(path);
+  f.comparison_ = cmp;
+  f.bound_ = bound;
+  return make_node(std::move(f));
+}
+
+FormulaPtr Formula::probability_query(PathFormulaPtr path) {
+  if (!path) throw ModelError("Formula::probability_query: null path formula");
+  Formula f;
+  f.kind_ = FormulaKind::kProb;
+  f.path_ = std::move(path);
+  f.is_query_ = true;
+  return make_node(std::move(f));
+}
+
+FormulaPtr Formula::steady_state(Comparison cmp, double bound, FormulaPtr sub) {
+  if (!sub) throw ModelError("Formula::steady_state: null subformula");
+  if (!(bound >= 0.0 && bound <= 1.0))
+    throw ModelError("Formula::steady_state: bound must lie in [0, 1]");
+  Formula f;
+  f.kind_ = FormulaKind::kSteady;
+  f.lhs_ = std::move(sub);
+  f.comparison_ = cmp;
+  f.bound_ = bound;
+  return make_node(std::move(f));
+}
+
+FormulaPtr Formula::steady_state_query(FormulaPtr sub) {
+  if (!sub) throw ModelError("Formula::steady_state_query: null subformula");
+  Formula f;
+  f.kind_ = FormulaKind::kSteady;
+  f.lhs_ = std::move(sub);
+  f.is_query_ = true;
+  return make_node(std::move(f));
+}
+
+namespace {
+void validate_reward_query(RewardQuery query, double parameter,
+                           const FormulaPtr& target) {
+  if (query == RewardQuery::kCumulative || query == RewardQuery::kInstantaneous) {
+    if (!(parameter >= 0.0) || !std::isfinite(parameter))
+      throw ModelError("Formula::reward: the horizon must be finite and >= 0");
+  }
+  if (query == RewardQuery::kReachability && !target)
+    throw ModelError("Formula::reward: reachability reward needs a target");
+  if (query != RewardQuery::kReachability && target)
+    throw ModelError("Formula::reward: only F takes a target formula");
+}
+}  // namespace
+
+FormulaPtr Formula::reward(Comparison cmp, double bound, RewardQuery query,
+                           double parameter, FormulaPtr target) {
+  validate_reward_query(query, parameter, target);
+  if (!(bound >= 0.0) || !std::isfinite(bound))
+    throw ModelError("Formula::reward: bound must be finite and >= 0");
+  Formula f;
+  f.kind_ = FormulaKind::kReward;
+  f.comparison_ = cmp;
+  f.bound_ = bound;
+  f.reward_query_ = query;
+  f.reward_parameter_ = parameter;
+  f.lhs_ = std::move(target);
+  return make_node(std::move(f));
+}
+
+FormulaPtr Formula::reward_query(RewardQuery query, double parameter,
+                                 FormulaPtr target) {
+  validate_reward_query(query, parameter, target);
+  Formula f;
+  f.kind_ = FormulaKind::kReward;
+  f.is_query_ = true;
+  f.reward_query_ = query;
+  f.reward_parameter_ = parameter;
+  f.lhs_ = std::move(target);
+  return make_node(std::move(f));
+}
+
+RewardQuery Formula::reward_query_kind() const {
+  if (kind_ != FormulaKind::kReward)
+    throw ModelError("Formula::reward_query_kind: not a reward formula");
+  return reward_query_;
+}
+
+double Formula::reward_parameter() const {
+  if (kind_ != FormulaKind::kReward)
+    throw ModelError("Formula::reward_parameter: not a reward formula");
+  return reward_parameter_;
+}
+
+const FormulaPtr& Formula::reward_target() const {
+  if (kind_ != FormulaKind::kReward ||
+      reward_query_ != RewardQuery::kReachability)
+    throw ModelError("Formula::reward_target: not a reachability reward");
+  return lhs_;
+}
+
+const std::string& Formula::name() const {
+  if (kind_ != FormulaKind::kAtomic)
+    throw ModelError("Formula::name: not an atomic proposition");
+  return name_;
+}
+
+const FormulaPtr& Formula::operand() const {
+  if (kind_ != FormulaKind::kNot && kind_ != FormulaKind::kSteady)
+    throw ModelError("Formula::operand: node has no single operand");
+  return lhs_;
+}
+
+const FormulaPtr& Formula::lhs() const {
+  if (kind_ != FormulaKind::kAnd && kind_ != FormulaKind::kOr)
+    throw ModelError("Formula::lhs: not a binary boolean node");
+  return lhs_;
+}
+
+const FormulaPtr& Formula::rhs() const {
+  if (kind_ != FormulaKind::kAnd && kind_ != FormulaKind::kOr)
+    throw ModelError("Formula::rhs: not a binary boolean node");
+  return rhs_;
+}
+
+const PathFormulaPtr& Formula::path() const {
+  if (kind_ != FormulaKind::kProb)
+    throw ModelError("Formula::path: not a probability node");
+  return path_;
+}
+
+namespace {
+bool has_bound(FormulaKind kind) {
+  return kind == FormulaKind::kProb || kind == FormulaKind::kSteady ||
+         kind == FormulaKind::kReward;
+}
+}  // namespace
+
+Comparison Formula::comparison() const {
+  if (!has_bound(kind_) || is_query_)
+    throw ModelError("Formula::comparison: node has no bound");
+  return comparison_;
+}
+
+double Formula::bound() const {
+  if (!has_bound(kind_) || is_query_)
+    throw ModelError("Formula::bound: node has no bound");
+  return bound_;
+}
+
+std::string Formula::to_string() const {
+  switch (kind_) {
+    case FormulaKind::kTrue:
+      return "true";
+    case FormulaKind::kAtomic:
+      return name_;
+    case FormulaKind::kNot:
+      return "!(" + lhs_->to_string() + ")";
+    case FormulaKind::kAnd:
+      return "(" + lhs_->to_string() + " & " + rhs_->to_string() + ")";
+    case FormulaKind::kOr:
+      return "(" + lhs_->to_string() + " | " + rhs_->to_string() + ")";
+    case FormulaKind::kProb:
+      if (is_query_) return "P=? [ " + path_->to_string() + " ]";
+      return "P" + csrl::to_string(comparison_) + format_number(bound_) + " [ " +
+             path_->to_string() + " ]";
+    case FormulaKind::kSteady:
+      if (is_query_) return "S=? [ " + lhs_->to_string() + " ]";
+      return "S" + csrl::to_string(comparison_) + format_number(bound_) + " [ " +
+             lhs_->to_string() + " ]";
+    case FormulaKind::kReward: {
+      std::string body;
+      switch (reward_query_) {
+        case RewardQuery::kCumulative:
+          body = "C<=" + format_number(reward_parameter_);
+          break;
+        case RewardQuery::kInstantaneous:
+          body = "I=" + format_number(reward_parameter_);
+          break;
+        case RewardQuery::kReachability:
+          body = "F (" + lhs_->to_string() + ")";
+          break;
+        case RewardQuery::kSteadyState:
+          body = "S";
+          break;
+      }
+      if (is_query_) return "R=? [ " + body + " ]";
+      return "R" + csrl::to_string(comparison_) + format_number(bound_) +
+             " [ " + body + " ]";
+    }
+  }
+  throw Error("Formula::to_string: invalid kind");
+}
+
+namespace {
+struct PathAccess : PathFormula {};
+
+PathFormulaPtr make_path_node(PathFormula&& node) {
+  auto owned = std::make_shared<PathAccess>();
+  static_cast<PathFormula&>(*owned) = std::move(node);
+  return owned;
+}
+}  // namespace
+
+PathFormulaPtr PathFormula::next(Interval time, Interval reward, FormulaPtr sub) {
+  if (!sub) throw ModelError("PathFormula::next: null subformula");
+  validate_interval(time, "time");
+  validate_interval(reward, "reward");
+  PathFormula p;
+  p.kind_ = PathKind::kNext;
+  p.time_ = time;
+  p.reward_ = reward;
+  p.rhs_ = std::move(sub);
+  return make_path_node(std::move(p));
+}
+
+PathFormulaPtr PathFormula::until(Interval time, Interval reward, FormulaPtr lhs,
+                                  FormulaPtr rhs) {
+  if (!lhs || !rhs) throw ModelError("PathFormula::until: null subformula");
+  validate_interval(time, "time");
+  validate_interval(reward, "reward");
+  PathFormula p;
+  p.kind_ = PathKind::kUntil;
+  p.time_ = time;
+  p.reward_ = reward;
+  p.lhs_ = std::move(lhs);
+  p.rhs_ = std::move(rhs);
+  return make_path_node(std::move(p));
+}
+
+PathFormulaPtr PathFormula::eventually(Interval time, Interval reward,
+                                       FormulaPtr sub) {
+  return until(time, reward, Formula::make_true(), std::move(sub));
+}
+
+PathFormulaPtr PathFormula::globally(Interval time, Interval reward,
+                                     FormulaPtr sub) {
+  if (!sub) throw ModelError("PathFormula::globally: null subformula");
+  validate_interval(time, "time");
+  validate_interval(reward, "reward");
+  PathFormula p;
+  p.kind_ = PathKind::kGlobally;
+  p.time_ = time;
+  p.reward_ = reward;
+  p.rhs_ = std::move(sub);
+  return make_path_node(std::move(p));
+}
+
+PathFormulaPtr PathFormula::weak_until(Interval time, Interval reward,
+                                       FormulaPtr lhs, FormulaPtr rhs) {
+  if (!lhs || !rhs) throw ModelError("PathFormula::weak_until: null subformula");
+  validate_interval(time, "time");
+  validate_interval(reward, "reward");
+  PathFormula p;
+  p.kind_ = PathKind::kWeakUntil;
+  p.time_ = time;
+  p.reward_ = reward;
+  p.lhs_ = std::move(lhs);
+  p.rhs_ = std::move(rhs);
+  return make_path_node(std::move(p));
+}
+
+const FormulaPtr& PathFormula::lhs() const {
+  if (kind_ != PathKind::kUntil && kind_ != PathKind::kWeakUntil)
+    throw ModelError("PathFormula::lhs: not an until formula");
+  return lhs_;
+}
+
+std::string PathFormula::to_string() const {
+  const std::string bounds = format_bounds(time_, reward_);
+  if (kind_ == PathKind::kNext)
+    return "X" + bounds + " (" + rhs_->to_string() + ")";
+  if (kind_ == PathKind::kGlobally)
+    return "G" + bounds + " (" + rhs_->to_string() + ")";
+  if (kind_ == PathKind::kWeakUntil)
+    return "(" + lhs_->to_string() + ") W" + bounds + " (" + rhs_->to_string() +
+           ")";
+  if (lhs_->kind() == FormulaKind::kTrue)
+    return "F" + bounds + " (" + rhs_->to_string() + ")";
+  return "(" + lhs_->to_string() + ") U" + bounds + " (" + rhs_->to_string() +
+         ")";
+}
+
+}  // namespace csrl

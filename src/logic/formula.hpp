@@ -1,0 +1,220 @@
+// Abstract syntax of CSRL (Section 2.2 of the paper).
+//
+// State formulas:  Phi ::= true | a | !Phi | Phi & Phi | Phi | Phi
+//                        | P ~p [ phi ] | S ~p [ Phi ]
+// Path formulas:   phi ::= X^I_J Phi | Phi U^I_J Phi
+//
+// where I is a time interval and J a reward interval.  Following the
+// paper's restriction, the checker only supports intervals of the form
+// [0, b] (possibly with b = infinity); the AST nevertheless stores a full
+// [lo, hi] interval so that the implemented extension — general time
+// intervals for reward-unbounded until, listed as future work in the
+// paper — and future generalisations have a place to live.
+//
+// In addition to the boolean-bounded form P~p[...], quantitative queries
+// P=?[...] and S=?[...] are supported (they return probabilities instead
+// of truth values), mirroring what later CSL tools offer.
+//
+// Nodes are immutable and shared via shared_ptr<const ...>; formulas are
+// cheap to copy and safe to reuse as subterms of several formulas.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+
+namespace csrl {
+
+/// Comparison operator of probability bounds ("~" in P~p).
+enum class Comparison {
+  kLess,
+  kLessEqual,
+  kGreater,
+  kGreaterEqual,
+};
+
+/// value ~ bound.
+bool compare(Comparison cmp, double value, double bound);
+
+/// "<", "<=", ">", ">=".
+std::string to_string(Comparison cmp);
+
+/// A closed interval [lo, hi] on the non-negative reals; hi may be
+/// infinity.  The paper's fragment uses lo == 0 throughout.
+struct Interval {
+  double lo = 0.0;
+  double hi = std::numeric_limits<double>::infinity();
+
+  /// The unconstrained interval [0, infinity).
+  static Interval unbounded() { return {}; }
+
+  /// [0, hi].
+  static Interval upto(double hi) { return {0.0, hi}; }
+
+  bool is_unbounded() const {
+    return lo == 0.0 && hi == std::numeric_limits<double>::infinity();
+  }
+  bool has_upper_bound() const {
+    return hi != std::numeric_limits<double>::infinity();
+  }
+  bool contains(double x) const { return lo <= x && x <= hi; }
+};
+
+class Formula;
+class PathFormula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+using PathFormulaPtr = std::shared_ptr<const PathFormula>;
+
+/// Node kinds of state formulas.
+enum class FormulaKind {
+  kTrue,
+  kAtomic,
+  kNot,
+  kAnd,
+  kOr,
+  kProb,    // P ~p [ path ] or P=? [ path ]
+  kSteady,  // S ~p [ state ] or S=? [ state ]
+  kReward,  // R ~r [ ... ] or R=? [ ... ] (an implemented extension)
+};
+
+/// The four expected-reward measures of the R operator (following the
+/// conventions later tools such as PRISM established; impulse rewards are
+/// included throughout via the effective per-state reward rate).
+enum class RewardQuery {
+  kCumulative,     // C<=t : E[Y_t]
+  kInstantaneous,  // I=t  : E[rho(X_t)]
+  kReachability,   // F Phi: E[reward accumulated until hitting Sat(Phi)]
+  kSteadyState,    // S    : long-run reward rate
+};
+
+/// Node kinds of path formulas.
+enum class PathKind {
+  kNext,       // X^I_J Phi
+  kUntil,      // Phi U^I_J Psi
+  kGlobally,   // G^I_J Phi == not F^I_J not Phi (an implemented extension)
+  kWeakUntil,  // Phi W^I_J Psi == not((Phi & !Psi) U^I_J (!Phi & !Psi))
+};
+
+/// An immutable CSRL state formula.
+class Formula {
+ public:
+  // -- Constructors (factories) ------------------------------------------
+  static FormulaPtr make_true();
+  static FormulaPtr make_false();  // sugar: !true
+  static FormulaPtr atomic(std::string name);
+  static FormulaPtr negation(FormulaPtr operand);
+  static FormulaPtr conjunction(FormulaPtr lhs, FormulaPtr rhs);
+  static FormulaPtr disjunction(FormulaPtr lhs, FormulaPtr rhs);
+  /// a => b, desugared to !a | b.
+  static FormulaPtr implication(FormulaPtr lhs, FormulaPtr rhs);
+  static FormulaPtr probability(Comparison cmp, double bound, PathFormulaPtr path);
+  /// Quantitative form P=?[path].
+  static FormulaPtr probability_query(PathFormulaPtr path);
+  static FormulaPtr steady_state(Comparison cmp, double bound, FormulaPtr sub);
+  /// Quantitative form S=?[Phi].
+  static FormulaPtr steady_state_query(FormulaPtr sub);
+
+  /// R ~r [ ... ]: bounded expected-reward formula.  `parameter` is the
+  /// horizon t of C<=t / I=t (ignored for kReachability/kSteadyState);
+  /// `target` is Sat-target of kReachability (null otherwise); `bound`
+  /// must be finite and >= 0 (it is a reward, not a probability).
+  static FormulaPtr reward(Comparison cmp, double bound, RewardQuery query,
+                           double parameter, FormulaPtr target);
+  /// Quantitative form R=?[...].
+  static FormulaPtr reward_query(RewardQuery query, double parameter,
+                                 FormulaPtr target);
+
+  // -- Observers -----------------------------------------------------------
+  FormulaKind kind() const { return kind_; }
+
+  /// Atomic-proposition name (kAtomic only).
+  const std::string& name() const;
+
+  /// Operand of kNot / kSteady.
+  const FormulaPtr& operand() const;
+
+  /// Children of kAnd / kOr.
+  const FormulaPtr& lhs() const;
+  const FormulaPtr& rhs() const;
+
+  /// Path subformula of kProb.
+  const PathFormulaPtr& path() const;
+
+  /// True for the quantitative P=? / S=? / R=? forms (comparison() and
+  /// bound() must not be used on them).
+  bool is_query() const { return is_query_; }
+  Comparison comparison() const;
+  double bound() const;
+
+  /// kReward only: which expected-reward measure, and its horizon.
+  RewardQuery reward_query_kind() const;
+  double reward_parameter() const;
+  /// kReward with kReachability only: the target state formula.
+  const FormulaPtr& reward_target() const;
+
+  /// Concrete-syntax rendering, re-parsable by parse_formula().
+  std::string to_string() const;
+
+ protected:
+  // Only the factory functions create nodes (via a file-local subclass);
+  // protected rather than private so that subclass can reach it.
+  Formula() = default;
+
+ private:
+  FormulaKind kind_ = FormulaKind::kTrue;
+  std::string name_;
+  FormulaPtr lhs_;
+  FormulaPtr rhs_;
+  PathFormulaPtr path_;
+  bool is_query_ = false;
+  Comparison comparison_ = Comparison::kGreaterEqual;
+  double bound_ = 0.0;
+  RewardQuery reward_query_ = RewardQuery::kCumulative;
+  double reward_parameter_ = 0.0;
+};
+
+/// An immutable CSRL path formula with time interval I and reward
+/// interval J.
+class PathFormula {
+ public:
+  static PathFormulaPtr next(Interval time, Interval reward, FormulaPtr sub);
+  static PathFormulaPtr until(Interval time, Interval reward, FormulaPtr lhs,
+                              FormulaPtr rhs);
+  /// "Eventually" sugar: true U^I_J Phi (printed as F).
+  static PathFormulaPtr eventually(Interval time, Interval reward, FormulaPtr sub);
+
+  /// "Globally": Phi holds at every point selected by the bounds; the
+  /// complement of eventually, Pr(G^I_J Phi) = 1 - Pr(F^I_J !Phi).
+  static PathFormulaPtr globally(Interval time, Interval reward, FormulaPtr sub);
+
+  /// Weak until: like until but also satisfied when Phi simply never
+  /// fails within the bounds (no Psi-state required).  Checked through
+  /// the complement identity above.
+  static PathFormulaPtr weak_until(Interval time, Interval reward,
+                                   FormulaPtr lhs, FormulaPtr rhs);
+
+  PathKind kind() const { return kind_; }
+  const Interval& time() const { return time_; }
+  const Interval& reward() const { return reward_; }
+
+  /// kNext/kGlobally: the subformula.  kUntil/kWeakUntil: the right-hand
+  /// side.
+  const FormulaPtr& target() const { return rhs_; }
+
+  /// kUntil/kWeakUntil only: the left-hand side.
+  const FormulaPtr& lhs() const;
+
+  std::string to_string() const;
+
+ protected:
+  PathFormula() = default;
+
+ private:
+  PathKind kind_ = PathKind::kNext;
+  Interval time_;
+  Interval reward_;
+  FormulaPtr lhs_;
+  FormulaPtr rhs_;
+};
+
+}  // namespace csrl

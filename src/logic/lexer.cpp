@@ -1,0 +1,171 @@
+#include "logic/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace csrl {
+
+std::string token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kTrue: return "'true'";
+    case TokenKind::kFalse: return "'false'";
+    case TokenKind::kInf: return "'inf'";
+    case TokenKind::kProbOp: return "'P'";
+    case TokenKind::kSteadyOp: return "'S'";
+    case TokenKind::kUntilOp: return "'U'";
+    case TokenKind::kWeakUntilOp: return "'W'";
+    case TokenKind::kNextOp: return "'X'";
+    case TokenKind::kFinallyOp: return "'F'";
+    case TokenKind::kGloballyOp: return "'G'";
+    case TokenKind::kRewardOp: return "'R'";
+    case TokenKind::kCumulativeOp: return "'C'";
+    case TokenKind::kInstantOp: return "'I'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kNot: return "'!'";
+    case TokenKind::kAnd: return "'&'";
+    case TokenKind::kOr: return "'|'";
+    case TokenKind::kImplies: return "'=>'";
+    case TokenKind::kLess: return "'<'";
+    case TokenKind::kLessEq: return "'<='";
+    case TokenKind::kGreater: return "'>'";
+    case TokenKind::kGreaterEq: return "'>='";
+    case TokenKind::kQuery: return "'=?'";
+    case TokenKind::kEquals: return "'='";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_number_start(char c, char next) {
+  return std::isdigit(static_cast<unsigned char>(c)) ||
+         (c == '.' && std::isdigit(static_cast<unsigned char>(next)));
+}
+
+/// Keywords and single-letter operators carved out of identifiers.  The
+/// single letters P/S/U/X/F/G/R/C/I only act as operators when they stand
+/// alone;
+/// "Power" or "Up" remain ordinary identifiers.
+TokenKind classify_word(const std::string& word) {
+  if (word == "true") return TokenKind::kTrue;
+  if (word == "false") return TokenKind::kFalse;
+  if (word == "inf") return TokenKind::kInf;
+  if (word == "P") return TokenKind::kProbOp;
+  if (word == "S") return TokenKind::kSteadyOp;
+  if (word == "U") return TokenKind::kUntilOp;
+  if (word == "W") return TokenKind::kWeakUntilOp;
+  if (word == "X") return TokenKind::kNextOp;
+  if (word == "F") return TokenKind::kFinallyOp;
+  if (word == "G") return TokenKind::kGloballyOp;
+  if (word == "R") return TokenKind::kRewardOp;
+  if (word == "C") return TokenKind::kCumulativeOp;
+  if (word == "I") return TokenKind::kInstantOp;
+  return TokenKind::kIdentifier;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = input.size();
+
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    const std::size_t start = i;
+    if (is_ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && is_ident_char(input[j])) ++j;
+      std::string word(input.substr(i, j - i));
+      tokens.push_back({classify_word(word), std::move(word), 0.0, start});
+      i = j;
+      continue;
+    }
+
+    if (is_number_start(c, i + 1 < n ? input[i + 1] : '\0')) {
+      // Accept the usual floating-point shapes; strtod's end pointer tells
+      // us how far the number extends.
+      std::string buffer(input.substr(i));
+      char* end = nullptr;
+      const double value = std::strtod(buffer.c_str(), &end);
+      const std::size_t length = static_cast<std::size_t>(end - buffer.c_str());
+      if (length == 0) throw SyntaxError("malformed number", start);
+      tokens.push_back(
+          {TokenKind::kNumber, buffer.substr(0, length), value, start});
+      i += length;
+      continue;
+    }
+
+    auto simple = [&](TokenKind kind, std::size_t length) {
+      tokens.push_back(
+          {kind, std::string(input.substr(start, length)), 0.0, start});
+      i += length;
+    };
+
+    switch (c) {
+      case '(': simple(TokenKind::kLParen, 1); break;
+      case ')': simple(TokenKind::kRParen, 1); break;
+      case '[': simple(TokenKind::kLBracket, 1); break;
+      case ']': simple(TokenKind::kRBracket, 1); break;
+      case '{': simple(TokenKind::kLBrace, 1); break;
+      case '}': simple(TokenKind::kRBrace, 1); break;
+      case ',': simple(TokenKind::kComma, 1); break;
+      case '!': simple(TokenKind::kNot, 1); break;
+      case '&': simple(TokenKind::kAnd, 1); break;
+      case '|': simple(TokenKind::kOr, 1); break;
+      case '<':
+        if (i + 1 < n && input[i + 1] == '=')
+          simple(TokenKind::kLessEq, 2);
+        else
+          simple(TokenKind::kLess, 1);
+        break;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=')
+          simple(TokenKind::kGreaterEq, 2);
+        else
+          simple(TokenKind::kGreater, 1);
+        break;
+      case '=':
+        if (i + 1 < n && input[i + 1] == '>') {
+          simple(TokenKind::kImplies, 2);
+        } else if (i + 1 < n && input[i + 1] == '?') {
+          simple(TokenKind::kQuery, 2);
+        } else {
+          simple(TokenKind::kEquals, 1);
+        }
+        break;
+      default:
+        throw SyntaxError(std::string("unexpected character '") + c + "'",
+                          start);
+    }
+  }
+
+  tokens.push_back({TokenKind::kEnd, "", 0.0, n});
+  return tokens;
+}
+
+}  // namespace csrl

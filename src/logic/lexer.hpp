@@ -1,0 +1,72 @@
+// Tokeniser for the concrete CSRL syntax.
+//
+// The surface syntax accepted by the parser (see parser.hpp for the
+// grammar) uses these tokens:
+//
+//   identifiers     [A-Za-z_][A-Za-z0-9_]*        (atomic propositions;
+//                   the keywords true/false/inf and the operator
+//                   letters P/S/U/X/F/G/R/C/I are carved out)
+//   numbers         123, 0.5, 1e-3, .25
+//   punctuation     ( ) [ ] { } ,
+//   operators       ! & | => < <= > >= =?
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace csrl {
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  kTrue,
+  kFalse,
+  kInf,
+  kProbOp,    // P
+  kSteadyOp,  // S
+  kUntilOp,   // U
+  kWeakUntilOp, // W
+  kNextOp,    // X
+  kFinallyOp, // F
+  kGloballyOp,// G
+  kRewardOp,  // R
+  kCumulativeOp, // C
+  kInstantOp, // I
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kNot,      // !
+  kAnd,      // &
+  kOr,       // |
+  kImplies,  // =>
+  kLess,     // <
+  kLessEq,   // <=
+  kGreater,  // >
+  kGreaterEq,// >=
+  kQuery,    // =?
+  kEquals,   // =   (only used inside R[ I=t ])
+  kEnd,
+};
+
+/// One token with its source position (byte offset) for diagnostics.
+struct Token {
+  TokenKind kind;
+  std::string text;
+  double number = 0.0;  // valid for kNumber
+  std::size_t position = 0;
+};
+
+/// Human-readable token-kind name used in parse error messages.
+std::string token_kind_name(TokenKind kind);
+
+/// Tokenise `input`; the result always ends with a kEnd token.  Throws
+/// SyntaxError on characters outside the grammar.
+std::vector<Token> tokenize(std::string_view input);
+
+}  // namespace csrl

@@ -1,0 +1,251 @@
+#include "logic/parser.hpp"
+
+#include <vector>
+
+#include "logic/lexer.hpp"
+#include "util/error.hpp"
+
+namespace csrl {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : tokens_(tokenize(input)) {}
+
+  FormulaPtr parse() {
+    FormulaPtr f = parse_implies();
+    expect(TokenKind::kEnd);
+    return f;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+
+  bool at(TokenKind kind) const { return peek().kind == kind; }
+
+  Token advance() { return tokens_[pos_++]; }
+
+  bool accept(TokenKind kind) {
+    if (!at(kind)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Token expect(TokenKind kind) {
+    if (!at(kind))
+      throw SyntaxError("expected " + token_kind_name(kind) + " but found " +
+                            token_kind_name(peek().kind),
+                        peek().position);
+    return advance();
+  }
+
+  FormulaPtr parse_implies() {
+    FormulaPtr lhs = parse_or();
+    if (accept(TokenKind::kImplies))
+      return Formula::implication(std::move(lhs), parse_implies());
+    return lhs;
+  }
+
+  FormulaPtr parse_or() {
+    FormulaPtr f = parse_and();
+    while (accept(TokenKind::kOr))
+      f = Formula::disjunction(std::move(f), parse_and());
+    return f;
+  }
+
+  FormulaPtr parse_and() {
+    FormulaPtr f = parse_unary();
+    while (accept(TokenKind::kAnd))
+      f = Formula::conjunction(std::move(f), parse_unary());
+    return f;
+  }
+
+  FormulaPtr parse_unary() {
+    if (accept(TokenKind::kNot)) return Formula::negation(parse_unary());
+    return parse_primary();
+  }
+
+  FormulaPtr parse_primary() {
+    const Token& token = peek();
+    switch (token.kind) {
+      case TokenKind::kTrue:
+        advance();
+        return Formula::make_true();
+      case TokenKind::kFalse:
+        advance();
+        return Formula::make_false();
+      case TokenKind::kIdentifier:
+        return Formula::atomic(advance().text);
+      case TokenKind::kLParen: {
+        advance();
+        FormulaPtr f = parse_implies();
+        expect(TokenKind::kRParen);
+        return f;
+      }
+      case TokenKind::kProbOp:
+        return parse_probability();
+      case TokenKind::kSteadyOp:
+        return parse_steady();
+      case TokenKind::kRewardOp:
+        return parse_reward();
+      default:
+        throw SyntaxError("expected a state formula but found " +
+                              token_kind_name(token.kind),
+                          token.position);
+    }
+  }
+
+  struct BoundSpec {
+    bool query = false;
+    Comparison comparison = Comparison::kGreaterEqual;
+    double bound = 0.0;
+  };
+
+  BoundSpec parse_bound() {
+    BoundSpec spec;
+    if (accept(TokenKind::kQuery)) {
+      spec.query = true;
+      return spec;
+    }
+    if (accept(TokenKind::kLess))
+      spec.comparison = Comparison::kLess;
+    else if (accept(TokenKind::kLessEq))
+      spec.comparison = Comparison::kLessEqual;
+    else if (accept(TokenKind::kGreater))
+      spec.comparison = Comparison::kGreater;
+    else if (accept(TokenKind::kGreaterEq))
+      spec.comparison = Comparison::kGreaterEqual;
+    else
+      throw SyntaxError("expected a probability bound (<, <=, >, >=, =?)",
+                        peek().position);
+    spec.bound = expect(TokenKind::kNumber).number;
+    return spec;
+  }
+
+  FormulaPtr parse_probability() {
+    expect(TokenKind::kProbOp);
+    const BoundSpec spec = parse_bound();
+    expect(TokenKind::kLBracket);
+    PathFormulaPtr path = parse_path();
+    expect(TokenKind::kRBracket);
+    if (spec.query) return Formula::probability_query(std::move(path));
+    return Formula::probability(spec.comparison, spec.bound, std::move(path));
+  }
+
+  FormulaPtr parse_steady() {
+    expect(TokenKind::kSteadyOp);
+    const BoundSpec spec = parse_bound();
+    expect(TokenKind::kLBracket);
+    FormulaPtr sub = parse_implies();
+    expect(TokenKind::kRBracket);
+    if (spec.query) return Formula::steady_state_query(std::move(sub));
+    return Formula::steady_state(spec.comparison, spec.bound, std::move(sub));
+  }
+
+  FormulaPtr parse_reward() {
+    expect(TokenKind::kRewardOp);
+    const BoundSpec spec = parse_bound();
+    expect(TokenKind::kLBracket);
+
+    RewardQuery query = RewardQuery::kSteadyState;
+    double parameter = 0.0;
+    FormulaPtr target;
+    if (accept(TokenKind::kCumulativeOp)) {
+      expect(TokenKind::kLessEq);
+      parameter = expect(TokenKind::kNumber).number;
+      query = RewardQuery::kCumulative;
+    } else if (accept(TokenKind::kInstantOp)) {
+      expect(TokenKind::kEquals);
+      parameter = expect(TokenKind::kNumber).number;
+      query = RewardQuery::kInstantaneous;
+    } else if (accept(TokenKind::kFinallyOp)) {
+      target = parse_implies();
+      query = RewardQuery::kReachability;
+    } else if (accept(TokenKind::kSteadyOp)) {
+      query = RewardQuery::kSteadyState;
+    } else {
+      throw SyntaxError(
+          "expected a reward measure (C<=t, I=t, F <formula>, S)",
+          peek().position);
+    }
+    expect(TokenKind::kRBracket);
+    if (spec.query)
+      return Formula::reward_query(query, parameter, std::move(target));
+    return Formula::reward(spec.comparison, spec.bound, query, parameter,
+                           std::move(target));
+  }
+
+  double parse_interval_endpoint() {
+    if (accept(TokenKind::kInf))
+      return std::numeric_limits<double>::infinity();
+    return expect(TokenKind::kNumber).number;
+  }
+
+  /// Parse the optional time ("[lo,hi]" or "<=hi") and reward ("{lo,hi}")
+  /// annotations of a temporal operator.
+  void parse_intervals(Interval& time, Interval& reward) {
+    time = Interval::unbounded();
+    reward = Interval::unbounded();
+    if (accept(TokenKind::kLBracket)) {
+      time.lo = parse_interval_endpoint();
+      expect(TokenKind::kComma);
+      time.hi = parse_interval_endpoint();
+      expect(TokenKind::kRBracket);
+    } else if (accept(TokenKind::kLessEq)) {
+      time = Interval::upto(expect(TokenKind::kNumber).number);
+    }
+    if (accept(TokenKind::kLBrace)) {
+      reward.lo = parse_interval_endpoint();
+      expect(TokenKind::kComma);
+      reward.hi = parse_interval_endpoint();
+      expect(TokenKind::kRBrace);
+    }
+    const std::size_t where = peek().position;
+    if (!(time.lo >= 0.0) || time.hi < time.lo)
+      throw SyntaxError("ill-formed time interval", where);
+    if (!(reward.lo >= 0.0) || reward.hi < reward.lo)
+      throw SyntaxError("ill-formed reward interval", where);
+  }
+
+  PathFormulaPtr parse_path() {
+    Interval time;
+    Interval reward;
+    if (accept(TokenKind::kNextOp)) {
+      parse_intervals(time, reward);
+      return PathFormula::next(time, reward, parse_unary_path_operand());
+    }
+    if (accept(TokenKind::kFinallyOp)) {
+      parse_intervals(time, reward);
+      return PathFormula::eventually(time, reward, parse_unary_path_operand());
+    }
+    if (accept(TokenKind::kGloballyOp)) {
+      parse_intervals(time, reward);
+      return PathFormula::globally(time, reward, parse_unary_path_operand());
+    }
+    FormulaPtr lhs = parse_implies();
+    const bool weak = accept(TokenKind::kWeakUntilOp);
+    if (!weak) expect(TokenKind::kUntilOp);
+    parse_intervals(time, reward);
+    FormulaPtr rhs = parse_implies();
+    if (weak)
+      return PathFormula::weak_until(time, reward, std::move(lhs),
+                                     std::move(rhs));
+    return PathFormula::until(time, reward, std::move(lhs), std::move(rhs));
+  }
+
+  /// The operand of X/F: a full state formula.  Parsing it as `implies`
+  /// keeps "F a | b" unambiguous as F (a | b), matching PRISM conventions.
+  FormulaPtr parse_unary_path_operand() { return parse_implies(); }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+FormulaPtr parse_formula(std::string_view input) {
+  return Parser(input).parse();
+}
+
+}  // namespace csrl

@@ -1,0 +1,40 @@
+// Recursive-descent parser for the concrete CSRL syntax.
+//
+// Grammar (precedence low to high: =>, |, &, !):
+//
+//   formula   := implies
+//   implies   := or ( '=>' implies )?                       (right assoc.)
+//   or        := and ( '|' and )*
+//   and       := unary ( '&' unary )*
+//   unary     := '!' unary | primary
+//   primary   := 'true' | 'false' | identifier | '(' formula ')'
+//              | 'P' bound '[' path ']' | 'S' bound '[' formula ']'
+//              | 'R' bound '[' rmeasure ']'
+//   bound     := ('<' | '<=' | '>' | '>=') number | '=?'
+//   rmeasure  := 'C' '<=' number | 'I' '=' number | 'F' formula | 'S'
+//   path      := 'X' intervals formula
+//              | 'F' intervals formula                       (true U ...)
+//              | 'G' intervals formula                       (not F not ...)
+//              | formula ('U' | 'W') intervals formula
+//   intervals := time? reward?
+//   time      := '[' number ',' (number | 'inf') ']' | '<=' number
+//   reward    := '{' number ',' (number | 'inf') '}'
+//
+// Examples from the paper's case study (Section 5.3):
+//
+//   Q1:  P>0.5 [ F{0,600} Call_Incoming ]
+//   Q2:  P>0.5 [ F[0,24] Call_Incoming ]
+//   Q3:  P>0.5 [ (Call_Idle | Doze) U[0,24]{0,600} Call_Initiated ]
+#pragma once
+
+#include <string_view>
+
+#include "logic/formula.hpp"
+
+namespace csrl {
+
+/// Parse a CSRL state formula; throws SyntaxError with a byte offset on
+/// malformed input.
+FormulaPtr parse_formula(std::string_view input);
+
+}  // namespace csrl

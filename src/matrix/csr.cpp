@@ -1,0 +1,135 @@
+#include "matrix/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace csrl {
+
+CsrBuilder::CsrBuilder(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols) {}
+
+void CsrBuilder::add(std::size_t row, std::size_t col, double value) {
+  if (row >= rows_ || col >= cols_)
+    throw ModelError("CsrBuilder::add: index (" + std::to_string(row) + ", " +
+                     std::to_string(col) + ") out of range for " +
+                     std::to_string(rows_) + "x" + std::to_string(cols_));
+  if (!std::isfinite(value))
+    throw ModelError("CsrBuilder::add: non-finite value");
+  if (value == 0.0) return;
+  triplets_.push_back({row, col, value});
+}
+
+CsrMatrix CsrBuilder::build() const {
+  CsrMatrix m(rows_, cols_);
+
+  // Counting sort by row, then sort each row by column and merge duplicates.
+  std::vector<std::size_t> counts(rows_ + 1, 0);
+  for (const auto& t : triplets_) ++counts[t.row + 1];
+  for (std::size_t r = 0; r < rows_; ++r) counts[r + 1] += counts[r];
+
+  std::vector<CsrEntry> scratch(triplets_.size());
+  {
+    std::vector<std::size_t> cursor(counts.begin(), counts.end() - 1);
+    for (const auto& t : triplets_) scratch[cursor[t.row]++] = {t.col, t.value};
+  }
+
+  m.row_ptr_.assign(rows_ + 1, 0);
+  m.entries_.clear();
+  m.entries_.reserve(scratch.size());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    auto begin = scratch.begin() + static_cast<std::ptrdiff_t>(counts[r]);
+    auto end = scratch.begin() + static_cast<std::ptrdiff_t>(counts[r + 1]);
+    std::sort(begin, end,
+              [](const CsrEntry& a, const CsrEntry& b) { return a.col < b.col; });
+    std::size_t row_count = 0;
+    for (auto it = begin; it != end; ++it) {
+      if (row_count > 0 && m.entries_.back().col == it->col) {
+        m.entries_.back().value += it->value;
+      } else {
+        m.entries_.push_back(*it);
+        ++row_count;
+      }
+    }
+    m.row_ptr_[r + 1] = m.row_ptr_[r] + row_count;
+  }
+  return m;
+}
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {}
+
+std::span<const CsrEntry> CsrMatrix::row(std::size_t r) const {
+  if (r >= rows_) throw ModelError("CsrMatrix::row: row index out of range");
+  return {entries_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
+}
+
+double CsrMatrix::at(std::size_t r, std::size_t c) const {
+  const auto entries = row(r);
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), c,
+      [](const CsrEntry& e, std::size_t col) { return e.col < col; });
+  if (it != entries.end() && it->col == c) return it->value;
+  return 0.0;
+}
+
+void CsrMatrix::multiply(std::span<const double> x, std::span<double> y) const {
+  if (x.size() != cols_ || y.size() != rows_)
+    throw ModelError("CsrMatrix::multiply: dimension mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i)
+      acc += entries_[i].value * x[entries_[i].col];
+    y[r] = acc;
+  }
+}
+
+void CsrMatrix::multiply_left(std::span<const double> x, std::span<double> y) const {
+  if (x.size() != rows_ || y.size() != cols_)
+    throw ModelError("CsrMatrix::multiply_left: dimension mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i)
+      y[entries_[i].col] += xr * entries_[i].value;
+  }
+}
+
+std::vector<double> CsrMatrix::row_sums() const {
+  std::vector<double> sums(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i)
+      sums[r] += entries_[i].value;
+  return sums;
+}
+
+std::vector<double> CsrMatrix::diagonal() const {
+  const std::size_t n = std::min(rows_, cols_);
+  std::vector<double> d(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) d[r] = at(r, r);
+  return d;
+}
+
+CsrMatrix CsrMatrix::transposed() const {
+  CsrBuilder b(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (const auto& e : row(r)) b.add(e.col, r, e.value);
+  return b.build();
+}
+
+CsrMatrix CsrMatrix::scaled(double factor) const {
+  CsrMatrix m = *this;
+  for (auto& e : m.entries_) e.value *= factor;
+  return m;
+}
+
+double CsrMatrix::max_abs() const {
+  double best = 0.0;
+  for (const auto& e : entries_) best = std::max(best, std::abs(e.value));
+  return best;
+}
+
+}  // namespace csrl

@@ -1,0 +1,109 @@
+// Compressed sparse row (CSR) matrices.
+//
+// Every numerical procedure in csrlcheck (uniformisation, the Sericola
+// recursion, the Tijms-Veldman scheme, the linear solvers) is driven by
+// sparse matrix-vector products over rate or probability matrices, so CSR
+// is the central data structure of the library.  Matrices are immutable
+// once built; assembly goes through CsrBuilder, which accepts duplicate
+// (row, col) entries and sums them, matching how rate matrices are
+// accumulated from higher-level formalisms (several SRN transitions may
+// connect the same pair of markings).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace csrl {
+
+/// One stored entry of a sparse matrix row: column index and value.
+struct CsrEntry {
+  std::size_t col;
+  double value;
+};
+
+class CsrMatrix;
+
+/// Incremental triplet assembler for CsrMatrix.
+class CsrBuilder {
+ public:
+  /// Builder for a matrix with `rows` x `cols` shape.
+  CsrBuilder(std::size_t rows, std::size_t cols);
+
+  /// Record `value` at (row, col); duplicates accumulate additively.
+  /// Zero values are dropped.
+  void add(std::size_t row, std::size_t col, double value);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Assemble the CSR matrix.  The builder may be reused afterwards (it is
+  /// left unchanged).
+  CsrMatrix build() const;
+
+ private:
+  struct Triplet {
+    std::size_t row;
+    std::size_t col;
+    double value;
+  };
+
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Triplet> triplets_;
+};
+
+/// Immutable sparse matrix in compressed-sparse-row form.
+class CsrMatrix {
+ public:
+  /// Empty 0 x 0 matrix.
+  CsrMatrix() = default;
+
+  /// Zero matrix of the given shape.
+  CsrMatrix(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Number of stored (structurally non-zero) entries.
+  std::size_t nnz() const { return entries_.size(); }
+
+  /// The stored entries of row `r`, ordered by increasing column.
+  std::span<const CsrEntry> row(std::size_t r) const;
+
+  /// Value at (r, c); zero if not stored.  O(log nnz(row)).
+  double at(std::size_t r, std::size_t c) const;
+
+  /// y = A x  (gathers along rows).  Requires x.size() == cols().
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// y = x A, i.e. y^T = A^T x^T (scatters along rows).  This is the
+  /// product used to push probability distributions through a DTMC:
+  /// pi_{n+1} = pi_n P.  Requires x.size() == rows().
+  void multiply_left(std::span<const double> x, std::span<double> y) const;
+
+  /// Sum of the stored entries of each row (exit rates of a rate matrix).
+  std::vector<double> row_sums() const;
+
+  /// The diagonal as a dense vector (zero where not stored).
+  std::vector<double> diagonal() const;
+
+  /// Transposed copy.
+  CsrMatrix transposed() const;
+
+  /// Copy with every value multiplied by `factor`.
+  CsrMatrix scaled(double factor) const;
+
+  /// Maximum of the absolute values of all stored entries (0 for empty).
+  double max_abs() const;
+
+ private:
+  friend class CsrBuilder;
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_ = {0};  // size rows_ + 1
+  std::vector<CsrEntry> entries_;
+};
+
+}  // namespace csrl

@@ -1,0 +1,172 @@
+#include "matrix/solvers.hpp"
+
+#include <cmath>
+
+#include "matrix/vector_ops.hpp"
+#include "util/error.hpp"
+
+namespace csrl {
+
+namespace {
+
+void check_square_system(const CsrMatrix& a, std::size_t b_size, const char* where) {
+  if (a.rows() != a.cols())
+    throw ModelError(std::string(where) + ": matrix must be square");
+  if (a.rows() != b_size)
+    throw ModelError(std::string(where) + ": right-hand side size mismatch");
+}
+
+/// One Jacobi sweep for x = Ax + b in the "proper" splitting: the diagonal
+/// is moved to the left-hand side, which converges whenever the plain
+/// iteration does and is faster in the presence of self-loops.
+void jacobi_sweep(const CsrMatrix& a, std::span<const double> b,
+                  std::span<const double> x_old, std::span<double> x_new) {
+  const std::size_t n = a.rows();
+  for (std::size_t s = 0; s < n; ++s) {
+    double off = b[s];
+    double diag = 0.0;
+    for (const auto& e : a.row(s)) {
+      if (e.col == s)
+        diag = e.value;
+      else
+        off += e.value * x_old[e.col];
+    }
+    const double denom = 1.0 - diag;
+    if (std::abs(denom) < 1e-300)
+      throw NumericalError("solve_fixpoint: diagonal entry equal to 1");
+    x_new[s] = off / denom;
+  }
+}
+
+/// One Gauss-Seidel / SOR sweep (in place).  Returns the largest update.
+double gauss_seidel_sweep(const CsrMatrix& a, std::span<const double> b,
+                          std::span<double> x, double omega) {
+  const std::size_t n = a.rows();
+  double largest = 0.0;
+  for (std::size_t s = 0; s < n; ++s) {
+    double off = b[s];
+    double diag = 0.0;
+    for (const auto& e : a.row(s)) {
+      if (e.col == s)
+        diag = e.value;
+      else
+        off += e.value * x[e.col];
+    }
+    const double denom = 1.0 - diag;
+    if (std::abs(denom) < 1e-300)
+      throw NumericalError("solve_fixpoint: diagonal entry equal to 1");
+    const double candidate = off / denom;
+    const double updated = x[s] + omega * (candidate - x[s]);
+    largest = std::max(largest, std::abs(updated - x[s]));
+    x[s] = updated;
+  }
+  return largest;
+}
+
+/// BiCGSTAB on M x = b with M = I - A, expressed through y = x - A x.
+std::vector<double> bicgstab(const CsrMatrix& a, std::span<const double> b,
+                             const SolverOptions& options) {
+  const std::size_t n = a.rows();
+  const auto apply = [&a](std::span<const double> x, std::vector<double>& y) {
+    a.multiply(x, y);           // y = A x
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] - y[i];  // (I-A)x
+  };
+
+  std::vector<double> x(n, 0.0);
+  std::vector<double> r(b.begin(), b.end());  // r = b - M*0
+  const std::vector<double> r_hat = r;
+  std::vector<double> p(n, 0.0);
+  std::vector<double> v(n, 0.0);
+  std::vector<double> s(n, 0.0);
+  std::vector<double> t(n, 0.0);
+
+  const double target = options.tolerance * std::max(1.0, norm_inf(b));
+  if (norm_inf(r) <= target) return x;
+
+  double rho = 1.0;
+  double alpha = 1.0;
+  double omega = 1.0;
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    const double rho_next = dot(r_hat, r);
+    if (std::abs(rho_next) < 1e-300)
+      throw NumericalError("solve_fixpoint: BiCGSTAB breakdown (rho ~ 0)");
+    const double beta = (rho_next / rho) * (alpha / omega);
+    rho = rho_next;
+    for (std::size_t i = 0; i < n; ++i)
+      p[i] = r[i] + beta * (p[i] - omega * v[i]);
+    apply(p, v);
+    const double denominator = dot(r_hat, v);
+    if (std::abs(denominator) < 1e-300)
+      throw NumericalError("solve_fixpoint: BiCGSTAB breakdown (r^.v ~ 0)");
+    alpha = rho / denominator;
+    for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
+    if (norm_inf(s) <= target) {
+      axpy(alpha, p, x);
+      return x;
+    }
+    apply(s, t);
+    const double tt = dot(t, t);
+    if (tt < 1e-300)
+      throw NumericalError("solve_fixpoint: BiCGSTAB breakdown (t ~ 0)");
+    omega = dot(t, s) / tt;
+    for (std::size_t i = 0; i < n; ++i) x[i] += alpha * p[i] + omega * s[i];
+    for (std::size_t i = 0; i < n; ++i) r[i] = s[i] - omega * t[i];
+    if (norm_inf(r) <= target) return x;
+  }
+  throw NumericalError("solve_fixpoint: BiCGSTAB did not converge within " +
+                       std::to_string(options.max_iterations) + " iterations");
+}
+
+}  // namespace
+
+std::vector<double> solve_fixpoint(const CsrMatrix& a, std::span<const double> b,
+                                   const SolverOptions& options) {
+  check_square_system(a, b.size(), "solve_fixpoint");
+  const std::size_t n = a.rows();
+  std::vector<double> x(n, 0.0);
+  if (n == 0) return x;
+
+  if (options.method == LinearMethod::kBicgstab) return bicgstab(a, b, options);
+
+  if (options.method == LinearMethod::kJacobi) {
+    std::vector<double> x_next(n, 0.0);
+    for (std::size_t it = 0; it < options.max_iterations; ++it) {
+      jacobi_sweep(a, b, x, x_next);
+      const double diff = max_abs_diff(x, x_next);
+      x.swap(x_next);
+      if (diff <= options.tolerance) return x;
+    }
+  } else {
+    const double omega =
+        options.method == LinearMethod::kSor ? options.omega : 1.0;
+    if (!(omega > 0.0 && omega < 2.0))
+      throw NumericalError("solve_fixpoint: SOR omega must lie in (0, 2)");
+    for (std::size_t it = 0; it < options.max_iterations; ++it) {
+      const double diff = gauss_seidel_sweep(a, b, x, omega);
+      if (diff <= options.tolerance) return x;
+    }
+  }
+  throw NumericalError("solve_fixpoint: no convergence within " +
+                       std::to_string(options.max_iterations) + " iterations");
+}
+
+std::vector<double> power_stationary(const CsrMatrix& p,
+                                     const SolverOptions& options) {
+  check_square_system(p, p.rows(), "power_stationary");
+  const std::size_t n = p.rows();
+  if (n == 0) throw ModelError("power_stationary: empty matrix");
+
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    p.multiply_left(pi, next);
+    normalise_l1(next);
+    const double diff = max_abs_diff(pi, next);
+    pi.swap(next);
+    if (diff <= options.tolerance) return pi;
+  }
+  throw NumericalError("power_stationary: no convergence within " +
+                       std::to_string(options.max_iterations) + " iterations");
+}
+
+}  // namespace csrl

@@ -1,0 +1,82 @@
+#include "matrix/vector_ops.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace csrl {
+
+namespace {
+void check_equal_length(std::size_t a, std::size_t b, const char* where) {
+  if (a != b) throw ModelError(std::string(where) + ": length mismatch");
+}
+}  // namespace
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  check_equal_length(a.size(), b.size(), "dot");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  check_equal_length(x.size(), y.size(), "axpy");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<double> x, double alpha) {
+  for (double& v : x) v *= alpha;
+}
+
+double sum(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc += v;
+  return acc;
+}
+
+double norm1(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc += std::abs(v);
+  return acc;
+}
+
+double norm_inf(std::span<const double> x) {
+  double best = 0.0;
+  for (double v : x) best = std::max(best, std::abs(v));
+  return best;
+}
+
+double max_abs_diff(std::span<const double> a, std::span<const double> b) {
+  check_equal_length(a.size(), b.size(), "max_abs_diff");
+  double best = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    best = std::max(best, std::abs(a[i] - b[i]));
+  return best;
+}
+
+void normalise_l1(std::span<double> x) {
+  const double total = sum(x);
+  if (!(total > 0.0))
+    throw NumericalError("normalise_l1: vector sum is not positive");
+  scale(x, 1.0 / total);
+}
+
+void hadamard(std::span<const double> a, std::span<const double> b,
+              std::span<double> out) {
+  check_equal_length(a.size(), b.size(), "hadamard");
+  check_equal_length(a.size(), out.size(), "hadamard");
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+}
+
+double sum_at(std::span<const double> x, std::span<const std::size_t> idx) {
+  double acc = 0.0;
+  for (std::size_t i : idx) {
+    if (i >= x.size()) throw ModelError("sum_at: index out of range");
+    acc += x[i];
+  }
+  return acc;
+}
+
+std::vector<double> zeros(std::size_t n) { return std::vector<double>(n, 0.0); }
+
+}  // namespace csrl

@@ -1,0 +1,100 @@
+#include "models/adhoc.hpp"
+
+namespace csrl {
+
+Srn build_adhoc_srn() {
+  Srn net;
+
+  // Places; initial marking: both threads idle (Table 1 rewards in mA).
+  const PlaceId call_idle = net.add_place("Call_Idle", 1);
+  const PlaceId call_initiated = net.add_place("Call_Initiated");
+  const PlaceId call_active = net.add_place("Call_Active");
+  const PlaceId call_incoming = net.add_place("Call_Incoming");
+  const PlaceId adhoc_idle = net.add_place("Ad_hoc_Idle", 1);
+  const PlaceId adhoc_active = net.add_place("Ad_hoc_Active");
+  const PlaceId doze = net.add_place("Doze");
+
+  net.set_place_reward(call_idle, 50.0);
+  net.set_place_reward(call_initiated, 150.0);
+  net.set_place_reward(call_active, 200.0);
+  net.set_place_reward(call_incoming, 150.0);
+  net.set_place_reward(adhoc_idle, 50.0);
+  net.set_place_reward(adhoc_active, 150.0);
+  net.set_place_reward(doze, 20.0);
+
+  // Helper: a transition moving one token `from` -> `to`.
+  const auto move = [&net](const char* name, double rate, PlaceId from,
+                           PlaceId to) {
+    const TransitionId t = net.add_transition(name, rate);
+    net.add_input_arc(t, from);
+    net.add_output_arc(t, to);
+    return t;
+  };
+
+  // Ordinary-call thread (rates per hour, Table 1).
+  move("launch", 0.75, call_idle, call_initiated);
+  move("ring", 0.75, call_idle, call_incoming);
+  move("connect", 360.0, call_initiated, call_active);
+  move("give_up", 60.0, call_initiated, call_idle);
+  move("accept", 180.0, call_incoming, call_active);
+  move("interrupt", 60.0, call_incoming, call_idle);
+  move("disconnect", 15.0, call_active, call_idle);
+
+  // Ad hoc thread.
+  move("request", 6.0, adhoc_idle, adhoc_active);
+  move("reconfirm", 15.0, adhoc_active, adhoc_idle);
+
+  // Doze mode: only when both threads are idle; waking up restores them.
+  const TransitionId doze_t = net.add_transition("doze", 12.0);
+  net.add_input_arc(doze_t, call_idle);
+  net.add_input_arc(doze_t, adhoc_idle);
+  net.add_output_arc(doze_t, doze);
+
+  const TransitionId wake_t = net.add_transition("wake_up", 3.75);
+  net.add_input_arc(wake_t, doze);
+  net.add_output_arc(wake_t, call_idle);
+  net.add_output_arc(wake_t, adhoc_idle);
+
+  return net;
+}
+
+ReachabilityGraph build_adhoc_graph() { return explore(build_adhoc_srn()); }
+
+Mrm build_adhoc_mrm() { return build_adhoc_graph().model; }
+
+Mrm build_q3_reduced_mrm() {
+  // States: 0 = Doze, 1 = (Call_Idle, Ad_hoc_Idle),
+  //         2 = (Call_Idle, Ad_hoc_Active), 3 = success, 4 = fail.
+  constexpr std::size_t kDoze = 0;
+  constexpr std::size_t kBothIdle = 1;
+  constexpr std::size_t kAdhocBusy = 2;
+  constexpr std::size_t kSuccess = 3;
+  constexpr std::size_t kFail = 4;
+
+  CsrBuilder rates(5, 5);
+  rates.add(kDoze, kBothIdle, 3.75);       // wake_up
+  rates.add(kBothIdle, kDoze, 12.0);       // doze
+  rates.add(kBothIdle, kAdhocBusy, 6.0);   // request
+  rates.add(kAdhocBusy, kBothIdle, 15.0);  // reconfirm
+  rates.add(kBothIdle, kSuccess, 0.75);    // launch
+  rates.add(kBothIdle, kFail, 0.75);       // ring
+  rates.add(kAdhocBusy, kSuccess, 0.75);   // launch
+  rates.add(kAdhocBusy, kFail, 0.75);      // ring
+
+  // Rewards: Doze 20; Call_Idle + Ad_hoc_Idle = 100;
+  // Call_Idle + Ad_hoc_Active = 200; absorbing states earn 0 (Theorem 1).
+  std::vector<double> rewards{20.0, 100.0, 200.0, 0.0, 0.0};
+
+  Labelling labelling(5);
+  labelling.add_label(kDoze, "Doze");
+  labelling.add_label(kBothIdle, "Call_Idle");
+  labelling.add_label(kAdhocBusy, "Call_Idle");
+  labelling.add_label(kAdhocBusy, "Ad_hoc_Active");
+  labelling.add_label(kSuccess, "success");
+  labelling.add_label(kFail, "fail");
+
+  return Mrm(Ctmc(rates.build()), std::move(rewards), std::move(labelling),
+             kBothIdle);
+}
+
+}  // namespace csrl

@@ -1,0 +1,64 @@
+// The paper's case study (Section 5): a battery-powered mobile station in
+// an ad hoc network, modelled as the SRN of Figure 2 with the rates and
+// rewards of Table 1.
+//
+// Two concurrent threads of control: the ordinary-call thread (places
+// Call_Idle, Call_Initiated, Call_Active, Call_Incoming) and the ad hoc
+// thread (Ad_hoc_Idle, Ad_hoc_Active); when both are idle the station may
+// doze (place Doze).  Rewards are power-consumption rates in mA; the time
+// unit is one hour.
+//
+// The underlying MRM has 9 recurrent states.  Applying Theorem 1 to the
+// paper's property Q3,
+//
+//   P>0.5 [ (Call_Idle | Doze) U[0,24]{0,600} Call_Initiated ],
+//
+// yields a reduced MRM with 3 transient and 2 absorbing states, which is
+// the input of the three numerical procedures in Tables 2-4.
+#pragma once
+
+#include "mrm/mrm.hpp"
+#include "srn/reachability.hpp"
+#include "srn/srn.hpp"
+
+namespace csrl {
+
+/// Figure 2's SRN with Table 1's rates (per hour) and rewards (mA).
+Srn build_adhoc_srn();
+
+/// Reachability graph of the SRN: the 9-state MRM plus its markings.
+ReachabilityGraph build_adhoc_graph();
+
+/// Just the 9-state MRM (initial state: both threads idle).
+Mrm build_adhoc_mrm();
+
+/// The reduced 5-state MRM for property Q3, constructed directly from the
+/// paper's description (3 transient states Doze / both-idle / ad-hoc-busy
+/// plus amalgamated "success" and "fail").  Tests cross-check it against
+/// reduce_for_until() applied to build_adhoc_mrm().
+Mrm build_q3_reduced_mrm();
+
+/// The paper's battery capacity (mAh) and the 80% bound used by Q1/Q3.
+inline constexpr double kBatteryCapacityMah = 750.0;
+inline constexpr double kRewardBoundMah = 600.0;  // 80% of capacity
+inline constexpr double kTimeBoundHours = 24.0;
+
+/// The properties of Section 5.3 in concrete CSRL syntax.
+inline constexpr const char* kPropertyQ1 =
+    "P>0.5 [ F{0,600} Call_Incoming ]";
+inline constexpr const char* kPropertyQ2 =
+    "P>0.5 [ F[0,24] Call_Incoming ]";
+inline constexpr const char* kPropertyQ3 =
+    "P>0.5 [ (Call_Idle | Doze) U[0,24]{0,600} Call_Initiated ]";
+
+/// Quantitative (P=?) versions, convenient for the benches.
+inline constexpr const char* kQueryQ1 = "P=? [ F{0,600} Call_Incoming ]";
+inline constexpr const char* kQueryQ2 = "P=? [ F[0,24] Call_Incoming ]";
+inline constexpr const char* kQueryQ3 =
+    "P=? [ (Call_Idle | Doze) U[0,24]{0,600} Call_Initiated ]";
+
+/// Reference value of the Q3 path probability from the paper's Table 2
+/// (occupation-time algorithm at epsilon = 1e-8).
+inline constexpr double kPaperQ3Reference = 0.49540399;
+
+}  // namespace csrl

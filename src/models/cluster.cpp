@@ -1,0 +1,100 @@
+#include "models/cluster.hpp"
+
+#include "util/error.hpp"
+
+namespace csrl {
+
+Srn build_cluster_srn(const ClusterParams& params) {
+  const auto n = static_cast<std::uint32_t>(params.workstations_per_side);
+  if (n == 0) throw ModelError("build_cluster_srn: need >= 1 workstation");
+
+  Srn net;
+  const PlaceId left_up = net.add_place("LeftUp", n);
+  const PlaceId left_down = net.add_place("LeftDown");
+  const PlaceId right_up = net.add_place("RightUp", n);
+  const PlaceId right_down = net.add_place("RightDown");
+  const PlaceId lswitch_up = net.add_place("LeftSwitchUp", 1);
+  const PlaceId lswitch_down = net.add_place("LeftSwitchDown");
+  const PlaceId rswitch_up = net.add_place("RightSwitchUp", 1);
+  const PlaceId rswitch_down = net.add_place("RightSwitchDown");
+  const PlaceId backbone_up = net.add_place("BackboneUp", 1);
+  const PlaceId backbone_down = net.add_place("BackboneDown");
+
+  // Reward: delivered computational capacity = operational workstations.
+  net.set_place_reward(left_up, 1.0);
+  net.set_place_reward(right_up, 1.0);
+
+  // Fail/repair pair for a component pool; workstation failure rates scale
+  // with the number of operational units.
+  const auto fail_repair = [&net](const char* prefix, PlaceId up, PlaceId down,
+                                  double fail_rate, double repair_rate,
+                                  bool scale_with_tokens) {
+    const TransitionId fail =
+        net.add_transition(std::string(prefix) + "_fail", fail_rate);
+    net.add_input_arc(fail, up);
+    net.add_output_arc(fail, down);
+    if (scale_with_tokens) {
+      const std::size_t up_index = up.index;
+      net.set_rate_function(fail, [up_index](const Marking& m) {
+        return static_cast<double>(m[up_index]);
+      });
+    }
+    const TransitionId repair =
+        net.add_transition(std::string(prefix) + "_repair", repair_rate);
+    net.add_input_arc(repair, down);
+    net.add_output_arc(repair, up);
+  };
+
+  fail_repair("left_ws", left_up, left_down, params.workstation_failure_rate,
+              params.repair_rate, /*scale_with_tokens=*/true);
+  fail_repair("right_ws", right_up, right_down, params.workstation_failure_rate,
+              params.repair_rate, /*scale_with_tokens=*/true);
+  fail_repair("left_switch", lswitch_up, lswitch_down,
+              params.switch_failure_rate, params.repair_rate, false);
+  fail_repair("right_switch", rswitch_up, rswitch_down,
+              params.switch_failure_rate, params.repair_rate, false);
+  fail_repair("backbone", backbone_up, backbone_down,
+              params.backbone_failure_rate, params.repair_rate, false);
+
+  return net;
+}
+
+Mrm build_cluster_mrm(const ClusterParams& params) {
+  const Srn net = build_cluster_srn(params);
+  const ReachabilityGraph graph = explore(net);
+  const Mrm& base = graph.model;
+
+  // Place indices as laid out in build_cluster_srn.
+  constexpr std::size_t kLeftUp = 0;
+  constexpr std::size_t kRightUp = 2;
+  constexpr std::size_t kLeftSwitchUp = 4;
+  constexpr std::size_t kRightSwitchUp = 6;
+  constexpr std::size_t kBackboneUp = 8;
+  const std::uint32_t k = static_cast<std::uint32_t>(params.premium_threshold);
+
+  Labelling labelling(base.num_states());
+  for (std::size_t s = 0; s < base.num_states(); ++s) {
+    for (const std::string& ap : base.labelling().labels_of(s))
+      labelling.add_label(s, ap);
+
+    const Marking& m = graph.markings[s];
+    const bool interconnect = m[kLeftSwitchUp] > 0 && m[kRightSwitchUp] > 0 &&
+                              m[kBackboneUp] > 0;
+    const bool premium = interconnect && m[kLeftUp] >= k && m[kRightUp] >= k;
+    // Minimum service: k workstations reachable from one switch — either
+    // one side alone, or both sides pooled across a working interconnect.
+    const bool minimum =
+        (m[kLeftSwitchUp] > 0 && m[kLeftUp] >= k) ||
+        (m[kRightSwitchUp] > 0 && m[kRightUp] >= k) ||
+        (interconnect && m[kLeftUp] + m[kRightUp] >= k);
+    if (premium) labelling.add_label(s, "premium");
+    if (minimum) labelling.add_label(s, "minimum");
+  }
+  labelling.add_proposition("premium");
+  labelling.add_proposition("minimum");
+
+  return Mrm(Ctmc(base.rates()), base.rewards(), std::move(labelling),
+             base.initial_distribution());
+}
+
+}  // namespace csrl

@@ -1,0 +1,44 @@
+// Dependable workstation cluster, after the CSL case study of [14]
+// (Haverkort, Hermanns, Katoen, SRDS 2000): two groups of N workstations
+// connected by a switch each and a backbone.  Components fail and are
+// repaired; "premium" quality of service requires at least k operational
+// workstations on each side plus the interconnect between them.
+//
+// Built as an SRN and exploded by the reachability generator — the model
+// scales with N ((N+1)^2 * 8 states), which makes it the scaling workload
+// of the ablation benches.  Reward rate: the number of operational
+// workstations (delivered computational capacity).
+//
+// Atomic propositions: the place names (LeftUp, RightUp, ..., nonempty)
+// plus the derived propositions "premium" and "minimum" evaluated on the
+// markings.
+#pragma once
+
+#include "mrm/mrm.hpp"
+#include "srn/reachability.hpp"
+#include "srn/srn.hpp"
+
+namespace csrl {
+
+struct ClusterParams {
+  std::size_t workstations_per_side = 4;
+  std::size_t premium_threshold = 3;  // k: per-side minimum for "premium"
+  double workstation_failure_rate = 1.0 / 500.0;  // per hour
+  double switch_failure_rate = 1.0 / 4000.0;
+  double backbone_failure_rate = 1.0 / 5000.0;
+  double repair_rate = 2.0;  // per hour, per failed component type
+};
+
+/// The cluster SRN (places: LeftUp/LeftDown, RightUp/RightDown,
+/// LeftSwitchUp/Down, RightSwitchUp/Down, BackboneUp/Down).
+Srn build_cluster_srn(const ClusterParams& params);
+
+/// Explored MRM with the derived "premium"/"minimum" labels added.
+/// "premium": both switches and the backbone are up and each side has at
+/// least `premium_threshold` workstations operational.  "minimum": at
+/// least `premium_threshold` workstations operational in total somewhere
+/// reachable (either side locally, or both sides together through the
+/// interconnect).
+Mrm build_cluster_mrm(const ClusterParams& params);
+
+}  // namespace csrl

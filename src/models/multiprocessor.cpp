@@ -1,0 +1,44 @@
+#include "models/multiprocessor.hpp"
+
+#include "util/error.hpp"
+
+namespace csrl {
+
+Mrm multiprocessor_mrm(const MultiprocessorParams& params) {
+  const std::size_t n = params.processors;
+  if (n == 0) throw ModelError("multiprocessor_mrm: need >= 1 processor");
+  if (!(params.coverage >= 0.0 && params.coverage <= 1.0))
+    throw ModelError("multiprocessor_mrm: coverage must lie in [0, 1]");
+
+  // State i = number of operational processors; index i in 0..n.
+  const std::size_t num_states = n + 1;
+  CsrBuilder rates(num_states, num_states);
+  std::vector<double> rewards(num_states, 0.0);
+  Labelling labelling(num_states);
+
+  for (std::size_t i = 0; i <= n; ++i) {
+    rewards[i] = static_cast<double>(i);
+    if (i > 0) {
+      const double total_failure = params.failure_rate * static_cast<double>(i);
+      if (i == 1) {
+        // Covered or not, losing the last processor takes the system down.
+        rates.add(1, 0, total_failure);
+      } else {
+        if (params.coverage > 0.0)
+          rates.add(i, i - 1, total_failure * params.coverage);
+        if (params.coverage < 1.0)
+          rates.add(i, 0, total_failure * (1.0 - params.coverage));
+      }
+      labelling.add_label(i, "operational");
+      if (i < n) labelling.add_label(i, "degraded");
+    }
+    if (i < n) rates.add(i, i + 1, params.repair_rate);
+  }
+  labelling.add_label(n, "all_up");
+  labelling.add_label(0, "down");
+
+  return Mrm(Ctmc(rates.build()), std::move(rewards), std::move(labelling),
+             /*initial_state=*/n);
+}
+
+}  // namespace csrl

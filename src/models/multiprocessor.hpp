@@ -1,0 +1,27 @@
+// Degradable multiprocessor, in the spirit of Meyer's original
+// performability studies [18, 19]: n processors fail independently and a
+// single repair facility restores them; a failure is "covered" (graceful
+// degradation) with probability `coverage`, otherwise it crashes the whole
+// system.  The reward rate of a state is its computational capacity (the
+// number of operational processors), so Pr{Y_t <= r} is exactly Meyer's
+// performability distribution — expressible in CSRL as
+// P~p [ F[0,t]{0,r} down ] and friends (see examples/).
+//
+// States: n+1 "up counts" n, n-1, ..., 0.  Labels: "all_up" (i = n),
+// "operational" (i >= 1), "degraded" (1 <= i < n), "down" (i = 0).
+#pragma once
+
+#include "mrm/mrm.hpp"
+
+namespace csrl {
+
+struct MultiprocessorParams {
+  std::size_t processors = 4;
+  double failure_rate = 0.1;  // per processor per time unit
+  double repair_rate = 1.0;   // single repair facility
+  double coverage = 0.95;     // probability a failure degrades gracefully
+};
+
+Mrm multiprocessor_mrm(const MultiprocessorParams& params);
+
+}  // namespace csrl

@@ -1,0 +1,47 @@
+// Synthetic model generators for tests, examples and benches.
+#pragma once
+
+#include <cstdint>
+
+#include "mrm/mrm.hpp"
+
+namespace csrl {
+
+/// Birth-death chain on {0, ..., n-1} with constant birth/death rates.
+/// Reward of state i is i (e.g. "jobs in service").  Labels: "empty" on
+/// state 0, "full" on state n-1.
+Mrm birth_death_mrm(std::size_t num_states, double birth_rate,
+                    double death_rate);
+
+/// Pure death chain: starts in state n-1 and steps down to the absorbing
+/// state 0 at `rate`.  The hitting time of "dead" (state 0) is
+/// Erlang(n-1, rate), giving closed forms for tests.  Reward of state i
+/// is i.
+Mrm pure_death_mrm(std::size_t num_states, double rate);
+
+/// Two M/M/1 queues in tandem with finite capacities; arrivals `lambda`,
+/// service rates `mu1`, `mu2`.  Arrivals and stage-1 completions are lost
+/// when the target queue is full.  Reward: total number of jobs in the
+/// system (holding cost).  Labels: "empty", "full1", "full2", "blocked"
+/// (both full).
+Mrm tandem_queue_mrm(std::size_t capacity1, std::size_t capacity2,
+                     double lambda, double mu1, double mu2);
+
+/// `machines` independent identical fail/repair components; the state is
+/// the set of operational machines (2^machines states), the reward the
+/// number of operational ones.  Labels: "all_up", "all_down".  The model
+/// is fully symmetric, so lumping collapses it to machines+1 blocks — the
+/// showcase workload of bench_ablation_lumping.
+Mrm independent_machines_mrm(std::size_t machines, double failure_rate,
+                             double repair_rate);
+
+/// Pseudo-random MRM for property-based tests: `num_states` states, each
+/// non-final state gets 1 + ~density*(n-1) outgoing transitions with rates
+/// in (0, max_rate]; rewards are integers in {0, ..., max_reward} (integer
+/// so the discretisation engine applies); every state is labelled with a
+/// random subset of {"a", "b"}; state 0 is initial.  Deterministic in
+/// `seed`.
+Mrm random_mrm(std::uint64_t seed, std::size_t num_states, double density,
+               double max_rate = 4.0, std::uint32_t max_reward = 3);
+
+}  // namespace csrl

@@ -1,0 +1,52 @@
+// Model sanity diagnostics.
+//
+// Modelling mistakes (unreachable fragments, accidental deadlocks, wildly
+// stiff rates) surface as puzzling probabilities rather than errors.
+// diagnose() collects the structural facts a user should look at before
+// trusting the numbers, and summary() renders them for humans; the CLI
+// exposes it as --diagnose.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "mrm/mrm.hpp"
+#include "util/state_set.hpp"
+
+namespace csrl {
+
+/// Structural facts about a model.
+struct ModelDiagnostics {
+  std::size_t num_states = 0;
+  std::size_t num_transitions = 0;
+
+  /// States that no path from the initial distribution's support reaches.
+  StateSet unreachable;
+
+  /// Absorbing states (no outgoing transition).  Often intended (goal or
+  /// failure traps), sometimes a missing arc.
+  StateSet deadlocks;
+
+  /// Bottom strongly connected components; 1 with nothing unreachable
+  /// means the chain is irreducible.
+  std::size_t num_bsccs = 0;
+  bool irreducible = false;
+
+  double max_exit_rate = 0.0;
+  double min_positive_exit_rate = 0.0;
+  /// max/min positive exit rate — large values mean stiff models where
+  /// uniformisation-based methods need many steps.
+  double stiffness = 0.0;
+
+  double max_reward = 0.0;
+  std::size_t zero_reward_states = 0;
+  bool has_impulse_rewards = false;
+
+  /// Multi-line human-readable report.
+  std::string summary() const;
+};
+
+/// Analyse `model` (graph searches and scans only; no numerics).
+ModelDiagnostics diagnose(const Mrm& model);
+
+}  // namespace csrl

@@ -1,0 +1,133 @@
+#include "mrm/lumping.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace csrl {
+
+namespace {
+
+/// Signature of a state under the current partition: per reached block and
+/// impulse value, the total rate (sorted for canonical comparison).
+struct Outflow {
+  std::size_t block;
+  double impulse;
+  double rate;
+
+  bool operator<(const Outflow& other) const {
+    if (block != other.block) return block < other.block;
+    if (impulse != other.impulse) return impulse < other.impulse;
+    return rate < other.rate;
+  }
+  bool operator==(const Outflow& other) const {
+    return block == other.block && impulse == other.impulse &&
+           rate == other.rate;
+  }
+};
+
+std::vector<Outflow> signature(const Mrm& model, std::size_t state,
+                               const std::vector<std::size_t>& block_of) {
+  // Gather (block, impulse) -> summed rate.
+  std::map<std::pair<std::size_t, double>, double> flows;
+  for (const auto& e : model.rates().row(state))
+    flows[{block_of[e.col], model.impulse(state, e.col)}] += e.value;
+  std::vector<Outflow> out;
+  out.reserve(flows.size());
+  for (const auto& [key, rate] : flows)
+    out.push_back({key.first, key.second, rate});
+  return out;  // std::map iteration is already sorted by (block, impulse)
+}
+
+}  // namespace
+
+LumpingResult lump(const Mrm& model) {
+  const std::size_t n = model.num_states();
+  LumpingResult result;
+  result.block_of.assign(n, 0);
+  if (n == 0) {
+    result.quotient = model;
+    return result;
+  }
+
+  // Initial partition: states agreeing on labels and reward rate.
+  {
+    std::map<std::pair<std::vector<std::string>, double>, std::size_t> index;
+    for (std::size_t s = 0; s < n; ++s) {
+      const auto key =
+          std::make_pair(model.labelling().labels_of(s), model.reward(s));
+      const auto [it, inserted] = index.emplace(key, index.size());
+      result.block_of[s] = it->second;
+    }
+    result.num_blocks = index.size();
+  }
+
+  // Refine until stable: split blocks by outflow signature.
+  while (true) {
+    std::map<std::pair<std::size_t, std::vector<Outflow>>, std::size_t> index;
+    std::vector<std::size_t> next(n, 0);
+    for (std::size_t s = 0; s < n; ++s) {
+      auto key = std::make_pair(result.block_of[s],
+                                signature(model, s, result.block_of));
+      const auto [it, inserted] = index.emplace(std::move(key), index.size());
+      next[s] = it->second;
+    }
+    const bool stable = index.size() == result.num_blocks;
+    result.block_of = std::move(next);
+    result.num_blocks = index.size();
+    if (stable) break;
+  }
+
+  // Build the quotient from one representative per block (lumpability
+  // guarantees representative-independence of everything we read off).
+  const std::size_t blocks = result.num_blocks;
+  std::vector<std::size_t> representative(blocks, n);
+  for (std::size_t s = n; s-- > 0;) representative[result.block_of[s]] = s;
+
+  CsrBuilder rates(blocks, blocks);
+  CsrBuilder impulses(blocks, blocks);
+  bool any_impulse = false;
+  std::vector<double> rewards(blocks, 0.0);
+  Labelling labelling(blocks);
+  std::vector<double> initial(blocks, 0.0);
+
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t rep = representative[b];
+    rewards[b] = model.reward(rep);
+    for (const std::string& ap : model.labelling().labels_of(rep))
+      labelling.add_label(b, ap);
+
+    const std::vector<Outflow> flows = signature(model, rep, result.block_of);
+    // Detect arcs that would merge distinct impulses into one quotient arc.
+    for (std::size_t i = 0; i + 1 < flows.size(); ++i) {
+      if (flows[i].block == flows[i + 1].block)
+        throw ModelError(
+            "lump: state " + std::to_string(rep) +
+            " has transitions with different impulse rewards into one "
+            "block; the quotient cannot represent them exactly");
+    }
+    for (const Outflow& flow : flows) {
+      rates.add(b, flow.block, flow.rate);
+      if (flow.impulse > 0.0) {
+        impulses.add(b, flow.block, flow.impulse);
+        any_impulse = true;
+      }
+    }
+  }
+  // Preserve propositions that exist but hold nowhere.
+  for (const std::string& ap : model.labelling().propositions())
+    labelling.add_proposition(ap);
+
+  for (std::size_t s = 0; s < n; ++s)
+    initial[result.block_of[s]] += model.initial_distribution()[s];
+
+  result.quotient = Mrm(Ctmc(rates.build()), std::move(rewards),
+                        std::move(labelling), std::move(initial));
+  if (any_impulse)
+    result.quotient = result.quotient.with_impulses(impulses.build());
+  return result;
+}
+
+}  // namespace csrl

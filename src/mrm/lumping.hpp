@@ -1,0 +1,45 @@
+// Ordinary lumpability (Markov bisimulation) for Markov reward models.
+//
+// Two states are bisimilar if they carry the same atomic propositions and
+// reward rate and have, for every equivalence class C, the same total rate
+// into C (with agreeing impulse rewards).  The quotient chain is again an
+// MRM, and because the joint process (X_t, Y_t) of the paper's Section 4
+// factors through the partition, every CSRL measure computed on the
+// quotient equals the measure on the original model (the CSL analogue is
+// classic; rate-reward equality extends it to the reward dimension).
+//
+// Lumping is *the* enabler for checking models with symmetric structure:
+// k identical components produce ~2^k markings but only ~k+1 blocks.
+// bench_ablation_lumping quantifies the effect.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mrm/mrm.hpp"
+
+namespace csrl {
+
+/// Quotient model plus the projection onto it.
+struct LumpingResult {
+  Mrm quotient;
+  /// block_of[s] is the quotient state of original state s.
+  std::vector<std::size_t> block_of;
+  std::size_t num_blocks = 0;
+};
+
+/// Compute the coarsest lumpable partition refining (labels, reward) and
+/// build the quotient.  The quotient's initial distribution aggregates the
+/// original one.  Throws ModelError if impulse rewards prevent an exact
+/// quotient (two arcs with different impulses from one state into the same
+/// block cannot be merged into a single quotient arc).
+///
+/// The partition is deliberately *self-loop preserving*: states must also
+/// agree on their flow into their own block (kept as a self-loop of the
+/// quotient).  A plain Markov-lumping quotient may erase intra-block jumps
+/// that the CSRL next operator can observe; requiring agreement keeps
+/// every operator of the logic exact at the cost of occasionally missing a
+/// coarser partition.
+LumpingResult lump(const Mrm& model);
+
+}  // namespace csrl

@@ -1,0 +1,75 @@
+// Discrete-event simulation of Markov reward models (statistical model
+// checking).
+//
+// A fourth, algorithmically independent way to evaluate the paper's
+// measures: sample trajectories of the MRM, track elapsed time and
+// accumulated reward along each, and estimate path probabilities with
+// confidence intervals.  The numerical engines of Section 4 are exact up
+// to truncation error; the simulator trades accuracy for complete
+// generality (it handles arbitrary [lo, hi] time and reward intervals,
+// which the numerical P3 procedures do not) and serves as an oracle in
+// the cross-validation test-suite.
+#pragma once
+
+#include <cstdint>
+
+#include "logic/formula.hpp"
+#include "mrm/mrm.hpp"
+#include "util/rng.hpp"
+#include "util/state_set.hpp"
+
+namespace csrl {
+
+/// Simulation controls.
+struct SimulationOptions {
+  /// PRNG seed; equal seeds give bit-identical estimates.
+  std::uint64_t seed = 1;
+  /// Number of independent trajectories per estimate.
+  std::size_t samples = 100'000;
+};
+
+/// A Monte-Carlo estimate with its 95% normal-approximation interval.
+struct SimulationEstimate {
+  double probability = 0.0;
+  double half_width_95 = 0.0;
+  std::size_t samples = 0;
+
+  /// Is `p` inside the interval widened by `sigmas`/1.96 (use e.g. 4 sigma
+  /// in tests to keep the flake rate negligible)?
+  bool consistent_with(double p, double sigmas = 4.0) const {
+    return p >= probability - half_width_95 * sigmas / 1.96 &&
+           p <= probability + half_width_95 * sigmas / 1.96;
+  }
+};
+
+/// Trajectory sampler bound to one model.  The model must outlive the
+/// simulator.
+class Simulator {
+ public:
+  explicit Simulator(const Mrm& model, SimulationOptions options = {});
+
+  /// Estimate Pr( Sat-phi U^time_reward Sat-psi ) over paths started from
+  /// the model's initial distribution.  Arbitrary intervals are supported,
+  /// including lower bounds the numerical engines reject.
+  SimulationEstimate until_probability(const StateSet& phi, const StateSet& psi,
+                                       Interval time, Interval reward);
+
+  /// Estimate the Theorem-2 joint probability Pr{Y_t <= r, X_t in target}.
+  SimulationEstimate joint_probability(double t, double r,
+                                       const StateSet& target);
+
+  /// Estimate E[Y_t].
+  SimulationEstimate expected_accumulated_reward(double t);
+
+ private:
+  std::size_t sample_initial_state();
+  std::size_t sample_successor(std::size_t state);
+  bool sample_until(const StateSet& phi, const StateSet& psi, Interval time,
+                    Interval reward);
+
+  const Mrm* model_;
+  SimulationOptions options_;
+  SplitMix64 rng_;
+};
+
+}  // namespace csrl

@@ -1,0 +1,209 @@
+#include "srn/reachability.hpp"
+
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace csrl {
+
+namespace {
+
+struct MarkingHash {
+  std::size_t operator()(const Marking& m) const {
+    // FNV-1a over the token counts.
+    std::size_t h = 1469598103934665603ULL;
+    for (std::uint32_t v : m) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+/// A tangible marking reached from some firing, together with the
+/// probability of the immediate chain that led there and the impulse
+/// reward it accumulated.
+struct TangibleSuccessor {
+  Marking marking;
+  double probability;
+  double impulse;
+};
+
+/// Enabled immediate transitions of the highest enabled priority with
+/// their weights; empty iff the marking is tangible.
+std::vector<std::pair<TransitionId, double>> enabled_immediates(
+    const Srn& net, const Marking& marking) {
+  std::vector<std::pair<TransitionId, double>> result;
+  int best_priority = 0;
+  for (std::size_t t = 0; t < net.num_transitions(); ++t) {
+    const TransitionId id{t};
+    if (!net.is_immediate(id)) continue;
+    if (!net.enabled(id, marking)) continue;
+    const double w = net.weight(id, marking);
+    if (w <= 0.0) continue;
+    const int priority = net.priority(id);
+    if (result.empty() || priority > best_priority) {
+      result.clear();
+      best_priority = priority;
+    } else if (priority < best_priority) {
+      continue;
+    }
+    result.emplace_back(id, w);
+  }
+  return result;
+}
+
+/// Follow chains of immediate firings from `marking` until tangible
+/// markings are reached ("vanishing marking elimination").  Cycles of
+/// immediate transitions indicate a modelling error (an infinite number
+/// of zero-time firings) and are rejected.
+void resolve_tangible(const Srn& net, const Marking& marking,
+                      double probability, double impulse,
+                      std::vector<TangibleSuccessor>& out,
+                      std::vector<Marking>& chain) {
+  const auto immediates = enabled_immediates(net, marking);
+  if (immediates.empty()) {
+    out.push_back({marking, probability, impulse});
+    return;
+  }
+  for (const Marking& seen : chain) {
+    if (seen == marking)
+      throw ModelError(
+          "explore: cycle of immediate transitions (zero-time loop) "
+          "detected during vanishing-marking elimination");
+  }
+  double total_weight = 0.0;
+  for (const auto& [id, weight] : immediates) total_weight += weight;
+
+  chain.push_back(marking);
+  for (const auto& [id, weight] : immediates) {
+    resolve_tangible(net, net.fire(id, marking),
+                     probability * weight / total_weight,
+                     impulse + net.transition_impulse(id), out, chain);
+  }
+  chain.pop_back();
+}
+
+std::vector<TangibleSuccessor> resolve_tangible(const Srn& net,
+                                                const Marking& marking) {
+  std::vector<TangibleSuccessor> out;
+  std::vector<Marking> chain;
+  resolve_tangible(net, marking, 1.0, 0.0, out, chain);
+  return out;
+}
+
+}  // namespace
+
+ReachabilityGraph explore(const Srn& net, std::size_t max_states) {
+  if (net.num_places() == 0)
+    throw ModelError("explore: net has no places");
+
+  std::unordered_map<Marking, std::size_t, MarkingHash> index;
+  std::vector<Marking> markings;
+  std::deque<std::size_t> frontier;
+
+  const auto intern = [&](const Marking& m) {
+    const auto [it, inserted] = index.emplace(m, markings.size());
+    if (inserted) {
+      if (markings.size() >= max_states)
+        throw ModelError("explore: state space exceeds max_states limit");
+      markings.push_back(m);
+      frontier.push_back(it->second);
+    }
+    return it->second;
+  };
+
+  // The initial marking may itself be vanishing; its immediate chain
+  // splits the initial probability mass.  Impulses fired "before time 0"
+  // have no representation in an MRM, so they are rejected.
+  std::map<std::size_t, double> initial_mass;
+  for (const TangibleSuccessor& init :
+       resolve_tangible(net, net.initial_marking())) {
+    if (init.impulse > 0.0)
+      throw ModelError(
+          "explore: the initial vanishing chain earns an impulse reward, "
+          "which an MRM cannot express at time 0");
+    initial_mass[intern(init.marking)] += init.probability;
+  }
+
+  // Aggregated tangible-to-tangible edges; parallel contributions add
+  // their rates but must agree on the impulse (an MRM carries one impulse
+  // per transition).
+  struct EdgeData {
+    double rate = 0.0;
+    double impulse = 0.0;
+    bool any = false;
+  };
+  std::map<std::pair<std::size_t, std::size_t>, EdgeData> edges;
+  std::size_t firings = 0;
+
+  while (!frontier.empty()) {
+    const std::size_t s = frontier.front();
+    frontier.pop_front();
+    const Marking current = markings[s];  // copy: `markings` may grow
+    for (std::size_t t = 0; t < net.num_transitions(); ++t) {
+      const TransitionId transition{t};
+      if (net.is_immediate(transition)) continue;  // tangible states only
+      if (!net.enabled(transition, current)) continue;
+      const double rate = net.rate(transition, current);
+      if (rate == 0.0) continue;
+      ++firings;
+      for (const TangibleSuccessor& successor :
+           resolve_tangible(net, net.fire(transition, current))) {
+        const std::size_t to = intern(successor.marking);
+        const double impulse =
+            net.transition_impulse(transition) + successor.impulse;
+        EdgeData& edge = edges[{s, to}];
+        if (edge.any && edge.impulse != impulse)
+          throw ModelError(
+              "explore: two firings connect the same pair of markings with "
+              "different impulse rewards; an MRM carries a single impulse "
+              "per transition");
+        edge.any = true;
+        edge.impulse = impulse;
+        edge.rate += rate * successor.probability;
+      }
+    }
+  }
+
+  const std::size_t n = markings.size();
+  CsrBuilder rates(n, n);
+  CsrBuilder impulses(n, n);
+  bool any_impulse = false;
+  for (const auto& [key, edge] : edges) {
+    rates.add(key.first, key.second, edge.rate);
+    if (edge.impulse > 0.0) {
+      impulses.add(key.first, key.second, edge.impulse);
+      any_impulse = true;
+    }
+  }
+
+  std::vector<double> rewards(n, 0.0);
+  Labelling labelling(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    rewards[s] = net.reward(markings[s]);
+    for (std::size_t p = 0; p < net.num_places(); ++p)
+      if (markings[s][p] > 0) labelling.add_label(s, net.place_name(PlaceId{p}));
+  }
+  // Register every place name even if it never holds, so formulas over
+  // empty places fail gracefully with "empty set" rather than "unknown
+  // proposition".
+  for (std::size_t p = 0; p < net.num_places(); ++p)
+    labelling.add_proposition(net.place_name(PlaceId{p}));
+
+  std::vector<double> initial(n, 0.0);
+  for (const auto& [state, mass] : initial_mass) initial[state] = mass;
+
+  ReachabilityGraph graph;
+  graph.model = Mrm(Ctmc(rates.build()), std::move(rewards),
+                    std::move(labelling), std::move(initial));
+  if (any_impulse)
+    graph.model = graph.model.with_impulses(impulses.build());
+  graph.markings = std::move(markings);
+  graph.num_firings = firings;
+  return graph;
+}
+
+}  // namespace csrl

@@ -1,0 +1,39 @@
+// Reachability-graph generation: SRN -> labelled Markov reward model.
+//
+// Breadth-first exploration from the initial marking.  Every reachable
+// *tangible* marking becomes one MRM state; markings enabling immediate
+// transitions ("vanishing markings") are eliminated on the fly by
+// following the zero-time firing chains and redistributing probability by
+// normalised weights, exactly as SPNP does.  Parallel firings connecting
+// the same pair of tangible markings add their rates (and must agree on
+// their impulse rewards).  A vanishing initial marking spreads the
+// initial distribution over the tangible markings its chains reach.
+//
+// Atomic propositions: one per place, holding in the markings where the
+// place is non-empty; richer predicates can be derived by callers from
+// the stored markings (see models/cluster.cpp for the pattern).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mrm/mrm.hpp"
+#include "srn/srn.hpp"
+
+namespace csrl {
+
+/// Result of state-space generation.
+struct ReachabilityGraph {
+  Mrm model;
+  /// The marking of every MRM state (index-aligned).
+  std::vector<Marking> markings;
+  /// Number of timed transition firings discovered (before vanishing
+  /// resolution and before merging parallel arcs).
+  std::size_t num_firings = 0;
+};
+
+/// Explore the SRN's state space.  Throws ModelError if more than
+/// `max_states` markings are found (guards against unbounded nets).
+ReachabilityGraph explore(const Srn& net, std::size_t max_states = 1u << 20);
+
+}  // namespace csrl

@@ -1,0 +1,172 @@
+#include "srn/srn.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace csrl {
+
+PlaceId Srn::add_place(std::string name, std::uint32_t initial_tokens) {
+  if (name.empty()) throw ModelError("Srn: empty place name");
+  places_.push_back({std::move(name), initial_tokens, 0.0});
+  return {places_.size() - 1};
+}
+
+TransitionId Srn::add_transition(std::string name, double rate) {
+  if (name.empty()) throw ModelError("Srn: empty transition name");
+  if (!(rate > 0.0) || !std::isfinite(rate))
+    throw ModelError("Srn: transition '" + name + "' needs a positive rate");
+  transitions_.push_back(
+      {std::move(name), rate, false, 0.0, 0, {}, {}, {}, nullptr, nullptr});
+  return {transitions_.size() - 1};
+}
+
+TransitionId Srn::add_immediate_transition(std::string name, double weight) {
+  if (name.empty()) throw ModelError("Srn: empty transition name");
+  if (!(weight > 0.0) || !std::isfinite(weight))
+    throw ModelError("Srn: immediate transition '" + name +
+                     "' needs a positive weight");
+  transitions_.push_back(
+      {std::move(name), weight, true, 0.0, 0, {}, {}, {}, nullptr, nullptr});
+  return {transitions_.size() - 1};
+}
+
+void Srn::set_transition_impulse(TransitionId transition, double impulse) {
+  if (!(impulse >= 0.0) || !std::isfinite(impulse))
+    throw ModelError("Srn: transition impulse must be finite and >= 0");
+  transitions_.at(transition.index).impulse = impulse;
+}
+
+bool Srn::is_immediate(TransitionId transition) const {
+  return transitions_.at(transition.index).immediate;
+}
+
+void Srn::set_priority(TransitionId transition, int priority) {
+  Transition& t = transitions_.at(transition.index);
+  if (!t.immediate)
+    throw ModelError("Srn::set_priority: '" + t.name +
+                     "' is timed; priorities apply to immediate transitions");
+  t.priority = priority;
+}
+
+int Srn::priority(TransitionId transition) const {
+  return transitions_.at(transition.index).priority;
+}
+
+double Srn::weight(TransitionId transition, const Marking& marking) const {
+  const Transition& t = transitions_.at(transition.index);
+  if (!t.immediate)
+    throw ModelError("Srn::weight: '" + t.name + "' is a timed transition");
+  if (!enabled(transition, marking)) return 0.0;
+  double value = t.base_rate;
+  if (t.rate_factor) value *= t.rate_factor(marking);
+  if (!(value >= 0.0) || !std::isfinite(value))
+    throw ModelError("Srn: weight function of '" + t.name +
+                     "' produced an invalid value");
+  return value;
+}
+
+double Srn::transition_impulse(TransitionId transition) const {
+  return transitions_.at(transition.index).impulse;
+}
+
+namespace {
+void check_multiplicity(std::uint32_t multiplicity) {
+  if (multiplicity == 0)
+    throw ModelError("Srn: arc multiplicity must be positive");
+}
+}  // namespace
+
+void Srn::add_input_arc(TransitionId transition, PlaceId place,
+                        std::uint32_t multiplicity) {
+  check_multiplicity(multiplicity);
+  transitions_.at(transition.index).inputs.push_back({place.index, multiplicity});
+}
+
+void Srn::add_output_arc(TransitionId transition, PlaceId place,
+                         std::uint32_t multiplicity) {
+  check_multiplicity(multiplicity);
+  transitions_.at(transition.index).outputs.push_back({place.index, multiplicity});
+}
+
+void Srn::add_inhibitor_arc(TransitionId transition, PlaceId place,
+                            std::uint32_t multiplicity) {
+  check_multiplicity(multiplicity);
+  transitions_.at(transition.index)
+      .inhibitors.push_back({place.index, multiplicity});
+}
+
+void Srn::set_guard(TransitionId transition, GuardFunction guard) {
+  transitions_.at(transition.index).guard = std::move(guard);
+}
+
+void Srn::set_rate_function(TransitionId transition, RateFunction factor) {
+  transitions_.at(transition.index).rate_factor = std::move(factor);
+}
+
+void Srn::set_place_reward(PlaceId place, double reward_per_token) {
+  if (!(reward_per_token >= 0.0) || !std::isfinite(reward_per_token))
+    throw ModelError("Srn: place reward must be finite and >= 0");
+  places_.at(place.index).reward_per_token = reward_per_token;
+}
+
+void Srn::set_reward_function(std::function<double(const Marking&)> reward) {
+  reward_function_ = std::move(reward);
+}
+
+Marking Srn::initial_marking() const {
+  Marking m(places_.size(), 0);
+  for (std::size_t i = 0; i < places_.size(); ++i)
+    m[i] = places_[i].initial_tokens;
+  return m;
+}
+
+bool Srn::enabled(TransitionId transition, const Marking& marking) const {
+  const Transition& t = transitions_.at(transition.index);
+  for (const Arc& arc : t.inputs)
+    if (marking[arc.place] < arc.multiplicity) return false;
+  for (const Arc& arc : t.inhibitors)
+    if (marking[arc.place] >= arc.multiplicity) return false;
+  if (t.guard && !t.guard(marking)) return false;
+  return true;
+}
+
+double Srn::rate(TransitionId transition, const Marking& marking) const {
+  const Transition& immediate_check = transitions_.at(transition.index);
+  if (immediate_check.immediate)
+    throw ModelError("Srn::rate: '" + immediate_check.name +
+                     "' is immediate and has no rate");
+  if (!enabled(transition, marking)) return 0.0;
+  const Transition& t = transitions_.at(transition.index);
+  double value = t.base_rate;
+  if (t.rate_factor) value *= t.rate_factor(marking);
+  if (!(value >= 0.0) || !std::isfinite(value))
+    throw ModelError("Srn: rate function of '" + t.name +
+                     "' produced an invalid value");
+  return value;
+}
+
+Marking Srn::fire(TransitionId transition, const Marking& marking) const {
+  if (!enabled(transition, marking))
+    throw ModelError("Srn::fire: transition not enabled");
+  const Transition& t = transitions_.at(transition.index);
+  Marking next = marking;
+  for (const Arc& arc : t.inputs) next[arc.place] -= arc.multiplicity;
+  for (const Arc& arc : t.outputs) next[arc.place] += arc.multiplicity;
+  return next;
+}
+
+double Srn::reward(const Marking& marking) const {
+  if (reward_function_) {
+    const double value = reward_function_(marking);
+    if (!(value >= 0.0) || !std::isfinite(value))
+      throw ModelError("Srn: reward function produced an invalid value");
+    return value;
+  }
+  double value = 0.0;
+  for (std::size_t i = 0; i < places_.size(); ++i)
+    value += places_[i].reward_per_token * marking[i];
+  return value;
+}
+
+}  // namespace csrl

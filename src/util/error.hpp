@@ -1,0 +1,49 @@
+// Error hierarchy for csrlcheck.
+//
+// All exceptions thrown by the library derive from csrl::Error, so callers
+// can catch library failures with a single handler while still being able
+// to distinguish model construction problems, formula syntax problems and
+// numerical breakdowns.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace csrl {
+
+/// Base class of every exception thrown by csrlcheck.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An ill-formed model: negative rates, dimension mismatches, bad initial
+/// distributions, rewards violating an algorithm's precondition, ...
+class ModelError : public Error {
+ public:
+  explicit ModelError(const std::string& what) : Error(what) {}
+};
+
+/// A CSRL formula that does not parse or that uses an operator in a way the
+/// implemented fragment does not support.
+class SyntaxError : public Error {
+ public:
+  SyntaxError(const std::string& what, std::size_t position)
+      : Error(what + " (at offset " + std::to_string(position) + ")"),
+        position_(position) {}
+
+  /// Byte offset into the formula string where the problem was detected.
+  std::size_t position() const { return position_; }
+
+ private:
+  std::size_t position_;
+};
+
+/// A numerical procedure failed to converge or was asked for parameters
+/// outside its domain of validity.
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace csrl

@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generation for property-based tests
+// and synthetic model generators.
+//
+// We deliberately do not use std::mt19937 + std::uniform_real_distribution
+// for reproducibility across standard libraries: distributions are not
+// specified bit-exactly.  SplitMix64 is tiny, fast and fully portable.
+#pragma once
+
+#include <cstdint>
+
+namespace csrl {
+
+/// SplitMix64 generator (Steele, Lea, Flood 2014).  Deterministic across
+/// platforms; good enough statistical quality for test-case generation.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, bound) for bound > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Multiply-shift rejection-free mapping; bias is negligible for the
+    // small bounds used in tests.
+    return static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(next_u64()) * bound) >> 64);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace csrl

@@ -1,0 +1,133 @@
+#include "util/state_set.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace csrl {
+
+namespace {
+constexpr std::size_t kBits = 64;
+
+std::size_t blocks_for(std::size_t n) { return (n + kBits - 1) / kBits; }
+}  // namespace
+
+StateSet::StateSet(std::size_t universe, bool filled)
+    : size_(universe), blocks_(blocks_for(universe), 0) {
+  if (filled) fill();
+}
+
+std::size_t StateSet::count() const {
+  std::size_t total = 0;
+  for (std::uint64_t b : blocks_) total += static_cast<std::size_t>(std::popcount(b));
+  return total;
+}
+
+bool StateSet::contains(std::size_t s) const {
+  if (s >= size_) return false;
+  return (blocks_[s / kBits] >> (s % kBits)) & 1u;
+}
+
+void StateSet::insert(std::size_t s) {
+  if (s >= size_) throw ModelError("StateSet::insert: state out of range");
+  blocks_[s / kBits] |= std::uint64_t{1} << (s % kBits);
+}
+
+void StateSet::erase(std::size_t s) {
+  if (s >= size_) throw ModelError("StateSet::erase: state out of range");
+  blocks_[s / kBits] &= ~(std::uint64_t{1} << (s % kBits));
+}
+
+void StateSet::clear() {
+  for (auto& b : blocks_) b = 0;
+}
+
+void StateSet::fill() {
+  if (size_ == 0) return;
+  for (auto& b : blocks_) b = ~std::uint64_t{0};
+  // Mask off bits beyond the universe in the last block.
+  const std::size_t used = size_ % kBits;
+  if (used != 0) blocks_.back() = (std::uint64_t{1} << used) - 1;
+}
+
+StateSet StateSet::complement() const {
+  StateSet result(size_, true);
+  for (std::size_t i = 0; i < blocks_.size(); ++i) result.blocks_[i] &= ~blocks_[i];
+  return result;
+}
+
+void StateSet::check_same_universe(const StateSet& other) const {
+  if (size_ != other.size_)
+    throw ModelError("StateSet: operands have different universe sizes (" +
+                     std::to_string(size_) + " vs " + std::to_string(other.size_) + ")");
+}
+
+StateSet& StateSet::operator|=(const StateSet& other) {
+  check_same_universe(other);
+  for (std::size_t i = 0; i < blocks_.size(); ++i) blocks_[i] |= other.blocks_[i];
+  return *this;
+}
+
+StateSet& StateSet::operator&=(const StateSet& other) {
+  check_same_universe(other);
+  for (std::size_t i = 0; i < blocks_.size(); ++i) blocks_[i] &= other.blocks_[i];
+  return *this;
+}
+
+StateSet& StateSet::operator-=(const StateSet& other) {
+  check_same_universe(other);
+  for (std::size_t i = 0; i < blocks_.size(); ++i) blocks_[i] &= ~other.blocks_[i];
+  return *this;
+}
+
+bool StateSet::operator==(const StateSet& other) const {
+  return size_ == other.size_ && blocks_ == other.blocks_;
+}
+
+bool StateSet::subset_of(const StateSet& other) const {
+  check_same_universe(other);
+  for (std::size_t i = 0; i < blocks_.size(); ++i)
+    if ((blocks_[i] & ~other.blocks_[i]) != 0) return false;
+  return true;
+}
+
+bool StateSet::intersects(const StateSet& other) const {
+  check_same_universe(other);
+  for (std::size_t i = 0; i < blocks_.size(); ++i)
+    if ((blocks_[i] & other.blocks_[i]) != 0) return true;
+  return false;
+}
+
+std::vector<std::size_t> StateSet::members() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    std::uint64_t b = blocks_[i];
+    while (b != 0) {
+      const int bit = std::countr_zero(b);
+      out.push_back(i * kBits + static_cast<std::size_t>(bit));
+      b &= b - 1;
+    }
+  }
+  return out;
+}
+
+std::vector<double> StateSet::indicator() const {
+  std::vector<double> v(size_, 0.0);
+  for (std::size_t s : members()) v[s] = 1.0;
+  return v;
+}
+
+std::string StateSet::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for (std::size_t s : members()) {
+    if (!first) out += ", ";
+    out += std::to_string(s);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace csrl

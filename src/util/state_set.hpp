@@ -1,0 +1,83 @@
+// Dynamic bitset over the state space of a model.
+//
+// Model-checking a formula produces, for every subformula, the set of
+// states satisfying it ("Sat sets").  StateSet is the representation used
+// throughout the checker: a fixed-size dynamic bitset with the boolean
+// algebra the CSRL semantics needs (complement, union, intersection) plus
+// iteration over members.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace csrl {
+
+/// Set of state indices drawn from a fixed universe {0, ..., size()-1}.
+class StateSet {
+ public:
+  /// Empty set over an empty universe.
+  StateSet() = default;
+
+  /// Set over a universe of `universe` states; initially empty unless
+  /// `filled` is true.
+  explicit StateSet(std::size_t universe, bool filled = false);
+
+  /// Number of states in the universe (not the number of members).
+  std::size_t size() const { return size_; }
+
+  /// Number of members.
+  std::size_t count() const;
+
+  bool empty() const { return count() == 0; }
+
+  bool contains(std::size_t s) const;
+
+  void insert(std::size_t s);
+  void erase(std::size_t s);
+
+  /// Remove all members (universe size unchanged).
+  void clear();
+
+  /// Insert every state of the universe.
+  void fill();
+
+  /// Membership complement with respect to the universe.
+  StateSet complement() const;
+
+  /// In-place set algebra.  Both operands must share a universe size.
+  StateSet& operator|=(const StateSet& other);
+  StateSet& operator&=(const StateSet& other);
+  StateSet& operator-=(const StateSet& other);
+
+  friend StateSet operator|(StateSet a, const StateSet& b) { return a |= b; }
+  friend StateSet operator&(StateSet a, const StateSet& b) { return a &= b; }
+  friend StateSet operator-(StateSet a, const StateSet& b) { return a -= b; }
+
+  bool operator==(const StateSet& other) const;
+
+  /// True if every member of this set is a member of `other`.
+  bool subset_of(const StateSet& other) const;
+
+  /// True if the two sets share at least one member.
+  bool intersects(const StateSet& other) const;
+
+  /// Members in increasing order.
+  std::vector<std::size_t> members() const;
+
+  /// 0/1 indicator vector over the universe, used as the right-hand side of
+  /// numerical procedures ("probability of being in the set").
+  std::vector<double> indicator() const;
+
+  /// "{0, 3, 7}" — for diagnostics and test failure messages.
+  std::string to_string() const;
+
+ private:
+  void check_same_universe(const StateSet& other) const;
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> blocks_;
+};
+
+}  // namespace csrl

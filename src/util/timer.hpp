@@ -1,0 +1,26 @@
+// Small wall-clock timer used by benches and the verbose checker output.
+#pragma once
+
+#include <chrono>
+
+namespace csrl {
+
+/// Wall-clock stopwatch; starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace csrl

@@ -1,0 +1,178 @@
+#include "core/checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "logic/parser.hpp"
+#include "util/error.hpp"
+
+namespace csrl {
+namespace {
+
+/// 3-state test model:
+///   0 --2--> 1, 0 --1--> 2, 1 --1--> 0; 2 absorbing.
+/// Labels: 0:"green", 1:"green","red", 2:"blue".  Rewards 1, 2, 3.
+Mrm model() {
+  CsrBuilder b(3, 3);
+  b.add(0, 1, 2.0);
+  b.add(0, 2, 1.0);
+  b.add(1, 0, 1.0);
+  Labelling l(3);
+  l.add_label(0, "green");
+  l.add_label(1, "green");
+  l.add_label(1, "red");
+  l.add_label(2, "blue");
+  return Mrm(Ctmc(b.build()), {1.0, 2.0, 3.0}, std::move(l), 0);
+}
+
+TEST(CheckerBasic, TrueAndAtomic) {
+  const Mrm m = model();
+  const Checker c(m);
+  EXPECT_EQ(c.sat(*parse_formula("true")).count(), 3u);
+  EXPECT_EQ(c.sat(*parse_formula("false")).count(), 0u);
+  EXPECT_EQ(c.sat(*parse_formula("green")).members(),
+            (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(CheckerBasic, UnknownPropositionThrows) {
+  const Mrm m = model();
+  const Checker c(m);
+  EXPECT_THROW((void)c.sat(*parse_formula("typo")), ModelError);
+}
+
+TEST(CheckerBasic, BooleanConnectives) {
+  const Mrm m = model();
+  const Checker c(m);
+  EXPECT_EQ(c.sat(*parse_formula("green & red")).members(),
+            (std::vector<std::size_t>{1}));
+  EXPECT_EQ(c.sat(*parse_formula("red | blue")).members(),
+            (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(c.sat(*parse_formula("!green")).members(),
+            (std::vector<std::size_t>{2}));
+  EXPECT_EQ(c.sat(*parse_formula("red => blue")).members(),
+            (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(CheckerBasic, HoldsInitially) {
+  const Mrm m = model();
+  const Checker c(m);
+  EXPECT_TRUE(c.holds_initially(*parse_formula("green")));
+  EXPECT_FALSE(c.holds_initially(*parse_formula("red")));
+}
+
+TEST(CheckerBasic, SatOfQueryThrows) {
+  const Mrm m = model();
+  const Checker c(m);
+  EXPECT_THROW((void)c.sat(*parse_formula("P=? [ X red ]")), ModelError);
+  EXPECT_THROW((void)c.sat(*parse_formula("S=? [ red ]")), ModelError);
+}
+
+TEST(CheckerBasic, ValuesOfBooleanFormulaIsIndicator) {
+  const Mrm m = model();
+  const Checker c(m);
+  EXPECT_EQ(c.values(*parse_formula("green")),
+            (std::vector<double>{1.0, 1.0, 0.0}));
+}
+
+// --- next operator ------------------------------------------------------
+
+TEST(CheckerNext, UnboundedNextIsEmbeddedProbability) {
+  const Mrm m = model();
+  const Checker c(m);
+  const auto p = c.values(*parse_formula("P=? [ X red ]"));
+  EXPECT_NEAR(p[0], 2.0 / 3.0, 1e-12);  // rate 2 of 3 goes to state 1
+  EXPECT_NEAR(p[1], 0.0, 1e-12);
+  EXPECT_NEAR(p[2], 0.0, 1e-12);  // absorbing: no next state ever
+}
+
+TEST(CheckerNext, TimeBoundScalesByExponential) {
+  const Mrm m = model();
+  const Checker c(m);
+  const double t = 0.5;
+  const auto p = c.values(*parse_formula("P=? [ X[0,0.5] red ]"));
+  // jump within t AND to the red state: (2/3) (1 - e^{-3 t}).
+  EXPECT_NEAR(p[0], 2.0 / 3.0 * (1.0 - std::exp(-3.0 * t)), 1e-12);
+}
+
+TEST(CheckerNext, RewardBoundConvertsToTimeBound) {
+  const Mrm m = model();
+  const Checker c(m);
+  // State 0 has reward 1: earning at most 0.5 before the jump means the
+  // jump happens within 0.5 time units.
+  const auto with_reward = c.values(*parse_formula("P=? [ X{0,0.5} red ]"));
+  const auto with_time = c.values(*parse_formula("P=? [ X[0,0.5] red ]"));
+  EXPECT_NEAR(with_reward[0], with_time[0], 1e-12);
+  // State 1 has reward 2: bound 0.5 reward = 0.25 time.
+  const auto green1 = c.values(*parse_formula("P=? [ X{0,0.5} green ]"));
+  EXPECT_NEAR(green1[1], 1.0 - std::exp(-1.0 * 0.25), 1e-12);
+}
+
+TEST(CheckerNext, JointBoundsTakeTheTighterConstraint) {
+  const Mrm m = model();
+  const Checker c(m);
+  // State 0: reward rate 1 so {0,2} means t <= 2; time bound [0,1] tighter.
+  const auto p = c.values(*parse_formula("P=? [ X[0,1]{0,2} red ]"));
+  EXPECT_NEAR(p[0], 2.0 / 3.0 * (1.0 - std::exp(-3.0)), 1e-12);
+}
+
+TEST(CheckerNext, LowerTimeBoundSupported) {
+  const Mrm m = model();
+  const Checker c(m);
+  const auto p = c.values(*parse_formula("P=? [ X[1,2] red ]"));
+  EXPECT_NEAR(p[0], 2.0 / 3.0 * (std::exp(-3.0) - std::exp(-6.0)), 1e-12);
+}
+
+TEST(CheckerNext, ZeroRewardStateWithPositiveRewardLowerBound) {
+  CsrBuilder b(2, 2);
+  b.add(0, 1, 1.0);
+  Labelling l(2);
+  l.add_label(1, "goal");
+  const Mrm m(Ctmc(b.build()), {0.0, 0.0}, std::move(l), 0);
+  const Checker c(m);
+  // No reward is ever earned in state 0, so requiring at least 1 reward
+  // before the jump is impossible...
+  EXPECT_NEAR(c.values(*parse_formula("P=? [ X{1,2} goal ]"))[0], 0.0, 1e-12);
+  // ...but a [0, r] bound is vacuously satisfied.
+  EXPECT_NEAR(c.values(*parse_formula("P=? [ X{0,2} goal ]"))[0], 1.0, 1e-9);
+}
+
+TEST(CheckerNext, ProbabilityBoundComparison) {
+  const Mrm m = model();
+  const Checker c(m);
+  // P(X red) from state 0 is 2/3.
+  EXPECT_TRUE(c.holds_initially(*parse_formula("P>0.6 [ X red ]")));
+  EXPECT_FALSE(c.holds_initially(*parse_formula("P>0.7 [ X red ]")));
+  EXPECT_TRUE(c.holds_initially(*parse_formula("P<=0.7 [ X red ]")));
+}
+
+TEST(CheckerNext, NestedFormulaInsideNext) {
+  const Mrm m = model();
+  const Checker c(m);
+  // X (P>0.9 [ X green ]): state 1 jumps only to 0, and from 0 the next
+  // state is green with probability 2/3 < 0.9... from state 1 X green has
+  // probability 1 (only transition 1->0 and 0 is green).
+  const auto inner = c.values(*parse_formula("P=? [ X green ]"));
+  EXPECT_NEAR(inner[1], 1.0, 1e-12);
+  const auto p = c.values(*parse_formula("P=? [ X ( P>=1 [ X green ] ) ]"));
+  // Sat(P>=1 [X green]) = {1}; from 0 that has embedded probability 2/3.
+  EXPECT_NEAR(p[0], 2.0 / 3.0, 1e-9);
+}
+
+TEST(CheckerCaching, CacheOnAndOffAgree) {
+  const Mrm m = model();
+  CheckOptions cached;
+  cached.cache_sat_sets = true;
+  CheckOptions uncached;
+  uncached.cache_sat_sets = false;
+  const Checker with(m, cached);
+  const Checker without(m, uncached);
+  const FormulaPtr f = parse_formula(
+      "P>0.5 [ X red ] & !(P>0.5 [ X red ]) | green");
+  EXPECT_EQ(with.sat(*f), without.sat(*f));
+  // Re-checking the same formula hits the memo and stays consistent.
+  EXPECT_EQ(with.sat(*f), with.sat(*f));
+}
+
+}  // namespace
+}  // namespace csrl

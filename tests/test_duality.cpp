@@ -1,0 +1,90 @@
+// Property-based validation of the time/reward duality [4, Thm 1]:
+// checking a reward-bounded until on M must agree with checking the
+// corresponding time-bounded until on the dual model M^, and vice versa.
+#include <gtest/gtest.h>
+
+#include "core/checker.hpp"
+#include "logic/parser.hpp"
+#include "mrm/transform.hpp"
+#include "util/rng.hpp"
+
+namespace csrl {
+namespace {
+
+/// Random strongly-reward-positive MRM (duality needs rho > 0 everywhere
+/// it matters) with "a"/"b" labels.
+Mrm random_positive_mrm(std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  const std::size_t n = 3 + rng.next_below(3);
+  CsrBuilder b(n, n);
+  std::vector<double> rewards(n, 0.0);
+  Labelling l(n);
+  l.add_proposition("a");
+  l.add_proposition("b");
+  for (std::size_t s = 0; s < n; ++s) {
+    rewards[s] = rng.next_double(0.25, 3.0);
+    const std::size_t degree = 1 + rng.next_below(2);
+    for (std::size_t e = 0; e < degree; ++e) {
+      std::size_t to = rng.next_below(n - 1);
+      if (to >= s) ++to;
+      b.add(s, to, rng.next_double(0.1, 2.5));
+    }
+    if (rng.next_double() < 0.6) l.add_label(s, "a");
+    if (rng.next_double() < 0.4) l.add_label(s, "b");
+  }
+  return Mrm(Ctmc(b.build()), std::move(rewards), std::move(l), 0);
+}
+
+class Duality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Duality, RewardBoundSwapsToTimeBoundOnDual) {
+  const Mrm m = random_positive_mrm(GetParam());
+  const Mrm md = dual(m);
+  const Checker on_m(m);
+  const Checker on_dual(md);
+
+  const FormulaPtr reward_bounded = parse_formula("P=? [ a U{0,1.5} b ]");
+  const FormulaPtr time_bounded = parse_formula("P=? [ a U[0,1.5] b ]");
+
+  const auto lhs = on_m.values(*reward_bounded);
+  const auto rhs = on_dual.values(*time_bounded);
+  for (std::size_t s = 0; s < m.num_states(); ++s)
+    EXPECT_NEAR(lhs[s], rhs[s], 1e-8) << "state " << s;
+}
+
+TEST_P(Duality, TimeBoundSwapsToRewardBoundOnDual) {
+  const Mrm m = random_positive_mrm(GetParam());
+  const Mrm md = dual(m);
+  const Checker on_m(m);
+  const Checker on_dual(md);
+
+  const auto lhs = on_m.values(*parse_formula("P=? [ a U[0,0.8] b ]"));
+  const auto rhs = on_dual.values(*parse_formula("P=? [ a U{0,0.8} b ]"));
+  for (std::size_t s = 0; s < m.num_states(); ++s)
+    EXPECT_NEAR(lhs[s], rhs[s], 1e-8) << "state " << s;
+}
+
+TEST_P(Duality, DualIsInvolutive) {
+  const Mrm m = random_positive_mrm(GetParam());
+  const Mrm dd = dual(dual(m));
+  for (std::size_t s = 0; s < m.num_states(); ++s) {
+    EXPECT_NEAR(dd.reward(s), m.reward(s), 1e-12);
+    EXPECT_NEAR(dd.chain().exit_rate(s), m.chain().exit_rate(s), 1e-12);
+  }
+}
+
+TEST_P(Duality, UnboundedUntilIsDualityInvariant) {
+  // With no bounds at all, duality must not change anything: it only
+  // rescales sojourn times.
+  const Mrm m = random_positive_mrm(GetParam());
+  const auto lhs = Checker(m).values(*parse_formula("P=? [ a U b ]"));
+  const auto rhs = Checker(dual(m)).values(*parse_formula("P=? [ a U b ]"));
+  for (std::size_t s = 0; s < m.num_states(); ++s)
+    EXPECT_NEAR(lhs[s], rhs[s], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomModels, Duality,
+                         ::testing::Range<std::uint64_t>(100, 110));
+
+}  // namespace
+}  // namespace csrl

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engines/discretisation_engine.hpp"
+#include "core/engines/erlang_engine.hpp"
+#include "core/engines/sericola_engine.hpp"
+#include "util/error.hpp"
+
+namespace csrl {
+namespace {
+
+/// 0 (reward 1) -> 1 (absorbing, reward 0) at rate a.
+/// Closed form: Pr{Y_t <= r, X_t = 1} = 1 - e^{-a r} for r < t, and
+/// Pr{Y_t <= r, X_t = 0} = 0 for r < t.
+Mrm hit_model(double a) {
+  CsrBuilder b(2, 2);
+  b.add(0, 1, a);
+  return Mrm(Ctmc(b.build()), {1.0, 0.0}, Labelling(2), 0);
+}
+
+StateSet single(std::size_t n, std::size_t s) {
+  StateSet set(n);
+  set.insert(s);
+  return set;
+}
+
+TEST(SericolaEngine, MatchesClosedForm) {
+  const double a = 1.0, t = 2.0, r = 1.0;
+  const Mrm m = hit_model(a);
+  const SericolaEngine engine(1e-12);
+  const auto h = engine.joint_probability_all_starts(m, t, r, single(2, 1));
+  EXPECT_NEAR(h[0], 1.0 - std::exp(-a * r), 1e-10);
+  EXPECT_NEAR(h[1], 1.0, 1e-12);  // already there, earning nothing
+
+  const auto h0 = engine.joint_probability_all_starts(m, t, r, single(2, 0));
+  EXPECT_NEAR(h0[0], 0.0, 1e-10);  // still in 0 at t implies Y_t = t > r
+}
+
+TEST(SericolaEngine, ComplementIdentityAgainstTransient) {
+  // Pr{Y_t<=r, X_t in T} + Pr{Y_t>r, X_t in T} = Pr{X_t in T}: with target
+  // = everything the engine must reproduce exactly Pr{Y_t <= r}.  For the
+  // hit model, Y_t <= r iff the jump happened before r (or never earns
+  // after), so Pr{Y_t <= r} = 1 - e^{-a r} for r < t.
+  const double a = 0.7, t = 3.0, r = 2.0;
+  const Mrm m = hit_model(a);
+  const SericolaEngine engine(1e-12);
+  StateSet everything(2, /*filled=*/true);
+  const auto h = engine.joint_probability_all_starts(m, t, r, everything);
+  EXPECT_NEAR(h[0], 1.0 - std::exp(-a * r), 1e-10);
+}
+
+TEST(SericolaEngine, TruncationDepthGrowsWithPrecision) {
+  const Mrm m = hit_model(2.0);
+  EXPECT_LT(SericolaEngine(1e-2).truncation_depth(m, 10.0),
+            SericolaEngine(1e-12).truncation_depth(m, 10.0));
+}
+
+TEST(SericolaEngine, InvalidEpsilonThrows) {
+  EXPECT_THROW(SericolaEngine(0.0), ModelError);
+  EXPECT_THROW(SericolaEngine(1.0), ModelError);
+}
+
+TEST(SericolaEngine, JointDistributionMatchesAllStarts) {
+  const double a = 1.2, t = 2.0, r = 1.5;
+  const Mrm m = hit_model(a);
+  const SericolaEngine engine(1e-10);
+  const JointDistribution d = engine.joint_distribution(m, t, r);
+  const auto h1 = engine.joint_probability_all_starts(m, t, r, single(2, 1));
+  EXPECT_NEAR(d.per_state[1], h1[0], 1e-10);
+  const auto h0 = engine.joint_probability_all_starts(m, t, r, single(2, 0));
+  EXPECT_NEAR(d.per_state[0], h0[0], 1e-10);
+}
+
+TEST(ErlangEngine, ConvergesToSericolaWithPhases) {
+  const double a = 1.0, t = 2.0, r = 1.0;
+  const Mrm m = hit_model(a);
+  const double exact = 1.0 - std::exp(-a * r);
+  double last_error = 1.0;
+  for (std::size_t k : {4u, 32u, 256u}) {
+    const ErlangEngine engine(k);
+    const auto h = engine.joint_probability_all_starts(m, t, r, single(2, 1));
+    const double error = std::abs(h[0] - exact);
+    EXPECT_LT(error, last_error);
+    last_error = error;
+  }
+  EXPECT_LT(last_error, 2e-3);
+}
+
+TEST(ErlangEngine, ZeroPhasesThrows) { EXPECT_THROW(ErlangEngine(0), ModelError); }
+
+TEST(ErlangEngine, NameCarriesPhaseCount) {
+  EXPECT_EQ(ErlangEngine(16).name(), "erlang-16");
+}
+
+TEST(DiscretisationEngine, ConvergesLinearlyInStep) {
+  const double a = 1.0, t = 2.0, r = 1.0;
+  const Mrm m = hit_model(a);
+  const double exact = 1.0 - std::exp(-a * r);
+  double last_error = 1.0;
+  for (double d : {1.0 / 16, 1.0 / 64, 1.0 / 256}) {
+    const DiscretisationEngine engine(d);
+    const double error =
+        std::abs(engine.joint_distribution(m, t, r).per_state[1] - exact);
+    EXPECT_LT(error, last_error);
+    last_error = error;
+  }
+  EXPECT_LT(last_error, 5e-3);
+}
+
+TEST(DiscretisationEngine, RequiresIntegerRewards) {
+  CsrBuilder b(2, 2);
+  b.add(0, 1, 1.0);
+  const Mrm m(Ctmc(b.build()), {1.5, 0.0}, Labelling(2), 0);
+  const DiscretisationEngine engine(1.0 / 16);
+  EXPECT_THROW((void)engine.joint_distribution(m, 2.0, 1.0), ModelError);
+}
+
+TEST(DiscretisationEngine, RequiresGridAlignedBounds) {
+  const Mrm m = hit_model(1.0);
+  const DiscretisationEngine engine(1.0 / 16);
+  EXPECT_THROW((void)engine.joint_distribution(m, 2.0, 1.03), ModelError);
+}
+
+TEST(DiscretisationEngine, RejectsTooCoarseStep) {
+  const Mrm m = hit_model(20.0);  // exit rate 20 => need d < 1/20
+  const DiscretisationEngine engine(1.0 / 16);
+  EXPECT_THROW((void)engine.joint_distribution(m, 2.0, 1.0), ModelError);
+}
+
+TEST(DiscretisationEngine, InvalidStepThrows) {
+  EXPECT_THROW(DiscretisationEngine(0.0), ModelError);
+  EXPECT_THROW(DiscretisationEngine(-0.5), ModelError);
+}
+
+// --- shared trivial cases (exercised through one engine each) ------------
+
+TEST(EngineTrivia, TimeZeroGivesInitialDistribution) {
+  const Mrm m = hit_model(1.0);
+  const SericolaEngine engine(1e-9);
+  const JointDistribution d = engine.joint_distribution(m, 0.0, 5.0);
+  EXPECT_EQ(d.per_state, (std::vector<double>{1.0, 0.0}));
+}
+
+TEST(EngineTrivia, LooseRewardBoundIsPlainTransient) {
+  const double a = 1.0, t = 1.0;
+  const Mrm m = hit_model(a);
+  const ErlangEngine engine(8);  // 8 phases would be crude if it mattered
+  // r >= max_reward * t = 1: the bound cannot bind, the answer is exact.
+  const JointDistribution d = engine.joint_distribution(m, t, 1.0);
+  EXPECT_NEAR(d.per_state[1], 1.0 - std::exp(-a * t), 1e-9);
+}
+
+TEST(EngineTrivia, ZeroRewardBoundFreezesPositiveRewardStates) {
+  // 0 (reward 0) -> 1 (reward 1) -> 2 (reward 0, absorbing); with r = 0
+  // only the paths that never left 0 keep Y_t = 0.
+  CsrBuilder b(3, 3);
+  b.add(0, 1, 2.0);
+  b.add(1, 2, 1.0);
+  const Mrm m(Ctmc(b.build()), {0.0, 1.0, 0.0}, Labelling(3), 0);
+  const DiscretisationEngine engine(1.0 / 8);
+  const JointDistribution d = engine.joint_distribution(m, 1.0, 0.0);
+  EXPECT_NEAR(d.per_state[0], std::exp(-2.0), 1e-9);
+  EXPECT_NEAR(d.per_state[1], 0.0, 1e-12);
+  EXPECT_NEAR(d.per_state[2], 0.0, 1e-12);
+}
+
+TEST(EngineTrivia, NegativeBoundsThrow) {
+  const Mrm m = hit_model(1.0);
+  const SericolaEngine engine(1e-9);
+  EXPECT_THROW((void)engine.joint_distribution(m, -1.0, 1.0), ModelError);
+  EXPECT_THROW((void)engine.joint_distribution(m, 1.0, -1.0), ModelError);
+}
+
+TEST(EngineTrivia, AllStartsTrivialCases) {
+  const Mrm m = hit_model(1.0);
+  const SericolaEngine engine(1e-9);
+  // t = 0: membership indicator.
+  EXPECT_EQ(engine.joint_probability_all_starts(m, 0.0, 3.0, single(2, 1)),
+            (std::vector<double>{0.0, 1.0}));
+  // loose bound: plain reachability.
+  const auto loose = engine.joint_probability_all_starts(m, 1.0, 5.0, single(2, 1));
+  EXPECT_NEAR(loose[0], 1.0 - std::exp(-1.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace csrl

@@ -1,0 +1,148 @@
+// Property-based cross-validation of the three Section-4 procedures.
+//
+// The strongest correctness argument available for the P3 machinery is
+// that three algorithmically unrelated methods — Sericola's occupation-
+// time recursion, the Tijms-Veldman discretisation and the pseudo-Erlang
+// expansion — must all estimate the same joint probability
+// Pr{Y_t <= r, X_t in T}.  We sweep pseudo-random MRMs and assert
+// agreement within each method's accuracy, plus the structural invariants
+// (range, monotonicity, complementation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engines/discretisation_engine.hpp"
+#include "core/engines/erlang_engine.hpp"
+#include "core/engines/sericola_engine.hpp"
+#include "ctmc/uniformisation.hpp"
+#include "models/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace csrl {
+namespace {
+
+struct Instance {
+  Mrm model;
+  double t;
+  double r;
+  StateSet target;
+};
+
+Instance make_instance(std::uint64_t seed) {
+  SplitMix64 rng(seed * 7919 + 13);
+  const std::size_t n = 3 + rng.next_below(4);  // 3..6 states
+  Mrm model = random_mrm(seed, n, /*density=*/0.5, /*max_rate=*/3.0,
+                         /*max_reward=*/3);
+  const double t = 0.5 + rng.next_double() * 2.0;
+  // Pick r strictly inside (0, max_reward * t) so the bound binds, on the
+  // discretisation grid (a multiple of 1/4), and *away from the atoms* of
+  // Y_t.  The law of Y_t has point masses at rho(s) * t (the paths that
+  // never leave state s); the pseudo-Erlang approximation's randomised
+  // bound smears over a width ~ r/sqrt(k), so its convergence degrades
+  // from O(1/k) to O(1/sqrt(k)) when r sits next to an atom — a genuine
+  // property of the method (Section 4.2), not an implementation issue.
+  const double max_rt = model.max_reward() * t;
+  double r = 0.25;
+  double best_distance = -1.0;
+  for (double candidate = 0.25; candidate < max_rt; candidate += 0.25) {
+    if (candidate < 0.15 * max_rt || candidate > 0.85 * max_rt) continue;
+    double distance = max_rt;
+    for (std::size_t s = 0; s < n; ++s)
+      distance = std::min(distance, std::abs(model.reward(s) * t - candidate));
+    if (distance > best_distance) {
+      best_distance = distance;
+      r = candidate;
+    }
+  }
+  StateSet target(n);
+  for (std::size_t s = 0; s < n; ++s)
+    if (rng.next_double() < 0.5) target.insert(s);
+  if (target.empty()) target.insert(0);
+  return {std::move(model), t, r, std::move(target)};
+}
+
+class EngineAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineAgreement, ThreeMethodsConcur) {
+  const Instance inst = make_instance(GetParam());
+  const SericolaEngine sericola(1e-10);
+  const ErlangEngine erlang(2048);
+
+  const auto ref = sericola.joint_probability_all_starts(
+      inst.model, inst.t, inst.r, inst.target);
+  const auto approx = erlang.joint_probability_all_starts(
+      inst.model, inst.t, inst.r, inst.target);
+  ASSERT_EQ(ref.size(), approx.size());
+  for (std::size_t s = 0; s < ref.size(); ++s) {
+    EXPECT_GE(ref[s], -1e-12);
+    EXPECT_LE(ref[s], 1.0 + 1e-12);
+    // Erlang-2048's residual error is O(1/k) with a modest constant.
+    EXPECT_NEAR(ref[s], approx[s], 5e-3) << "state " << s;
+  }
+}
+
+TEST_P(EngineAgreement, DiscretisationConcursFromInitialState) {
+  const Instance inst = make_instance(GetParam());
+  // Pick a grid that divides t and r and respects E(s) d < 1.
+  const double exit = inst.model.chain().max_exit_rate();
+  double d = 1.0 / 64.0;
+  while (exit * d >= 1.0) d /= 2.0;
+  // Round t to the grid (the instance's r is already a multiple of 1/4).
+  const double t = std::max(d, std::floor(inst.t / d) * d);
+
+  const SericolaEngine sericola(1e-10);
+  const DiscretisationEngine discretisation(d);
+  const auto ref = sericola.joint_probability_all_starts(inst.model, t, inst.r,
+                                                         inst.target);
+  const JointDistribution joint =
+      discretisation.joint_distribution(inst.model, t, inst.r);
+  const double from_init = joint.probability_in(inst.target);
+  EXPECT_NEAR(from_init, ref[inst.model.initial_state()], 3e-2);
+}
+
+TEST_P(EngineAgreement, ComplementationAgainstTransient) {
+  const Instance inst = make_instance(GetParam());
+  const SericolaEngine sericola(1e-10);
+  const auto below = sericola.joint_probability_all_starts(
+      inst.model, inst.t, inst.r, inst.target);
+  // Pr{Y<=r, X in T} <= Pr{X in T}.
+  const auto occupancy =
+      transient_reach(inst.model.chain(), inst.target, inst.t);
+  for (std::size_t s = 0; s < below.size(); ++s)
+    EXPECT_LE(below[s], occupancy[s] + 1e-9);
+}
+
+TEST_P(EngineAgreement, MonotoneInRewardBudget) {
+  const Instance inst = make_instance(GetParam());
+  const SericolaEngine sericola(1e-10);
+  const auto tight = sericola.joint_probability_all_starts(
+      inst.model, inst.t, inst.r * 0.5, inst.target);
+  const auto loose = sericola.joint_probability_all_starts(
+      inst.model, inst.t, inst.r, inst.target);
+  for (std::size_t s = 0; s < tight.size(); ++s)
+    EXPECT_LE(tight[s], loose[s] + 1e-9);
+}
+
+TEST_P(EngineAgreement, TargetAdditivity) {
+  // Pr{Y<=r, X in A} + Pr{Y<=r, X in B} = Pr{Y<=r, X in A|B} for disjoint
+  // A, B — the engine output must be a measure over final states.
+  const Instance inst = make_instance(GetParam());
+  const std::size_t n = inst.model.num_states();
+  StateSet a(n), b(n);
+  for (std::size_t s = 0; s < n; ++s) (s % 2 == 0 ? a : b).insert(s);
+  const SericolaEngine sericola(1e-10);
+  const auto pa =
+      sericola.joint_probability_all_starts(inst.model, inst.t, inst.r, a);
+  const auto pb =
+      sericola.joint_probability_all_starts(inst.model, inst.t, inst.r, b);
+  const auto pab = sericola.joint_probability_all_starts(inst.model, inst.t,
+                                                         inst.r, a | b);
+  for (std::size_t s = 0; s < n; ++s)
+    EXPECT_NEAR(pa[s] + pb[s], pab[s], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomModels, EngineAgreement,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace csrl

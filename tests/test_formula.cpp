@@ -1,0 +1,140 @@
+#include "logic/formula.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace csrl {
+namespace {
+
+TEST(Comparison, Semantics) {
+  EXPECT_TRUE(compare(Comparison::kLess, 0.4, 0.5));
+  EXPECT_FALSE(compare(Comparison::kLess, 0.5, 0.5));
+  EXPECT_TRUE(compare(Comparison::kLessEqual, 0.5, 0.5));
+  EXPECT_TRUE(compare(Comparison::kGreater, 0.6, 0.5));
+  EXPECT_FALSE(compare(Comparison::kGreater, 0.5, 0.5));
+  EXPECT_TRUE(compare(Comparison::kGreaterEqual, 0.5, 0.5));
+}
+
+TEST(Interval, Helpers) {
+  const Interval u = Interval::unbounded();
+  EXPECT_TRUE(u.is_unbounded());
+  EXPECT_FALSE(u.has_upper_bound());
+  EXPECT_TRUE(u.contains(1e12));
+
+  const Interval i = Interval::upto(2.0);
+  EXPECT_FALSE(i.is_unbounded());
+  EXPECT_TRUE(i.has_upper_bound());
+  EXPECT_TRUE(i.contains(0.0));
+  EXPECT_TRUE(i.contains(2.0));
+  EXPECT_FALSE(i.contains(2.1));
+}
+
+TEST(Formula, AtomicAndBoolean) {
+  const FormulaPtr a = Formula::atomic("a");
+  const FormulaPtr b = Formula::atomic("b");
+  const FormulaPtr f = Formula::conjunction(a, Formula::negation(b));
+  EXPECT_EQ(f->kind(), FormulaKind::kAnd);
+  EXPECT_EQ(f->lhs()->name(), "a");
+  EXPECT_EQ(f->rhs()->kind(), FormulaKind::kNot);
+  EXPECT_EQ(f->rhs()->operand()->name(), "b");
+}
+
+TEST(Formula, ImplicationDesugars) {
+  const FormulaPtr f =
+      Formula::implication(Formula::atomic("a"), Formula::atomic("b"));
+  EXPECT_EQ(f->kind(), FormulaKind::kOr);
+  EXPECT_EQ(f->lhs()->kind(), FormulaKind::kNot);
+}
+
+TEST(Formula, FalseIsNotTrue) {
+  const FormulaPtr f = Formula::make_false();
+  EXPECT_EQ(f->kind(), FormulaKind::kNot);
+  EXPECT_EQ(f->operand()->kind(), FormulaKind::kTrue);
+}
+
+TEST(Formula, ProbabilityNode) {
+  const PathFormulaPtr path = PathFormula::eventually(
+      Interval::upto(24.0), Interval::upto(600.0), Formula::atomic("goal"));
+  const FormulaPtr f = Formula::probability(Comparison::kGreater, 0.5, path);
+  EXPECT_EQ(f->kind(), FormulaKind::kProb);
+  EXPECT_FALSE(f->is_query());
+  EXPECT_EQ(f->comparison(), Comparison::kGreater);
+  EXPECT_DOUBLE_EQ(f->bound(), 0.5);
+  EXPECT_EQ(f->path()->kind(), PathKind::kUntil);
+}
+
+TEST(Formula, QueryNodeRejectsBoundAccess) {
+  const PathFormulaPtr path = PathFormula::next(
+      Interval::unbounded(), Interval::unbounded(), Formula::make_true());
+  const FormulaPtr f = Formula::probability_query(path);
+  EXPECT_TRUE(f->is_query());
+  EXPECT_THROW((void)f->comparison(), ModelError);
+  EXPECT_THROW((void)f->bound(), ModelError);
+}
+
+TEST(Formula, BoundOutsideUnitIntervalThrows) {
+  const PathFormulaPtr path = PathFormula::next(
+      Interval::unbounded(), Interval::unbounded(), Formula::make_true());
+  EXPECT_THROW((void)Formula::probability(Comparison::kLess, 1.5, path),
+               ModelError);
+  EXPECT_THROW(
+      (void)Formula::steady_state(Comparison::kLess, -0.1, Formula::make_true()),
+      ModelError);
+}
+
+TEST(Formula, WrongAccessorsThrow) {
+  const FormulaPtr t = Formula::make_true();
+  EXPECT_THROW((void)t->name(), ModelError);
+  EXPECT_THROW((void)t->lhs(), ModelError);
+  EXPECT_THROW((void)t->path(), ModelError);
+}
+
+TEST(PathFormula, UntilAccessors) {
+  const PathFormulaPtr u =
+      PathFormula::until(Interval::upto(1.0), Interval::unbounded(),
+                         Formula::atomic("g"), Formula::atomic("r"));
+  EXPECT_EQ(u->kind(), PathKind::kUntil);
+  EXPECT_EQ(u->lhs()->name(), "g");
+  EXPECT_EQ(u->target()->name(), "r");
+  EXPECT_DOUBLE_EQ(u->time().hi, 1.0);
+  EXPECT_TRUE(u->reward().is_unbounded());
+}
+
+TEST(PathFormula, NextHasNoLhs) {
+  const PathFormulaPtr x = PathFormula::next(
+      Interval::unbounded(), Interval::unbounded(), Formula::atomic("a"));
+  EXPECT_THROW((void)x->lhs(), ModelError);
+}
+
+TEST(PathFormula, IllFormedIntervalThrows) {
+  EXPECT_THROW((void)PathFormula::next(Interval{2.0, 1.0}, Interval::unbounded(),
+                                       Formula::make_true()),
+               ModelError);
+}
+
+TEST(ToString, RoundTripShapes) {
+  EXPECT_EQ(Formula::make_true()->to_string(), "true");
+  EXPECT_EQ(Formula::atomic("up")->to_string(), "up");
+  const FormulaPtr f = Formula::probability(
+      Comparison::kGreater, 0.5,
+      PathFormula::until(Interval::upto(24.0), Interval::upto(600.0),
+                         Formula::atomic("g"), Formula::atomic("r")));
+  EXPECT_EQ(f->to_string(), "P>0.5 [ (g) U[0,24]{0,600} (r) ]");
+}
+
+TEST(ToString, EventuallyPrintsAsF) {
+  const FormulaPtr f = Formula::probability_query(PathFormula::eventually(
+      Interval::unbounded(), Interval::upto(600.0), Formula::atomic("goal")));
+  EXPECT_EQ(f->to_string(), "P=? [ F{0,600} (goal) ]");
+}
+
+TEST(ToString, UnboundedIntervalsOmitted) {
+  const FormulaPtr f = Formula::probability_query(PathFormula::until(
+      Interval::unbounded(), Interval::unbounded(), Formula::atomic("a"),
+      Formula::atomic("b")));
+  EXPECT_EQ(f->to_string(), "P=? [ (a) U (b) ]");
+}
+
+}  // namespace
+}  // namespace csrl

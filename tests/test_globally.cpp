@@ -1,0 +1,81 @@
+// The globally operator G^I_J (an extension): Pr(G) = 1 - Pr(F !Phi).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/checker.hpp"
+#include "logic/parser.hpp"
+#include "models/synthetic.hpp"
+
+namespace csrl {
+namespace {
+
+/// 0 (up) -> 1 (down, absorbing) at rate a.
+Mrm failing(double a) {
+  CsrBuilder b(2, 2);
+  b.add(0, 1, a);
+  Labelling l(2);
+  l.add_label(0, "up");
+  l.add_label(1, "down");
+  return Mrm(Ctmc(b.build()), {1.0, 0.0}, std::move(l), 0);
+}
+
+TEST(Globally, ParsesAndPrints) {
+  const FormulaPtr f = parse_formula("P>=0.9 [ G[0,10] up ]");
+  EXPECT_EQ(f->path()->kind(), PathKind::kGlobally);
+  EXPECT_EQ(f->to_string(), "P>=0.9 [ G[0,10] (up) ]");
+  const FormulaPtr again = parse_formula(f->to_string());
+  EXPECT_EQ(again->to_string(), f->to_string());
+}
+
+TEST(Globally, TimeBoundedReliability) {
+  // G[0,t] up == survive until t: e^{-a t}.
+  const double a = 0.8;
+  const Mrm m = failing(a);
+  const Checker c(m);
+  for (double t : {0.5, 2.0}) {
+    const auto probs = c.values(*parse_formula(
+        "P=? [ G[0," + std::to_string(t) + "] up ]"));
+    EXPECT_NEAR(probs[0], std::exp(-a * t), 1e-9) << t;
+    EXPECT_NEAR(probs[1], 0.0, 1e-9);
+  }
+}
+
+TEST(Globally, UnboundedOnAbsorbingFailure) {
+  const Mrm m = failing(1.0);
+  const auto probs = Checker(m).values(*parse_formula("P=? [ G up ]"));
+  EXPECT_NEAR(probs[0], 0.0, 1e-10);  // failure is certain eventually
+  const auto down = Checker(m).values(*parse_formula("P=? [ G down ]"));
+  EXPECT_NEAR(down[1], 1.0, 1e-10);  // absorbing: down forever
+}
+
+TEST(Globally, RewardBudgetVariant) {
+  // G{0,r} up: never leave "up" while the accumulated reward stays within
+  // r... the complement is F{0,r} down, reached at reward T (rho=1 in up):
+  // Pr = 1 - Pr{T <= r}.
+  const double a = 1.1, r = 2.0;
+  const Mrm m = failing(a);
+  const auto probs =
+      Checker(m).values(*parse_formula("P=? [ G{0,2} up ]"));
+  EXPECT_NEAR(probs[0], std::exp(-a * r), 1e-9);
+}
+
+TEST(Globally, ComplementIdentityOnRandomModel) {
+  const Mrm m = birth_death_mrm(5, 1.0, 2.0);
+  const Checker c(m);
+  const auto g = c.values(*parse_formula("P=? [ G[0,3] !full ]"));
+  const auto f = c.values(*parse_formula("P=? [ F[0,3] full ]"));
+  for (std::size_t s = 0; s < m.num_states(); ++s)
+    EXPECT_NEAR(g[s] + f[s], 1.0, 1e-9);
+}
+
+TEST(Globally, BoundedOperatorDecides) {
+  const Mrm m = failing(1.0);
+  const Checker c(m);
+  // e^{-0.1} ~ 0.905.
+  EXPECT_TRUE(c.holds_initially(*parse_formula("P>0.9 [ G[0,0.1] up ]")));
+  EXPECT_FALSE(c.holds_initially(*parse_formula("P>0.95 [ G[0,0.1] up ]")));
+}
+
+}  // namespace
+}  // namespace csrl

@@ -1,0 +1,65 @@
+#include "ctmc/labelling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace csrl {
+namespace {
+
+TEST(Labelling, AddPropositionIsIdempotent) {
+  Labelling l(3);
+  const std::size_t a = l.add_proposition("up");
+  EXPECT_EQ(l.add_proposition("up"), a);
+  EXPECT_EQ(l.propositions().size(), 1u);
+}
+
+TEST(Labelling, AddLabelRegistersProposition) {
+  Labelling l(3);
+  l.add_label(1, "busy");
+  EXPECT_TRUE(l.has_proposition("busy"));
+  EXPECT_TRUE(l.has_label(1, "busy"));
+  EXPECT_FALSE(l.has_label(0, "busy"));
+}
+
+TEST(Labelling, StatesWithReturnsSet) {
+  Labelling l(4);
+  l.add_label(0, "x");
+  l.add_label(2, "x");
+  const StateSet& s = l.states_with("x");
+  EXPECT_EQ(s.members(), (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(Labelling, UnknownPropositionThrows) {
+  Labelling l(2);
+  EXPECT_THROW((void)l.states_with("nope"), ModelError);
+  EXPECT_FALSE(l.has_label(0, "nope"));
+}
+
+TEST(Labelling, RegisteredButEmptyPropositionGivesEmptySet) {
+  Labelling l(2);
+  l.add_proposition("rare");
+  EXPECT_TRUE(l.states_with("rare").empty());
+}
+
+TEST(Labelling, OutOfRangeStateThrows) {
+  Labelling l(2);
+  EXPECT_THROW(l.add_label(2, "x"), ModelError);
+}
+
+TEST(Labelling, EmptyNameThrows) {
+  Labelling l(2);
+  EXPECT_THROW(l.add_proposition(""), ModelError);
+}
+
+TEST(Labelling, LabelsOfListsInRegistrationOrder) {
+  Labelling l(2);
+  l.add_label(0, "b");
+  l.add_label(0, "a");
+  l.add_label(1, "a");
+  EXPECT_EQ(l.labels_of(0), (std::vector<std::string>{"b", "a"}));
+  EXPECT_EQ(l.labels_of(1), (std::vector<std::string>{"a"}));
+}
+
+}  // namespace
+}  // namespace csrl

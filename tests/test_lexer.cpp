@@ -1,0 +1,102 @@
+#include "logic/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace csrl {
+namespace {
+
+std::vector<TokenKind> kinds(std::string_view input) {
+  std::vector<TokenKind> out;
+  for (const Token& t : tokenize(input)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputIsJustEnd) {
+  EXPECT_EQ(kinds(""), (std::vector<TokenKind>{TokenKind::kEnd}));
+  EXPECT_EQ(kinds("   \t\n"), (std::vector<TokenKind>{TokenKind::kEnd}));
+}
+
+TEST(Lexer, Keywords) {
+  EXPECT_EQ(kinds("true false inf"),
+            (std::vector<TokenKind>{TokenKind::kTrue, TokenKind::kFalse,
+                                    TokenKind::kInf, TokenKind::kEnd}));
+}
+
+TEST(Lexer, SingleLetterOperatorsOnlyWhenAlone) {
+  EXPECT_EQ(kinds("P S U X F"),
+            (std::vector<TokenKind>{TokenKind::kProbOp, TokenKind::kSteadyOp,
+                                    TokenKind::kUntilOp, TokenKind::kNextOp,
+                                    TokenKind::kFinallyOp, TokenKind::kEnd}));
+  // Embedded in longer identifiers they stay identifiers.
+  EXPECT_EQ(kinds("Power Up Fast"),
+            (std::vector<TokenKind>{TokenKind::kIdentifier,
+                                    TokenKind::kIdentifier,
+                                    TokenKind::kIdentifier, TokenKind::kEnd}));
+}
+
+TEST(Lexer, IdentifiersWithUnderscores) {
+  const auto tokens = tokenize("Call_Incoming _x a9");
+  EXPECT_EQ(tokens[0].text, "Call_Incoming");
+  EXPECT_EQ(tokens[1].text, "_x");
+  EXPECT_EQ(tokens[2].text, "a9");
+}
+
+TEST(Lexer, NumberShapes) {
+  const auto tokens = tokenize("0.5 24 1e-3 .25");
+  EXPECT_DOUBLE_EQ(tokens[0].number, 0.5);
+  EXPECT_DOUBLE_EQ(tokens[1].number, 24.0);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 1e-3);
+  EXPECT_DOUBLE_EQ(tokens[3].number, 0.25);
+}
+
+TEST(Lexer, ComparisonOperators) {
+  EXPECT_EQ(kinds("< <= > >= =? =>"),
+            (std::vector<TokenKind>{TokenKind::kLess, TokenKind::kLessEq,
+                                    TokenKind::kGreater, TokenKind::kGreaterEq,
+                                    TokenKind::kQuery, TokenKind::kImplies,
+                                    TokenKind::kEnd}));
+}
+
+TEST(Lexer, Punctuation) {
+  EXPECT_EQ(kinds("()[]{},!&|"),
+            (std::vector<TokenKind>{
+                TokenKind::kLParen, TokenKind::kRParen, TokenKind::kLBracket,
+                TokenKind::kRBracket, TokenKind::kLBrace, TokenKind::kRBrace,
+                TokenKind::kComma, TokenKind::kNot, TokenKind::kAnd,
+                TokenKind::kOr, TokenKind::kEnd}));
+}
+
+TEST(Lexer, PositionsAreByteOffsets) {
+  const auto tokens = tokenize("ab  <=");
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].position, 4u);
+}
+
+TEST(Lexer, BareEqualsIsItsOwnToken) {
+  // '=' only has meaning inside R[ I=t ]; the lexer hands it through and
+  // the parser rejects it elsewhere.
+  const auto tokens = tokenize("a = b");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kEquals);
+}
+
+TEST(Lexer, UnknownCharacterThrowsWithPosition) {
+  try {
+    (void)tokenize("ab $");
+    FAIL() << "expected SyntaxError";
+  } catch (const SyntaxError& e) {
+    EXPECT_EQ(e.position(), 3u);
+  }
+}
+
+TEST(Lexer, PaperQ3PropertyLexes) {
+  const auto tokens =
+      tokenize("P>0.5 [ (Call_Idle | Doze) U[0,24]{0,600} Call_Initiated ]");
+  EXPECT_EQ(tokens.front().kind, TokenKind::kProbOp);
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEnd);
+  EXPECT_EQ(tokens.size(), 23u);
+}
+
+}  // namespace
+}  // namespace csrl

@@ -1,0 +1,170 @@
+#include "mrm/lumping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/checker.hpp"
+#include "logic/parser.hpp"
+#include "models/adhoc.hpp"
+#include "models/synthetic.hpp"
+#include "util/error.hpp"
+
+namespace csrl {
+namespace {
+
+TEST(Lumping, SymmetricMachinesCollapseToCounts) {
+  const std::size_t k = 4;
+  const Mrm m = independent_machines_mrm(k, 0.5, 2.0);
+  ASSERT_EQ(m.num_states(), 16u);
+  const LumpingResult lumped = lump(m);
+  EXPECT_EQ(lumped.num_blocks, k + 1);  // grouped by number of machines up
+  // States with equal popcount share a block.
+  EXPECT_EQ(lumped.block_of[0b0011], lumped.block_of[0b0101]);
+  EXPECT_EQ(lumped.block_of[0b0011], lumped.block_of[0b1100]);
+  EXPECT_NE(lumped.block_of[0b0011], lumped.block_of[0b0111]);
+}
+
+TEST(Lumping, QuotientIsABirthDeathChain) {
+  const Mrm m = independent_machines_mrm(3, 1.0, 2.0);
+  const LumpingResult lumped = lump(m);
+  const Mrm& q = lumped.quotient;
+  ASSERT_EQ(q.num_states(), 4u);
+  // From the all-up block: 3 parallel failures aggregate.
+  const std::size_t top = lumped.block_of[0b111];
+  EXPECT_DOUBLE_EQ(q.chain().exit_rate(top), 3.0);
+  EXPECT_DOUBLE_EQ(q.reward(top), 3.0);
+  EXPECT_TRUE(q.labelling().has_label(top, "all_up"));
+  // Initial mass carried over (original starts all-up).
+  EXPECT_DOUBLE_EQ(q.initial_distribution()[top], 1.0);
+}
+
+TEST(Lumping, AsymmetricRatesPreventLumping) {
+  // Two machines with different failure rates: no non-trivial blocks.
+  CsrBuilder b(4, 4);
+  // bit0 fails at 1, bit1 fails at 2; no repairs.
+  b.add(0b11, 0b10, 1.0);
+  b.add(0b11, 0b01, 2.0);
+  b.add(0b01, 0b00, 1.0);
+  b.add(0b10, 0b00, 2.0);
+  const Mrm m(Ctmc(b.build()), {2.0, 1.0, 1.0, 0.0}, Labelling(4), 3);
+  const LumpingResult lumped = lump(m);
+  EXPECT_EQ(lumped.num_blocks, 4u);
+}
+
+TEST(Lumping, LabelsSplitOtherwiseSymmetricStates) {
+  const Mrm plain = independent_machines_mrm(3, 1.0, 2.0);
+  // Tag one specific single-machine-up state: it must leave its block.
+  Labelling labelling(plain.num_states());
+  for (std::size_t s = 0; s < plain.num_states(); ++s)
+    for (const auto& ap : plain.labelling().labels_of(s))
+      labelling.add_label(s, ap);
+  labelling.add_label(0b001, "special");
+  const Mrm tagged(Ctmc(plain.rates()), plain.rewards(), std::move(labelling),
+                   plain.initial_distribution());
+  const LumpingResult lumped = lump(tagged);
+  EXPECT_GT(lumped.num_blocks, 4u);
+  EXPECT_NE(lumped.block_of[0b001], lumped.block_of[0b010]);
+}
+
+TEST(Lumping, RewardsSplitOtherwiseSymmetricStates) {
+  const Mrm plain = independent_machines_mrm(2, 1.0, 2.0);
+  std::vector<double> rewards = plain.rewards();
+  rewards[0b01] = 7.0;  // one "machine-1-only" state now earns differently
+  const Mrm reweighted(Ctmc(plain.rates()), std::move(rewards),
+                       plain.labelling(), plain.initial_distribution());
+  const LumpingResult lumped = lump(reweighted);
+  EXPECT_NE(lumped.block_of[0b01], lumped.block_of[0b10]);
+}
+
+TEST(Lumping, CsrlValuesPullBack) {
+  // The central soundness property: checking on the quotient and pulling
+  // back along block_of gives the original per-state values.
+  const Mrm m = independent_machines_mrm(4, 0.8, 1.6);
+  const LumpingResult lumped = lump(m);
+  const Checker full(m);
+  const Checker reduced(lumped.quotient);
+  for (const char* query : {
+           "P=? [ F[0,2] all_down ]",
+           "P=? [ !all_down U{0,6} all_up ]",
+           "P=? [ F[0,2]{0,5} all_down ]",
+           "S=? [ all_up ]",
+           "P=? [ X !all_up ]",
+       }) {
+    const auto original = full.values(*parse_formula(query));
+    const auto quotient = reduced.values(*parse_formula(query));
+    for (std::size_t s = 0; s < m.num_states(); ++s)
+      EXPECT_NEAR(original[s], quotient[lumped.block_of[s]], 1e-7)
+          << query << " state " << s;
+  }
+}
+
+TEST(Lumping, AdhocModelIsAlreadyMinimal) {
+  const Mrm m = build_adhoc_mrm();
+  const LumpingResult lumped = lump(m);
+  EXPECT_EQ(lumped.num_blocks, m.num_states());
+}
+
+TEST(Lumping, InitialDistributionAggregates) {
+  const std::size_t n = 4;
+  CsrBuilder b(n, n);
+  b.add(0, 2, 1.0);
+  b.add(1, 3, 1.0);
+  // 0 and 1 are symmetric; 2, 3 are absorbing and symmetric.
+  const Mrm m(Ctmc(b.build()), {1.0, 1.0, 0.0, 0.0}, Labelling(n),
+              std::vector<double>{0.25, 0.25, 0.5, 0.0});
+  const LumpingResult lumped = lump(m);
+  EXPECT_EQ(lumped.num_blocks, 2u);
+  EXPECT_DOUBLE_EQ(
+      lumped.quotient.initial_distribution()[lumped.block_of[0]], 0.5);
+  EXPECT_DOUBLE_EQ(
+      lumped.quotient.initial_distribution()[lumped.block_of[2]], 0.5);
+}
+
+TEST(Lumping, UniformImpulsesSurvive) {
+  CsrBuilder b(3, 3);
+  b.add(0, 2, 1.0);
+  b.add(1, 2, 1.0);
+  CsrBuilder imp(3, 3);
+  imp.add(0, 2, 5.0);
+  imp.add(1, 2, 5.0);
+  const Mrm m = Mrm(Ctmc(b.build()), {1.0, 1.0, 0.0}, Labelling(3),
+                    std::vector<double>{0.5, 0.5, 0.0})
+                    .with_impulses(imp.build());
+  const LumpingResult lumped = lump(m);
+  EXPECT_EQ(lumped.num_blocks, 2u);
+  EXPECT_TRUE(lumped.quotient.has_impulse_rewards());
+  EXPECT_DOUBLE_EQ(lumped.quotient.impulse(lumped.block_of[0],
+                                           lumped.block_of[2]),
+                   5.0);
+}
+
+TEST(Lumping, ConflictingImpulsesIntoOneBlockThrow) {
+  // 0 reaches the two (mutually symmetric) absorbing states with different
+  // impulses; they lump into one block, so the quotient arc is ambiguous.
+  CsrBuilder b(3, 3);
+  b.add(0, 1, 1.0);
+  b.add(0, 2, 1.0);
+  CsrBuilder imp(3, 3);
+  imp.add(0, 1, 1.0);
+  imp.add(0, 2, 2.0);
+  const Mrm m = Mrm(Ctmc(b.build()), {1.0, 0.0, 0.0}, Labelling(3), 0)
+                    .with_impulses(imp.build());
+  EXPECT_THROW((void)lump(m), ModelError);
+}
+
+TEST(Lumping, SelfLoopsStayObservable) {
+  // Two candidate-symmetric states, one with a self-loop: the next
+  // operator distinguishes them, so lumping must keep them apart.
+  CsrBuilder b(3, 3);
+  b.add(0, 2, 1.0);
+  b.add(1, 2, 1.0);
+  b.add(1, 1, 3.0);  // self-loop
+  Labelling l(3);
+  l.add_label(2, "goal");
+  const Mrm m(Ctmc(b.build()), {1.0, 1.0, 0.0}, std::move(l),
+              std::vector<double>{0.5, 0.5, 0.0});
+  const LumpingResult lumped = lump(m);
+  EXPECT_NE(lumped.block_of[0], lumped.block_of[1]);
+}
+
+}  // namespace
+}  // namespace csrl

@@ -1,0 +1,79 @@
+#include "mrm/mrm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace csrl {
+namespace {
+
+Mrm sample() {
+  CsrBuilder b(3, 3);
+  b.add(0, 1, 1.0);
+  b.add(1, 2, 2.0);
+  Labelling l(3);
+  l.add_label(0, "start");
+  l.add_label(2, "goal");
+  return Mrm(Ctmc(b.build()), {2.0, 0.0, 5.0}, std::move(l), 0);
+}
+
+TEST(Mrm, Accessors) {
+  const Mrm m = sample();
+  EXPECT_EQ(m.num_states(), 3u);
+  EXPECT_DOUBLE_EQ(m.reward(2), 5.0);
+  EXPECT_DOUBLE_EQ(m.max_reward(), 5.0);
+  EXPECT_EQ(m.initial_state(), 0u);
+  EXPECT_TRUE(m.labelling().has_label(2, "goal"));
+}
+
+TEST(Mrm, DistinctRewardsSorted) {
+  const Mrm m = sample();
+  EXPECT_EQ(m.distinct_rewards(), (std::vector<double>{0.0, 2.0, 5.0}));
+}
+
+TEST(Mrm, PointMassConstructor) {
+  CsrBuilder b(2, 2);
+  b.add(0, 1, 1.0);
+  const Mrm m(Ctmc(b.build()), {1.0, 1.0}, Labelling(2), 1);
+  EXPECT_EQ(m.initial_state(), 1u);
+  EXPECT_EQ(m.initial_distribution(), (std::vector<double>{0.0, 1.0}));
+}
+
+TEST(Mrm, GeneralInitialDistribution) {
+  CsrBuilder b(2, 2);
+  b.add(0, 1, 1.0);
+  const Mrm m(Ctmc(b.build()), {1.0, 1.0}, Labelling(2),
+              std::vector<double>{0.25, 0.75});
+  EXPECT_THROW((void)m.initial_state(), ModelError);  // not a point mass
+}
+
+TEST(Mrm, RewardSizeMismatchThrows) {
+  CsrBuilder b(2, 2);
+  b.add(0, 1, 1.0);
+  EXPECT_THROW(Mrm(Ctmc(b.build()), {1.0}, Labelling(2), 0u), ModelError);
+}
+
+TEST(Mrm, NegativeRewardThrows) {
+  CsrBuilder b(1, 1);
+  EXPECT_THROW(Mrm(Ctmc(b.build()), {-1.0}, Labelling(1), 0u), ModelError);
+}
+
+TEST(Mrm, LabellingUniverseMismatchThrows) {
+  CsrBuilder b(2, 2);
+  EXPECT_THROW(Mrm(Ctmc(b.build()), {0.0, 0.0}, Labelling(3), 0u), ModelError);
+}
+
+TEST(Mrm, InitialDistributionMustSumToOne) {
+  CsrBuilder b(2, 2);
+  EXPECT_THROW(Mrm(Ctmc(b.build()), {0.0, 0.0}, Labelling(2),
+                   std::vector<double>{0.5, 0.4}),
+               ModelError);
+}
+
+TEST(Mrm, InitialStateOutOfRangeThrows) {
+  CsrBuilder b(2, 2);
+  EXPECT_THROW(Mrm(Ctmc(b.build()), {0.0, 0.0}, Labelling(2), 2u), ModelError);
+}
+
+}  // namespace
+}  // namespace csrl

@@ -1,0 +1,166 @@
+#include "logic/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace csrl {
+namespace {
+
+TEST(Parser, Atomic) {
+  const FormulaPtr f = parse_formula("hello");
+  EXPECT_EQ(f->kind(), FormulaKind::kAtomic);
+  EXPECT_EQ(f->name(), "hello");
+}
+
+TEST(Parser, BooleanPrecedence) {
+  // '&' binds tighter than '|'.
+  const FormulaPtr f = parse_formula("a | b & c");
+  ASSERT_EQ(f->kind(), FormulaKind::kOr);
+  EXPECT_EQ(f->lhs()->name(), "a");
+  EXPECT_EQ(f->rhs()->kind(), FormulaKind::kAnd);
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  const FormulaPtr f = parse_formula("(a | b) & c");
+  ASSERT_EQ(f->kind(), FormulaKind::kAnd);
+  EXPECT_EQ(f->lhs()->kind(), FormulaKind::kOr);
+}
+
+TEST(Parser, NegationBindsTightest) {
+  const FormulaPtr f = parse_formula("!a & b");
+  ASSERT_EQ(f->kind(), FormulaKind::kAnd);
+  EXPECT_EQ(f->lhs()->kind(), FormulaKind::kNot);
+}
+
+TEST(Parser, DoubleNegation) {
+  const FormulaPtr f = parse_formula("!!a");
+  EXPECT_EQ(f->operand()->operand()->name(), "a");
+}
+
+TEST(Parser, ImplicationIsRightAssociativeAndDesugared) {
+  const FormulaPtr f = parse_formula("a => b => c");
+  // a => (b => c) desugars to !a | (!b | c).
+  ASSERT_EQ(f->kind(), FormulaKind::kOr);
+  EXPECT_EQ(f->lhs()->kind(), FormulaKind::kNot);
+  EXPECT_EQ(f->rhs()->kind(), FormulaKind::kOr);
+}
+
+TEST(Parser, ProbabilityWithBound) {
+  const FormulaPtr f = parse_formula("P>=0.25 [ a U b ]");
+  ASSERT_EQ(f->kind(), FormulaKind::kProb);
+  EXPECT_EQ(f->comparison(), Comparison::kGreaterEqual);
+  EXPECT_DOUBLE_EQ(f->bound(), 0.25);
+  EXPECT_EQ(f->path()->kind(), PathKind::kUntil);
+  EXPECT_TRUE(f->path()->time().is_unbounded());
+  EXPECT_TRUE(f->path()->reward().is_unbounded());
+}
+
+TEST(Parser, ProbabilityQuery) {
+  const FormulaPtr f = parse_formula("P=? [ X a ]");
+  EXPECT_TRUE(f->is_query());
+  EXPECT_EQ(f->path()->kind(), PathKind::kNext);
+}
+
+TEST(Parser, TimeIntervalForms) {
+  const FormulaPtr f1 = parse_formula("P=? [ a U[0,24] b ]");
+  EXPECT_DOUBLE_EQ(f1->path()->time().hi, 24.0);
+  EXPECT_DOUBLE_EQ(f1->path()->time().lo, 0.0);
+
+  const FormulaPtr f2 = parse_formula("P=? [ a U<=7.5 b ]");
+  EXPECT_DOUBLE_EQ(f2->path()->time().hi, 7.5);
+
+  const FormulaPtr f3 = parse_formula("P=? [ a U[2,inf] b ]");
+  EXPECT_DOUBLE_EQ(f3->path()->time().lo, 2.0);
+  EXPECT_FALSE(f3->path()->time().has_upper_bound());
+}
+
+TEST(Parser, RewardInterval) {
+  const FormulaPtr f = parse_formula("P=? [ a U{0,600} b ]");
+  EXPECT_TRUE(f->path()->time().is_unbounded());
+  EXPECT_DOUBLE_EQ(f->path()->reward().hi, 600.0);
+}
+
+TEST(Parser, CombinedTimeAndRewardIntervals) {
+  const FormulaPtr f = parse_formula("P>0.5 [ (g | d) U[0,24]{0,600} r ]");
+  EXPECT_DOUBLE_EQ(f->path()->time().hi, 24.0);
+  EXPECT_DOUBLE_EQ(f->path()->reward().hi, 600.0);
+  EXPECT_EQ(f->path()->lhs()->kind(), FormulaKind::kOr);
+}
+
+TEST(Parser, EventuallyDesugarsToTrueUntil) {
+  const FormulaPtr f = parse_formula("P=? [ F[0,2] goal ]");
+  EXPECT_EQ(f->path()->kind(), PathKind::kUntil);
+  EXPECT_EQ(f->path()->lhs()->kind(), FormulaKind::kTrue);
+  EXPECT_EQ(f->path()->target()->name(), "goal");
+}
+
+TEST(Parser, NextWithBothBounds) {
+  const FormulaPtr f = parse_formula("P<0.1 [ X[0,1]{0,5} err ]");
+  EXPECT_EQ(f->path()->kind(), PathKind::kNext);
+  EXPECT_DOUBLE_EQ(f->path()->time().hi, 1.0);
+  EXPECT_DOUBLE_EQ(f->path()->reward().hi, 5.0);
+}
+
+TEST(Parser, SteadyState) {
+  const FormulaPtr f = parse_formula("S<0.01 [ down ]");
+  ASSERT_EQ(f->kind(), FormulaKind::kSteady);
+  EXPECT_EQ(f->comparison(), Comparison::kLess);
+  EXPECT_EQ(f->operand()->name(), "down");
+}
+
+TEST(Parser, NestedProbabilityOperators) {
+  const FormulaPtr f =
+      parse_formula("P>0.9 [ a U ( P>0.5 [ F{0,10} b ] ) ]");
+  const FormulaPtr inner = f->path()->target();
+  EXPECT_EQ(inner->kind(), FormulaKind::kProb);
+  EXPECT_DOUBLE_EQ(inner->path()->reward().hi, 10.0);
+}
+
+TEST(Parser, RoundTripThroughToString) {
+  for (const char* input : {
+           "P>0.5 [ (Call_Idle | Doze) U[0,24]{0,600} Call_Initiated ]",
+           "P=? [ F{0,600} Call_Incoming ]",
+           "S>=0.99 [ minimum ]",
+           "P<0.1 [ X[0,1] (a & !b) ]",
+       }) {
+    const FormulaPtr once = parse_formula(input);
+    const FormulaPtr twice = parse_formula(once->to_string());
+    EXPECT_EQ(once->to_string(), twice->to_string()) << input;
+  }
+}
+
+TEST(Parser, ErrorsCarryPositions) {
+  try {
+    (void)parse_formula("P>0.5 [ a U ]");
+    FAIL() << "expected SyntaxError";
+  } catch (const SyntaxError& e) {
+    EXPECT_GT(e.position(), 0u);
+  }
+}
+
+TEST(Parser, MalformedInputsThrow) {
+  for (const char* bad : {
+           "",                         // empty
+           "a &",                      // dangling operator
+           "(a",                       // unclosed paren
+           "P [ a U b ]",              // missing bound
+           "P>2 [ a U b ]",            // bound outside [0,1] -- via factory
+           "P>0.5 [ a ]",              // not a path formula
+           "P>0.5 [ a U[5,2] b ]",     // decreasing interval
+           "P>0.5 [ a U b ] extra",    // trailing tokens
+           "S>0.5 [ X a ]",            // path formula under S
+       }) {
+    EXPECT_THROW((void)parse_formula(bad), Error) << bad;
+  }
+}
+
+TEST(Parser, KeywordsNotUsableAsPropositions) {
+  // 'true' parses as the constant, so labelling a state "true" is
+  // unreachable from the syntax; 'U' alone is an operator.
+  EXPECT_EQ(parse_formula("true")->kind(), FormulaKind::kTrue);
+  EXPECT_THROW((void)parse_formula("U"), SyntaxError);
+}
+
+}  // namespace
+}  // namespace csrl

@@ -1,0 +1,87 @@
+// Golden regression values.
+//
+// These pin the concrete numbers recorded in EXPERIMENTS.md.  They are
+// *this implementation's* reference outputs (cross-validated between four
+// independent methods), so any drift — a refactor changing results, a
+// numerics regression — fails loudly here, and an intentional change must
+// update EXPERIMENTS.md in the same commit.
+#include <gtest/gtest.h>
+
+#include "core/checker.hpp"
+#include "core/engines/sericola_engine.hpp"
+#include "logic/parser.hpp"
+#include "models/adhoc.hpp"
+#include "models/multiprocessor.hpp"
+
+namespace csrl {
+namespace {
+
+TEST(Regression, Q3ConvergedValue) {
+  const Mrm m = build_adhoc_mrm();
+  const Checker checker(m);
+  EXPECT_NEAR(checker.value_initially(*parse_formula(kQueryQ3)), 0.49699672,
+              5e-8);
+}
+
+TEST(Regression, Q3TruncationDepth) {
+  const SericolaEngine engine(1e-8);
+  EXPECT_EQ(engine.truncation_depth(build_q3_reduced_mrm(), kTimeBoundHours),
+            596u);
+}
+
+TEST(Regression, Q1Value) {
+  const Mrm m = build_adhoc_mrm();
+  EXPECT_NEAR(Checker(m).value_initially(*parse_formula(kQueryQ1)), 0.90913334,
+              1e-7);
+}
+
+TEST(Regression, Q2Value) {
+  const Mrm m = build_adhoc_mrm();
+  EXPECT_NEAR(Checker(m).value_initially(*parse_formula(kQueryQ2)), 0.99444054,
+              1e-7);
+}
+
+TEST(Regression, SericolaEpsilonTrajectory) {
+  // The per-epsilon partial sums of Table 2 (EXPERIMENTS.md).
+  const Mrm reduced = build_q3_reduced_mrm();
+  StateSet success(5);
+  success.insert(3);
+  const struct {
+    double epsilon;
+    double value;
+  } rows[] = {
+      {1e-1, 0.44926185},
+      {1e-2, 0.49222500},
+      {1e-4, 0.49695067},
+      {1e-8, 0.49699672},
+  };
+  for (const auto& row : rows) {
+    const SericolaEngine engine(row.epsilon);
+    EXPECT_NEAR(engine.joint_probability_all_starts(
+                    reduced, kTimeBoundHours, kRewardBoundMah, success)[1],
+                row.value, 5e-8)
+        << row.epsilon;
+  }
+}
+
+TEST(Regression, AdhocExpectedDrainOverADay) {
+  // E[Y_24] on the full station model: 1413.87 mAh (printed by csrl_cli in
+  // the EXPERIMENTS walkthrough).
+  const Mrm m = build_adhoc_mrm();
+  EXPECT_NEAR(Checker(m).value_initially(*parse_formula("R=? [ C<=24 ]")),
+              1413.8716, 1e-3);
+}
+
+TEST(Regression, MultiprocessorHeadlineNumbers) {
+  const Mrm m = multiprocessor_mrm({});  // the documented defaults
+  const Checker checker(m);
+  EXPECT_NEAR(checker.value_initially(*parse_formula("P=? [ F[0,10] down ]")),
+              0.172848, 1e-5);
+  EXPECT_NEAR(checker.value_initially(*parse_formula("S=? [ operational ]")),
+              0.979838, 1e-5);
+  EXPECT_NEAR(checker.value_initially(*parse_formula("R=? [ C<=10 ]")),
+              34.9265, 1e-3);
+}
+
+}  // namespace
+}  // namespace csrl

@@ -1,0 +1,65 @@
+// Larger-model smoke tests: the full pipeline on a few hundred states.
+// These guard against accidental quadratic blow-ups and index bugs that
+// only bite beyond toy sizes; tolerances are loose, runtimes bounded.
+#include <gtest/gtest.h>
+
+#include "core/checker.hpp"
+#include "logic/parser.hpp"
+#include "models/cluster.hpp"
+#include "models/synthetic.hpp"
+#include "mrm/lumping.hpp"
+
+namespace csrl {
+namespace {
+
+TEST(ScaleSmoke, ClusterP3QueryOnTwoHundredStates) {
+  ClusterParams params;
+  params.workstations_per_side = 4;
+  const Mrm m = build_cluster_mrm(params);  // (4+1)^2 * 8 = 200 states
+  ASSERT_EQ(m.num_states(), 200u);
+  const Checker checker(m);
+  const double p = checker.value_initially(
+      *parse_formula("P=? [ F[0,6]{0,20} BackboneDown ]"));
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 2e-3);  // backbone MTTF is 5000h; 6h outage odds are tiny
+}
+
+TEST(ScaleSmoke, ClusterSteadyAndRewardOperators) {
+  ClusterParams params;
+  params.workstations_per_side = 3;
+  const Mrm m = build_cluster_mrm(params);
+  const Checker checker(m);
+  const double availability =
+      checker.value_initially(*parse_formula("S=? [ minimum ]"));
+  EXPECT_GT(availability, 0.999);
+  const double rate = checker.value_initially(*parse_formula("R=? [ S ]"));
+  EXPECT_GT(rate, 5.9);  // ~6 workstations' capacity long-run
+  EXPECT_LE(rate, 6.0);
+}
+
+TEST(ScaleSmoke, ThousandStateTimeBoundedUntil) {
+  const Mrm m = birth_death_mrm(1000, 2.0, 1.0);
+  const auto probs =
+      Checker(m).values(*parse_formula("P=? [ !full U[0,50] full ]"));
+  for (double p : probs) {
+    EXPECT_GE(p, -1e-12);
+    EXPECT_LE(p, 1.0 + 1e-9);
+  }
+  // Monotone in the start state: closer to "full" is easier.
+  EXPECT_LT(probs[0], probs[900]);
+}
+
+TEST(ScaleSmoke, LumpedMachinesMatchAtScale) {
+  const Mrm m = independent_machines_mrm(9, 0.4, 1.2);  // 512 states
+  const LumpingResult lumped = lump(m);
+  ASSERT_EQ(lumped.num_blocks, 10u);
+  const double full = Checker(m).value_initially(
+      *parse_formula("P=? [ F[0,3]{0,20} all_down ]"));
+  const auto quotient_values = Checker(lumped.quotient)
+                                   .values(*parse_formula(
+                                       "P=? [ F[0,3]{0,20} all_down ]"));
+  EXPECT_NEAR(full, quotient_values[lumped.block_of[m.initial_state()]], 1e-9);
+}
+
+}  // namespace
+}  // namespace csrl

@@ -1,0 +1,136 @@
+#include "srn/srn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "srn/reachability.hpp"
+#include "util/error.hpp"
+
+namespace csrl {
+namespace {
+
+/// M/M/1/2 queue as an SRN: arrivals into "jobs" (capacity 2 via
+/// inhibitor), service removes them.
+Srn small_queue() {
+  Srn net;
+  const PlaceId jobs = net.add_place("jobs");
+  const TransitionId arrive = net.add_transition("arrive", 2.0);
+  net.add_output_arc(arrive, jobs);
+  net.add_inhibitor_arc(arrive, jobs, 2);
+  const TransitionId serve = net.add_transition("serve", 3.0);
+  net.add_input_arc(serve, jobs);
+  net.set_place_reward(jobs, 1.5);
+  return net;
+}
+
+TEST(Srn, EnablingRules) {
+  const Srn net = small_queue();
+  const Marking empty{0};
+  const Marking one{1};
+  const Marking full{2};
+  EXPECT_TRUE(net.enabled(TransitionId{0}, empty));   // arrive
+  EXPECT_TRUE(net.enabled(TransitionId{0}, one));
+  EXPECT_FALSE(net.enabled(TransitionId{0}, full));   // inhibited
+  EXPECT_FALSE(net.enabled(TransitionId{1}, empty));  // nothing to serve
+  EXPECT_TRUE(net.enabled(TransitionId{1}, one));
+}
+
+TEST(Srn, FiringMovesTokens) {
+  const Srn net = small_queue();
+  EXPECT_EQ(net.fire(TransitionId{0}, {0}), (Marking{1}));
+  EXPECT_EQ(net.fire(TransitionId{1}, {2}), (Marking{1}));
+  EXPECT_THROW((void)net.fire(TransitionId{1}, {0}), ModelError);
+}
+
+TEST(Srn, RewardIsPerTokenAdditive) {
+  const Srn net = small_queue();
+  EXPECT_DOUBLE_EQ(net.reward({0}), 0.0);
+  EXPECT_DOUBLE_EQ(net.reward({2}), 3.0);
+}
+
+TEST(Srn, CustomRewardFunctionOverrides) {
+  Srn net = small_queue();
+  net.set_reward_function([](const Marking& m) { return m[0] > 0 ? 7.0 : 0.5; });
+  EXPECT_DOUBLE_EQ(net.reward({0}), 0.5);
+  EXPECT_DOUBLE_EQ(net.reward({2}), 7.0);
+}
+
+TEST(Srn, MarkingDependentRate) {
+  Srn net;
+  const PlaceId up = net.add_place("up", 3);
+  const TransitionId fail = net.add_transition("fail", 0.1);
+  net.add_input_arc(fail, up);
+  net.set_rate_function(fail, [up](const Marking& m) {
+    return static_cast<double>(m[up.index]);
+  });
+  EXPECT_DOUBLE_EQ(net.rate(TransitionId{0}, {3}), 0.3);
+  EXPECT_DOUBLE_EQ(net.rate(TransitionId{0}, {1}), 0.1);
+  EXPECT_DOUBLE_EQ(net.rate(TransitionId{0}, {0}), 0.0);  // disabled
+}
+
+TEST(Srn, GuardsDisableTransitions) {
+  Srn net;
+  const PlaceId p = net.add_place("p", 1);
+  const TransitionId t = net.add_transition("t", 1.0);
+  net.add_input_arc(t, p);
+  net.set_guard(t, [](const Marking&) { return false; });
+  EXPECT_FALSE(net.enabled(t, {1}));
+}
+
+TEST(Srn, ValidationErrors) {
+  Srn net;
+  EXPECT_THROW((void)net.add_place(""), ModelError);
+  EXPECT_THROW((void)net.add_transition("t", 0.0), ModelError);
+  const PlaceId p = net.add_place("p");
+  const TransitionId t = net.add_transition("t", 1.0);
+  EXPECT_THROW(net.add_input_arc(t, p, 0), ModelError);
+  EXPECT_THROW(net.set_place_reward(p, -1.0), ModelError);
+}
+
+TEST(Reachability, QueueGeneratesBirthDeathChain) {
+  const ReachabilityGraph g = explore(small_queue());
+  EXPECT_EQ(g.model.num_states(), 3u);  // 0, 1, 2 jobs
+  EXPECT_EQ(g.num_firings, 4u);         // two arrivals + two services
+  // State 0 is the initial (empty) marking.
+  EXPECT_EQ(g.markings[0], (Marking{0}));
+  EXPECT_DOUBLE_EQ(g.model.rates().at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(g.model.reward(2), 3.0);
+  // "jobs" holds where the place is non-empty.
+  EXPECT_FALSE(g.model.labelling().has_label(0, "jobs"));
+  EXPECT_TRUE(g.model.labelling().has_label(1, "jobs"));
+}
+
+TEST(Reachability, ParallelTransitionsAccumulateRates) {
+  Srn net;
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId b = net.add_place("b");
+  for (const char* name : {"t1", "t2"}) {
+    const TransitionId t = net.add_transition(name, 1.5);
+    net.add_input_arc(t, a);
+    net.add_output_arc(t, b);
+  }
+  const ReachabilityGraph g = explore(net);
+  EXPECT_EQ(g.model.num_states(), 2u);
+  EXPECT_DOUBLE_EQ(g.model.rates().at(0, 1), 3.0);
+}
+
+TEST(Reachability, UnboundedNetHitsStateLimit) {
+  Srn net;
+  const PlaceId p = net.add_place("p");
+  const TransitionId t = net.add_transition("spawn", 1.0);
+  net.add_output_arc(t, p);
+  EXPECT_THROW((void)explore(net, /*max_states=*/64), ModelError);
+}
+
+TEST(Reachability, EmptyPropositionRegisteredForEmptyPlaces) {
+  Srn net;
+  (void)net.add_place("never_used");
+  const PlaceId p = net.add_place("home", 1);
+  (void)p;
+  const ReachabilityGraph g = explore(net);
+  // Formulas naming "never_used" resolve to the empty set, not an error.
+  EXPECT_TRUE(g.model.labelling().has_proposition("never_used"));
+  EXPECT_TRUE(g.model.labelling().states_with("never_used").empty());
+}
+
+}  // namespace
+}  // namespace csrl

@@ -1,0 +1,233 @@
+// Immediate transitions and vanishing-marking elimination (the SPNP
+// behaviours the paper's tooling relied on).
+#include <gtest/gtest.h>
+
+#include "core/checker.hpp"
+#include "logic/parser.hpp"
+#include "srn/reachability.hpp"
+#include "srn/srn.hpp"
+#include "util/error.hpp"
+
+namespace csrl {
+namespace {
+
+/// Arrivals enter a routing place; an immediate weighted choice sends them
+/// to queue A (weight 2) or queue B (weight 1).  Single-server service on
+/// each queue; capacities 1 (via inhibitors on arrive).
+Srn routed_queue() {
+  Srn net;
+  const PlaceId routing = net.add_place("routing");
+  const PlaceId queue_a = net.add_place("queue_a");
+  const PlaceId queue_b = net.add_place("queue_b");
+
+  const TransitionId arrive = net.add_transition("arrive", 3.0);
+  net.add_output_arc(arrive, routing);
+  net.add_inhibitor_arc(arrive, queue_a);
+  net.add_inhibitor_arc(arrive, queue_b);
+  net.add_inhibitor_arc(arrive, routing);
+
+  const TransitionId to_a = net.add_immediate_transition("to_a", 2.0);
+  net.add_input_arc(to_a, routing);
+  net.add_output_arc(to_a, queue_a);
+  const TransitionId to_b = net.add_immediate_transition("to_b", 1.0);
+  net.add_input_arc(to_b, routing);
+  net.add_output_arc(to_b, queue_b);
+
+  const TransitionId serve_a = net.add_transition("serve_a", 5.0);
+  net.add_input_arc(serve_a, queue_a);
+  const TransitionId serve_b = net.add_transition("serve_b", 4.0);
+  net.add_input_arc(serve_b, queue_b);
+  return net;
+}
+
+TEST(SrnImmediate, ApiBasics) {
+  Srn net;
+  const PlaceId p = net.add_place("p", 1);
+  const TransitionId timed = net.add_transition("timed", 1.0);
+  net.add_input_arc(timed, p);
+  const TransitionId imm = net.add_immediate_transition("imm", 2.0);
+  net.add_input_arc(imm, p);
+  EXPECT_FALSE(net.is_immediate(timed));
+  EXPECT_TRUE(net.is_immediate(imm));
+  EXPECT_DOUBLE_EQ(net.weight(imm, {1}), 2.0);
+  EXPECT_THROW((void)net.weight(timed, {1}), ModelError);
+  EXPECT_THROW((void)net.rate(imm, {1}), ModelError);
+  EXPECT_THROW((void)net.add_immediate_transition("bad", 0.0), ModelError);
+}
+
+TEST(SrnImmediate, VanishingMarkingsAreEliminated) {
+  const ReachabilityGraph g = explore(routed_queue());
+  // Tangible states: empty, job-in-A, job-in-B; the routing marking
+  // vanished.
+  EXPECT_EQ(g.model.num_states(), 3u);
+  for (const Marking& m : g.markings) EXPECT_EQ(m[0], 0u) << "routing place";
+}
+
+TEST(SrnImmediate, WeightsSplitTheRate) {
+  const ReachabilityGraph g = explore(routed_queue());
+  const Checker c(g.model);
+  const StateSet in_a = g.model.labelling().states_with("queue_a");
+  const StateSet in_b = g.model.labelling().states_with("queue_b");
+  ASSERT_EQ(in_a.count(), 1u);
+  ASSERT_EQ(in_b.count(), 1u);
+  const std::size_t empty_state = g.model.initial_state();
+  // Rate 3 splits 2:1 across the immediate choice.
+  EXPECT_DOUBLE_EQ(g.model.rates().at(empty_state, in_a.members()[0]), 2.0);
+  EXPECT_DOUBLE_EQ(g.model.rates().at(empty_state, in_b.members()[0]), 1.0);
+}
+
+TEST(SrnImmediate, ChainsOfImmediatesResolve) {
+  // arrive -> stage1 -(imm)-> stage2 -(imm)-> done.
+  Srn net;
+  const PlaceId stage1 = net.add_place("stage1");
+  const PlaceId stage2 = net.add_place("stage2");
+  const PlaceId done = net.add_place("done");
+  const TransitionId arrive = net.add_transition("arrive", 1.0);
+  net.add_output_arc(arrive, stage1);
+  net.add_inhibitor_arc(arrive, done);
+  net.add_inhibitor_arc(arrive, stage1);
+  const TransitionId hop1 = net.add_immediate_transition("hop1", 1.0);
+  net.add_input_arc(hop1, stage1);
+  net.add_output_arc(hop1, stage2);
+  const TransitionId hop2 = net.add_immediate_transition("hop2", 1.0);
+  net.add_input_arc(hop2, stage2);
+  net.add_output_arc(hop2, done);
+  const ReachabilityGraph g = explore(net);
+  EXPECT_EQ(g.model.num_states(), 2u);  // empty, done
+  const std::size_t start = g.model.initial_state();
+  EXPECT_DOUBLE_EQ(g.model.rates().at(start, 1 - start), 1.0);
+}
+
+TEST(SrnImmediate, ImmediateCycleThrows) {
+  Srn net;
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId b = net.add_place("b");
+  const TransitionId ab = net.add_immediate_transition("ab", 1.0);
+  net.add_input_arc(ab, a);
+  net.add_output_arc(ab, b);
+  const TransitionId ba = net.add_immediate_transition("ba", 1.0);
+  net.add_input_arc(ba, b);
+  net.add_output_arc(ba, a);
+  EXPECT_THROW((void)explore(net), ModelError);
+}
+
+TEST(SrnImmediate, VanishingInitialMarkingSpreadsInitialMass) {
+  Srn net;
+  const PlaceId start = net.add_place("start", 1);
+  const PlaceId left = net.add_place("left");
+  const PlaceId right = net.add_place("right");
+  const TransitionId go_left = net.add_immediate_transition("go_left", 3.0);
+  net.add_input_arc(go_left, start);
+  net.add_output_arc(go_left, left);
+  const TransitionId go_right = net.add_immediate_transition("go_right", 1.0);
+  net.add_input_arc(go_right, start);
+  net.add_output_arc(go_right, right);
+  // Keep both tangible states live with a slow shuffle.
+  const TransitionId swap = net.add_transition("swap", 0.5);
+  net.add_input_arc(swap, left);
+  net.add_output_arc(swap, right);
+
+  const ReachabilityGraph g = explore(net);
+  EXPECT_EQ(g.model.num_states(), 2u);
+  const StateSet in_left = g.model.labelling().states_with("left");
+  ASSERT_EQ(in_left.count(), 1u);
+  EXPECT_DOUBLE_EQ(g.model.initial_distribution()[in_left.members()[0]], 0.75);
+}
+
+TEST(SrnImmediate, TransitionImpulsesLandInTheMrm) {
+  Srn net;
+  const PlaceId idle = net.add_place("idle", 1);
+  const PlaceId busy = net.add_place("busy");
+  const TransitionId start_job = net.add_transition("start_job", 2.0);
+  net.add_input_arc(start_job, idle);
+  net.add_output_arc(start_job, busy);
+  net.set_transition_impulse(start_job, 1.5);  // setup cost
+  const TransitionId finish = net.add_transition("finish", 1.0);
+  net.add_input_arc(finish, busy);
+  net.add_output_arc(finish, idle);
+
+  const ReachabilityGraph g = explore(net);
+  ASSERT_TRUE(g.model.has_impulse_rewards());
+  const std::size_t idle_state = g.model.initial_state();
+  EXPECT_DOUBLE_EQ(g.model.impulse(idle_state, 1 - idle_state), 1.5);
+  EXPECT_DOUBLE_EQ(g.model.impulse(1 - idle_state, idle_state), 0.0);
+}
+
+TEST(SrnImmediate, ImmediateImpulsesAccumulateAlongChains) {
+  Srn net;
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId b = net.add_place("b");
+  const PlaceId c = net.add_place("c");
+  const TransitionId timed = net.add_transition("timed", 1.0);
+  net.add_input_arc(timed, a);
+  net.add_output_arc(timed, b);
+  net.set_transition_impulse(timed, 1.0);
+  const TransitionId imm = net.add_immediate_transition("imm", 1.0);
+  net.add_input_arc(imm, b);
+  net.add_output_arc(imm, c);
+  net.set_transition_impulse(imm, 2.0);
+
+  const ReachabilityGraph g = explore(net);
+  EXPECT_EQ(g.model.num_states(), 2u);
+  const std::size_t start = g.model.initial_state();
+  EXPECT_DOUBLE_EQ(g.model.impulse(start, 1 - start), 3.0);  // 1 + 2
+}
+
+TEST(SrnImmediate, InitialImpulseChainRejected) {
+  Srn net;
+  const PlaceId start = net.add_place("start", 1);
+  const PlaceId rest = net.add_place("rest");
+  const TransitionId hop = net.add_immediate_transition("hop", 1.0);
+  net.add_input_arc(hop, start);
+  net.add_output_arc(hop, rest);
+  net.set_transition_impulse(hop, 1.0);
+  EXPECT_THROW((void)explore(net), ModelError);
+}
+
+TEST(SrnImmediate, EndToEndCheckingOnRoutedQueue) {
+  const ReachabilityGraph g = explore(routed_queue());
+  const Checker c(g.model);
+  // Long-run: the A queue is visited twice as often as the B queue but
+  // also drains faster; just assert the three steady probabilities are a
+  // sane distribution and A's exceeds B's.
+  const double pa = c.value_initially(*parse_formula("S=? [ queue_a ]"));
+  const double pb = c.value_initially(*parse_formula("S=? [ queue_b ]"));
+  const double pe = c.value_initially(
+      *parse_formula("S=? [ !queue_a & !queue_b ]"));
+  EXPECT_NEAR(pa + pb + pe, 1.0, 1e-8);
+  EXPECT_GT(pa, pb);
+}
+
+TEST(SrnImmediate, PriorityPreemptsLowerImmediates) {
+  Srn net;
+  const PlaceId start = net.add_place("start", 1);
+  const PlaceId low = net.add_place("low");
+  const PlaceId high = net.add_place("high");
+  const TransitionId to_low = net.add_immediate_transition("to_low", 100.0);
+  net.add_input_arc(to_low, start);
+  net.add_output_arc(to_low, low);
+  const TransitionId to_high = net.add_immediate_transition("to_high", 1.0);
+  net.add_input_arc(to_high, start);
+  net.add_output_arc(to_high, high);
+  net.set_priority(to_high, 5);  // beats to_low despite the tiny weight
+  // Keep the graph alive with a timed shuffle.
+  const TransitionId back = net.add_transition("back", 1.0);
+  net.add_input_arc(back, high);
+  net.add_output_arc(back, high);
+
+  const ReachabilityGraph g = explore(net);
+  const StateSet in_high = g.model.labelling().states_with("high");
+  ASSERT_EQ(in_high.count(), 1u);
+  EXPECT_DOUBLE_EQ(g.model.initial_distribution()[in_high.members()[0]], 1.0);
+  EXPECT_TRUE(g.model.labelling().states_with("low").empty());
+}
+
+TEST(SrnImmediate, PriorityOnTimedTransitionThrows) {
+  Srn net;
+  (void)net.add_place("p", 1);
+  const TransitionId timed = net.add_transition("timed", 1.0);
+  EXPECT_THROW(net.set_priority(timed, 1), ModelError);
+}
+
+}  // namespace
+}  // namespace csrl

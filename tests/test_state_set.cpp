@@ -1,0 +1,129 @@
+#include "util/state_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace csrl {
+namespace {
+
+TEST(StateSet, StartsEmpty) {
+  StateSet s(10);
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_TRUE(s.empty());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_FALSE(s.contains(i));
+}
+
+TEST(StateSet, FilledConstructor) {
+  StateSet s(70, /*filled=*/true);
+  EXPECT_EQ(s.count(), 70u);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(69));
+  EXPECT_FALSE(s.contains(70));  // out of universe
+}
+
+TEST(StateSet, InsertEraseContains) {
+  StateSet s(100);
+  s.insert(3);
+  s.insert(64);  // crosses the block boundary
+  s.insert(99);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_TRUE(s.contains(64));
+  s.erase(64);
+  EXPECT_FALSE(s.contains(64));
+  EXPECT_EQ(s.count(), 2u);
+  s.erase(64);  // idempotent
+  EXPECT_EQ(s.count(), 2u);
+}
+
+TEST(StateSet, InsertOutOfRangeThrows) {
+  StateSet s(4);
+  EXPECT_THROW(s.insert(4), ModelError);
+  EXPECT_THROW(s.erase(17), ModelError);
+}
+
+TEST(StateSet, ComplementRespectsUniverseBoundary) {
+  StateSet s(67);
+  s.insert(1);
+  const StateSet c = s.complement();
+  EXPECT_EQ(c.count(), 66u);
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_TRUE(c.contains(66));
+  // Complementing twice is the identity.
+  EXPECT_EQ(c.complement(), s);
+}
+
+TEST(StateSet, BooleanAlgebra) {
+  StateSet a(8), b(8);
+  a.insert(1);
+  a.insert(2);
+  b.insert(2);
+  b.insert(3);
+  EXPECT_EQ((a | b).members(), (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_EQ((a & b).members(), (std::vector<std::size_t>{2}));
+  EXPECT_EQ((a - b).members(), (std::vector<std::size_t>{1}));
+}
+
+TEST(StateSet, MixedUniverseSizesThrow) {
+  StateSet a(8), b(9);
+  EXPECT_THROW(a |= b, ModelError);
+  EXPECT_THROW(a &= b, ModelError);
+  EXPECT_THROW(a -= b, ModelError);
+  EXPECT_THROW((void)a.subset_of(b), ModelError);
+}
+
+TEST(StateSet, SubsetAndIntersects) {
+  StateSet a(8), b(8);
+  a.insert(1);
+  b.insert(1);
+  b.insert(5);
+  EXPECT_TRUE(a.subset_of(b));
+  EXPECT_FALSE(b.subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  StateSet c(8);
+  c.insert(7);
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(c.subset_of(c));
+}
+
+TEST(StateSet, MembersAreSortedAcrossBlocks) {
+  StateSet s(200);
+  for (std::size_t v : {199, 0, 63, 64, 128, 65}) s.insert(v);
+  EXPECT_EQ(s.members(), (std::vector<std::size_t>{0, 63, 64, 65, 128, 199}));
+}
+
+TEST(StateSet, IndicatorVector) {
+  StateSet s(4);
+  s.insert(2);
+  const std::vector<double> ind = s.indicator();
+  EXPECT_EQ(ind, (std::vector<double>{0.0, 0.0, 1.0, 0.0}));
+}
+
+TEST(StateSet, FillAndClear) {
+  StateSet s(130);
+  s.fill();
+  EXPECT_EQ(s.count(), 130u);
+  s.clear();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.size(), 130u);
+}
+
+TEST(StateSet, ToStringFormat) {
+  StateSet s(10);
+  s.insert(0);
+  s.insert(7);
+  EXPECT_EQ(s.to_string(), "{0, 7}");
+  EXPECT_EQ(StateSet(3).to_string(), "{}");
+}
+
+TEST(StateSet, EmptyUniverse) {
+  StateSet s(0);
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.complement().count(), 0u);
+  s.fill();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+}  // namespace
+}  // namespace csrl

@@ -1,0 +1,72 @@
+#include "ctmc/stationary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/options.hpp"
+#include "util/error.hpp"
+
+namespace csrl {
+namespace {
+
+TEST(ComponentStationary, SingletonIsTrivial) {
+  const Ctmc chain{CsrMatrix(3, 3)};
+  const std::vector<std::size_t> members{1};
+  EXPECT_EQ(component_stationary(chain, members), (std::vector<double>{1.0}));
+}
+
+TEST(ComponentStationary, TwoStateBalance) {
+  // 0 <-> 1 with rates 1 and 3: pi = (3/4, 1/4).
+  CsrBuilder b(2, 2);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 3.0);
+  const Ctmc chain(b.build());
+  const std::vector<std::size_t> members{0, 1};
+  const auto pi = component_stationary(chain, members);
+  EXPECT_NEAR(pi[0], 0.75, 1e-9);
+  EXPECT_NEAR(pi[1], 0.25, 1e-9);
+}
+
+TEST(ComponentStationary, EmbeddedComponentUsesCompactIndices) {
+  // States {1, 3} form a closed cycle inside a 4-state chain.
+  CsrBuilder b(4, 4);
+  b.add(0, 1, 1.0);     // transient feed
+  b.add(1, 3, 2.0);
+  b.add(3, 1, 6.0);
+  b.add(2, 2, 1.0);     // unrelated self-loop component
+  const Ctmc chain(b.build());
+  const std::vector<std::size_t> members{1, 3};
+  const auto pi = component_stationary(chain, members);
+  ASSERT_EQ(pi.size(), 2u);
+  EXPECT_NEAR(pi[0], 0.75, 1e-9);  // rate out of 1 is 2, out of 3 is 6
+  EXPECT_NEAR(pi[1], 0.25, 1e-9);
+}
+
+TEST(ComponentStationary, PeriodicCycleStillConverges) {
+  // A deterministic 3-cycle is periodic in the embedded chain; the
+  // uniformisation slack must still give convergence (uniform pi).
+  CsrBuilder b(3, 3);
+  b.add(0, 1, 2.0);
+  b.add(1, 2, 2.0);
+  b.add(2, 0, 2.0);
+  const Ctmc chain(b.build());
+  const std::vector<std::size_t> members{0, 1, 2};
+  for (double v : component_stationary(chain, members))
+    EXPECT_NEAR(v, 1.0 / 3.0, 1e-8);
+}
+
+TEST(ComponentStationary, NonClosedComponentThrows) {
+  CsrBuilder b(3, 3);
+  b.add(0, 1, 1.0);
+  b.add(1, 2, 1.0);  // leaves {0, 1}
+  const Ctmc chain(b.build());
+  const std::vector<std::size_t> members{0, 1};
+  EXPECT_THROW((void)component_stationary(chain, members), ModelError);
+}
+
+TEST(ComponentStationary, EmptyComponentThrows) {
+  const Ctmc chain{CsrMatrix(2, 2)};
+  EXPECT_THROW((void)component_stationary(chain, {}), ModelError);
+}
+
+}  // namespace
+}  // namespace csrl

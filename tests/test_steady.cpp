@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "core/checker.hpp"
+#include "logic/parser.hpp"
+#include "models/synthetic.hpp"
+
+namespace csrl {
+namespace {
+
+TEST(SteadyState, BirthDeathClosedForm) {
+  // M/M/1/K-style chain: pi_i ~ (lambda/mu)^i.
+  const double lambda = 1.0, mu = 2.0;
+  const Mrm m = birth_death_mrm(4, lambda, mu);
+  const Checker c(m);
+  const auto probs = c.values(*parse_formula("S=? [ empty ]"));
+  const double rho = lambda / mu;
+  const double z = 1.0 + rho + rho * rho + rho * rho * rho;
+  for (std::size_t s = 0; s < 4; ++s)
+    EXPECT_NEAR(probs[s], 1.0 / z, 1e-8) << s;  // irreducible: same everywhere
+}
+
+TEST(SteadyState, AbsorbingStateTakesAllMass) {
+  CsrBuilder b(2, 2);
+  b.add(0, 1, 3.0);
+  Labelling l(2);
+  l.add_label(1, "sink");
+  const Mrm m(Ctmc(b.build()), {0.0, 0.0}, std::move(l), 0);
+  const auto probs = Checker(m).values(*parse_formula("S=? [ sink ]"));
+  EXPECT_NEAR(probs[0], 1.0, 1e-10);
+  EXPECT_NEAR(probs[1], 1.0, 1e-10);
+}
+
+TEST(SteadyState, TwoBsccsSplitByReachability) {
+  // 0 branches to absorbing 1 (rate 1) and absorbing 2 (rate 3).
+  CsrBuilder b(3, 3);
+  b.add(0, 1, 1.0);
+  b.add(0, 2, 3.0);
+  Labelling l(3);
+  l.add_label(1, "left");
+  l.add_label(2, "right");
+  const Mrm m(Ctmc(b.build()), {0.0, 0.0, 0.0}, std::move(l), 0);
+  const Checker c(m);
+  const auto left = c.values(*parse_formula("S=? [ left ]"));
+  EXPECT_NEAR(left[0], 0.25, 1e-9);
+  EXPECT_NEAR(left[1], 1.0, 1e-9);
+  EXPECT_NEAR(left[2], 0.0, 1e-9);
+  const auto right = c.values(*parse_formula("S=? [ right ]"));
+  EXPECT_NEAR(right[0], 0.75, 1e-9);
+}
+
+TEST(SteadyState, TransientStatesCarryNoLongRunMass) {
+  CsrBuilder b(2, 2);
+  b.add(0, 1, 1.0);
+  Labelling l(2);
+  l.add_label(0, "start");
+  const Mrm m(Ctmc(b.build()), {0.0, 0.0}, std::move(l), 0);
+  const auto probs = Checker(m).values(*parse_formula("S=? [ start ]"));
+  EXPECT_NEAR(probs[0], 0.0, 1e-10);
+}
+
+TEST(SteadyState, BsccWithInternalStructure) {
+  // 0 -> {1,2} cycle; inside the BSCC rates 1->2 (1.0) and 2->1 (4.0)
+  // give stationary (0.8, 0.2).
+  CsrBuilder b(3, 3);
+  b.add(0, 1, 2.0);
+  b.add(1, 2, 1.0);
+  b.add(2, 1, 4.0);
+  Labelling l(3);
+  l.add_label(1, "one");
+  const Mrm m(Ctmc(b.build()), {0.0, 0.0, 0.0}, std::move(l), 0);
+  const auto probs = Checker(m).values(*parse_formula("S=? [ one ]"));
+  EXPECT_NEAR(probs[0], 0.8, 1e-8);
+  EXPECT_NEAR(probs[1], 0.8, 1e-8);
+}
+
+TEST(SteadyState, BoundedOperatorDecides) {
+  const Mrm m = birth_death_mrm(3, 1.0, 1.0);
+  const Checker c(m);
+  // Uniform stationary distribution over 3 states: S(full) = 1/3.
+  EXPECT_TRUE(c.holds_initially(*parse_formula("S>0.3 [ full ]")));
+  EXPECT_FALSE(c.holds_initially(*parse_formula("S>0.35 [ full ]")));
+}
+
+TEST(SteadyState, NestedInsideBooleanFormula) {
+  const Mrm m = birth_death_mrm(3, 1.0, 1.0);
+  const Checker c(m);
+  const StateSet sat = c.sat(*parse_formula("S>0.3 [ full ] & empty"));
+  EXPECT_EQ(sat.members(), (std::vector<std::size_t>{0}));
+}
+
+}  // namespace
+}  // namespace csrl

@@ -1,0 +1,148 @@
+#include "ctmc/uniformisation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "matrix/vector_ops.hpp"
+#include "util/error.hpp"
+
+namespace csrl {
+namespace {
+
+/// 2-state chain 0 -> 1 at rate a, 1 -> 0 at rate b has the closed-form
+/// transient probability (starting in 0):
+///   P00(t) = b/(a+b) + a/(a+b) e^{-(a+b)t}.
+double p00(double a, double b, double t) {
+  return b / (a + b) + a / (a + b) * std::exp(-(a + b) * t);
+}
+
+Ctmc flip_flop(double a, double b) {
+  CsrBuilder m(2, 2);
+  m.add(0, 1, a);
+  m.add(1, 0, b);
+  return Ctmc(m.build());
+}
+
+TEST(TransientDistribution, MatchesTwoStateClosedForm) {
+  const double a = 2.0, b = 0.5;
+  const Ctmc chain = flip_flop(a, b);
+  const std::vector<double> initial{1.0, 0.0};
+  for (double t : {0.1, 1.0, 3.0, 10.0}) {
+    const std::vector<double> pi = transient_distribution(chain, initial, t);
+    EXPECT_NEAR(pi[0], p00(a, b, t), 1e-9) << "t=" << t;
+    EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-9);
+  }
+}
+
+TEST(TransientDistribution, TimeZeroReturnsInitial) {
+  const Ctmc chain = flip_flop(1.0, 1.0);
+  const std::vector<double> initial{0.3, 0.7};
+  EXPECT_EQ(transient_distribution(chain, initial, 0.0), initial);
+}
+
+TEST(TransientDistribution, PureDeathIsErlang) {
+  // 3 -> 2 -> 1 -> 0 at rate mu: P{X_t = 0 | X_0 = 3} = P{Erlang(3,mu) <= t}.
+  const double mu = 1.3;
+  CsrBuilder b(4, 4);
+  for (std::size_t i = 1; i < 4; ++i) b.add(i, i - 1, mu);
+  const Ctmc chain(b.build());
+  const std::vector<double> initial{0.0, 0.0, 0.0, 1.0};
+  const double t = 2.0;
+  const std::vector<double> pi = transient_distribution(chain, initial, t);
+  const double x = mu * t;
+  const double erlang3_cdf = 1.0 - std::exp(-x) * (1.0 + x + x * x / 2.0);
+  EXPECT_NEAR(pi[0], erlang3_cdf, 1e-9);
+}
+
+TEST(TransientDistribution, AllAbsorbingStaysPut) {
+  const Ctmc chain{CsrMatrix(3, 3)};
+  const std::vector<double> initial{0.2, 0.3, 0.5};
+  EXPECT_EQ(transient_distribution(chain, initial, 5.0), initial);
+}
+
+TEST(TransientDistribution, SubStochasticInitialAllowed) {
+  const Ctmc chain = flip_flop(1.0, 1.0);
+  const std::vector<double> initial{0.5, 0.0};
+  const std::vector<double> pi = transient_distribution(chain, initial, 1.0);
+  EXPECT_NEAR(pi[0] + pi[1], 0.5, 1e-9);
+}
+
+TEST(TransientDistribution, InvalidInputsThrow) {
+  const Ctmc chain = flip_flop(1.0, 1.0);
+  std::vector<double> initial{1.0, 0.0};
+  EXPECT_THROW((void)transient_distribution(chain, initial, -1.0), ModelError);
+  std::vector<double> negative{-0.1, 1.1};
+  EXPECT_THROW((void)transient_distribution(chain, negative, 1.0), ModelError);
+  std::vector<double> short_vec{1.0};
+  EXPECT_THROW((void)transient_distribution(chain, short_vec, 1.0), ModelError);
+}
+
+TEST(TransientDistribution, CustomRateMatchesAuto) {
+  const Ctmc chain = flip_flop(2.0, 1.0);
+  const std::vector<double> initial{1.0, 0.0};
+  TransientOptions custom;
+  custom.uniformisation_rate = 10.0;  // any rate >= max exit works
+  const std::vector<double> a = transient_distribution(chain, initial, 1.5);
+  const std::vector<double> b = transient_distribution(chain, initial, 1.5, custom);
+  EXPECT_NEAR(a[0], b[0], 1e-9);
+}
+
+TEST(TransientDistribution, RateBelowMaxExitThrows) {
+  const Ctmc chain = flip_flop(2.0, 1.0);
+  const std::vector<double> initial{1.0, 0.0};
+  TransientOptions bad;
+  bad.uniformisation_rate = 1.0;
+  EXPECT_THROW((void)transient_distribution(chain, initial, 1.0, bad), ModelError);
+}
+
+TEST(TransientDistribution, SteadyStateDetectionMatchesPlainSeries) {
+  // Long horizon: detection should kick in and still give the right answer.
+  const double a = 2.0, b = 0.5;
+  const Ctmc chain = flip_flop(a, b);
+  const std::vector<double> initial{1.0, 0.0};
+  TransientOptions with;
+  with.steady_state_detection = true;
+  TransientOptions without;
+  without.steady_state_detection = false;
+  const double t = 400.0;
+  const std::vector<double> pi_with = transient_distribution(chain, initial, t, with);
+  const std::vector<double> pi_without =
+      transient_distribution(chain, initial, t, without);
+  EXPECT_NEAR(pi_with[0], pi_without[0], 1e-8);
+  EXPECT_NEAR(pi_with[0], b / (a + b), 1e-8);
+}
+
+TEST(TransientReach, MatchesClosedFormForAllStartStates) {
+  const double a = 2.0, b = 0.5;
+  const Ctmc chain = flip_flop(a, b);
+  StateSet target(2);
+  target.insert(0);
+  const double t = 0.7;
+  const std::vector<double> u = transient_reach(chain, target, t);
+  EXPECT_NEAR(u[0], p00(a, b, t), 1e-9);
+  // By symmetry: starting from 1, P10(t) = b/(a+b) (1 - e^{-(a+b)t}).
+  const double p10 = b / (a + b) * (1.0 - std::exp(-(a + b) * t));
+  EXPECT_NEAR(u[1], p10, 1e-9);
+}
+
+TEST(TransientBackward, LinearInTerminalVector) {
+  const Ctmc chain = flip_flop(1.0, 2.0);
+  const std::vector<double> v1{1.0, 0.0};
+  const std::vector<double> v2{0.0, 1.0};
+  const std::vector<double> v3{2.0, 3.0};
+  const double t = 1.1;
+  const auto u1 = transient_backward(chain, v1, t);
+  const auto u2 = transient_backward(chain, v2, t);
+  const auto u3 = transient_backward(chain, v3, t);
+  for (std::size_t s = 0; s < 2; ++s)
+    EXPECT_NEAR(u3[s], 2.0 * u1[s] + 3.0 * u2[s], 1e-9);
+}
+
+TEST(TransientReach, UniverseMismatchThrows) {
+  const Ctmc chain = flip_flop(1.0, 1.0);
+  EXPECT_THROW((void)transient_reach(chain, StateSet(3), 1.0), ModelError);
+}
+
+}  // namespace
+}  // namespace csrl

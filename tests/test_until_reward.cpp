@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/checker.hpp"
+#include "logic/parser.hpp"
+#include "util/error.hpp"
+
+namespace csrl {
+namespace {
+
+/// 0 -> 1 at rate a, reward rate rho in state 0: the reward earned before
+/// the jump is rho * T with T ~ Exp(a), so
+///   Pr( F{0,r} goal ) = Pr{rho T <= r} = 1 - e^{-a r / rho}.
+Mrm two_state(double a, double rho) {
+  CsrBuilder b(2, 2);
+  b.add(0, 1, a);
+  Labelling l(2);
+  l.add_label(1, "goal");
+  return Mrm(Ctmc(b.build()), {rho, 0.0}, std::move(l), 0);
+}
+
+TEST(RewardBoundedUntil, ExponentialRewardAtHit) {
+  const double a = 2.0, rho = 4.0;
+  const Mrm m = two_state(a, rho);
+  const Checker c(m);
+  for (double r : {0.5, 2.0, 10.0}) {
+    const auto probs =
+        c.values(*parse_formula("P=? [ F{0," + std::to_string(r) + "} goal ]"));
+    EXPECT_NEAR(probs[0], 1.0 - std::exp(-a * r / rho), 1e-9) << r;
+    EXPECT_NEAR(probs[1], 1.0, 1e-12);
+  }
+}
+
+TEST(RewardBoundedUntil, EquivalentTimeBoundOnUnitRewards) {
+  // With all rewards 1, accumulated reward == elapsed time: U{0,r} and
+  // U[0,r] must agree.
+  CsrBuilder b(3, 3);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 2.0);
+  b.add(1, 2, 0.5);
+  Labelling l(3);
+  l.add_label(0, "wait");
+  l.add_label(1, "wait");
+  l.add_label(2, "goal");
+  const Mrm m(Ctmc(b.build()), {1.0, 1.0, 1.0}, std::move(l), 0);
+  const Checker c(m);
+  const auto by_reward = c.values(*parse_formula("P=? [ wait U{0,3} goal ]"));
+  const auto by_time = c.values(*parse_formula("P=? [ wait U[0,3] goal ]"));
+  for (std::size_t s = 0; s < 3; ++s) EXPECT_NEAR(by_reward[s], by_time[s], 1e-9);
+}
+
+TEST(RewardBoundedUntil, HalvedRewardsDoubleTheBudgetReach) {
+  // Scaling all rewards by c scales the accumulated reward by c: bound r
+  // on rewards rho behaves like bound 2r on rewards rho/2.
+  CsrBuilder b(3, 3);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 2.0);
+  b.add(1, 2, 0.5);
+  Labelling l(3);
+  l.add_label(0, "wait");
+  l.add_label(1, "wait");
+  l.add_label(2, "goal");
+  const Mrm full(Ctmc(b.build()), {2.0, 6.0, 0.0}, Labelling(l), 0);
+  const Mrm half(Ctmc(b.build()), {1.0, 3.0, 0.0}, Labelling(l), 0);
+  const auto p_full =
+      Checker(full).values(*parse_formula("P=? [ wait U{0,4} goal ]"));
+  const auto p_half =
+      Checker(half).values(*parse_formula("P=? [ wait U{0,2} goal ]"));
+  for (std::size_t s = 0; s < 3; ++s) EXPECT_NEAR(p_full[s], p_half[s], 1e-9);
+}
+
+TEST(RewardBoundedUntil, MonotoneInTheBudget) {
+  const Mrm m = two_state(1.0, 3.0);
+  const Checker c(m);
+  double last = -1.0;
+  for (double r : {0.1, 1.0, 5.0, 20.0}) {
+    const auto probs =
+        c.values(*parse_formula("P=? [ F{0," + std::to_string(r) + "} goal ]"));
+    EXPECT_GE(probs[0] + 1e-12, last);
+    last = probs[0];
+  }
+}
+
+TEST(RewardBoundedUntil, ZeroRewardTransientStateThrows) {
+  // The duality transform requires positive rewards on the states paths
+  // traverse; a zero-reward non-absorbing Phi-state must be rejected, not
+  // silently mis-handled.
+  CsrBuilder b(3, 3);
+  b.add(0, 1, 1.0);
+  b.add(1, 2, 1.0);
+  Labelling l(3);
+  l.add_label(0, "wait");
+  l.add_label(1, "wait");
+  l.add_label(2, "goal");
+  const Mrm m(Ctmc(b.build()), {1.0, 0.0, 1.0}, std::move(l), 0);
+  EXPECT_THROW(
+      (void)Checker(m).values(*parse_formula("P=? [ wait U{0,1} goal ]")),
+      ModelError);
+}
+
+TEST(RewardBoundedUntil, ZeroRewardPsiAndBadStatesAreFine) {
+  // Psi-states and illegal states may carry reward 0 because the P1
+  // absorbing transform runs before the duality.
+  CsrBuilder b(3, 3);
+  b.add(0, 1, 1.0);
+  b.add(0, 2, 1.0);
+  Labelling l(3);
+  l.add_label(0, "wait");
+  l.add_label(1, "goal");
+  const Mrm m(Ctmc(b.build()), {2.0, 0.0, 0.0}, std::move(l), 0);
+  const auto probs = Checker(m).values(*parse_formula("P=? [ wait U{0,4} goal ]"));
+  // Jump happens at reward 2T; it goes to the goal with probability 1/2.
+  EXPECT_NEAR(probs[0], 0.5 * (1.0 - std::exp(-2.0 * 4.0 / 2.0)), 1e-9);
+}
+
+// --- general reward windows {r1, r2} via duality -------------------------
+
+TEST(RewardIntervalUntil, DeferredRewardWindow) {
+  // 0 -> 1(goal): jump at reward rho*T; window {r1, r2} on an absorbing
+  // goal behaves like the time window on the dual chain.
+  const double a = 2.0, rho = 4.0;
+  CsrBuilder b(2, 2);
+  b.add(0, 1, a);
+  Labelling l(2);
+  l.add_label(0, "wait");
+  l.add_label(1, "goal");
+  const Mrm m(Ctmc(b.build()), {rho, 1.0}, std::move(l), 0);
+  const auto probs =
+      Checker(m).values(*parse_formula("P=? [ wait U{1,3} goal ]"));
+  // Need the jump inside reward window [1,3]: T in [1/4, 3/4].
+  EXPECT_NEAR(probs[0], std::exp(-a * 0.25) - std::exp(-a * 0.75), 1e-9);
+}
+
+}  // namespace
+}  // namespace csrl
