@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lumping.dir/bench_ablation_lumping.cpp.o"
+  "CMakeFiles/bench_ablation_lumping.dir/bench_ablation_lumping.cpp.o.d"
+  "bench_ablation_lumping"
+  "bench_ablation_lumping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lumping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

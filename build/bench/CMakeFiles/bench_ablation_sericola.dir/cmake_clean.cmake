@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sericola.dir/bench_ablation_sericola.cpp.o"
+  "CMakeFiles/bench_ablation_sericola.dir/bench_ablation_sericola.cpp.o.d"
+  "bench_ablation_sericola"
+  "bench_ablation_sericola.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sericola.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

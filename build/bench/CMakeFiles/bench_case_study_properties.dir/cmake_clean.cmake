@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_case_study_properties.dir/bench_case_study_properties.cpp.o"
+  "CMakeFiles/bench_case_study_properties.dir/bench_case_study_properties.cpp.o.d"
+  "bench_case_study_properties"
+  "bench_case_study_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_case_study_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

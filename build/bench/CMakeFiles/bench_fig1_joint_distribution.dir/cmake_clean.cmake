@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_joint_distribution.dir/bench_fig1_joint_distribution.cpp.o"
+  "CMakeFiles/bench_fig1_joint_distribution.dir/bench_fig1_joint_distribution.cpp.o.d"
+  "bench_fig1_joint_distribution"
+  "bench_fig1_joint_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_joint_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_engines.dir/bench_scaling_engines.cpp.o"
+  "CMakeFiles/bench_scaling_engines.dir/bench_scaling_engines.cpp.o.d"
+  "bench_scaling_engines"
+  "bench_scaling_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_sericola.dir/bench_table2_sericola.cpp.o"
+  "CMakeFiles/bench_table2_sericola.dir/bench_table2_sericola.cpp.o.d"
+  "bench_table2_sericola"
+  "bench_table2_sericola.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_sericola.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

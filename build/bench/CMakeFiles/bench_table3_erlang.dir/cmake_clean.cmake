@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_erlang.dir/bench_table3_erlang.cpp.o"
+  "CMakeFiles/bench_table3_erlang.dir/bench_table3_erlang.cpp.o.d"
+  "bench_table3_erlang"
+  "bench_table3_erlang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_erlang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

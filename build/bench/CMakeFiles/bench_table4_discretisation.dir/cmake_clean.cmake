@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_discretisation.dir/bench_table4_discretisation.cpp.o"
+  "CMakeFiles/bench_table4_discretisation.dir/bench_table4_discretisation.cpp.o.d"
+  "bench_table4_discretisation"
+  "bench_table4_discretisation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_discretisation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adhoc_network.dir/adhoc_network.cpp.o"
+  "CMakeFiles/adhoc_network.dir/adhoc_network.cpp.o.d"
+  "adhoc_network"
+  "adhoc_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adhoc_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

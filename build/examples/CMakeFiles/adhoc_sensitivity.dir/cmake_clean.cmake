@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adhoc_sensitivity.dir/adhoc_sensitivity.cpp.o"
+  "CMakeFiles/adhoc_sensitivity.dir/adhoc_sensitivity.cpp.o.d"
+  "adhoc_sensitivity"
+  "adhoc_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adhoc_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

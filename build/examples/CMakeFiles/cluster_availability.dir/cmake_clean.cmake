@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_availability.dir/cluster_availability.cpp.o"
+  "CMakeFiles/cluster_availability.dir/cluster_availability.cpp.o.d"
+  "cluster_availability"
+  "cluster_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

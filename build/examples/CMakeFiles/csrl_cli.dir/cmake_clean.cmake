@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csrl_cli.dir/csrl_cli.cpp.o"
+  "CMakeFiles/csrl_cli.dir/csrl_cli.cpp.o.d"
+  "csrl_cli"
+  "csrl_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csrl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprocessor_performability.dir/multiprocessor_performability.cpp.o"
+  "CMakeFiles/multiprocessor_performability.dir/multiprocessor_performability.cpp.o.d"
+  "multiprocessor_performability"
+  "multiprocessor_performability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprocessor_performability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checker.cpp" "src/CMakeFiles/csrlcheck.dir/core/checker.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/core/checker.cpp.o.d"
+  "/root/repo/src/core/engines/discretisation_engine.cpp" "src/CMakeFiles/csrlcheck.dir/core/engines/discretisation_engine.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/core/engines/discretisation_engine.cpp.o.d"
+  "/root/repo/src/core/engines/engine.cpp" "src/CMakeFiles/csrlcheck.dir/core/engines/engine.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/core/engines/engine.cpp.o.d"
+  "/root/repo/src/core/engines/erlang_engine.cpp" "src/CMakeFiles/csrlcheck.dir/core/engines/erlang_engine.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/core/engines/erlang_engine.cpp.o.d"
+  "/root/repo/src/core/engines/sericola_engine.cpp" "src/CMakeFiles/csrlcheck.dir/core/engines/sericola_engine.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/core/engines/sericola_engine.cpp.o.d"
+  "/root/repo/src/core/options.cpp" "src/CMakeFiles/csrlcheck.dir/core/options.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/core/options.cpp.o.d"
+  "/root/repo/src/core/reward_formulas.cpp" "src/CMakeFiles/csrlcheck.dir/core/reward_formulas.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/core/reward_formulas.cpp.o.d"
+  "/root/repo/src/core/reward_ops.cpp" "src/CMakeFiles/csrlcheck.dir/core/reward_ops.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/core/reward_ops.cpp.o.d"
+  "/root/repo/src/core/steady.cpp" "src/CMakeFiles/csrlcheck.dir/core/steady.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/core/steady.cpp.o.d"
+  "/root/repo/src/core/until.cpp" "src/CMakeFiles/csrlcheck.dir/core/until.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/core/until.cpp.o.d"
+  "/root/repo/src/ctmc/ctmc.cpp" "src/CMakeFiles/csrlcheck.dir/ctmc/ctmc.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/ctmc/ctmc.cpp.o.d"
+  "/root/repo/src/ctmc/foxglynn.cpp" "src/CMakeFiles/csrlcheck.dir/ctmc/foxglynn.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/ctmc/foxglynn.cpp.o.d"
+  "/root/repo/src/ctmc/graph.cpp" "src/CMakeFiles/csrlcheck.dir/ctmc/graph.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/ctmc/graph.cpp.o.d"
+  "/root/repo/src/ctmc/labelling.cpp" "src/CMakeFiles/csrlcheck.dir/ctmc/labelling.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/ctmc/labelling.cpp.o.d"
+  "/root/repo/src/ctmc/stationary.cpp" "src/CMakeFiles/csrlcheck.dir/ctmc/stationary.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/ctmc/stationary.cpp.o.d"
+  "/root/repo/src/ctmc/uniformisation.cpp" "src/CMakeFiles/csrlcheck.dir/ctmc/uniformisation.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/ctmc/uniformisation.cpp.o.d"
+  "/root/repo/src/io/explicit_format.cpp" "src/CMakeFiles/csrlcheck.dir/io/explicit_format.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/io/explicit_format.cpp.o.d"
+  "/root/repo/src/logic/formula.cpp" "src/CMakeFiles/csrlcheck.dir/logic/formula.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/logic/formula.cpp.o.d"
+  "/root/repo/src/logic/lexer.cpp" "src/CMakeFiles/csrlcheck.dir/logic/lexer.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/logic/lexer.cpp.o.d"
+  "/root/repo/src/logic/parser.cpp" "src/CMakeFiles/csrlcheck.dir/logic/parser.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/logic/parser.cpp.o.d"
+  "/root/repo/src/matrix/csr.cpp" "src/CMakeFiles/csrlcheck.dir/matrix/csr.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/matrix/csr.cpp.o.d"
+  "/root/repo/src/matrix/solvers.cpp" "src/CMakeFiles/csrlcheck.dir/matrix/solvers.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/matrix/solvers.cpp.o.d"
+  "/root/repo/src/matrix/vector_ops.cpp" "src/CMakeFiles/csrlcheck.dir/matrix/vector_ops.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/matrix/vector_ops.cpp.o.d"
+  "/root/repo/src/models/adhoc.cpp" "src/CMakeFiles/csrlcheck.dir/models/adhoc.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/models/adhoc.cpp.o.d"
+  "/root/repo/src/models/cluster.cpp" "src/CMakeFiles/csrlcheck.dir/models/cluster.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/models/cluster.cpp.o.d"
+  "/root/repo/src/models/multiprocessor.cpp" "src/CMakeFiles/csrlcheck.dir/models/multiprocessor.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/models/multiprocessor.cpp.o.d"
+  "/root/repo/src/models/synthetic.cpp" "src/CMakeFiles/csrlcheck.dir/models/synthetic.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/models/synthetic.cpp.o.d"
+  "/root/repo/src/mrm/diagnostics.cpp" "src/CMakeFiles/csrlcheck.dir/mrm/diagnostics.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/mrm/diagnostics.cpp.o.d"
+  "/root/repo/src/mrm/lumping.cpp" "src/CMakeFiles/csrlcheck.dir/mrm/lumping.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/mrm/lumping.cpp.o.d"
+  "/root/repo/src/mrm/mrm.cpp" "src/CMakeFiles/csrlcheck.dir/mrm/mrm.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/mrm/mrm.cpp.o.d"
+  "/root/repo/src/mrm/transform.cpp" "src/CMakeFiles/csrlcheck.dir/mrm/transform.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/mrm/transform.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/csrlcheck.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/srn/reachability.cpp" "src/CMakeFiles/csrlcheck.dir/srn/reachability.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/srn/reachability.cpp.o.d"
+  "/root/repo/src/srn/srn.cpp" "src/CMakeFiles/csrlcheck.dir/srn/srn.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/srn/srn.cpp.o.d"
+  "/root/repo/src/util/state_set.cpp" "src/CMakeFiles/csrlcheck.dir/util/state_set.cpp.o" "gcc" "src/CMakeFiles/csrlcheck.dir/util/state_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checker_basic.dir/test_checker_basic.cpp.o"
+  "CMakeFiles/test_checker_basic.dir/test_checker_basic.cpp.o.d"
+  "test_checker_basic"
+  "test_checker_basic.pdb"
+  "test_checker_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checker_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

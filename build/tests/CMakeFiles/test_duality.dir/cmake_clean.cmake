@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_duality.dir/test_duality.cpp.o"
+  "CMakeFiles/test_duality.dir/test_duality.cpp.o.d"
+  "test_duality"
+  "test_duality.pdb"
+  "test_duality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_duality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

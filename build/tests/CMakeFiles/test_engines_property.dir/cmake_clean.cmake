@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engines_property.dir/test_engines_property.cpp.o"
+  "CMakeFiles/test_engines_property.dir/test_engines_property.cpp.o.d"
+  "test_engines_property"
+  "test_engines_property.pdb"
+  "test_engines_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engines_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_foxglynn.dir/test_foxglynn.cpp.o"
+  "CMakeFiles/test_foxglynn.dir/test_foxglynn.cpp.o.d"
+  "test_foxglynn"
+  "test_foxglynn.pdb"
+  "test_foxglynn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_foxglynn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

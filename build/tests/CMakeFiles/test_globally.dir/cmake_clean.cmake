@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_globally.dir/test_globally.cpp.o"
+  "CMakeFiles/test_globally.dir/test_globally.cpp.o.d"
+  "test_globally"
+  "test_globally.pdb"
+  "test_globally[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_globally.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

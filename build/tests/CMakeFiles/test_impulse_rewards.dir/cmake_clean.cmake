@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_impulse_rewards.dir/test_impulse_rewards.cpp.o"
+  "CMakeFiles/test_impulse_rewards.dir/test_impulse_rewards.cpp.o.d"
+  "test_impulse_rewards"
+  "test_impulse_rewards.pdb"
+  "test_impulse_rewards[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_impulse_rewards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interval_until.dir/test_interval_until.cpp.o"
+  "CMakeFiles/test_interval_until.dir/test_interval_until.cpp.o.d"
+  "test_interval_until"
+  "test_interval_until.pdb"
+  "test_interval_until[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interval_until.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

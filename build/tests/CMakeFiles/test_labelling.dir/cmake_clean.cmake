@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_labelling.dir/test_labelling.cpp.o"
+  "CMakeFiles/test_labelling.dir/test_labelling.cpp.o.d"
+  "test_labelling"
+  "test_labelling.pdb"
+  "test_labelling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_labelling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mrm.dir/test_mrm.cpp.o"
+  "CMakeFiles/test_mrm.dir/test_mrm.cpp.o.d"
+  "test_mrm"
+  "test_mrm.pdb"
+  "test_mrm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

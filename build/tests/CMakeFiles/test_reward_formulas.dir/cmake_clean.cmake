@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reward_formulas.dir/test_reward_formulas.cpp.o"
+  "CMakeFiles/test_reward_formulas.dir/test_reward_formulas.cpp.o.d"
+  "test_reward_formulas"
+  "test_reward_formulas.pdb"
+  "test_reward_formulas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reward_formulas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

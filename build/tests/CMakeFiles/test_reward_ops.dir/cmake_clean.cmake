@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reward_ops.dir/test_reward_ops.cpp.o"
+  "CMakeFiles/test_reward_ops.dir/test_reward_ops.cpp.o.d"
+  "test_reward_ops"
+  "test_reward_ops.pdb"
+  "test_reward_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reward_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_srn.dir/test_srn.cpp.o"
+  "CMakeFiles/test_srn.dir/test_srn.cpp.o.d"
+  "test_srn"
+  "test_srn.pdb"
+  "test_srn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_srn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

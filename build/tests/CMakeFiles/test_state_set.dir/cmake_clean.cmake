@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_state_set.dir/test_state_set.cpp.o"
+  "CMakeFiles/test_state_set.dir/test_state_set.cpp.o.d"
+  "test_state_set"
+  "test_state_set.pdb"
+  "test_state_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_state_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_steady.dir/test_steady.cpp.o"
+  "CMakeFiles/test_steady.dir/test_steady.cpp.o.d"
+  "test_steady"
+  "test_steady.pdb"
+  "test_steady[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_steady.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_until_time.dir/test_until_time.cpp.o"
+  "CMakeFiles/test_until_time.dir/test_until_time.cpp.o.d"
+  "test_until_time"
+  "test_until_time.pdb"
+  "test_until_time[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_until_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

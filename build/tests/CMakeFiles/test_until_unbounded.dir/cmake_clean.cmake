@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_until_unbounded.dir/test_until_unbounded.cpp.o"
+  "CMakeFiles/test_until_unbounded.dir/test_until_unbounded.cpp.o.d"
+  "test_until_unbounded"
+  "test_until_unbounded.pdb"
+  "test_until_unbounded[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_until_unbounded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

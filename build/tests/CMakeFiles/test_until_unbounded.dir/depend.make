@@ -1,0 +1,2 @@
+# Empty dependencies file for test_until_unbounded.
+# This may be replaced when dependencies are built.

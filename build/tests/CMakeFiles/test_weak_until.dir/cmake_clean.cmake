@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weak_until.dir/test_weak_until.cpp.o"
+  "CMakeFiles/test_weak_until.dir/test_weak_until.cpp.o.d"
+  "test_weak_until"
+  "test_weak_until.pdb"
+  "test_weak_until[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weak_until.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
