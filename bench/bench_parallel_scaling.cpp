@@ -1,0 +1,187 @@
+// Parallel scaling of the three P3 engines: wall-clock time at 1/2/4/N
+// threads on (a) the paper's ad-hoc-network case study (the reduced Q3
+// model — tiny, so it mostly measures dispatch overhead) and (b) a large
+// synthetic MRM (>= 10^5 states) where the sweeps and SpMVs dominate.
+//
+// Emits BENCH_parallel_scaling.json in the working directory: one record
+// per (engine, model, threads) with wall_ms, speedup vs 1 thread, and a
+// bitwise-identity flag against the 1-thread result, so future PRs can
+// track the performance trajectory mechanically.
+//
+// Engines are measured in the shape the checker uses them in: Sericola in
+// its one-pass all-start-states form, pseudo-Erlang and discretisation via
+// joint_distribution from the model's initial state.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engines/discretisation_engine.hpp"
+#include "core/engines/erlang_engine.hpp"
+#include "core/engines/sericola_engine.hpp"
+#include "models/adhoc.hpp"
+#include "models/synthetic.hpp"
+#include "util/state_set.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace csrl;
+
+struct Record {
+  std::string engine;
+  std::string model;
+  std::size_t states = 0;
+  std::size_t threads = 0;
+  double wall_ms = 0.0;
+  double speedup = 1.0;
+  bool identical_to_serial = true;
+};
+
+std::vector<std::size_t> thread_counts() {
+  std::vector<std::size_t> counts{1, 2, 4};
+  const std::size_t hw = ThreadPool::resolve_threads(0);
+  counts.push_back(hw);
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
+
+/// One engine/model cell: run at every thread count, keep the 1-thread
+/// result as the bitwise reference.
+template <typename Fn>
+void measure(const std::string& engine, const std::string& model_name,
+             std::size_t states, Fn compute, std::vector<Record>& out) {
+  std::vector<double> reference;
+  double serial_ms = 0.0;
+  for (std::size_t threads : thread_counts()) {
+    ThreadPool::set_global_threads(threads);
+    WallTimer timer;
+    const std::vector<double> result = compute();
+    const double ms = timer.seconds() * 1e3;
+
+    Record rec;
+    rec.engine = engine;
+    rec.model = model_name;
+    rec.states = states;
+    rec.threads = threads;
+    rec.wall_ms = ms;
+    if (threads == 1) {
+      reference = result;
+      serial_ms = ms;
+      rec.speedup = 1.0;
+      rec.identical_to_serial = true;
+    } else {
+      rec.speedup = ms > 0.0 ? serial_ms / ms : 0.0;
+      rec.identical_to_serial =
+          result.size() == reference.size() &&
+          std::memcmp(result.data(), reference.data(),
+                      result.size() * sizeof(double)) == 0;
+    }
+    std::printf("%-16s  %-12s  %7zu states  %2zu threads  %9.2f ms  "
+                "speedup %5.2fx  %s\n",
+                engine.c_str(), model_name.c_str(), states, threads, ms,
+                rec.speedup, rec.identical_to_serial ? "bit-identical" : "DIFFERS");
+    std::fflush(stdout);
+    out.push_back(std::move(rec));
+  }
+  ThreadPool::set_global_threads(1);
+}
+
+void write_json(const std::vector<Record>& records, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    std::fprintf(f,
+                 "  {\"engine\": \"%s\", \"model\": \"%s\", \"states\": %zu, "
+                 "\"threads\": %zu, \"wall_ms\": %.3f, \"speedup\": %.3f, "
+                 "\"identical_to_serial\": %s}%s\n",
+                 r.engine.c_str(), r.model.c_str(), r.states, r.threads,
+                 r.wall_ms, r.speedup, r.identical_to_serial ? "true" : "false",
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Parallel scaling of the P3 engines ===\n");
+  std::printf("hardware threads: %zu (CSRL_THREADS overrides)\n\n",
+              ThreadPool::resolve_threads(0));
+
+  std::vector<Record> records;
+
+  // --- The paper's ad-hoc-network case study (reduced Q3 model). ---
+  {
+    const Mrm q3 = build_q3_reduced_mrm();
+    const std::size_t n = q3.num_states();
+    StateSet success(n);
+    success.insert(1);  // amalgamated "success" state of the reduction
+    measure("sericola", "adhoc-q3", n,
+            [&] {
+              return SericolaEngine(1e-8).joint_probability_all_starts(
+                  q3, kTimeBoundHours, kRewardBoundMah, success);
+            },
+            records);
+    measure("erlang-64", "adhoc-q3", n,
+            [&] {
+              return ErlangEngine(64)
+                  .joint_distribution(q3, kTimeBoundHours, kRewardBoundMah)
+                  .per_state;
+            },
+            records);
+    measure("discretisation", "adhoc-q3", n,
+            [&] {
+              return DiscretisationEngine(1.0 / 32.0)
+                  .joint_distribution(q3, kTimeBoundHours, kRewardBoundMah)
+                  .per_state;
+            },
+            records);
+  }
+
+  // --- A large synthetic MRM (>= 10^5 states). ---
+  // Few distinct reward levels (Sericola's store is O(m N |S|)), modest
+  // exit rates (the discretisation grid needs E(s) d < 1), ~5 transitions
+  // per state.
+  {
+    const Mrm big = random_mrm(7, 100000, 4.0e-5, 1.0, 3);
+    const std::size_t n = big.num_states();
+    StateSet target(n);
+    for (std::size_t s = n - 100; s < n; ++s) target.insert(s);
+    const double t = 0.5;
+    const double r = 0.4 * big.max_reward() * t;
+
+    measure("sericola", "random-100k", n,
+            [&] {
+              return SericolaEngine(1e-6).joint_probability_all_starts(
+                  big, t, r, target);
+            },
+            records);
+    measure("erlang-8", "random-100k", n,
+            [&] {
+              return ErlangEngine(8).joint_distribution(big, t, r).per_state;
+            },
+            records);
+    measure("discretisation", "random-100k", n,
+            [&] {
+              return DiscretisationEngine(1.0 / 16.0)
+                  .joint_distribution(big, t, 0.5)
+                  .per_state;
+            },
+            records);
+  }
+
+  write_json(records, "BENCH_parallel_scaling.json");
+  std::printf("\nwrote BENCH_parallel_scaling.json\n");
+  return 0;
+}

@@ -1,7 +1,9 @@
 #include "core/engines/discretisation_engine.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/error.hpp"
@@ -20,9 +22,17 @@ std::size_t as_natural(double x, double tol, const char* what) {
   return static_cast<std::size_t>(rounded);
 }
 
+/// State-sweep grain sized so each chunk touches ~this many F cells.
+std::size_t sweep_grain(std::size_t width) {
+  constexpr std::size_t kCellsPerChunk = 1 << 13;
+  return std::max<std::size_t>(1, kCellsPerChunk / std::max<std::size_t>(width, 1));
+}
+
 }  // namespace
 
-DiscretisationEngine::DiscretisationEngine(double step) : step_(step) {
+DiscretisationEngine::DiscretisationEngine(double step,
+                                           std::shared_ptr<ThreadPool> pool)
+    : JointDistributionEngine(std::move(pool)), step_(step) {
   if (!(step > 0.0) || !std::isfinite(step))
     throw ModelError("DiscretisationEngine: step must be positive and finite");
 }
@@ -97,28 +107,41 @@ JointDistribution DiscretisationEngine::joint_distribution(const Mrm& model,
     }
   }
 
+  // The sweep gathers into next[s * width ..] from current[] only, so the
+  // states partition into independent chunks; per-state arithmetic is
+  // unchanged, hence results are bit-identical at any thread count.  The
+  // std::fill is unnecessary in the parallel form (every cell of next is
+  // assigned before it is read) but each chunk clears its own slice to
+  // keep the gather loop free of branches.
+  ThreadPool& workers = pool();
+  const std::size_t grain = sweep_grain(width);
   for (std::size_t j = 1; j < total_steps; ++j) {
-    std::fill(next.begin(), next.end(), 0.0);
-    for (std::size_t s = 0; s < n; ++s) {
-      const double stay = 1.0 - model.chain().exit_rate(s) * d;
-      const std::size_t shift = rho[s];
-      for (std::size_t k = shift; k <= reward_cells; ++k)
-        cell(next, s, k) = cell(current, s, k - shift) * stay;
-      for (const Donor& donor : donors[s]) {
-        for (std::size_t k = donor.shift; k <= reward_cells; ++k)
-          cell(next, s, k) +=
-              cell(current, donor.state, k - donor.shift) * donor.weight;
+    workers.parallel_for(0, n, grain, [&](std::size_t lo, std::size_t hi) {
+      std::fill(next.begin() + static_cast<std::ptrdiff_t>(lo * width),
+                next.begin() + static_cast<std::ptrdiff_t>(hi * width), 0.0);
+      for (std::size_t s = lo; s < hi; ++s) {
+        const double stay = 1.0 - model.chain().exit_rate(s) * d;
+        const std::size_t shift = rho[s];
+        for (std::size_t k = shift; k <= reward_cells; ++k)
+          cell(next, s, k) = cell(current, s, k - shift) * stay;
+        for (const Donor& donor : donors[s]) {
+          for (std::size_t k = donor.shift; k <= reward_cells; ++k)
+            cell(next, s, k) +=
+                cell(current, donor.state, k - donor.shift) * donor.weight;
+        }
       }
-    }
+    });
     current.swap(next);
   }
 
   result.per_state.assign(n, 0.0);
-  for (std::size_t s = 0; s < n; ++s) {
-    double acc = 0.0;
-    for (std::size_t k = 0; k <= reward_cells; ++k) acc += cell(current, s, k);
-    result.per_state[s] = acc * d;
-  }
+  workers.parallel_for(0, n, grain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t s = lo; s < hi; ++s) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k <= reward_cells; ++k) acc += cell(current, s, k);
+      result.per_state[s] = acc * d;
+    }
+  });
   result.steps = total_steps;
   return result;
 }
@@ -191,28 +214,37 @@ double DiscretisationEngine::interval_until(const Mrm& model,
   }
   classify(current, 0);
 
+  // Propagation parallelises exactly like joint_distribution's sweep (each
+  // state's slice of `next` has one writer).  The classify pass stays
+  // serial: it folds `success` in a fixed (s, k) order, and keeping that
+  // fold sequential preserves bit-identical answers at every thread count.
   const CsrMatrix incoming = model.rates().transposed();
+  ThreadPool& workers = pool();
+  const std::size_t grain = sweep_grain(width);
   for (std::size_t j = 1; j <= t_hi; ++j) {
-    std::fill(next.begin(), next.end(), 0.0);
-    for (std::size_t s = 0; s < n; ++s) {
-      const double stay = 1.0 - model.chain().exit_rate(s) * d;
-      const std::size_t shift = rho[s];
-      for (std::size_t k = shift; k <= r_hi; ++k)
-        cell(next, s, k) = cell(current, s, k - shift) * stay;
-      for (const auto& e : incoming.row(s)) {
-        const std::size_t donor = e.col;
-        std::size_t donor_shift = rho[donor];
-        if (model.has_impulse_rewards()) {
-          const double iota = model.impulse(donor, s);
-          if (iota > 0.0)
-            donor_shift +=
-                as_natural(iota / d, 1e-6, "every impulse divided by d");
+    workers.parallel_for(0, n, grain, [&](std::size_t lo, std::size_t hi) {
+      std::fill(next.begin() + static_cast<std::ptrdiff_t>(lo * width),
+                next.begin() + static_cast<std::ptrdiff_t>(hi * width), 0.0);
+      for (std::size_t s = lo; s < hi; ++s) {
+        const double stay = 1.0 - model.chain().exit_rate(s) * d;
+        const std::size_t shift = rho[s];
+        for (std::size_t k = shift; k <= r_hi; ++k)
+          cell(next, s, k) = cell(current, s, k - shift) * stay;
+        for (const auto& e : incoming.row(s)) {
+          const std::size_t donor = e.col;
+          std::size_t donor_shift = rho[donor];
+          if (model.has_impulse_rewards()) {
+            const double iota = model.impulse(donor, s);
+            if (iota > 0.0)
+              donor_shift +=
+                  as_natural(iota / d, 1e-6, "every impulse divided by d");
+          }
+          const double weight = e.value * d;
+          for (std::size_t k = donor_shift; k <= r_hi; ++k)
+            cell(next, s, k) += cell(current, donor, k - donor_shift) * weight;
         }
-        const double weight = e.value * d;
-        for (std::size_t k = donor_shift; k <= r_hi; ++k)
-          cell(next, s, k) += cell(current, donor, k - donor_shift) * weight;
       }
-    }
+    });
     current.swap(next);
     classify(current, j);
   }

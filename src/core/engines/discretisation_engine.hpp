@@ -35,10 +35,14 @@
 
 namespace csrl {
 
-/// Section 4.3's engine.  `step` is the discretisation step d.
+/// Section 4.3's engine.  `step` is the discretisation step d.  The
+/// per-state recurrence sweep runs on `pool` (nullptr = the shared pool);
+/// results are bit-identical at any thread count because each state's row
+/// of F is written by exactly one chunk.
 class DiscretisationEngine : public JointDistributionEngine {
  public:
-  explicit DiscretisationEngine(double step);
+  explicit DiscretisationEngine(double step,
+                                std::shared_ptr<ThreadPool> pool = nullptr);
 
   JointDistribution joint_distribution(const Mrm& model, double t,
                                        double r) const override;

@@ -16,10 +16,12 @@
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mrm/mrm.hpp"
 #include "util/state_set.hpp"
+#include "util/thread_pool.hpp"
 
 namespace csrl {
 
@@ -58,6 +60,21 @@ class JointDistributionEngine {
 
   /// Short human-readable name ("sericola", "erlang-256", ...).
   virtual std::string name() const = 0;
+
+  /// The pool this engine's per-state sweeps dispatch on: the one injected
+  /// at construction, or the process-wide shared pool.  Nested formulas
+  /// checked by one Checker therefore reuse a single set of workers.
+  ThreadPool& pool() const {
+    return pool_ ? *pool_ : ThreadPool::global();
+  }
+
+ protected:
+  JointDistributionEngine() = default;
+  explicit JointDistributionEngine(std::shared_ptr<ThreadPool> pool)
+      : pool_(std::move(pool)) {}
+
+ private:
+  std::shared_ptr<ThreadPool> pool_;
 };
 
 /// Shared preprocessing used by every engine: handles the trivial cases

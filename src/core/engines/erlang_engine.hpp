@@ -30,7 +30,8 @@ namespace csrl {
 /// Section 4.2's engine.  `phases` is the Erlang order k.
 class ErlangEngine : public JointDistributionEngine {
  public:
-  explicit ErlangEngine(std::size_t phases, TransientOptions transient = {});
+  explicit ErlangEngine(std::size_t phases, TransientOptions transient = {},
+                        std::shared_ptr<ThreadPool> pool = nullptr);
 
   JointDistribution joint_distribution(const Mrm& model, double t,
                                        double r) const override;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "ctmc/foxglynn.hpp"
 #include "matrix/vector_ops.hpp"
@@ -77,7 +78,8 @@ class LevelStore {
 
 }  // namespace
 
-SericolaEngine::SericolaEngine(double epsilon) : epsilon_(epsilon) {
+SericolaEngine::SericolaEngine(double epsilon, std::shared_ptr<ThreadPool> pool)
+    : JointDistributionEngine(std::move(pool)), epsilon_(epsilon) {
   if (!(epsilon > 0.0 && epsilon < 1.0))
     throw ModelError("SericolaEngine: epsilon must lie in (0, 1)");
 }
@@ -137,16 +139,29 @@ std::vector<double> SericolaEngine::joint_probability_all_starts(
   std::vector<double> transient(num_states, 0.0);
   std::vector<double> exceed(num_states, 0.0);  // accumulates H * weights
 
+  // Per-state updates within one (h, k) slot are independent, so the
+  // member lists parallelise chunk-wise; the (h, k) iteration order itself
+  // carries the recursion's data dependencies and stays sequential.  Each
+  // state's value is computed by the same expression regardless of the
+  // partition, so results are bit-identical at any thread count.
+  ThreadPool& workers = pool();
+  constexpr std::size_t kMemberGrain = 1 << 12;
+
   for (std::size_t n = 0; n <= max_n; ++n) {
     if (n > 0) {
       p.multiply(u, scratch);
       u.swap(scratch);
-      for (std::size_t h = 1; h <= m; ++h) {
-        for (std::size_t k = 0; k < n; ++k) {
-          std::span<double> out{products.slot(h, k), num_states};
-          p.multiply(previous.span(h, k), out);
-        }
-      }
+      // The m * n products P * c(h, n-1, k) are independent SpMVs; spread
+      // them over the pool (each multiply then runs inline in its worker).
+      workers.parallel_for(
+          0, m * n, 1, [&](std::size_t flat_begin, std::size_t flat_end) {
+            for (std::size_t f = flat_begin; f < flat_end; ++f) {
+              const std::size_t h = 1 + f / n;
+              const std::size_t k = f % n;
+              std::span<double> out{products.slot(h, k), num_states};
+              p.multiply(previous.span(h, k), out);
+            }
+          });
     }
 
     // High sweep: rows with rho(i) >= rho_h, h ascending, k ascending.
@@ -159,14 +174,20 @@ std::vector<double> SericolaEngine::joint_probability_all_starts(
           const double rho_i = rc.levels[cls];
           const double a = (rho_i - rho_h) / (rho_i - rho_h1);
           const double b = (rho_h - rho_h1) / (rho_i - rho_h1);
-          for (std::size_t i : rc.members[cls]) {
-            if (k == 0) {
-              c[i] = h == 1 ? u[i] : current.slot(h - 1, n)[i];
-            } else {
-              c[i] = a * current.slot(h, k - 1)[i] +
-                     b * products.slot(h, k - 1)[i];
-            }
-          }
+          const std::vector<std::size_t>& members = rc.members[cls];
+          workers.parallel_for(
+              0, members.size(), kMemberGrain,
+              [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t idx = lo; idx < hi; ++idx) {
+                  const std::size_t i = members[idx];
+                  if (k == 0) {
+                    c[i] = h == 1 ? u[i] : current.slot(h - 1, n)[i];
+                  } else {
+                    c[i] = a * current.slot(h, k - 1)[i] +
+                           b * products.slot(h, k - 1)[i];
+                  }
+                }
+              });
         }
       }
     }
@@ -181,14 +202,20 @@ std::vector<double> SericolaEngine::joint_probability_all_starts(
           const double rho_i = rc.levels[cls];
           const double a = (rho_h1 - rho_i) / (rho_h - rho_i);
           const double b = (rho_h - rho_h1) / (rho_h - rho_i);
-          for (std::size_t i : rc.members[cls]) {
-            if (k == n) {
-              c[i] = h == m ? 0.0 : current.slot(h + 1, 0)[i];
-            } else {
-              c[i] =
-                  a * current.slot(h, k + 1)[i] + b * products.slot(h, k)[i];
-            }
-          }
+          const std::vector<std::size_t>& members = rc.members[cls];
+          workers.parallel_for(
+              0, members.size(), kMemberGrain,
+              [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t idx = lo; idx < hi; ++idx) {
+                  const std::size_t i = members[idx];
+                  if (k == n) {
+                    c[i] = h == m ? 0.0 : current.slot(h + 1, 0)[i];
+                  } else {
+                    c[i] = a * current.slot(h, k + 1)[i] +
+                           b * products.slot(h, k)[i];
+                  }
+                }
+              });
         }
       }
     }

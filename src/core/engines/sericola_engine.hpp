@@ -44,7 +44,8 @@ namespace csrl {
 /// truncation error.
 class SericolaEngine : public JointDistributionEngine {
  public:
-  explicit SericolaEngine(double epsilon = 1e-9);
+  explicit SericolaEngine(double epsilon = 1e-9,
+                          std::shared_ptr<ThreadPool> pool = nullptr);
 
   JointDistribution joint_distribution(const Mrm& model, double t,
                                        double r) const override;

@@ -4,18 +4,29 @@
 #include "core/engines/erlang_engine.hpp"
 #include "core/engines/sericola_engine.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace csrl {
 
 std::unique_ptr<JointDistributionEngine> make_engine(const CheckOptions& options) {
+  // An explicit thread count re-sizes the process-wide pool; 0 leaves the
+  // current pool alone (it resolves CSRL_THREADS / hardware_concurrency on
+  // first use).  The engine captures the pool so every nested formula
+  // checked through the same Checker reuses one set of workers.
+  if (options.num_threads != 0)
+    ThreadPool::set_global_threads(options.num_threads);
+  std::shared_ptr<ThreadPool> pool = ThreadPool::global_ptr();
+
   switch (options.engine) {
     case P3Engine::kSericola:
-      return std::make_unique<SericolaEngine>(options.sericola_epsilon);
+      return std::make_unique<SericolaEngine>(options.sericola_epsilon,
+                                              std::move(pool));
     case P3Engine::kDiscretisation:
-      return std::make_unique<DiscretisationEngine>(options.discretisation_step);
+      return std::make_unique<DiscretisationEngine>(options.discretisation_step,
+                                                    std::move(pool));
     case P3Engine::kErlang:
       return std::make_unique<ErlangEngine>(options.erlang_phases,
-                                            options.transient);
+                                            options.transient, std::move(pool));
   }
   throw Error("make_engine: invalid engine selector");
 }

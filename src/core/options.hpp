@@ -44,6 +44,14 @@ struct CheckOptions {
   /// Memoise Sat sets by the (canonical) printed form of subformulas, so
   /// repeated fragments across queries are checked once per Checker.
   bool cache_sat_sets = true;
+
+  /// Number of threads for the parallel kernels and engine sweeps.
+  /// 0 = automatic: the CSRL_THREADS environment variable if set, else
+  /// std::thread::hardware_concurrency().  All checking through one
+  /// Checker — including every nested subformula — shares one pool.
+  /// Results are bit-identical at any thread count (see DESIGN.md,
+  /// "Parallel execution").
+  std::size_t num_threads = 0;
 };
 
 /// Instantiate the configured P3 engine.

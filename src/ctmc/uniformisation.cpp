@@ -25,9 +25,16 @@ template <typename StepFn>
 void accumulate_series(std::vector<double>& iterate, std::vector<double>& scratch,
                        std::vector<double>& result, const PoissonWeights& weights,
                        const TransientOptions& options, StepFn step) {
-  if (weights.left == 0) axpy(weights.weights[0], iterate, result);
+  // Fox-Glynn guarantees at least one weight for every lambda*t >= 0, but
+  // a degenerate window (e.g. from a pathologically tiny lambda*t) must
+  // not read past the end — guard the anchor access defensively.
+  if (weights.left == 0 && !weights.weights.empty())
+    axpy(weights.weights[0], iterate, result);
   for (std::size_t n = 1; n <= weights.right; ++n) {
     step(iterate, scratch);
+    // The steady-state check compares the *full* vector (max_abs_diff is a
+    // max-reduction over every entry, serial or parallel alike), so
+    // convergence decisions are identical at any thread count.
     if (options.steady_state_detection &&
         max_abs_diff(iterate, scratch) <= options.steady_state_tolerance) {
       // The iterate has converged: every further power of P yields the

@@ -3,10 +3,23 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <utility>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace csrl {
+
+namespace {
+
+/// Below this many stored entries a product is cheaper than a dispatch.
+constexpr std::size_t kParallelNnzThreshold = 1 << 14;
+
+/// Row chunks per pool lane: a few chunks per thread so dynamic claiming
+/// can even out row-structure imbalance that nnz balancing misses.
+constexpr std::size_t kChunksPerThread = 4;
+
+}  // namespace
 
 CsrBuilder::CsrBuilder(std::size_t rows, std::size_t cols)
     : rows_(rows), cols_(cols) {}
@@ -61,6 +74,98 @@ CsrMatrix CsrBuilder::build() const {
 CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols)
     : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {}
 
+CsrMatrix::CsrMatrix(const CsrMatrix& other)
+    : rows_(other.rows_),
+      cols_(other.cols_),
+      row_ptr_(other.row_ptr_),
+      entries_(other.entries_) {}
+
+CsrMatrix& CsrMatrix::operator=(const CsrMatrix& other) {
+  if (this == &other) return *this;
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  row_ptr_ = other.row_ptr_;
+  entries_ = other.entries_;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  chunk_cache_.reset();
+  chunk_target_ = 0;
+  transpose_cache_.reset();
+  return *this;
+}
+
+CsrMatrix::CsrMatrix(CsrMatrix&& other) noexcept
+    : rows_(other.rows_),
+      cols_(other.cols_),
+      row_ptr_(std::move(other.row_ptr_)),
+      entries_(std::move(other.entries_)),
+      chunk_cache_(std::move(other.chunk_cache_)),
+      chunk_target_(other.chunk_target_),
+      transpose_cache_(std::move(other.transpose_cache_)) {
+  other.rows_ = 0;
+  other.cols_ = 0;
+  other.row_ptr_ = {0};
+  other.chunk_target_ = 0;
+}
+
+CsrMatrix& CsrMatrix::operator=(CsrMatrix&& other) noexcept {
+  if (this == &other) return *this;
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  row_ptr_ = std::move(other.row_ptr_);
+  entries_ = std::move(other.entries_);
+  chunk_cache_ = std::move(other.chunk_cache_);
+  chunk_target_ = other.chunk_target_;
+  transpose_cache_ = std::move(other.transpose_cache_);
+  other.rows_ = 0;
+  other.cols_ = 0;
+  other.row_ptr_ = {0};
+  other.chunk_target_ = 0;
+  return *this;
+}
+
+std::shared_ptr<const std::vector<std::size_t>> CsrMatrix::row_chunks(
+    std::size_t target_chunks) const {
+  if (target_chunks == 0) target_chunks = 1;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (chunk_cache_ && chunk_target_ == target_chunks) return chunk_cache_;
+
+  // Walk row_ptr_ once, closing a chunk whenever it has swallowed its
+  // share of the stored entries.  Empty rows ride along with whichever
+  // chunk is open; every chunk holds at least one row.
+  auto bounds = std::make_shared<std::vector<std::size_t>>();
+  bounds->push_back(0);
+  if (rows_ > 0) {
+    const double per_chunk =
+        static_cast<double>(nnz()) / static_cast<double>(target_chunks);
+    std::size_t closed = 1;  // chunks closed so far
+    for (std::size_t r = 1; r < rows_; ++r) {
+      if (bounds->size() >= target_chunks) break;
+      const double filled = static_cast<double>(row_ptr_[r]);
+      if (filled >= per_chunk * static_cast<double>(closed)) {
+        bounds->push_back(r);
+        ++closed;
+      }
+    }
+    bounds->push_back(rows_);
+  }
+  chunk_cache_ = std::move(bounds);
+  chunk_target_ = target_chunks;
+  return chunk_cache_;
+}
+
+const CsrMatrix& CsrMatrix::cached_transpose() const {
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (transpose_cache_) return *transpose_cache_;
+  }
+  // Build outside the lock (it is expensive); a duplicate build on a race
+  // is wasted work, not an error — first writer wins.
+  auto built = std::make_shared<const CsrMatrix>(transposed());
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (!transpose_cache_) transpose_cache_ = std::move(built);
+  return *transpose_cache_;
+}
+
 std::span<const CsrEntry> CsrMatrix::row(std::size_t r) const {
   if (r >= rows_) throw ModelError("CsrMatrix::row: row index out of range");
   return {entries_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
@@ -78,24 +183,69 @@ double CsrMatrix::at(std::size_t r, std::size_t c) const {
 void CsrMatrix::multiply(std::span<const double> x, std::span<double> y) const {
   if (x.size() != cols_ || y.size() != rows_)
     throw ModelError("CsrMatrix::multiply: dimension mismatch");
-  for (std::size_t r = 0; r < rows_; ++r) {
-    double acc = 0.0;
-    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i)
-      acc += entries_[i].value * x[entries_[i].col];
-    y[r] = acc;
+
+  const auto gather_rows = [&](std::size_t row_begin, std::size_t row_end) {
+    for (std::size_t r = row_begin; r < row_end; ++r) {
+      double acc = 0.0;
+      for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i)
+        acc += entries_[i].value * x[entries_[i].col];
+      y[r] = acc;
+    }
+  };
+
+  const ThreadPool& pool = ThreadPool::global();
+  if (pool.num_threads() == 1 || nnz() < kParallelNnzThreshold) {
+    gather_rows(0, rows_);
+    return;
   }
+  // Each y[r] is one independent gather, so any partition of the rows
+  // yields bit-identical results; the nnz-balanced chunks only equalise
+  // the work.
+  const auto chunks = row_chunks(pool.num_threads() * kChunksPerThread);
+  pool.parallel_for(0, chunks->size() - 1, 1,
+                    [&](std::size_t chunk_begin, std::size_t chunk_end) {
+                      for (std::size_t c = chunk_begin; c < chunk_end; ++c)
+                        gather_rows((*chunks)[c], (*chunks)[c + 1]);
+                    });
 }
 
 void CsrMatrix::multiply_left(std::span<const double> x, std::span<double> y) const {
   if (x.size() != rows_ || y.size() != cols_)
     throw ModelError("CsrMatrix::multiply_left: dimension mismatch");
-  std::fill(y.begin(), y.end(), 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double xr = x[r];
-    if (xr == 0.0) continue;
-    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i)
-      y[entries_[i].col] += xr * entries_[i].value;
+
+  const ThreadPool& pool = ThreadPool::global();
+  if (pool.num_threads() == 1 || nnz() < kParallelNnzThreshold) {
+    std::fill(y.begin(), y.end(), 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const double xr = x[r];
+      if (xr == 0.0) continue;
+      for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i)
+        y[entries_[i].col] += xr * entries_[i].value;
+    }
+    return;
   }
+
+  // Parallel form: gather along the cached transpose instead of scattering
+  // along rows, so each y[c] is owned by exactly one chunk.  The transpose
+  // stores each column's entries by increasing original row, which is the
+  // exact order the serial scatter adds contributions to y[c] — the two
+  // forms are therefore bit-identical.
+  const CsrMatrix& t = cached_transpose();
+  const auto chunks = t.row_chunks(pool.num_threads() * kChunksPerThread);
+  pool.parallel_for(
+      0, chunks->size() - 1, 1,
+      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        for (std::size_t c = chunk_begin; c < chunk_end; ++c) {
+          for (std::size_t col = (*chunks)[c]; col < (*chunks)[c + 1]; ++col) {
+            double acc = 0.0;
+            for (const CsrEntry& e : t.row(col)) {
+              const double xr = x[e.col];
+              if (xr != 0.0) acc += xr * e.value;
+            }
+            y[col] = acc;
+          }
+        }
+      });
 }
 
 std::vector<double> CsrMatrix::row_sums() const {

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -54,6 +56,14 @@ class CsrBuilder {
 };
 
 /// Immutable sparse matrix in compressed-sparse-row form.
+///
+/// Both matrix-vector products run on the shared thread pool when it has
+/// more than one lane; each product is bit-identical to its serial form at
+/// any thread count (rows are gathered independently, and the left product
+/// gathers along the cached transpose in the same per-element accumulation
+/// order the serial scatter uses).  The row partition is nnz-balanced —
+/// chunk boundaries equalise stored entries, not row counts — and cached
+/// on the matrix after the first parallel product.
 class CsrMatrix {
  public:
   /// Empty 0 x 0 matrix.
@@ -61,6 +71,13 @@ class CsrMatrix {
 
   /// Zero matrix of the given shape.
   CsrMatrix(std::size_t rows, std::size_t cols);
+
+  // Copies share no cache state (the copy re-derives its partition and
+  // transpose lazily); moves steal them.
+  CsrMatrix(const CsrMatrix& other);
+  CsrMatrix& operator=(const CsrMatrix& other);
+  CsrMatrix(CsrMatrix&& other) noexcept;
+  CsrMatrix& operator=(CsrMatrix&& other) noexcept;
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
@@ -97,13 +114,33 @@ class CsrMatrix {
   /// Maximum of the absolute values of all stored entries (0 for empty).
   double max_abs() const;
 
+  /// nnz-balanced row partition into at most `target_chunks` chunks:
+  /// boundaries b_0 = 0 < b_1 < ... < b_c = rows() such that each
+  /// [b_i, b_{i+1}) holds roughly nnz()/target_chunks stored entries.
+  /// Computed once and cached (recomputed only if `target_chunks`
+  /// changes, e.g. after a pool re-size).  Thread-safe; the returned
+  /// vector stays valid even if the cache is refreshed concurrently.
+  std::shared_ptr<const std::vector<std::size_t>> row_chunks(
+      std::size_t target_chunks) const;
+
  private:
   friend class CsrBuilder;
+
+  /// The cached transpose used by the parallel left product (built on
+  /// first use, under lock).
+  const CsrMatrix& cached_transpose() const;
 
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<std::size_t> row_ptr_ = {0};  // size rows_ + 1
   std::vector<CsrEntry> entries_;
+
+  // Lazy, derived-only state; never observable through the public API
+  // except as speed.
+  mutable std::mutex cache_mutex_;
+  mutable std::shared_ptr<const std::vector<std::size_t>> chunk_cache_;
+  mutable std::size_t chunk_target_ = 0;
+  mutable std::shared_ptr<const CsrMatrix> transpose_cache_;
 };
 
 }  // namespace csrl

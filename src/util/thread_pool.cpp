@@ -1,0 +1,168 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace csrl {
+
+namespace {
+
+// Set while a thread (worker or caller) executes chunks of some
+// parallel_for; nested calls detect it and run inline.
+thread_local bool tls_in_parallel_region = false;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  explicit Impl(std::size_t workers) {
+    threads.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+      threads.emplace_back([this] { worker_loop(); });
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      stop = true;
+    }
+    work_ready.notify_all();
+    for (std::thread& t : threads) t.join();
+  }
+
+  /// Run `job` on every worker plus the calling thread; returns once all
+  /// participants finished the current job.  Dispatches are serialized so
+  /// independent callers (e.g. two Checkers on user threads) can share the
+  /// pool; the second caller blocks until the first job drained.
+  void run(const std::function<void()>& job) {
+    std::lock_guard<std::mutex> dispatch(run_mutex);
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      current = &job;
+      ++generation;
+      active = threads.size();
+    }
+    work_ready.notify_all();
+
+    tls_in_parallel_region = true;
+    job();
+    tls_in_parallel_region = false;
+
+    std::unique_lock<std::mutex> lock(mutex);
+    work_done.wait(lock, [this] { return active == 0; });
+    current = nullptr;
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void()>* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_ready.wait(lock,
+                        [&] { return stop || generation != seen; });
+        if (stop) return;
+        seen = generation;
+        job = current;
+      }
+      tls_in_parallel_region = true;
+      (*job)();
+      tls_in_parallel_region = false;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (--active == 0) work_done.notify_all();
+      }
+    }
+  }
+
+  std::mutex run_mutex;  // serializes run() callers
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable work_done;
+  const std::function<void()>* current = nullptr;
+  std::uint64_t generation = 0;
+  std::size_t active = 0;
+  bool stop = false;
+  std::vector<std::thread> threads;
+};
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : num_threads_(resolve_threads(num_threads)) {
+  if (num_threads_ > 1)
+    impl_ = std::make_unique<Impl>(num_threads_ - 1);
+}
+
+ThreadPool::~ThreadPool() = default;
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& chunk_fn) const {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const std::size_t range = end - begin;
+  if (impl_ == nullptr || range <= grain || tls_in_parallel_region) {
+    chunk_fn(begin, end);
+    return;
+  }
+
+  const std::size_t num_chunks = (range + grain - 1) / grain;
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error = nullptr;
+  std::mutex error_mutex;
+  std::atomic<bool> failed{false};
+
+  const std::function<void()> job = [&] {
+    for (;;) {
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks || failed.load(std::memory_order_relaxed)) return;
+      const std::size_t lo = begin + c * grain;
+      const std::size_t hi = std::min(lo + grain, end);
+      try {
+        chunk_fn(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+  impl_->run(job);
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::size_t ThreadPool::resolve_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("CSRL_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0)
+      return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+namespace {
+std::mutex global_pool_mutex;
+std::shared_ptr<ThreadPool> global_pool;
+}  // namespace
+
+std::shared_ptr<ThreadPool> ThreadPool::global_ptr() {
+  std::lock_guard<std::mutex> lock(global_pool_mutex);
+  if (!global_pool) global_pool = std::make_shared<ThreadPool>(0);
+  return global_pool;
+}
+
+void ThreadPool::set_global_threads(std::size_t num_threads) {
+  const std::size_t resolved = resolve_threads(num_threads);
+  std::lock_guard<std::mutex> lock(global_pool_mutex);
+  if (global_pool && global_pool->num_threads() == resolved) return;
+  global_pool = std::make_shared<ThreadPool>(resolved);
+}
+
+}  // namespace csrl

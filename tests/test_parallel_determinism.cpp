@@ -1,0 +1,176 @@
+// Determinism of the parallel execution layer: every engine must produce
+// bit-identical results at 1 and N threads.  The parallel kernels only
+// repartition work whose per-element arithmetic is fixed (row gathers,
+// per-state sweeps, max-reductions), so this holds exactly — not merely
+// within tolerance — and these tests assert it with memcmp.
+//
+// Labelled `tsan` in tests/CMakeLists.txt: under -DCSRL_SANITIZE=thread
+// (`ctest -L tsan`) they double as race-detection workloads for the pool,
+// the SpMV kernels and all three engine sweeps.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/engines/discretisation_engine.hpp"
+#include "core/engines/erlang_engine.hpp"
+#include "core/engines/sericola_engine.hpp"
+#include "core/options.hpp"
+#include "models/adhoc.hpp"
+#include "models/cluster.hpp"
+#include "models/synthetic.hpp"
+#include "util/state_set.hpp"
+#include "util/thread_pool.hpp"
+
+namespace csrl {
+namespace {
+
+constexpr std::size_t kManyThreads = 4;
+
+void expect_bitwise_equal(const std::vector<double>& a,
+                          const std::vector<double>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0)
+      << what << ": results differ between 1 and " << kManyThreads
+      << " threads";
+}
+
+/// Evaluate `compute` at 1 thread and at kManyThreads and require
+/// bit-identical output.  Restores a 1-thread pool afterwards so other
+/// tests see a deterministic environment.
+template <typename Fn>
+void check_thread_invariance(Fn compute, const char* what) {
+  ThreadPool::set_global_threads(1);
+  const std::vector<double> serial = compute();
+  ThreadPool::set_global_threads(kManyThreads);
+  const std::vector<double> parallel = compute();
+  ThreadPool::set_global_threads(1);
+  expect_bitwise_equal(serial, parallel, what);
+}
+
+/// A synthetic model big enough to cross the parallel thresholds of both
+/// the SpMV kernels (nnz >= 2^14) and the dense vector ops on the Erlang
+/// engine's expanded chain.
+Mrm big_synthetic() { return random_mrm(11, 4000, 0.002, 2.0, 3); }
+
+Mrm small_cluster() {
+  ClusterParams params;
+  params.workstations_per_side = 12;
+  params.premium_threshold = 9;
+  return build_cluster_mrm(params);
+}
+
+StateSet last_states(const Mrm& model, std::size_t count) {
+  StateSet target(model.num_states());
+  for (std::size_t s = model.num_states() - count; s < model.num_states(); ++s)
+    target.insert(s);
+  return target;
+}
+
+TEST(ParallelDeterminism, SericolaAllStartsSynthetic) {
+  const Mrm model = big_synthetic();
+  const double t = 0.6;
+  const double r = 0.4 * model.max_reward() * t;
+  const StateSet target = last_states(model, 50);
+  const SericolaEngine engine(1e-6);
+  check_thread_invariance(
+      [&] { return engine.joint_probability_all_starts(model, t, r, target); },
+      "sericola all-starts on random_mrm(4000)");
+}
+
+TEST(ParallelDeterminism, SericolaAllStartsCluster) {
+  const Mrm model = small_cluster();
+  const double t = 1.0;
+  const double r = 0.5 * model.max_reward() * t;
+  const StateSet target = last_states(model, 10);
+  const SericolaEngine engine(1e-6);
+  check_thread_invariance(
+      [&] { return engine.joint_probability_all_starts(model, t, r, target); },
+      "sericola all-starts on cluster");
+}
+
+TEST(ParallelDeterminism, SericolaJointDistributionSmall) {
+  // The per-final-state form is O(|S|) vector passes, so assert it on the
+  // paper's reduced model where it is cheap.
+  const Mrm model = build_q3_reduced_mrm();
+  const SericolaEngine engine(1e-8);
+  check_thread_invariance(
+      [&] {
+        return engine.joint_distribution(model, kTimeBoundHours,
+                                         kRewardBoundMah).per_state;
+      },
+      "sericola joint distribution on adhoc Q3");
+}
+
+TEST(ParallelDeterminism, ErlangSynthetic) {
+  const Mrm model = big_synthetic();
+  const double t = 0.5;
+  const double r = 0.4 * model.max_reward() * t;
+  const ErlangEngine engine(16);
+  check_thread_invariance(
+      [&] { return engine.joint_distribution(model, t, r).per_state; },
+      "erlang-16 joint distribution on random_mrm(4000)");
+}
+
+TEST(ParallelDeterminism, ErlangCluster) {
+  const Mrm model = small_cluster();
+  const double t = 1.0;
+  const double r = 0.5 * model.max_reward() * t;
+  const ErlangEngine engine(8);
+  check_thread_invariance(
+      [&] { return engine.joint_distribution(model, t, r).per_state; },
+      "erlang-8 joint distribution on cluster");
+}
+
+TEST(ParallelDeterminism, DiscretisationSynthetic) {
+  const Mrm model = big_synthetic();
+  const double d = 1.0 / 32.0;
+  const DiscretisationEngine engine(d);
+  check_thread_invariance(
+      [&] { return engine.joint_distribution(model, 0.5, 1.0).per_state; },
+      "discretisation joint distribution on random_mrm(4000)");
+}
+
+TEST(ParallelDeterminism, DiscretisationCluster) {
+  const Mrm model = small_cluster();
+  // The grid needs E(s)*d < 1; the cluster's repair rates push E(s) well
+  // above 8, so derive the step from the model.
+  double d = 1.0;
+  while (model.chain().max_exit_rate() * d >= 0.9) d /= 2.0;
+  const DiscretisationEngine engine(d);
+  const double t = 32.0 * d;
+  const double r = 0.5 * model.max_reward() * t;
+  check_thread_invariance(
+      [&] { return engine.joint_distribution(model, t, r).per_state; },
+      "discretisation joint distribution on cluster");
+}
+
+TEST(ParallelDeterminism, MakeEnginePlumbsThreadCount) {
+  // options.num_threads must reach the shared pool, and an engine made at
+  // N threads must agree bitwise with one made at 1 thread.
+  const Mrm model = big_synthetic();
+  const double t = 0.5;
+  const double r = 0.4 * model.max_reward() * t;
+
+  CheckOptions serial_options;
+  serial_options.engine = P3Engine::kErlang;
+  serial_options.erlang_phases = 8;
+  serial_options.num_threads = 1;
+  const auto serial_engine = make_engine(serial_options);
+  EXPECT_EQ(ThreadPool::global().num_threads(), 1u);
+  const std::vector<double> serial =
+      serial_engine->joint_distribution(model, t, r).per_state;
+
+  CheckOptions parallel_options = serial_options;
+  parallel_options.num_threads = kManyThreads;
+  const auto parallel_engine = make_engine(parallel_options);
+  EXPECT_EQ(parallel_engine->pool().num_threads(), kManyThreads);
+  const std::vector<double> parallel =
+      parallel_engine->joint_distribution(model, t, r).per_state;
+
+  ThreadPool::set_global_threads(1);
+  expect_bitwise_equal(serial, parallel, "make_engine(erlang) plumbing");
+}
+
+}  // namespace
+}  // namespace csrl

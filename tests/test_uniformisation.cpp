@@ -41,6 +41,27 @@ TEST(TransientDistribution, TimeZeroReturnsInitial) {
   EXPECT_EQ(transient_distribution(chain, initial, 0.0), initial);
 }
 
+TEST(TransientDistribution, TinyLambdaTIsSafeAndNearInitial) {
+  // Regression: the series accumulator must not read weights[0] blindly —
+  // a (near-)degenerate Fox-Glynn window for pathologically small
+  // lambda*t has left == 0 but may carry (almost) no probability beyond
+  // the anchor.  A tiny horizon must neither crash nor move mass.
+  const Ctmc chain = flip_flop(3.0, 0.25);
+  const std::vector<double> initial{0.6, 0.4};
+  for (double t : {1e-300, 1e-30, 1e-15, 1e-9}) {
+    const std::vector<double> pi = transient_distribution(chain, initial, t);
+    ASSERT_EQ(pi.size(), 2u) << "t=" << t;
+    EXPECT_NEAR(pi[0], initial[0], 1e-8) << "t=" << t;
+    EXPECT_NEAR(pi[1], initial[1], 1e-8) << "t=" << t;
+    EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-8) << "t=" << t;
+  }
+  // The backward form shares the accumulator; exercise it too.
+  const std::vector<double> terminal{1.0, 0.0};
+  const std::vector<double> u = transient_backward(chain, terminal, 1e-300);
+  EXPECT_NEAR(u[0], 1.0, 1e-8);
+  EXPECT_NEAR(u[1], 0.0, 1e-8);
+}
+
 TEST(TransientDistribution, PureDeathIsErlang) {
   // 3 -> 2 -> 1 -> 0 at rate mu: P{X_t = 0 | X_0 = 3} = P{Erlang(3,mu) <= t}.
   const double mu = 1.3;
