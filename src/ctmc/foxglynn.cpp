@@ -11,7 +11,25 @@ double poisson_pmf(std::size_t n, double lambda) {
   if (lambda < 0.0) throw NumericalError("poisson_pmf: negative rate");
   if (lambda == 0.0) return n == 0 ? 1.0 : 0.0;
   const double x = static_cast<double>(n);
-  return std::exp(-lambda + x * std::log(lambda) - std::lgamma(x + 1.0));
+  // The textbook log-space form -lambda + n log(lambda) - lgamma(n + 1)
+  // cancels three terms of magnitude ~n log n down to ~log(pmf); near the
+  // mode of a large-lambda Poisson that costs ~n log(n) * ulp of absolute
+  // log error, i.e. a ~1e-12 *relative* error at lambda ~ 2000 — enough
+  // to void tight truncation guarantees built on these weights.  For
+  // n >= 32 rearrange via Stirling so every term is O(1) or proportional
+  // to the small quantity d = lambda - n:
+  //     log pmf = [n log1p(d/n) - d] - log(sqrt(2 pi n)) - stirling(n)
+  // which is cancellation-free for every lambda (for n < 32 lgamma is
+  // small and the direct form is already accurate).
+  if (x < 32.0)
+    return std::exp(-lambda + x * std::log(lambda) - std::lgamma(x + 1.0));
+  const double d = lambda - x;
+  const double core = x * std::log1p(d / x) - d;
+  const double x2 = x * x;
+  const double stirling =
+      (1.0 / 12.0 - (1.0 / 360.0 - 1.0 / (1260.0 * x2)) / x2) / x;
+  constexpr double kHalfLog2Pi = 0.91893853320467274178;  // log(2 pi) / 2
+  return std::exp(core - 0.5 * std::log(x) - kHalfLog2Pi - stirling);
 }
 
 PoissonWeights poisson_weights(double lambda_t, double epsilon) {
@@ -30,12 +48,23 @@ PoissonWeights poisson_weights(double lambda_t, double epsilon) {
 
   // Grow the window outwards from the mode, always annexing the heavier
   // neighbour, until the captured mass reaches 1 - epsilon.  Poisson pmfs
-  // are unimodal, so this yields the smallest such window.
+  // are unimodal, so this yields the smallest such window.  The running
+  // total uses Kahan compensation: a plain sum of the ~sqrt(lambda_t)
+  // window terms drifts by ~n*ulp, which for tight epsilon (1e-12 at
+  // lambda_t in the thousands) exceeds epsilon itself and would leave the
+  // window short of its guaranteed mass no matter how far it grows.
   const auto mode = static_cast<std::size_t>(std::floor(lambda_t));
   std::deque<double> window{poisson_pmf(mode, lambda_t)};
   std::size_t left = mode;
   std::size_t right = mode;
   double total = window.front();
+  double carry = 0.0;  // Kahan compensation term for `total`
+  const auto add_to_total = [&total, &carry](double term) {
+    const double y = term - carry;
+    const double t = total + y;
+    carry = (t - total) - y;
+    total = t;
+  };
   double below = left == 0 ? 0.0 : window.front() * static_cast<double>(left) / lambda_t;
   double above = window.back() * lambda_t / static_cast<double>(right + 1);
 
@@ -44,13 +73,13 @@ PoissonWeights poisson_weights(double lambda_t, double epsilon) {
     const bool can_go_down = left > 0;
     if (can_go_down && below >= above) {
       window.push_front(below);
-      total += below;
+      add_to_total(below);
       --left;
       below = left == 0 ? 0.0
                         : window.front() * static_cast<double>(left) / lambda_t;
     } else {
       window.push_back(above);
-      total += above;
+      add_to_total(above);
       ++right;
       above = window.back() * lambda_t / static_cast<double>(right + 1);
       if (above == 0.0 && (!can_go_down || below == 0.0)) break;  // underflow floor

@@ -81,6 +81,38 @@ TEST(PoissonWeights, OutsideWindowIsZero) {
   EXPECT_DOUBLE_EQ(w.weight(w.right + 1), 0.0);
 }
 
+// Regression: the textbook log-space pmf exp(-l + n log l - lgamma(n+1))
+// cancels three terms of magnitude ~n log n, giving every weight a
+// ~1.6e-12 relative bias at lambda*t = 2048.  The window then genuinely
+// held less than 1 - 1e-12 of mass and the growth loop ran to the
+// underflow floor chasing the deficit (window [577, 4095] instead of
+// ~[1734, 2379]).  The Stirling-form pmf keeps the anchor accurate, so a
+// tight-epsilon window at large lambda*t stays narrow and honest.
+TEST(PoissonPmf, LargeRateAnchorAccuracy) {
+  // Kahan-compensated sum over +-10 sigma: true tail mass is ~1e-23, so
+  // any deviation from 1 beyond ~1e-13 is pmf bias (the old form: 1.6e-12).
+  const double lt = 2048.0;
+  double sum = 0.0;
+  double carry = 0.0;
+  for (std::size_t n = 1598; n <= 2498; ++n) {
+    const double y = poisson_pmf(n, lt) - carry;
+    const double t = sum + y;
+    carry = (t - sum) - y;
+    sum = t;
+  }
+  EXPECT_NEAR(sum, 1.0, 5e-13);
+}
+
+TEST(PoissonWeights, TightEpsilonAtLargeRateStaysNarrow) {
+  const double lt = 2048.0;  // sigma = sqrt(2048) ~ 45
+  const PoissonWeights w = poisson_weights(lt, 1e-12);
+  EXPECT_GE(w.total, 1.0 - 1e-12);
+  EXPECT_LE(w.total, 1.0 + 1e-12);
+  // A 1e-12 window needs ~+-7.5 sigma; anything much wider means the
+  // growth loop was compensating for biased weights.
+  EXPECT_LT(w.right - w.left, 1000u);
+}
+
 TEST(PoissonWeights, LargeRateStaysFinite) {
   const PoissonWeights w = poisson_weights(1e6, 1e-9);
   EXPECT_GE(w.total, 1.0 - 1e-9);
