@@ -41,11 +41,15 @@ TEST(AdhocModel, RewardsAreAdditivePower) {
   const Mrm m = build_adhoc_mrm();
   const Labelling& l = m.labelling();
   for (std::size_t s = 0; s < m.num_states(); ++s) {
-    if (l.has_label(s, "Doze")) EXPECT_DOUBLE_EQ(m.reward(s), 20.0);
-    if (l.has_label(s, "Call_Active") && l.has_label(s, "Ad_hoc_Active"))
+    if (l.has_label(s, "Doze")) {
+      EXPECT_DOUBLE_EQ(m.reward(s), 20.0);
+    }
+    if (l.has_label(s, "Call_Active") && l.has_label(s, "Ad_hoc_Active")) {
       EXPECT_DOUBLE_EQ(m.reward(s), 350.0);
-    if (l.has_label(s, "Call_Idle") && l.has_label(s, "Ad_hoc_Idle"))
+    }
+    if (l.has_label(s, "Call_Idle") && l.has_label(s, "Ad_hoc_Idle")) {
       EXPECT_DOUBLE_EQ(m.reward(s), 100.0);
+    }
   }
 }
 
