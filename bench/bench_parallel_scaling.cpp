@@ -119,6 +119,20 @@ int main() {
   std::printf("hardware threads: %zu (CSRL_THREADS overrides)\n\n",
               ThreadPool::resolve_threads(0));
 
+  // On a single-CPU host every multi-thread point would just measure
+  // oversubscription noise and report speedups < 1 that say nothing about
+  // the code; emit an explicit skip marker instead so downstream tooling
+  // can tell "not measured" from "measured badly".
+  if (ThreadPool::resolve_threads(0) <= 1) {
+    std::printf("single hardware thread: skipping scaling measurements\n");
+    if (std::FILE* f = std::fopen("BENCH_parallel_scaling.json", "w")) {
+      std::fprintf(f, "{\"scaling\": \"skipped-single-cpu\"}\n");
+      std::fclose(f);
+      std::printf("wrote BENCH_parallel_scaling.json\n");
+    }
+    return 0;
+  }
+
   std::vector<Record> records;
 
   // --- The paper's ad-hoc-network case study (reduced Q3 model). ---

@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Project-specific lint pass for csrlcheck.
+
+Checks C++ sources under the given directories for patterns that
+clang-tidy does not catch (or that we want enforced even where clang-tidy
+is not installed):
+
+  raw-new-delete     Raw `new` / `delete` expressions.  All ownership in
+                     this codebase goes through containers and
+                     std::unique_ptr; a raw allocation is either a leak
+                     waiting to happen or a missing make_unique.
+                     (`= delete` declarations are not allocations.)
+
+  float-eq           `==` / `!=` with a floating-point literal other than
+                     the exact sentinels 0.0 and 1.0.  Those two are
+                     legitimate: 0.0 marks structurally absent entries
+                     (absorbing states, skipped work) and 1.0 marks exact
+                     point masses — both are assigned, never computed.
+                     Any other literal comparison is almost certainly a
+                     tolerance bug; use std::abs(a - b) <= tol.
+
+  unordered-iter     Range-for over a std::unordered_map/set declared in
+                     the same file.  Iteration order is unspecified and
+                     varies across libstdc++ versions, so anything that
+                     feeds results, output, or numerical accumulation from
+                     such a loop is a nondeterminism bug.  Iterate a
+                     sorted copy or an index vector instead.
+
+  pragma-once        Headers must start their include-guard life with
+                     `#pragma once`.
+
+A finding can be waived for one line with a trailing comment
+`// lint:allow <rule> (<justification>)` — the justification is required
+so waivers stay auditable.
+
+Usage: scripts/lint.py DIR [DIR...]
+Exit status: 0 when clean, 1 when any finding survives.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+CPP_SUFFIXES = {".cpp", ".hpp"}
+
+WAIVER_RE = re.compile(r"//\s*lint:allow\s+([a-z-]+)\s*\(.+\)")
+
+# Sentinel literals that may be compared exactly (see module docstring).
+EXACT_SENTINELS = {"0.0", "1.0", "0.", "1.", ".0"}
+
+FLOAT_LITERAL = r"-?(?:\d+\.\d*|\.\d+)(?:[eE][-+]?\d+)?[fF]?"
+FLOAT_EQ_RE = re.compile(
+    r"(?:[=!]=\s*(" + FLOAT_LITERAL + r"))|(?:(" + FLOAT_LITERAL + r")\s*[=!]=)"
+)
+
+NEW_RE = re.compile(r"\bnew\b(?!\s*\()")  # `new (place)` is still new; see below
+RAW_NEW_RE = re.compile(r"\bnew\b\s+[A-Za-z_:<]")
+RAW_DELETE_RE = re.compile(r"\bdelete\b\s*(\[\s*\])?\s*[A-Za-z_(]")
+DELETED_FN_RE = re.compile(r"=\s*delete\s*[;,)]")
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+(\w+)\s*[;{=(]"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*[^;:)]+:\s*(\w+)\s*\)")
+
+
+def strip_comments_and_strings(line, in_block_comment):
+    """Blank out comment and string-literal contents, preserving column
+    positions, and return (code, trailing_comment, still_in_block)."""
+    out = []
+    comment = ""
+    i = 0
+    n = len(line)
+    while i < n:
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end < 0:
+                out.append(" " * (n - i))
+                i = n
+            else:
+                out.append(" " * (end + 2 - i))
+                i = end + 2
+                in_block_comment = False
+            continue
+        ch = line[i]
+        if ch == "/" and i + 1 < n and line[i + 1] == "/":
+            comment = line[i:]
+            out.append(" " * (n - i))
+            break
+        if ch == "/" and i + 1 < n and line[i + 1] == "*":
+            in_block_comment = True
+            out.append("  ")
+            i += 2
+            continue
+        if ch in "\"'":
+            quote = ch
+            out.append(quote)
+            i += 1
+            while i < n:
+                if line[i] == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    out.append(quote)
+                    i += 1
+                    break
+                out.append(" ")
+                i += 1
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out), comment, in_block_comment
+
+
+def waived(rule, comment):
+    m = WAIVER_RE.search(comment)
+    return m is not None and m.group(1) == rule
+
+
+def is_sentinel(literal):
+    return literal.lstrip("-").rstrip("fF") in EXACT_SENTINELS
+
+
+def lint_file(path):
+    findings = []
+    text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+
+    def report(lineno, rule, message):
+        findings.append((path, lineno, rule, message))
+
+    if path.suffix == ".hpp" and "#pragma once" not in text:
+        report(1, "pragma-once", "header lacks #pragma once")
+
+    unordered_names = set()
+    in_block = False
+    stripped_lines = []
+    for raw in lines:
+        code, comment, in_block = strip_comments_and_strings(raw, in_block)
+        stripped_lines.append((code, comment))
+        for m in UNORDERED_DECL_RE.finditer(code):
+            unordered_names.add(m.group(1))
+
+    for lineno, (code, comment) in enumerate(stripped_lines, start=1):
+        if RAW_NEW_RE.search(code) and not waived("raw-new-delete", comment):
+            report(lineno, "raw-new-delete", "raw `new` expression")
+        if (
+            RAW_DELETE_RE.search(code)
+            and not DELETED_FN_RE.search(code)
+            and not waived("raw-new-delete", comment)
+        ):
+            report(lineno, "raw-new-delete", "raw `delete` expression")
+
+        for m in FLOAT_EQ_RE.finditer(code):
+            literal = m.group(1) or m.group(2)
+            if is_sentinel(literal):
+                continue
+            if not waived("float-eq", comment):
+                report(
+                    lineno,
+                    "float-eq",
+                    f"exact comparison with float literal {literal}",
+                )
+
+        for m in RANGE_FOR_RE.finditer(code):
+            if m.group(1) in unordered_names and not waived(
+                "unordered-iter", comment
+            ):
+                report(
+                    lineno,
+                    "unordered-iter",
+                    f"iteration over unordered container `{m.group(1)}`"
+                    " (unspecified order)",
+                )
+
+    return findings
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    files = []
+    for arg in argv[1:]:
+        root = Path(arg)
+        if root.is_file():
+            files.append(root)
+        else:
+            files.extend(
+                p
+                for p in sorted(root.rglob("*"))
+                if p.suffix in CPP_SUFFIXES
+            )
+    all_findings = []
+    for path in files:
+        all_findings.extend(lint_file(path))
+    for path, lineno, rule, message in all_findings:
+        print(f"{path}:{lineno}: [{rule}] {message}")
+    if all_findings:
+        print(f"lint.py: {len(all_findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"lint.py: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,12 +3,17 @@
 #include <cmath>
 
 #include "core/engines/discretisation_engine.hpp"
+#include "util/contracts.hpp"
 #include "util/error.hpp"
 
 namespace csrl {
 
 Checker::Checker(const Mrm& model, CheckOptions options)
-    : model_(&model), options_(options) {}
+    : model_(&model), options_(options) {
+  // Applied here as well as in make_engine so the P0/P1/P2 pipelines
+  // (which never instantiate a P3 engine) also see the requested level.
+  if (options_.validate) validation::set_level(*options_.validate);
+}
 
 StateSet Checker::sat(const Formula& f) const {
   // Cheap leaves are not worth a string key; numerically expensive nodes

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/validate.hpp"
+#include "util/contracts.hpp"
 #include "util/error.hpp"
 
 namespace csrl {
@@ -143,6 +145,15 @@ JointDistribution DiscretisationEngine::joint_distribution(const Mrm& model,
     }
   });
   result.steps = total_steps;
+  // The Tijms-Veldman error is O(d) with a model-dependent constant; the
+  // slack below over-approximates it for the monotonicity cross-check (a
+  // halved r that falls off the d-grid makes the recompute throw
+  // ModelError, which validate_joint_result treats as "check skipped").
+  if (CSRL_CONTRACTS_ACTIVE())
+    validate_joint_result(
+        name(), t, r, result.per_state,
+        2.0 * d * (1.0 + model.chain().max_exit_rate()) * std::max(1.0, t),
+        [&](double rr) { return joint_distribution(model, t, rr).per_state; });
   return result;
 }
 

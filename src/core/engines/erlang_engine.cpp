@@ -1,10 +1,13 @@
 #include "core/engines/erlang_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 #include <utility>
 
+#include "core/validate.hpp"
 #include "ctmc/foxglynn.hpp"
+#include "util/contracts.hpp"
 #include "util/error.hpp"
 
 namespace csrl {
@@ -95,6 +98,13 @@ JointDistribution ErlangEngine::joint_distribution(const Mrm& model, double t,
       });
   result.steps =
       poisson_weights(expanded.max_exit_rate() * t, transient_.epsilon).right;
+  // The pseudo-Erlang error is O(1/k), degrading to O(1/sqrt(k)) at atoms
+  // of Y_t (README); the monotonicity slack covers the latter.
+  if (CSRL_CONTRACTS_ACTIVE())
+    validate_joint_result(
+        name(), t, r, result.per_state,
+        4.0 / std::sqrt(static_cast<double>(phases_)) + 1e-9,
+        [&](double rr) { return joint_distribution(model, t, rr).per_state; });
   return result;
 }
 
@@ -119,6 +129,13 @@ std::vector<double> ErlangEngine::joint_probability_all_starts(
   // A fresh start state has consumed no budget: phase 0.
   result.assign(n, 0.0);
   for (std::size_t s = 0; s < n; ++s) result[s] = u[s * k];
+  if (CSRL_CONTRACTS_ACTIVE())
+    validate_joint_result(
+        name() + " all-starts", t, r, result,
+        4.0 / std::sqrt(static_cast<double>(phases_)) + 1e-9,
+        [&](double rr) {
+          return joint_probability_all_starts(model, t, rr, target);
+        });
   return result;
 }
 

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <utility>
 
+#include "core/validate.hpp"
 #include "ctmc/foxglynn.hpp"
 #include "matrix/vector_ops.hpp"
+#include "util/contracts.hpp"
 #include "util/error.hpp"
 
 namespace csrl {
@@ -235,6 +237,12 @@ std::vector<double> SericolaEngine::joint_probability_all_starts(
   std::vector<double> result(num_states, 0.0);
   for (std::size_t i = 0; i < num_states; ++i)
     result[i] = std::clamp(transient[i] - exceed[i], 0.0, 1.0);
+  if (CSRL_CONTRACTS_ACTIVE())
+    validate_joint_result(
+        name() + " all-starts", t, r, result, 2.0 * epsilon_ + 1e-12,
+        [&](double rr) {
+          return joint_probability_all_starts(model, t, rr, target);
+        });
   return result;
 }
 
@@ -256,6 +264,10 @@ JointDistribution SericolaEngine::joint_distribution(const Mrm& model, double t,
     result.per_state[j] = dot(model.initial_distribution(), h_col);
   }
   result.steps = truncation_depth(model, t);
+  if (CSRL_CONTRACTS_ACTIVE())
+    validate_joint_result(
+        name(), t, r, result.per_state, 2.0 * epsilon_ + 1e-12,
+        [&](double rr) { return joint_distribution(model, t, rr).per_state; });
   return result;
 }
 

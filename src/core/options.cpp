@@ -15,6 +15,7 @@ std::unique_ptr<JointDistributionEngine> make_engine(const CheckOptions& options
   // checked through the same Checker reuses one set of workers.
   if (options.num_threads != 0)
     ThreadPool::set_global_threads(options.num_threads);
+  if (options.validate) validation::set_level(*options.validate);
   std::shared_ptr<ThreadPool> pool = ThreadPool::global_ptr();
 
   switch (options.engine) {

@@ -2,10 +2,12 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "core/engines/engine.hpp"
 #include "ctmc/uniformisation.hpp"
 #include "matrix/solvers.hpp"
+#include "util/contracts.hpp"
 
 namespace csrl {
 
@@ -44,6 +46,15 @@ struct CheckOptions {
   /// Memoise Sat sets by the (canonical) printed form of subformulas, so
   /// repeated fragments across queries are checked once per Checker.
   bool cache_sat_sets = true;
+
+  /// Runtime numerical contract level (util/contracts.hpp): kOff, kBasic
+  /// (cheap structural/row-sum/bounds checks at the places that establish
+  /// them), kParanoid (+ engine re-runs checking monotonicity in r and
+  /// 1-vs-N-thread agreement).  Unset leaves the process-wide setting
+  /// alone — the CSRL_VALIDATE environment variable if present, else off
+  /// in NDEBUG builds and basic in debug builds.  Like num_threads, a set
+  /// value applies process-wide (validation::set_level).
+  std::optional<ValidationLevel> validate{};
 
   /// Number of threads for the parallel kernels and engine sweeps.
   /// 0 = automatic: the CSRL_THREADS environment variable if set, else

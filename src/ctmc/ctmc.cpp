@@ -4,9 +4,29 @@
 #include <cmath>
 #include <string>
 
+#include "util/contracts.hpp"
 #include "util/error.hpp"
 
 namespace csrl {
+
+namespace {
+
+/// Contract helper: every row of `m` sums to 1 within `tol` with
+/// non-negative entries.  (The full Validator lives in core/validate and
+/// cannot be used from this layer.)
+bool rows_stochastic(const CsrMatrix& m, double tol) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double sum = 0.0;
+    for (const auto& e : m.row(r)) {
+      if (!(e.value >= 0.0)) return false;
+      sum += e.value;
+    }
+    if (std::abs(sum - 1.0) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 Ctmc::Ctmc(CsrMatrix rates) : rates_(std::move(rates)) {
   if (rates_.rows() != rates_.cols())
@@ -40,7 +60,11 @@ CsrMatrix Ctmc::embedded_dtmc() const {
     }
     for (const auto& e : rates_.row(s)) b.add(s, e.col, e.value / exit_rates_[s]);
   }
-  return b.build();
+  CsrMatrix p = b.build();
+  CSRL_CONTRACT(rows_stochastic(p, 1e-12),
+                "Ctmc::embedded_dtmc: a row of P = R(s,.)/E(s) does not sum "
+                "to 1 (tolerance 1e-12)");
+  return p;
 }
 
 CsrMatrix Ctmc::uniformised_dtmc(double lambda) const {
@@ -56,7 +80,13 @@ CsrMatrix Ctmc::uniformised_dtmc(double lambda) const {
     const double self = 1.0 - exit_rates_[s] / lambda;
     if (self > 0.0) b.add(s, s, self);
   }
-  return b.build();
+  CsrMatrix p = b.build();
+  // The self-loop complement can cancel to ~E(s)/lambda * ulp below 1;
+  // 1e-12 absorbs that while still catching any real defect.
+  CSRL_CONTRACT(rows_stochastic(p, 1e-12),
+                "Ctmc::uniformised_dtmc: a row of P = I + Q/lambda does not "
+                "sum to 1 at lambda = " + std::to_string(lambda));
+  return p;
 }
 
 }  // namespace csrl

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <deque>
 
+#include "util/contracts.hpp"
 #include "util/error.hpp"
 
 namespace csrl {
@@ -90,6 +91,24 @@ PoissonWeights poisson_weights(double lambda_t, double epsilon) {
   result.right = right;
   result.weights.assign(window.begin(), window.end());
   result.total = total;
+  // Normalisation contract: the window must really hold >= 1 - epsilon of
+  // the Poisson mass (otherwise every truncation-error bound built on it
+  // is void), must never exceed 1 by more than accumulated rounding, and
+  // each weight must be a valid probability.
+  CSRL_CONTRACT(
+      [&] {
+        if (result.weights.size() != result.right - result.left + 1)
+          return false;
+        for (double w : result.weights)
+          if (!(w >= 0.0) || !(w <= 1.0) || !std::isfinite(w)) return false;
+        return result.total >= 1.0 - epsilon - 1e-15 &&
+               result.total <= 1.0 + 1e-12;
+      }(),
+      "poisson_weights: window [" + std::to_string(result.left) + ", " +
+          std::to_string(result.right) + "] with total " +
+          std::to_string(result.total) + " violates normalisation for "
+          "lambda*t = " + std::to_string(lambda_t) + ", epsilon = " +
+          std::to_string(epsilon));
   return result;
 }
 

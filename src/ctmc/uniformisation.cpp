@@ -4,11 +4,20 @@
 
 #include "ctmc/foxglynn.hpp"
 #include "matrix/vector_ops.hpp"
+#include "util/contracts.hpp"
 #include "util/error.hpp"
 
 namespace csrl {
 
 namespace {
+
+/// Contract helper: all entries of `v` finite and inside [-tol, cap+tol].
+bool within_probability_bounds(std::span<const double> v, double cap,
+                               double tol) {
+  for (double x : v)
+    if (!std::isfinite(x) || x < -tol || x > cap + tol) return false;
+  return true;
+}
 
 double resolve_rate(const Ctmc& chain, const TransientOptions& options) {
   if (options.uniformisation_rate != 0.0) {
@@ -81,6 +90,20 @@ std::vector<double> transient_distribution(const Ctmc& chain,
                     [&p](const std::vector<double>& x, std::vector<double>& y) {
                       p.multiply_left(x, y);
                     });
+  // P is stochastic, so each entry stays within the initial total mass
+  // and the summed mass can only shrink by the truncation error.  This
+  // also holds for the sub-distributions the engines feed in.
+  CSRL_CONTRACT(
+      [&] {
+        double mass_in = 0.0;
+        for (double v : initial) mass_in += v;
+        if (!within_probability_bounds(result, mass_in, 1e-9)) return false;
+        double mass_out = 0.0;
+        for (double v : result) mass_out += v;
+        return mass_out <= mass_in + 1e-9;
+      }(),
+      "transient_distribution: result is not a sub-distribution of the "
+      "initial mass at t = " + std::to_string(t));
   return result;
 }
 
@@ -106,6 +129,13 @@ std::vector<double> transient_backward(const Ctmc& chain,
                     [&p](const std::vector<double>& x, std::vector<double>& y) {
                       p.multiply(x, y);
                     });
+  // E_s[v(X_t)] is a convex-combination-of-v per step, so whenever the
+  // terminal vector is a [0,1] value function the result must be too.
+  CSRL_CONTRACT(within_probability_bounds(terminal, 1.0, 0.0)
+                    ? within_probability_bounds(result, 1.0, 1e-9)
+                    : true,
+                "transient_backward: [0,1] terminal values produced an "
+                "out-of-range expectation at t = " + std::to_string(t));
   return result;
 }
 

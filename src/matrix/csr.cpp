@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "util/contracts.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -68,6 +69,26 @@ CsrMatrix CsrBuilder::build() const {
     }
     m.row_ptr_[r + 1] = m.row_ptr_[r] + row_count;
   }
+  // Structural postcondition: strictly increasing columns per row,
+  // in-range indices, extents covering every stored entry.  Everything
+  // downstream (binary searches in at(), the transpose-gather identity of
+  // multiply_left) silently assumes this.
+  CSRL_CONTRACT(
+      [&] {
+        std::size_t covered = 0;
+        for (std::size_t r = 0; r < rows_; ++r) {
+          for (std::size_t i = m.row_ptr_[r]; i < m.row_ptr_[r + 1]; ++i) {
+            if (m.entries_[i].col >= cols_) return false;
+            if (i > m.row_ptr_[r] && m.entries_[i - 1].col >= m.entries_[i].col)
+              return false;
+            if (!std::isfinite(m.entries_[i].value)) return false;
+          }
+          covered += m.row_ptr_[r + 1] - m.row_ptr_[r];
+        }
+        return covered == m.entries_.size();
+      }(),
+      "CsrBuilder::build produced a structurally invalid " +
+          std::to_string(rows_) + "x" + std::to_string(cols_) + " matrix");
   return m;
 }
 

@@ -1,7 +1,9 @@
 #include "mrm/transform.hpp"
 
+#include <cmath>
 #include <string>
 
+#include "util/contracts.hpp"
 #include "util/error.hpp"
 
 namespace csrl {
@@ -139,8 +141,31 @@ Mrm dual(const Mrm& model) {
     rewards[s] = 1.0 / rho;
     for (const auto& e : model.rates().row(s)) rates.add(s, e.col, e.value / rho);
   }
-  return Mrm(Ctmc(rates.build()), std::move(rewards), model.labelling(),
-             model.initial_distribution());
+  Mrm dualized(Ctmc(rates.build()), std::move(rewards), model.labelling(),
+               model.initial_distribution());
+  // Algebraic postcondition of [4, Thm 1]: multiplying the dual rates and
+  // the dual rewards back by rho(s) must recover the original model —
+  // M and M^ agree, entry by entry, up to one rounding of the division.
+  CSRL_CONTRACT(
+      [&] {
+        for (std::size_t s = 0; s < n; ++s) {
+          const double rho = model.reward(s);
+          if (model.chain().is_absorbing(s)) {
+            if (!dualized.chain().is_absorbing(s)) return false;
+            continue;
+          }
+          if (std::abs(dualized.reward(s) * rho - 1.0) > 1e-12) return false;
+          for (const auto& e : model.rates().row(s)) {
+            const double back = dualized.rates().at(s, e.col) * rho;
+            if (std::abs(back - e.value) > 1e-12 * std::abs(e.value))
+              return false;
+          }
+        }
+        return true;
+      }(),
+      "dual: M^ is not the [4, Thm 1] dual of M (rho * R^ != R or "
+      "rho * rho^ != 1 on some state)");
+  return dualized;
 }
 
 }  // namespace csrl

@@ -46,4 +46,17 @@ class NumericalError : public Error {
   explicit NumericalError(const std::string& what) : Error(what) {}
 };
 
+/// A runtime numerical contract (util/contracts.hpp, core/validate.hpp)
+/// caught an invariant violation: a probability left [0,1], a stochastic
+/// row stopped summing to 1, a CSR matrix lost structural sanity, an
+/// engine postcondition failed, ...  Contracts only run when validation
+/// is enabled (CSRL_VALIDATE / CheckOptions::validate), so this always
+/// indicates a library bug or memory corruption, never bad user input —
+/// bad input is rejected up front with ModelError/NumericalError.
+class ContractViolation : public Error {
+ public:
+  explicit ContractViolation(const std::string& what)
+      : Error("contract violation: " + what) {}
+};
+
 }  // namespace csrl

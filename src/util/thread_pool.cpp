@@ -16,7 +16,14 @@ namespace {
 // parallel_for; nested calls detect it and run inline.
 thread_local bool tls_in_parallel_region = false;
 
+// Nesting depth of ForceSerialGuard on this thread; positive forces
+// parallel_for to dispatch inline.
+thread_local int tls_force_serial = 0;
+
 }  // namespace
+
+ForceSerialGuard::ForceSerialGuard() { ++tls_force_serial; }
+ForceSerialGuard::~ForceSerialGuard() { --tls_force_serial; }
 
 struct ThreadPool::Impl {
   explicit Impl(std::size_t workers) {
@@ -104,7 +111,8 @@ void ThreadPool::parallel_for(
   if (end <= begin) return;
   if (grain == 0) grain = 1;
   const std::size_t range = end - begin;
-  if (impl_ == nullptr || range <= grain || tls_in_parallel_region) {
+  if (impl_ == nullptr || range <= grain || tls_in_parallel_region ||
+      tls_force_serial > 0) {
     chunk_fn(begin, end);
     return;
   }

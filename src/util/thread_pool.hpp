@@ -111,6 +111,19 @@ class ThreadPool {
   std::unique_ptr<Impl> impl_;  // absent for single-lane pools
 };
 
+/// RAII: while alive, every parallel_for issued from this thread (on any
+/// pool) runs inline on the calling thread, exactly like a 1-lane pool.
+/// This is the 1-thread vs N-thread agreement hook of the contract layer
+/// (core/validate.cpp): re-running a computation under the guard must
+/// reproduce the parallel result bit for bit.  Guards nest.
+class ForceSerialGuard {
+ public:
+  ForceSerialGuard();
+  ~ForceSerialGuard();
+  ForceSerialGuard(const ForceSerialGuard&) = delete;
+  ForceSerialGuard& operator=(const ForceSerialGuard&) = delete;
+};
+
 /// parallel_for on the shared pool — the form the kernels use.
 inline void parallel_for(
     std::size_t begin, std::size_t end, std::size_t grain,

@@ -1,0 +1,283 @@
+// Negative tests for the runtime numerical contract layer: every
+// Validator check and every wired-in CSRL_CONTRACT site must fire on
+// corrupted input and stay silent on valid models.  Levels are driven
+// with ScopedValidation so the tests are independent of CSRL_VALIDATE.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/validate.hpp"
+#include "ctmc/ctmc.hpp"
+#include "ctmc/foxglynn.hpp"
+#include "matrix/csr.hpp"
+#include "mrm/transform.hpp"
+#include "util/contracts.hpp"
+#include "util/error.hpp"
+
+namespace csrl {
+namespace {
+
+Mrm triangle() {
+  CsrBuilder b(3, 3);
+  b.add(0, 1, 1.0);
+  b.add(1, 2, 2.0);
+  b.add(2, 0, 3.0);
+  Labelling l(3);
+  return Mrm(Ctmc(b.build()), {1.0, 2.0, 4.0}, std::move(l), 0);
+}
+
+TEST(ValidationLevel, ScopedOverrideRestoresPreviousState) {
+  const ValidationLevel before = validation::level();
+  {
+    ScopedValidation outer(ValidationLevel::kParanoid);
+    EXPECT_TRUE(validation::paranoid());
+    {
+      ScopedValidation inner(ValidationLevel::kOff);
+      EXPECT_FALSE(validation::enabled());
+    }
+    EXPECT_TRUE(validation::paranoid());
+  }
+  EXPECT_EQ(validation::level(), before);
+}
+
+TEST(ValidationLevel, ContractMacroGatesOnLevel) {
+  {
+    ScopedValidation off(ValidationLevel::kOff);
+    EXPECT_NO_THROW(CSRL_CONTRACT(false, "dormant at kOff"));
+    EXPECT_FALSE(CSRL_CONTRACTS_ACTIVE());
+  }
+  {
+    ScopedValidation basic(ValidationLevel::kBasic);
+    EXPECT_THROW(CSRL_CONTRACT(false, "fires at kBasic"), ContractViolation);
+    EXPECT_NO_THROW(CSRL_CONTRACT(true, "passing condition"));
+    EXPECT_NO_THROW(CSRL_CONTRACT_PARANOID(false, "dormant at kBasic"));
+  }
+  {
+    ScopedValidation paranoid(ValidationLevel::kParanoid);
+    EXPECT_THROW(CSRL_CONTRACT_PARANOID(false, "fires at kParanoid"),
+                 ContractViolation);
+  }
+}
+
+TEST(ValidationLevel, ContextIsEvaluatedLazily) {
+  ScopedValidation basic(ValidationLevel::kBasic);
+  bool evaluated = false;
+  const auto context = [&] {
+    evaluated = true;
+    return std::string("expensive");
+  };
+  CSRL_CONTRACT(true, context());
+  EXPECT_FALSE(evaluated);
+  EXPECT_THROW(CSRL_CONTRACT(false, context()), ContractViolation);
+  EXPECT_TRUE(evaluated);
+}
+
+TEST(CsrContract, BuilderSilentOnValidMatrix) {
+  ScopedValidation basic(ValidationLevel::kBasic);
+  CsrBuilder b(2, 2);
+  b.add(0, 1, 0.5);
+  b.add(1, 0, 2.0);
+  EXPECT_NO_THROW(b.build());
+}
+
+// CsrBuilder cannot produce corrupt structure through its public API (add
+// rejects non-finite values, build sorts and merges), so the structural
+// checks are driven by corrupting a built matrix in place: row() exposes
+// the underlying (non-const) storage, making the const_cast well-defined.
+TEST(ValidatorTest, CsrStructureDetectsCorruption) {
+  const Validator v("matrix");
+  const auto make = [] {
+    CsrBuilder b(2, 2);
+    b.add(0, 0, 1.0);
+    b.add(0, 1, 2.0);
+    return b.build();
+  };
+  EXPECT_NO_THROW(v.csr_structure(make()));
+
+  CsrMatrix out_of_range = make();
+  const_cast<CsrEntry&>(out_of_range.row(0)[1]).col = 5;
+  EXPECT_THROW(v.csr_structure(out_of_range), ContractViolation);
+
+  CsrMatrix duplicate = make();
+  const_cast<CsrEntry&>(duplicate.row(0)[1]).col = 0;  // 0, 0: not increasing
+  EXPECT_THROW(v.csr_structure(duplicate), ContractViolation);
+
+  CsrMatrix non_finite = make();
+  const_cast<CsrEntry&>(non_finite.row(0)[0]).value =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(v.csr_structure(non_finite), ContractViolation);
+}
+
+TEST(ValidatorTest, StochasticRowsRejectsBadSumsAndNegatives) {
+  const Validator v("P");
+  CsrBuilder half(2, 2);
+  half.add(0, 0, 0.25);
+  half.add(0, 1, 0.25);  // row 0 sums to 0.5
+  half.add(1, 1, 1.0);
+  EXPECT_THROW(v.stochastic_rows(half.build()), ContractViolation);
+  EXPECT_NO_THROW(
+      v.stochastic_rows(half.build(), 1e-9, /*allow_substochastic=*/true));
+
+  CsrBuilder neg(1, 2);
+  neg.add(0, 0, 1.5);
+  neg.add(0, 1, -0.5);  // sums to 1 but holds a negative probability
+  EXPECT_THROW(v.stochastic_rows(neg.build()), ContractViolation);
+
+  CsrBuilder good(2, 2);
+  good.add(0, 0, 0.5);
+  good.add(0, 1, 0.5);
+  good.add(1, 1, 1.0);
+  EXPECT_NO_THROW(v.stochastic_rows(good.build()));
+}
+
+TEST(ValidatorTest, GeneratorRowsRejectsBadDiagonalAndSum) {
+  const Validator v("Q");
+  CsrBuilder good(2, 2);
+  good.add(0, 0, -2.0);
+  good.add(0, 1, 2.0);
+  EXPECT_NO_THROW(v.generator_rows(good.build()));
+
+  CsrBuilder positive_diag(2, 2);
+  positive_diag.add(0, 0, 2.0);
+  positive_diag.add(0, 1, -2.0);
+  EXPECT_THROW(v.generator_rows(positive_diag.build()), ContractViolation);
+
+  CsrBuilder bad_sum(2, 2);
+  bad_sum.add(0, 0, -1.0);
+  bad_sum.add(0, 1, 2.0);  // row sums to 1, not 0
+  EXPECT_THROW(v.generator_rows(bad_sum.build()), ContractViolation);
+}
+
+TEST(ValidatorTest, ProbabilityVectorAndDistributionBounds) {
+  const Validator v("pi");
+  const std::vector<double> good{0.25, 0.75};
+  EXPECT_NO_THROW(v.probability_vector(good));
+  EXPECT_NO_THROW(v.distribution(good));
+
+  const std::vector<double> above{0.25, 1.5};
+  EXPECT_THROW(v.probability_vector(above), ContractViolation);
+  const std::vector<double> below{-0.25, 0.75};
+  EXPECT_THROW(v.probability_vector(below), ContractViolation);
+  const std::vector<double> nan{std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW(v.probability_vector(nan), ContractViolation);
+  const std::vector<double> deficient{0.25, 0.25};  // in bounds, sums to 0.5
+  EXPECT_NO_THROW(v.probability_vector(deficient));
+  EXPECT_THROW(v.distribution(deficient), ContractViolation);
+}
+
+TEST(ValidatorTest, PoissonWindowDetectsTampering) {
+  const Validator v("fox-glynn");
+  const double epsilon = 1e-10;
+  PoissonWeights w = poisson_weights(25.0, epsilon);
+  EXPECT_NO_THROW(v.poisson_window(w, epsilon));
+
+  PoissonWeights lost_weight = w;
+  lost_weight.weights[lost_weight.weights.size() / 2] = 0.0;
+  EXPECT_THROW(v.poisson_window(lost_weight, epsilon), ContractViolation);
+
+  PoissonWeights wrong_shape = w;
+  wrong_shape.right += 1;
+  EXPECT_THROW(v.poisson_window(wrong_shape, epsilon), ContractViolation);
+
+  PoissonWeights short_total = w;
+  short_total.total = 1.0 - 1e-3;  // claims mass the weights do not hold
+  EXPECT_THROW(v.poisson_window(short_total, epsilon), ContractViolation);
+}
+
+TEST(ValidatorTest, MonotoneNondecreasingAndBitwiseEqual) {
+  const Validator v("engine");
+  const std::vector<double> lo{0.1, 0.2};
+  const std::vector<double> hi{0.1, 0.3};
+  EXPECT_NO_THROW(v.monotone_nondecreasing(lo, hi, 0.0));
+  EXPECT_THROW(v.monotone_nondecreasing(hi, lo, 1e-3), ContractViolation);
+  EXPECT_NO_THROW(v.monotone_nondecreasing(hi, lo, 0.2));  // inside slack
+
+  EXPECT_NO_THROW(v.bitwise_equal(lo, lo));
+  const std::vector<double> almost{0.1, 0.2 + 1e-17};
+  EXPECT_NO_THROW(v.bitwise_equal(lo, almost));  // 0.2 + 1e-17 rounds to 0.2
+  const std::vector<double> off_by_ulp{0.1,
+                                       std::nextafter(0.2, 1.0)};
+  EXPECT_THROW(v.bitwise_equal(lo, off_by_ulp), ContractViolation);
+  EXPECT_THROW(v.bitwise_equal(lo, std::vector<double>{0.1}),
+               ContractViolation);
+}
+
+TEST(ValidatorTest, DualInverseDetectsWrongRewards) {
+  const Validator v("duality");
+  const Mrm m = triangle();
+  const Mrm good = dual(m);
+  EXPECT_NO_THROW(v.dual_inverse(m, good));
+  // A model that is not the dual (here: the original itself) must fail
+  // the rho^ * rho = 1 relation.
+  EXPECT_THROW(v.dual_inverse(m, m), ContractViolation);
+}
+
+TEST(InSituContracts, UniformisedDtmcAndDualSilentOnValidModel) {
+  ScopedValidation basic(ValidationLevel::kBasic);
+  const Mrm m = triangle();
+  EXPECT_NO_THROW(m.chain().uniformised_dtmc(4.0));
+  EXPECT_NO_THROW(m.chain().embedded_dtmc());
+  EXPECT_NO_THROW(dual(m));
+  EXPECT_NO_THROW(poisson_weights(2048.0, 1e-12));
+}
+
+TEST(JointResultContract, RejectsOutOfRangeResult) {
+  ScopedValidation basic(ValidationLevel::kBasic);
+  const std::vector<double> bad{0.5, 1.25};
+  EXPECT_THROW(validate_joint_result("fake engine", 1.0, 2.0, bad, 0.0, {}),
+               ContractViolation);
+  const std::vector<double> good{0.5, 0.75};
+  EXPECT_NO_THROW(validate_joint_result("fake engine", 1.0, 2.0, good, 0.0, {}));
+}
+
+TEST(JointResultContract, ParanoidDetectsNonMonotoneEngine) {
+  ScopedValidation paranoid(ValidationLevel::kParanoid);
+  const std::vector<double> result{0.5};
+  // A broken engine whose probability *grows* as the reward bound
+  // shrinks: recomputing at r/2 yields 0.9 > 0.5.
+  const auto broken = [&](double rr) {
+    return std::vector<double>{rr < 2.0 ? 0.9 : 0.5};
+  };
+  EXPECT_THROW(validate_joint_result("broken engine", 1.0, 2.0, result,
+                                     /*monotone_slack=*/1e-9, broken),
+               ContractViolation);
+  // A consistent engine: bit-identical at r, smaller at r/2.
+  const auto consistent = [&](double rr) {
+    return std::vector<double>{rr < 2.0 ? 0.25 : 0.5};
+  };
+  EXPECT_NO_THROW(validate_joint_result("consistent engine", 1.0, 2.0, result,
+                                        1e-9, consistent));
+}
+
+TEST(JointResultContract, ParanoidDetectsSerialParallelDisagreement) {
+  ScopedValidation paranoid(ValidationLevel::kParanoid);
+  const std::vector<double> result{0.5};
+  // A nondeterministic engine: the serial recompute at r returns a value
+  // one ulp off — bitwise agreement must fail.
+  const auto flaky = [&](double rr) {
+    return std::vector<double>{rr < 2.0 ? 0.25
+                                        : std::nextafter(0.5, 1.0)};
+  };
+  EXPECT_THROW(
+      validate_joint_result("flaky engine", 1.0, 2.0, result, 1e-9, flaky),
+      ContractViolation);
+}
+
+TEST(ContractViolationType, IsAnErrorWithContext) {
+  try {
+    ScopedValidation basic(ValidationLevel::kBasic);
+    CSRL_CONTRACT(1 + 1 == 3, std::string("arithmetic still works"));
+    FAIL() << "contract did not fire";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("contract violation"), std::string::npos);
+    EXPECT_NE(what.find("1 + 1 == 3"), std::string::npos);
+    EXPECT_NE(what.find("arithmetic still works"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace csrl
