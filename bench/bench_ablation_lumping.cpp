@@ -12,7 +12,9 @@
 #include "logic/parser.hpp"
 #include "models/synthetic.hpp"
 #include "mrm/lumping.hpp"
-#include "util/timer.hpp"
+#include "obs/obs.hpp"
+
+#include "bench_obs.hpp"
 
 namespace {
 
@@ -96,6 +98,7 @@ BENCHMARK(BM_LumpingAlone)->DenseRange(4, 10, 2)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const csrl_bench::BenchObs obs_guard("ablation_lumping");
   print_comparison();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -15,7 +15,9 @@
 
 #include "core/engines/sericola_engine.hpp"
 #include "models/synthetic.hpp"
-#include "util/timer.hpp"
+#include "obs/obs.hpp"
+
+#include "bench_obs.hpp"
 
 namespace {
 
@@ -88,6 +90,7 @@ BENCHMARK(BM_SericolaMatrixCost)->RangeMultiplier(2)->Range(4, 32)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
+  const csrl_bench::BenchObs obs_guard("ablation_sericola");
   print_comparison();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -11,7 +11,9 @@
 #include "ctmc/uniformisation.hpp"
 #include "logic/parser.hpp"
 #include "models/synthetic.hpp"
-#include "util/timer.hpp"
+#include "obs/obs.hpp"
+
+#include "bench_obs.hpp"
 
 namespace {
 
@@ -108,6 +110,7 @@ BENCHMARK(BM_TransientLargeHorizon)->Arg(0)->Arg(1)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
+  const csrl_bench::BenchObs obs_guard("ablation_solvers");
   print_comparison();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -9,7 +9,9 @@
 #include "core/checker.hpp"
 #include "logic/parser.hpp"
 #include "models/adhoc.hpp"
-#include "util/timer.hpp"
+#include "obs/obs.hpp"
+
+#include "bench_obs.hpp"
 
 namespace {
 
@@ -67,6 +69,7 @@ BENCHMARK(BM_Q3_TimeRewardBounded)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const csrl_bench::BenchObs obs_guard("case_study_properties");
   print_properties();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

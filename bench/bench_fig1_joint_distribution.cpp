@@ -17,6 +17,8 @@
 #include "core/engines/sericola_engine.hpp"
 #include "models/adhoc.hpp"
 
+#include "bench_obs.hpp"
+
 namespace {
 
 using namespace csrl;
@@ -66,6 +68,7 @@ BENCHMARK(BM_JointSurfacePoint)
 }  // namespace
 
 int main(int argc, char** argv) {
+  const csrl_bench::BenchObs obs_guard("fig1_joint_distribution");
   print_surface();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -12,6 +12,8 @@
 #include "mrm/transform.hpp"
 #include "srn/reachability.hpp"
 
+#include "bench_obs.hpp"
+
 namespace {
 
 using namespace csrl;
@@ -82,6 +84,7 @@ BENCHMARK(BM_ReduceForQ3);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const csrl_bench::BenchObs obs_guard("fig2_table1_model");
   print_model();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

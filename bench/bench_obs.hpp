@@ -1,0 +1,63 @@
+// Shared observability hook-up for the bench executables.
+//
+// A BenchObs guard at the top of main() turns recording on for the whole
+// run and, on exit, writes BENCH_<name>_obs.json next to the bench's own
+// output: the metric delta of the run (Fox-Glynn windows, iteration and
+// SpMV counts, pool dispatch statistics) and the flat span aggregate.
+// The perf trajectory thereby carries attribution — a wall-clock
+// regression in BENCH_*.json can be matched against the counters that
+// explain it without re-running anything.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "obs/json_writer.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+
+namespace csrl_bench {
+
+class BenchObs {
+ public:
+  explicit BenchObs(std::string name)
+      : name_(std::move(name)), before_(csrl::obs::snapshot_metrics()) {}
+
+  BenchObs(const BenchObs&) = delete;
+  BenchObs& operator=(const BenchObs&) = delete;
+
+  ~BenchObs() {
+    const csrl::obs::MetricsSnapshot after = csrl::obs::snapshot_metrics();
+    const csrl::obs::MetricsSnapshot delta =
+        csrl::obs::metrics_delta(before_, after);
+    const std::vector<csrl::obs::SpanAggregate> spans =
+        csrl::obs::aggregate_spans(csrl::obs::peek_spans());
+
+    csrl::obs::JsonWriter w;
+    w.begin_object();
+    w.key("schema").value("csrl-bench-obs-v1");
+    w.key("bench").value(name_);
+    csrl::obs::emit_metrics(w, delta);
+    csrl::obs::emit_spans(w, spans);
+    w.end_object();
+    const std::string text = std::move(w).str();
+
+    const std::string path = "BENCH_" + name_ + "_obs.json";
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("wrote %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    }
+  }
+
+ private:
+  csrl::obs::ScopedRecording recording_{true};
+  std::string name_;
+  csrl::obs::MetricsSnapshot before_;
+};
+
+}  // namespace csrl_bench

@@ -23,9 +23,12 @@
 #include "core/engines/sericola_engine.hpp"
 #include "models/adhoc.hpp"
 #include "models/synthetic.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
 #include "util/state_set.hpp"
 #include "util/thread_pool.hpp"
-#include "util/timer.hpp"
+
+#include "bench_obs.hpp"
 
 namespace {
 
@@ -115,18 +118,60 @@ void write_json(const std::vector<Record>& records, const char* path) {
 }  // namespace
 
 int main() {
+  const csrl_bench::BenchObs obs_guard("parallel_scaling");
   std::printf("=== Parallel scaling of the P3 engines ===\n");
   std::printf("hardware threads: %zu (CSRL_THREADS overrides)\n\n",
               ThreadPool::resolve_threads(0));
 
   // On a single-CPU host every multi-thread point would just measure
   // oversubscription noise and report speedups < 1 that say nothing about
-  // the code; emit an explicit skip marker instead so downstream tooling
-  // can tell "not measured" from "measured badly".
+  // the code.  The scaling table is skipped (marked explicitly, so
+  // downstream tooling can tell "not measured" from "measured badly"),
+  // but each engine still runs once at 1 thread and its full RunReport —
+  // Fox-Glynn window, iteration/SpMV counters, span timings — is emitted
+  // so the perf trajectory keeps its attribution data on such hosts.
   if (ThreadPool::resolve_threads(0) <= 1) {
-    std::printf("single hardware thread: skipping scaling measurements\n");
+    std::printf(
+        "single hardware thread: skipping scaling measurements, recording "
+        "single-thread engine profiles instead\n");
+    ThreadPool::set_global_threads(1);
+    const Mrm q3 = build_q3_reduced_mrm();
+    const std::size_t n = q3.num_states();
+    StateSet success(n);
+    success.insert(1);  // amalgamated "success" state of the reduction
+
+    std::vector<std::string> profiles;
+    const auto profile = [&](const std::string& engine, double truncation,
+                             const auto& compute) {
+      obs::ReportScope scope;
+      compute();
+      const obs::RunReport report = scope.finish(
+          engine, n, q3.rates().nnz(), truncation);
+      std::printf("%-16s  %7zu states  1 thread   %9.2f ms\n", engine.c_str(),
+                  n, report.wall_seconds * 1e3);
+      profiles.push_back(report.to_json());
+    };
+    profile("sericola", 1e-8, [&] {
+      SericolaEngine(1e-8).joint_probability_all_starts(
+          q3, kTimeBoundHours, kRewardBoundMah, success);
+    });
+    profile("erlang-64", 1e-9, [&] {
+      ErlangEngine(64).joint_distribution(q3, kTimeBoundHours,
+                                          kRewardBoundMah);
+    });
+    profile("discretisation", 1.0 / 32.0, [&] {
+      DiscretisationEngine(1.0 / 32.0)
+          .joint_distribution(q3, kTimeBoundHours, kRewardBoundMah);
+    });
+
     if (std::FILE* f = std::fopen("BENCH_parallel_scaling.json", "w")) {
-      std::fprintf(f, "{\"scaling\": \"skipped-single-cpu\"}\n");
+      std::fprintf(f,
+                   "{\"scaling\": \"skipped-single-cpu\",\n"
+                   " \"single_thread_profiles\": [\n");
+      for (std::size_t i = 0; i < profiles.size(); ++i)
+        std::fprintf(f, "  %s%s\n", profiles[i].c_str(),
+                     i + 1 < profiles.size() ? "," : "");
+      std::fprintf(f, "]}\n");
       std::fclose(f);
       std::printf("wrote BENCH_parallel_scaling.json\n");
     }

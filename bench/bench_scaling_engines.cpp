@@ -13,7 +13,9 @@
 #include "core/engines/erlang_engine.hpp"
 #include "core/engines/sericola_engine.hpp"
 #include "models/synthetic.hpp"
-#include "util/timer.hpp"
+#include "obs/obs.hpp"
+
+#include "bench_obs.hpp"
 
 namespace {
 
@@ -99,6 +101,7 @@ BENCHMARK(BM_ScalingDiscretisation)->RangeMultiplier(2)->Range(4, 32)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
+  const csrl_bench::BenchObs obs_guard("scaling_engines");
   print_comparison();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

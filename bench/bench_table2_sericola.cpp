@@ -18,7 +18,9 @@
 
 #include "core/engines/sericola_engine.hpp"
 #include "models/adhoc.hpp"
-#include "util/timer.hpp"
+#include "obs/obs.hpp"
+
+#include "bench_obs.hpp"
 
 namespace {
 
@@ -66,6 +68,7 @@ BENCHMARK(BM_SericolaQ3)->DenseRange(1, 8)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const csrl_bench::BenchObs obs_guard("table2_sericola");
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

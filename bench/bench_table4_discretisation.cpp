@@ -20,7 +20,9 @@
 #include "core/engines/discretisation_engine.hpp"
 #include "core/engines/sericola_engine.hpp"
 #include "models/adhoc.hpp"
-#include "util/timer.hpp"
+#include "obs/obs.hpp"
+
+#include "bench_obs.hpp"
 
 namespace {
 
@@ -75,6 +77,7 @@ BENCHMARK(BM_DiscretisationQ3)->RangeMultiplier(2)->Range(32, 256)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
+  const csrl_bench::BenchObs obs_guard("table4_discretisation");
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -9,7 +9,7 @@
 #include "logic/parser.hpp"
 #include "models/adhoc.hpp"
 #include "srn/reachability.hpp"
-#include "util/timer.hpp"
+#include "obs/obs.hpp"
 
 int main() {
   using namespace csrl;

@@ -10,7 +10,7 @@
 #include "core/reward_ops.hpp"
 #include "logic/parser.hpp"
 #include "models/cluster.hpp"
-#include "util/timer.hpp"
+#include "obs/obs.hpp"
 
 int main(int argc, char** argv) {
   using namespace csrl;

@@ -24,7 +24,7 @@
 #include "mrm/diagnostics.hpp"
 #include "mrm/lumping.hpp"
 #include "util/error.hpp"
-#include "util/timer.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 

@@ -29,6 +29,13 @@ is not installed):
   pragma-once        Headers must start their include-guard life with
                      `#pragma once`.
 
+  obs-name           The name literal of a CSRL_SPAN / CSRL_COUNT /
+                     CSRL_GAUGE / CSRL_HIST site must match
+                     ^[a-z0-9_]+(/[a-z0-9_]+)*$ (the subsystem/engine/
+                     phase scheme of src/obs/obs.hpp).  Reports and
+                     traces are keyed by these names, so a stray space,
+                     capital or dot silently forks the aggregation.
+
 A finding can be waived for one line with a trailing comment
 `// lint:allow <rule> (<justification>)` — the justification is required
 so waivers stay auditable.
@@ -57,6 +64,13 @@ NEW_RE = re.compile(r"\bnew\b(?!\s*\()")  # `new (place)` is still new; see belo
 RAW_NEW_RE = re.compile(r"\bnew\b\s+[A-Za-z_:<]")
 RAW_DELETE_RE = re.compile(r"\bdelete\b\s*(\[\s*\])?\s*[A-Za-z_(]")
 DELETED_FN_RE = re.compile(r"=\s*delete\s*[;,)]")
+
+# Observability sites: the first argument must be a literal matching the
+# naming scheme.  Matched against the raw line (string contents are
+# blanked in the stripped code); the stripped code is consulted at the
+# match position to skip occurrences inside comments.
+OBS_SITE_RE = re.compile(r"\bCSRL_(?:SPAN|COUNT|GAUGE|HIST)\s*\(\s*\"([^\"]*)\"")
+OBS_NAME_RE = re.compile(r"^[a-z0-9_]+(/[a-z0-9_]+)*$")
 
 UNORDERED_DECL_RE = re.compile(
     r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+(\w+)\s*[;{=(]"
@@ -161,6 +175,18 @@ def lint_file(path):
                     lineno,
                     "float-eq",
                     f"exact comparison with float literal {literal}",
+                )
+
+        for m in OBS_SITE_RE.finditer(lines[lineno - 1]):
+            if not code.startswith("CSRL_", m.start()):
+                continue  # the site text sits inside a comment
+            name = m.group(1)
+            if not OBS_NAME_RE.match(name) and not waived("obs-name", comment):
+                report(
+                    lineno,
+                    "obs-name",
+                    f'observability name "{name}" violates'
+                    " ^[a-z0-9_]+(/[a-z0-9_]+)*$",
                 )
 
         for m in RANGE_FOR_RE.finditer(code):

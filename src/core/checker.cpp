@@ -3,10 +3,43 @@
 #include <cmath>
 
 #include "core/engines/discretisation_engine.hpp"
+#include "obs/obs.hpp"
 #include "util/contracts.hpp"
 #include "util/error.hpp"
 
 namespace csrl {
+
+namespace {
+
+/// Report label of the configured P3 engine (matches Engine::name()).
+std::string engine_label(const CheckOptions& options) {
+  switch (options.engine) {
+    case P3Engine::kSericola:
+      return "sericola";
+    case P3Engine::kDiscretisation:
+      return "discretisation-d=" + std::to_string(options.discretisation_step);
+    case P3Engine::kErlang:
+      return "erlang-" + std::to_string(options.erlang_phases);
+  }
+  return "unknown";
+}
+
+/// Configured a-priori error knob of the run: the Sericola truncation
+/// epsilon, the O(d) discretisation step, or the transient-analysis
+/// epsilon for the pseudo-Erlang pipeline.
+double truncation_error_of(const CheckOptions& options) {
+  switch (options.engine) {
+    case P3Engine::kSericola:
+      return options.sericola_epsilon;
+    case P3Engine::kDiscretisation:
+      return options.discretisation_step;
+    case P3Engine::kErlang:
+      return options.transient.epsilon;
+  }
+  return 0.0;
+}
+
+}  // namespace
 
 Checker::Checker(const Mrm& model, CheckOptions options)
     : model_(&model), options_(options) {
@@ -97,6 +130,24 @@ std::vector<double> Checker::values(const Formula& f) const {
 
 double Checker::value_initially(const Formula& f) const {
   return values(f)[model_->initial_state()];
+}
+
+CheckResult Checker::check(const Formula& f) const {
+  CheckResult result;
+  if (!options_.report && !obs::recording_enabled()) {
+    result.value = value_initially(f);
+    return result;
+  }
+  obs::ReportScope scope;
+  {
+    CSRL_SPAN("core/check");
+    result.value = value_initially(f);
+  }
+  result.report =
+      scope.finish(engine_label(options_), model_->num_states(),
+                   model_->rates().nnz(), truncation_error_of(options_));
+  obs::write_report_if_requested(*result.report);
+  return result;
 }
 
 std::vector<double> Checker::path_probabilities(const PathFormula& p) const {

@@ -23,6 +23,7 @@
 //   * quantitative queries P=?[...] / S=?[...].
 #pragma once
 
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -30,9 +31,24 @@
 #include "core/options.hpp"
 #include "logic/formula.hpp"
 #include "mrm/mrm.hpp"
+#include "obs/report.hpp"
 #include "util/state_set.hpp"
 
 namespace csrl {
+
+/// Result of a full quantitative check, optionally carrying the run's
+/// observability report (CheckOptions::report, or process-wide recording
+/// via CSRL_TRACE / obs::set_recording).
+struct CheckResult {
+  /// value_initially(f): the probability for P=?/S=? roots, a 0/1
+  /// indicator for boolean-valued formulas.
+  double value = 0.0;
+
+  /// Engine, model dimensions, Fox-Glynn window, iteration/SpMV counters
+  /// and span timings of this check; engaged only when reporting was
+  /// requested.
+  std::optional<obs::RunReport> report;
+};
 
 /// Model checker bound to one model.  The model must outlive the checker.
 class Checker {
@@ -53,6 +69,12 @@ class Checker {
 
   /// values(f) at the initial state.
   double value_initially(const Formula& f) const;
+
+  /// value_initially(f) plus, when CheckOptions::report asks (or
+  /// recording is already on), the run's RunReport.  When the
+  /// CSRL_OBS_OUT environment variable names an output stem the report
+  /// and a chrome://tracing file are also written to disk.
+  CheckResult check(const Formula& f) const;
 
   /// Pr_s(path formula) for every state s.
   std::vector<double> path_probabilities(const PathFormula& p) const;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/validate.hpp"
+#include "obs/obs.hpp"
 #include "util/contracts.hpp"
 #include "util/error.hpp"
 
@@ -49,6 +50,7 @@ JointDistribution DiscretisationEngine::joint_distribution(const Mrm& model,
   JointDistribution result;
   if (joint_distribution_trivial_case(model, t, r, result)) return result;
 
+  CSRL_SPAN("p3/discretisation/joint_distribution");
   const std::size_t n = model.num_states();
   const double d = step_;
 
@@ -72,6 +74,8 @@ JointDistribution DiscretisationEngine::joint_distribution(const Mrm& model,
   // indices beyond R can never come back under the bound (rewards are
   // non-negative), so the columns above R need not be tracked at all.
   const std::size_t width = reward_cells + 1;
+  CSRL_GAUGE("p3/discretisation/time_steps", static_cast<double>(total_steps));
+  CSRL_GAUGE("p3/discretisation/reward_cells", static_cast<double>(width));
   std::vector<double> current(n * width, 0.0);
   std::vector<double> next(n * width, 0.0);
   auto cell = [width](std::vector<double>& f, std::size_t s, std::size_t k)
@@ -118,6 +122,7 @@ JointDistribution DiscretisationEngine::joint_distribution(const Mrm& model,
   ThreadPool& workers = pool();
   const std::size_t grain = sweep_grain(width);
   for (std::size_t j = 1; j < total_steps; ++j) {
+    CSRL_COUNT("p3/discretisation/sweeps", 1);
     workers.parallel_for(0, n, grain, [&](std::size_t lo, std::size_t hi) {
       std::fill(next.begin() + static_cast<std::ptrdiff_t>(lo * width),
                 next.begin() + static_cast<std::ptrdiff_t>(hi * width), 0.0);
@@ -168,6 +173,8 @@ double DiscretisationEngine::interval_until(const Mrm& model,
     throw ModelError(
         "interval_until: both upper bounds must be finite (unbounded "
         "dimensions are the P0/P1/P2 pipelines' job)");
+
+  CSRL_SPAN("p3/discretisation/interval_until");
 
   const double d = step_;
   std::vector<std::size_t> rho(n);
@@ -233,6 +240,7 @@ double DiscretisationEngine::interval_until(const Mrm& model,
   ThreadPool& workers = pool();
   const std::size_t grain = sweep_grain(width);
   for (std::size_t j = 1; j <= t_hi; ++j) {
+    CSRL_COUNT("p3/discretisation/sweeps", 1);
     workers.parallel_for(0, n, grain, [&](std::size_t lo, std::size_t hi) {
       std::fill(next.begin() + static_cast<std::ptrdiff_t>(lo * width),
                 next.begin() + static_cast<std::ptrdiff_t>(hi * width), 0.0);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "ctmc/uniformisation.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace csrl {
@@ -45,6 +46,7 @@ bool joint_distribution_trivial_case(const Mrm& model, double t, double r,
   // At t = 0 no reward has accumulated yet, so the joint distribution is
   // the initial distribution itself.
   if (t == 0.0 || n == 0) {
+    CSRL_COUNT("p3/trivial_cases", 1);
     out.per_state = model.initial_distribution();
     out.steps = 0;
     return true;
@@ -55,6 +57,7 @@ bool joint_distribution_trivial_case(const Mrm& model, double t, double r,
   // at or above that level never binds and plain transient analysis is
   // exact.
   if (!model.has_impulse_rewards() && r >= model.max_reward() * t) {
+    CSRL_COUNT("p3/trivial_cases", 1);
     out.per_state =
         transient_distribution(model.chain(), model.initial_distribution(), t);
     out.steps = 0;

@@ -7,6 +7,7 @@
 
 #include "core/validate.hpp"
 #include "ctmc/foxglynn.hpp"
+#include "obs/obs.hpp"
 #include "util/contracts.hpp"
 #include "util/error.hpp"
 
@@ -26,8 +27,11 @@ std::string ErlangEngine::name() const {
 }
 
 Ctmc ErlangEngine::expand(const Mrm& model, double r) const {
+  CSRL_SPAN("p3/erlang/expand");
   const std::size_t n = model.num_states();
   const std::size_t k = phases_;
+  CSRL_GAUGE("p3/erlang/expanded_states",
+             static_cast<double>(n * k + 1));
   const std::size_t exceeded = n * k;
   const double phase_rate_per_reward = static_cast<double>(k) / r;
 
@@ -70,6 +74,7 @@ JointDistribution ErlangEngine::joint_distribution(const Mrm& model, double t,
   JointDistribution result;
   if (joint_distribution_trivial_case(model, t, r, result)) return result;
 
+  CSRL_SPAN("p3/erlang/joint_distribution");
   const std::size_t n = model.num_states();
   const std::size_t k = phases_;
   const Ctmc expanded = expand(model, r);
@@ -113,6 +118,7 @@ std::vector<double> ErlangEngine::joint_probability_all_starts(
   std::vector<double> result;
   if (joint_all_starts_trivial_case(model, t, r, target, result)) return result;
 
+  CSRL_SPAN("p3/erlang/all_starts");
   const std::size_t n = model.num_states();
   const std::size_t k = phases_;
   const Ctmc expanded = expand(model, r);

@@ -7,6 +7,7 @@
 #include "core/validate.hpp"
 #include "ctmc/foxglynn.hpp"
 #include "matrix/vector_ops.hpp"
+#include "obs/obs.hpp"
 #include "util/contracts.hpp"
 #include "util/error.hpp"
 
@@ -100,6 +101,8 @@ std::vector<double> SericolaEngine::joint_probability_all_starts(
   if (joint_all_starts_trivial_case(model, t, r, target, trivial))
     return trivial;
 
+  CSRL_SPAN("p3/sericola/all_starts");
+
   if (model.has_impulse_rewards())
     throw ModelError(
         "SericolaEngine: occupation-time distributions are a rate-reward "
@@ -129,6 +132,8 @@ std::vector<double> SericolaEngine::joint_probability_all_starts(
   const CsrMatrix p = model.chain().uniformised_dtmc(lambda);
   const PoissonWeights weights = poisson_weights(lambda * t, epsilon_);
   const std::size_t max_n = weights.right;
+  CSRL_GAUGE("p3/sericola/truncation_depth", static_cast<double>(max_n));
+  CSRL_GAUGE("p3/sericola/reward_classes", static_cast<double>(m));
 
   // c(h, n, k) vectors for the current and previous jump count n, plus the
   // cache of products P * c(h, n-1, k) both sweeps consume.
@@ -150,6 +155,8 @@ std::vector<double> SericolaEngine::joint_probability_all_starts(
   constexpr std::size_t kMemberGrain = 1 << 12;
 
   for (std::size_t n = 0; n <= max_n; ++n) {
+    CSRL_SPAN("p3/sericola/column_sweep");
+    CSRL_COUNT("p3/sericola/jump_levels", 1);
     if (n > 0) {
       p.multiply(u, scratch);
       u.swap(scratch);
@@ -250,6 +257,8 @@ JointDistribution SericolaEngine::joint_distribution(const Mrm& model, double t,
                                                      double r) const {
   JointDistribution result;
   if (joint_distribution_trivial_case(model, t, r, result)) return result;
+
+  CSRL_SPAN("p3/sericola/joint_distribution");
 
   // One vector pass per final state j (cumulatively the cost of the
   // paper-faithful matrix recursion); the initial distribution then picks

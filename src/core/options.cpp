@@ -3,6 +3,7 @@
 #include "core/engines/discretisation_engine.hpp"
 #include "core/engines/erlang_engine.hpp"
 #include "core/engines/sericola_engine.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -17,6 +18,9 @@ std::unique_ptr<JointDistributionEngine> make_engine(const CheckOptions& options
     ThreadPool::set_global_threads(options.num_threads);
   if (options.validate) validation::set_level(*options.validate);
   std::shared_ptr<ThreadPool> pool = ThreadPool::global_ptr();
+
+  CSRL_SPAN("core/make_engine");
+  CSRL_COUNT("engine/instantiations", 1);
 
   switch (options.engine) {
     case P3Engine::kSericola:

@@ -56,6 +56,13 @@ struct CheckOptions {
   /// value applies process-wide (validation::set_level).
   std::optional<ValidationLevel> validate{};
 
+  /// Collect a machine-readable RunReport (src/obs/report.hpp) for each
+  /// Checker::check call: engine chosen, model dimensions, Fox-Glynn
+  /// window, iteration/SpMV counters and span timings.  Checker::check
+  /// also reports when recording is already on process-wide (the
+  /// CSRL_TRACE environment variable or obs::set_recording).
+  bool report = false;
+
   /// Number of threads for the parallel kernels and engine sweeps.
   /// 0 = automatic: the CSRL_THREADS environment variable if set, else
   /// std::thread::hardware_concurrency().  All checking through one

@@ -6,6 +6,7 @@
 #include "ctmc/graph.hpp"
 #include "ctmc/uniformisation.hpp"
 #include "mrm/transform.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace csrl {
@@ -36,6 +37,7 @@ UntilPrecomputation qualitative_until(const CsrMatrix& adjacency,
 
 std::vector<double> Checker::unbounded_until(const StateSet& phi,
                                              const StateSet& psi) const {
+  CSRL_SPAN("core/until/p0");
   const std::size_t n = model_->num_states();
   const CsrMatrix p = model_->chain().embedded_dtmc();
   const UntilPrecomputation pre = qualitative_until(model_->rates(), phi, psi);
@@ -75,6 +77,7 @@ std::vector<double> Checker::unbounded_until(const StateSet& phi,
 std::vector<double> Checker::time_bounded_until(const StateSet& phi,
                                                 const StateSet& psi,
                                                 Interval time) const {
+  CSRL_SPAN("core/until/p1");
   // I = [0, t]: make Psi and the illegal states absorbing, then transient
   // analysis at t decides the formula ([3]; the paper's P1 recipe).
   if (time.lo == 0.0) {
@@ -115,6 +118,7 @@ std::vector<double> Checker::time_bounded_until(const StateSet& phi,
 std::vector<double> Checker::reward_bounded_until(const StateSet& phi,
                                                   const StateSet& psi,
                                                   Interval reward) const {
+  CSRL_SPAN("core/until/p2");
   // P2: swap the reward bound into a time bound on the dual model
   // [4, Thm 1].  Sat sets live on the same state space, so they transfer
   // unchanged.
@@ -147,6 +151,8 @@ std::vector<double> Checker::time_reward_bounded_until(const StateSet& phi,
                                                        double r) const {
   if (!(t >= 0.0) || !(r >= 0.0))
     throw ModelError("until: time and reward bounds must be >= 0");
+
+  CSRL_SPAN("core/until/p3");
 
   // Theorem 1: amalgamating reduction, then reward-bounded instant-of-time
   // reachability of the "success" state via the configured engine

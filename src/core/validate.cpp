@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/obs.hpp"
 #include "util/contracts.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -22,7 +23,13 @@ thread_local bool tls_in_recompute = false;
 }  // namespace
 
 void Validator::fail(const std::string& what) const {
-  throw ContractViolation(subject_ + ": " + what);
+  std::string message = subject_ + ": " + what;
+  // Same self-location scheme as validation::fail (util/contracts.hpp):
+  // the innermost active span names the pipeline phase that produced the
+  // offending data.
+  if (const std::string span = obs::current_span_path(); !span.empty())
+    message += " (span: " + span + ")";
+  throw ContractViolation(std::move(message));
 }
 
 void Validator::csr_structure(const CsrMatrix& m) const {

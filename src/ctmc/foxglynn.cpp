@@ -3,6 +3,7 @@
 #include <cmath>
 #include <deque>
 
+#include "obs/obs.hpp"
 #include "util/contracts.hpp"
 #include "util/error.hpp"
 
@@ -39,11 +40,16 @@ PoissonWeights poisson_weights(double lambda_t, double epsilon) {
   if (!(epsilon > 0.0 && epsilon < 1.0))
     throw NumericalError("poisson_weights: epsilon must be in (0, 1)");
 
+  CSRL_SPAN("ctmc/foxglynn/window");
   PoissonWeights result;
   if (lambda_t == 0.0) {
     result.left = result.right = 0;
     result.weights = {1.0};
     result.total = 1.0;
+    CSRL_COUNT("foxglynn/windows", 1);
+    CSRL_GAUGE("foxglynn/window_left", 0.0);
+    CSRL_GAUGE("foxglynn/window_right", 0.0);
+    CSRL_HIST("foxglynn/window_width", 1.0);
     return result;
   }
 
@@ -109,6 +115,11 @@ PoissonWeights poisson_weights(double lambda_t, double epsilon) {
           std::to_string(result.total) + " violates normalisation for "
           "lambda*t = " + std::to_string(lambda_t) + ", epsilon = " +
           std::to_string(epsilon));
+  CSRL_COUNT("foxglynn/windows", 1);
+  CSRL_GAUGE("foxglynn/window_left", static_cast<double>(result.left));
+  CSRL_GAUGE("foxglynn/window_right", static_cast<double>(result.right));
+  CSRL_HIST("foxglynn/window_width",
+            static_cast<double>(result.right - result.left + 1));
   return result;
 }
 

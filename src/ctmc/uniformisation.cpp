@@ -4,6 +4,7 @@
 
 #include "ctmc/foxglynn.hpp"
 #include "matrix/vector_ops.hpp"
+#include "obs/obs.hpp"
 #include "util/contracts.hpp"
 #include "util/error.hpp"
 
@@ -40,6 +41,7 @@ void accumulate_series(std::vector<double>& iterate, std::vector<double>& scratc
   if (weights.left == 0 && !weights.weights.empty())
     axpy(weights.weights[0], iterate, result);
   for (std::size_t n = 1; n <= weights.right; ++n) {
+    CSRL_COUNT("uniformisation/steps", 1);
     step(iterate, scratch);
     // The steady-state check compares the *full* vector (max_abs_diff is a
     // max-reduction over every entry, serial or parallel alike), so
@@ -53,6 +55,7 @@ void accumulate_series(std::vector<double>& iterate, std::vector<double>& scratc
         remaining += weights.weight(m);
       axpy(remaining, scratch, result);
       iterate.swap(scratch);
+      CSRL_COUNT("uniformisation/steady_state_cutoffs", 1);
       return;
     }
     iterate.swap(scratch);
@@ -79,6 +82,8 @@ std::vector<double> transient_distribution(const Ctmc& chain,
   // With every state absorbing the distribution never moves; returning it
   // directly also avoids charging the truncation error for nothing.
   if (t == 0.0 || n == 0 || chain.max_exit_rate() == 0.0) return pi;
+
+  CSRL_SPAN("ctmc/transient/forward");
 
   const double lambda = resolve_rate(chain, options);
   const CsrMatrix p = chain.uniformised_dtmc(lambda);
@@ -118,6 +123,8 @@ std::vector<double> transient_backward(const Ctmc& chain,
 
   std::vector<double> u(terminal.begin(), terminal.end());
   if (t == 0.0 || n == 0 || chain.max_exit_rate() == 0.0) return u;
+
+  CSRL_SPAN("ctmc/transient/backward");
 
   const double lambda = resolve_rate(chain, options);
   const CsrMatrix p = chain.uniformised_dtmc(lambda);

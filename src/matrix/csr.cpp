@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "util/contracts.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -204,6 +205,7 @@ double CsrMatrix::at(std::size_t r, std::size_t c) const {
 void CsrMatrix::multiply(std::span<const double> x, std::span<double> y) const {
   if (x.size() != cols_ || y.size() != rows_)
     throw ModelError("CsrMatrix::multiply: dimension mismatch");
+  CSRL_COUNT("spmv/multiply", 1);
 
   const auto gather_rows = [&](std::size_t row_begin, std::size_t row_end) {
     for (std::size_t r = row_begin; r < row_end; ++r) {
@@ -233,6 +235,7 @@ void CsrMatrix::multiply(std::span<const double> x, std::span<double> y) const {
 void CsrMatrix::multiply_left(std::span<const double> x, std::span<double> y) const {
   if (x.size() != rows_ || y.size() != cols_)
     throw ModelError("CsrMatrix::multiply_left: dimension mismatch");
+  CSRL_COUNT("spmv/multiply_left", 1);
 
   const ThreadPool& pool = ThreadPool::global();
   if (pool.num_threads() == 1 || nnz() < kParallelNnzThreshold) {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "matrix/vector_ops.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace csrl {
@@ -66,6 +67,7 @@ double gauss_seidel_sweep(const CsrMatrix& a, std::span<const double> b,
 /// BiCGSTAB on M x = b with M = I - A, expressed through y = x - A x.
 std::vector<double> bicgstab(const CsrMatrix& a, std::span<const double> b,
                              const SolverOptions& options) {
+  CSRL_SPAN("solver/bicgstab");
   const std::size_t n = a.rows();
   const auto apply = [&a](std::span<const double> x, std::vector<double>& y) {
     a.multiply(x, y);           // y = A x
@@ -81,12 +83,17 @@ std::vector<double> bicgstab(const CsrMatrix& a, std::span<const double> b,
   std::vector<double> t(n, 0.0);
 
   const double target = options.tolerance * std::max(1.0, norm_inf(b));
-  if (norm_inf(r) <= target) return x;
+  const double r0 = norm_inf(r);
+  if (r0 <= target) {
+    CSRL_GAUGE("solver/residual", r0);
+    return x;
+  }
 
   double rho = 1.0;
   double alpha = 1.0;
   double omega = 1.0;
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    CSRL_COUNT("solver/iterations", 1);
     const double rho_next = dot(r_hat, r);
     if (std::abs(rho_next) < 1e-300)
       throw NumericalError("solve_fixpoint: BiCGSTAB breakdown (rho ~ 0)");
@@ -100,8 +107,10 @@ std::vector<double> bicgstab(const CsrMatrix& a, std::span<const double> b,
       throw NumericalError("solve_fixpoint: BiCGSTAB breakdown (r^.v ~ 0)");
     alpha = rho / denominator;
     for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
-    if (norm_inf(s) <= target) {
+    const double s_norm = norm_inf(s);
+    if (s_norm <= target) {
       axpy(alpha, p, x);
+      CSRL_GAUGE("solver/residual", s_norm);
       return x;
     }
     apply(s, t);
@@ -111,7 +120,11 @@ std::vector<double> bicgstab(const CsrMatrix& a, std::span<const double> b,
     omega = dot(t, s) / tt;
     for (std::size_t i = 0; i < n; ++i) x[i] += alpha * p[i] + omega * s[i];
     for (std::size_t i = 0; i < n; ++i) r[i] = s[i] - omega * t[i];
-    if (norm_inf(r) <= target) return x;
+    const double r_norm = norm_inf(r);
+    if (r_norm <= target) {
+      CSRL_GAUGE("solver/residual", r_norm);
+      return x;
+    }
   }
   throw NumericalError("solve_fixpoint: BiCGSTAB did not converge within " +
                        std::to_string(options.max_iterations) + " iterations");
@@ -129,21 +142,31 @@ std::vector<double> solve_fixpoint(const CsrMatrix& a, std::span<const double> b
   if (options.method == LinearMethod::kBicgstab) return bicgstab(a, b, options);
 
   if (options.method == LinearMethod::kJacobi) {
+    CSRL_SPAN("solver/jacobi");
     std::vector<double> x_next(n, 0.0);
     for (std::size_t it = 0; it < options.max_iterations; ++it) {
+      CSRL_COUNT("solver/iterations", 1);
       jacobi_sweep(a, b, x, x_next);
       const double diff = max_abs_diff(x, x_next);
       x.swap(x_next);
-      if (diff <= options.tolerance) return x;
+      if (diff <= options.tolerance) {
+        CSRL_GAUGE("solver/residual", diff);
+        return x;
+      }
     }
   } else {
+    CSRL_SPAN("solver/gauss_seidel");
     const double omega =
         options.method == LinearMethod::kSor ? options.omega : 1.0;
     if (!(omega > 0.0 && omega < 2.0))
       throw NumericalError("solve_fixpoint: SOR omega must lie in (0, 2)");
     for (std::size_t it = 0; it < options.max_iterations; ++it) {
+      CSRL_COUNT("solver/iterations", 1);
       const double diff = gauss_seidel_sweep(a, b, x, omega);
-      if (diff <= options.tolerance) return x;
+      if (diff <= options.tolerance) {
+        CSRL_GAUGE("solver/residual", diff);
+        return x;
+      }
     }
   }
   throw NumericalError("solve_fixpoint: no convergence within " +
@@ -156,14 +179,19 @@ std::vector<double> power_stationary(const CsrMatrix& p,
   const std::size_t n = p.rows();
   if (n == 0) throw ModelError("power_stationary: empty matrix");
 
+  CSRL_SPAN("solver/power_stationary");
   std::vector<double> pi(n, 1.0 / static_cast<double>(n));
   std::vector<double> next(n, 0.0);
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    CSRL_COUNT("solver/iterations", 1);
     p.multiply_left(pi, next);
     normalise_l1(next);
     const double diff = max_abs_diff(pi, next);
     pi.swap(next);
-    if (diff <= options.tolerance) return pi;
+    if (diff <= options.tolerance) {
+      CSRL_GAUGE("solver/residual", diff);
+      return pi;
+    }
   }
   throw NumericalError("power_stationary: no convergence within " +
                        std::to_string(options.max_iterations) + " iterations");

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <string>
 
+#include "obs/obs.hpp"
 #include "util/contracts.hpp"
 #include "util/error.hpp"
 
@@ -119,6 +120,8 @@ UntilReduction reduce_for_until(const Mrm& model, const StateSet& phi,
 }
 
 Mrm dual(const Mrm& model) {
+  CSRL_SPAN("mrm/dual");
+  CSRL_COUNT("mrm/dual_transforms", 1);
   if (model.has_impulse_rewards())
     throw ModelError(
         "dual: the time/reward duality of [4, Thm 1] is a rate-reward "

@@ -1,0 +1,163 @@
+#include "obs/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace csrl {
+namespace obs {
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!pending_.empty()) {
+    if (pending_.back() != 0) out_ += ',';
+    pending_.back() = 1;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  out_ += '{';
+  pending_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  pending_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  out_ += '[';
+  pending_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  pending_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  separate();
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\": ";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  separate();
+  out_ += '"';
+  out_ += json_escape(s);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  separate();
+  if (!std::isfinite(d)) {
+    out_ += "null";
+    return *this;
+  }
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", d);
+  out_ += buffer;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t u) {
+  separate();
+  out_ += std::to_string(u);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t i) {
+  separate();
+  out_ += std::to_string(i);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  separate();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+std::string JsonWriter::str() && { return std::move(out_); }
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void emit_metrics(JsonWriter& w, const MetricsSnapshot& metrics) {
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : metrics.counters) w.key(name).value(value);
+  w.end_object();
+
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : metrics.gauges) w.key(name).value(value);
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const auto& [name, stats] : metrics.histograms) {
+    w.key(name).begin_object();
+    w.key("count").value(stats.count);
+    w.key("sum").value(stats.sum);
+    w.key("min").value(stats.min);
+    w.key("max").value(stats.max);
+    w.end_object();
+  }
+  w.end_object();
+}
+
+void emit_spans(JsonWriter& w, const std::vector<SpanAggregate>& spans) {
+  w.key("spans").begin_array();
+  for (const SpanAggregate& span : spans) {
+    w.begin_object();
+    w.key("path").value(span.path);
+    w.key("count").value(span.count);
+    w.key("total_ms").value(span.total_ms);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace obs
+}  // namespace csrl

@@ -1,0 +1,64 @@
+// Minimal JSON serialiser for the observability layer.
+//
+// The library ships machine-readable run reports and chrome://tracing
+// files without pulling a JSON dependency into a numerical codebase:
+// JsonWriter is a forward-only builder with explicit begin/end calls,
+// correct string escaping, and deterministic number formatting
+// (shortest round-trip via %.17g, non-finite values mapped to null so
+// the output always parses).  Callers are responsible for key order —
+// the obs layer always emits sorted or fixed-order keys so reports are
+// stable and diffable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/obs.hpp"
+
+namespace csrl {
+namespace obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key inside an object; must be followed by a value or container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double d);
+  JsonWriter& value(std::uint64_t u);
+  JsonWriter& value(std::int64_t i);
+  JsonWriter& value(bool b);
+
+  /// The finished document.  Consumes the builder.
+  std::string str() &&;
+
+ private:
+  void separate();
+
+  std::string out_;
+  // One bool per open container: "the next element needs a comma".
+  std::string pending_;
+  bool after_key_ = false;
+};
+
+/// JSON-escape `s` (quotes, backslashes, control characters).
+std::string json_escape(std::string_view s);
+
+/// Emit the three metric maps as "counters"/"gauges"/"histograms" keys
+/// of the currently open object.  Entries come out in the snapshot's
+/// (sorted) order.
+void emit_metrics(JsonWriter& w, const MetricsSnapshot& metrics);
+
+/// Emit a "spans" key holding the flat aggregate as an array of
+/// {path, count, total_ms} objects.
+void emit_spans(JsonWriter& w, const std::vector<SpanAggregate>& spans);
+
+}  // namespace obs
+}  // namespace csrl

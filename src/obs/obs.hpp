@@ -1,0 +1,268 @@
+// Observability layer: metrics registry, tracing spans, wall timing.
+//
+// The P3 engines, the solvers and the thread pool expose their internals
+// (Fox-Glynn window sizes, iteration counts, SpMV counts, per-phase wall
+// time) through this zero-dependency subsystem so benches and run reports
+// can attribute end-to-end numbers to phases.  Like the contracts layer
+// (util/contracts.hpp) it has three gears:
+//
+//   * compiled out entirely with -DCSRL_OBS=OFF (every macro below
+//     expands to nothing; the snapshot/report API still compiles and
+//     returns empty data),
+//   * compiled in but dormant by default (each CSRL_COUNT/CSRL_GAUGE/
+//     CSRL_HIST site costs one relaxed atomic load and a predicted
+//     branch; each CSRL_SPAN site additionally maintains the per-thread
+//     span-path stack — two pointer pushes — so contract failures can
+//     self-locate even when recording is off),
+//   * switched on at runtime by the CSRL_TRACE environment variable, by
+//     CheckOptions::report, or programmatically with
+//     obs::set_recording / obs::ScopedRecording (what the tests use).
+//
+// Naming scheme: every span and metric name is a static '/'-separated
+// path `subsystem/engine/phase` matching ^[a-z0-9_]+(/[a-z0-9_]+)*$
+// (enforced by scripts/lint.py), e.g. "p3/sericola/column_sweep",
+// "solver/iterations", "pool/chunks".
+//
+// Concurrency: counters and histograms accumulate into lock-free
+// thread-local shards (single writer each, relaxed atomics so snapshots
+// from other threads are race-free); gauges are process-global relaxed
+// atomics (set rarely, from the coordinating thread).  Span events go to
+// per-thread buffers guarded by a per-buffer mutex that is only touched
+// while recording is on.  snapshot_metrics() / drain_spans() merge the
+// shards; they may run concurrently with writers and see a slightly
+// stale but internally consistent view.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace csrl {
+
+/// Wall-clock stopwatch; starts running on construction.  (Absorbed from
+/// the retired util/timer.hpp — the single timing facility of the
+/// library; SpanGuard uses the same steady clock.)
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// Recording control
+// ---------------------------------------------------------------------------
+
+/// Is metric/span recording currently on?  One relaxed atomic load; the
+/// dormant fast path of every instrumentation site.
+bool recording_enabled();
+
+/// Turn recording on/off process-wide (like validation::set_level).  The
+/// CSRL_TRACE environment variable ("1"/anything but "0") seeds the
+/// initial state; when CSRL_TRACE is set, process exit writes a chrome
+/// trace to "<CSRL_OBS_OUT or csrl_trace>.trace.json" and a metrics dump
+/// to "<stem>.metrics.json".
+void set_recording(bool on);
+
+/// RAII recording override for tests and report collection: forces `on`
+/// at construction, restores the previous state on destruction.
+class ScopedRecording {
+ public:
+  explicit ScopedRecording(bool on = true);
+  ~ScopedRecording();
+  ScopedRecording(const ScopedRecording&) = delete;
+  ScopedRecording& operator=(const ScopedRecording&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// The CSRL_OBS_OUT environment variable, or `fallback` when unset.
+std::string output_stem(const std::string& fallback = "csrl_trace");
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+/// Interned metric identifiers.  Each instrumentation site interns its
+/// name once (function-local static) and then increments by id; the
+/// three kinds have independent id spaces.  Names must be string
+/// literals (the registry stores the pointer's characters once).
+std::size_t intern_counter(const char* name);
+std::size_t intern_gauge(const char* name);
+std::size_t intern_histogram(const char* name);
+
+/// Hot-path mutators (call only with a valid interned id).  counter_add
+/// and histogram_record write the calling thread's shard; gauge_set
+/// writes the process-global slot.
+void counter_add(std::size_t id, std::uint64_t delta);
+void gauge_set(std::size_t id, double value);
+void histogram_record(std::size_t id, double value);
+
+/// Merged view of every shard at one instant.  Entries are sorted by
+/// name, so serialisation is stable-keyed.
+struct MetricsSnapshot {
+  struct HistogramStats {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramStats>> histograms;
+
+  /// Lookup helpers; zero-value defaults when the name is absent.
+  std::uint64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+};
+
+/// Merge all shards (counters/histograms summed, gauges read) into one
+/// snapshot.  Never resets anything.
+MetricsSnapshot snapshot_metrics();
+
+/// Counter/histogram delta between two snapshots (after - before);
+/// gauges take their `after` values.  Entries that are zero in the delta
+/// are dropped, so a report only carries the metrics its run touched.
+MetricsSnapshot metrics_delta(const MetricsSnapshot& before,
+                              const MetricsSnapshot& after);
+
+// ---------------------------------------------------------------------------
+// Tracing spans
+// ---------------------------------------------------------------------------
+
+/// Nanoseconds since the process-wide obs epoch (steady clock).
+std::int64_t now_ns();
+
+/// One completed span occurrence.
+struct SpanEvent {
+  std::string path;          // full nesting path "a/b/c"
+  std::uint32_t thread = 0;  // small per-thread id (chrome tid)
+  std::uint32_t depth = 0;   // nesting depth at entry (outermost = 0)
+  std::int64_t start_ns = 0;
+  std::int64_t duration_ns = 0;
+};
+
+/// RAII span: pushes `name` on the calling thread's span-path stack for
+/// its lifetime (always, so ContractViolation can self-locate) and, when
+/// recording is on at construction, emits a SpanEvent on destruction.
+/// `name` must be a string literal.
+class SpanGuard {
+ public:
+  explicit SpanGuard(const char* name);
+  ~SpanGuard();
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  std::int64_t start_ns_;  // negative: not recording this span
+};
+
+/// The calling thread's innermost active span path ("a/b/c"), or ""
+/// outside every span.  Contract failures append this to their context.
+std::string current_span_path();
+
+/// Move all buffered span events (every thread) out of the registry.
+std::vector<SpanEvent> drain_spans();
+
+/// Copy the buffered span events without consuming them (what report
+/// collection uses, so the process-exit trace flush still sees them).
+std::vector<SpanEvent> peek_spans();
+
+/// Flat per-path aggregate of a batch of events, sorted by path.
+struct SpanAggregate {
+  std::string path;
+  std::uint64_t count = 0;
+  double total_ms = 0.0;
+};
+std::vector<SpanAggregate> aggregate_spans(const std::vector<SpanEvent>& events);
+
+/// Serialise events in the chrome://tracing "complete event" JSON array
+/// format (load the file via chrome://tracing or https://ui.perfetto.dev).
+std::string chrome_trace_json(const std::vector<SpanEvent>& events);
+
+/// chrome_trace_json written to `path`; returns false on I/O failure.
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<SpanEvent>& events);
+
+/// Testing/reporting hook: forget all recorded spans and metric values
+/// (interned names survive).  Not thread-safe against concurrent writers.
+void reset_all();
+
+}  // namespace obs
+
+}  // namespace csrl
+
+// ---------------------------------------------------------------------------
+// Instrumentation macros (the only interface the numerical code uses)
+// ---------------------------------------------------------------------------
+//
+// CSRL_SPAN(name)          RAII span for the rest of the enclosing scope.
+// CSRL_COUNT(name, delta)  add `delta` to counter `name`.
+// CSRL_GAUGE(name, value)  set gauge `name` to `value`.
+// CSRL_HIST(name, value)   record `value` into histogram `name`.
+// CSRL_OBS_ACTIVE()        true when sites are compiled in AND recording.
+//
+// With -DCSRL_OBS=OFF all of them compile to nothing.
+
+#ifdef CSRL_OBS_DISABLED
+
+#define CSRL_SPAN(name) ((void)0)
+#define CSRL_COUNT(name, delta) ((void)0)
+#define CSRL_GAUGE(name, value) ((void)0)
+#define CSRL_HIST(name, value) ((void)0)
+#define CSRL_OBS_ACTIVE() false
+
+#else
+
+#define CSRL_OBS_CONCAT_IMPL(a, b) a##b
+#define CSRL_OBS_CONCAT(a, b) CSRL_OBS_CONCAT_IMPL(a, b)
+
+#define CSRL_SPAN(name) \
+  ::csrl::obs::SpanGuard CSRL_OBS_CONCAT(csrl_obs_span_, __LINE__)(name)
+
+#define CSRL_COUNT(name, delta)                                            \
+  do {                                                                     \
+    if (::csrl::obs::recording_enabled()) {                                \
+      static const std::size_t csrl_obs_id =                               \
+          ::csrl::obs::intern_counter(name);                               \
+      ::csrl::obs::counter_add(csrl_obs_id,                                \
+                               static_cast<std::uint64_t>(delta));         \
+    }                                                                      \
+  } while (false)
+
+#define CSRL_GAUGE(name, value)                                            \
+  do {                                                                     \
+    if (::csrl::obs::recording_enabled()) {                                \
+      static const std::size_t csrl_obs_id =                               \
+          ::csrl::obs::intern_gauge(name);                                 \
+      ::csrl::obs::gauge_set(csrl_obs_id, static_cast<double>(value));     \
+    }                                                                      \
+  } while (false)
+
+#define CSRL_HIST(name, value)                                             \
+  do {                                                                     \
+    if (::csrl::obs::recording_enabled()) {                                \
+      static const std::size_t csrl_obs_id =                               \
+          ::csrl::obs::intern_histogram(name);                             \
+      ::csrl::obs::histogram_record(csrl_obs_id,                           \
+                                    static_cast<double>(value));           \
+    }                                                                      \
+  } while (false)
+
+#define CSRL_OBS_ACTIVE() (::csrl::obs::recording_enabled())
+
+#endif  // CSRL_OBS_DISABLED

@@ -1,0 +1,86 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+
+#include "obs/json_writer.hpp"
+
+namespace csrl {
+namespace obs {
+
+std::string RunReport::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("csrl-run-report-v1");
+  w.key("engine").value(engine);
+  w.key("model").begin_object();
+  w.key("states").value(static_cast<std::uint64_t>(states));
+  w.key("transitions").value(static_cast<std::uint64_t>(transitions));
+  w.end_object();
+  w.key("truncation_error").value(truncation_error);
+  w.key("fox_glynn").begin_object();
+  w.key("left").value(fox_glynn_left);
+  w.key("right").value(fox_glynn_right);
+  w.end_object();
+  w.key("solver_iterations").value(solver_iterations);
+  w.key("uniformisation_steps").value(uniformisation_steps);
+  w.key("spmv_count").value(spmv_count);
+  w.key("solver_residual").value(solver_residual);
+  w.key("wall_seconds").value(wall_seconds);
+  emit_metrics(w, metrics);
+  emit_spans(w, spans);
+  w.end_object();
+  return std::move(w).str();
+}
+
+ReportScope::ReportScope()
+    : recording_(true), before_(snapshot_metrics()), start_ns_(now_ns()) {}
+
+RunReport ReportScope::finish(std::string engine, std::size_t states,
+                              std::size_t transitions,
+                              double truncation_error) {
+  RunReport report;
+  report.engine = std::move(engine);
+  report.states = states;
+  report.transitions = transitions;
+  report.truncation_error = truncation_error;
+  report.wall_seconds = timer_.seconds();
+
+  const MetricsSnapshot after = snapshot_metrics();
+  report.metrics = metrics_delta(before_, after);
+
+  std::vector<SpanEvent> events;
+  for (SpanEvent& event : peek_spans())
+    if (event.start_ns >= start_ns_) events.push_back(std::move(event));
+  report.spans = aggregate_spans(events);
+
+  report.fox_glynn_left =
+      static_cast<std::uint64_t>(after.gauge("foxglynn/window_left"));
+  report.fox_glynn_right =
+      static_cast<std::uint64_t>(after.gauge("foxglynn/window_right"));
+  report.solver_iterations = report.metrics.counter("solver/iterations");
+  report.uniformisation_steps =
+      report.metrics.counter("uniformisation/steps");
+  report.spmv_count = report.metrics.counter("spmv/multiply") +
+                      report.metrics.counter("spmv/multiply_left");
+  report.solver_residual = after.gauge("solver/residual");
+  return report;
+}
+
+bool write_report_if_requested(const RunReport& report) {
+  const std::string stem = output_stem("");
+  if (stem.empty()) return false;
+  const auto write = [](const std::string& path, const std::string& text) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return written == text.size();
+  };
+  const bool report_ok = write(stem + ".report.json", report.to_json());
+  const bool trace_ok =
+      write_chrome_trace(stem + ".trace.json", peek_spans());
+  return report_ok && trace_ok;
+}
+
+}  // namespace obs
+}  // namespace csrl

@@ -1,0 +1,82 @@
+// Machine-readable run reports.
+//
+// A RunReport ties one checking/engine run's end-to-end number to the
+// phase-level counters that explain it: the engine chosen, the model
+// dimensions, the Fox-Glynn window actually used, iteration and SpMV
+// counts, solver residuals, the flat span aggregate and the full metric
+// delta of the run.  Benches serialise it next to their BENCH_*.json so
+// the perf trajectory carries attribution, and Checker::check attaches
+// it to CheckResult when CheckOptions::report (or CSRL_TRACE) asks.
+//
+// Collection protocol: construct a ReportScope before the work (it
+// forces recording on and snapshots the registry), run the work, then
+// finish() — the report holds the metric delta and the spans that
+// started inside the scope.  Scopes do not nest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace csrl {
+namespace obs {
+
+struct RunReport {
+  /// Engine or pipeline the run used ("sericola", "erlang-256", ...).
+  std::string engine;
+
+  /// Model dimensions: state count and rate-matrix non-zeros.
+  std::size_t states = 0;
+  std::size_t transitions = 0;
+
+  /// Configured a-priori truncation error of the run's series (the
+  /// Sericola epsilon or the transient-analysis epsilon).
+  double truncation_error = 0.0;
+
+  /// Key effort indicators lifted out of `metrics` for direct access.
+  std::uint64_t fox_glynn_left = 0;
+  std::uint64_t fox_glynn_right = 0;
+  std::uint64_t solver_iterations = 0;
+  std::uint64_t uniformisation_steps = 0;
+  std::uint64_t spmv_count = 0;
+  double solver_residual = 0.0;
+
+  double wall_seconds = 0.0;
+
+  /// Metric delta of the run (counters/histograms) plus current gauges.
+  MetricsSnapshot metrics;
+
+  /// Flat per-path span aggregate of the run.
+  std::vector<SpanAggregate> spans;
+
+  /// Stable-keyed JSON document ("csrl-run-report-v1").
+  std::string to_json() const;
+};
+
+/// RAII collection window (see file comment).
+class ReportScope {
+ public:
+  ReportScope();
+
+  /// Build the report for everything recorded since construction.
+  /// Callable once; the scope stays recording until destruction.
+  RunReport finish(std::string engine, std::size_t states,
+                   std::size_t transitions, double truncation_error);
+
+ private:
+  ScopedRecording recording_;
+  MetricsSnapshot before_;
+  std::int64_t start_ns_;
+  WallTimer timer_;
+};
+
+/// Write `report` to "<stem>.report.json" and the chrome trace of all
+/// currently buffered spans to "<stem>.trace.json" when the
+/// CSRL_OBS_OUT environment variable is set; no-op otherwise.  Returns
+/// true when files were written.
+bool write_report_if_requested(const RunReport& report);
+
+}  // namespace obs
+}  // namespace csrl

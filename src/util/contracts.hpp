@@ -29,6 +29,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace csrl {
@@ -99,11 +100,19 @@ inline void clear_level() {
 inline bool enabled() { return level() >= ValidationLevel::kBasic; }
 inline bool paranoid() { return level() >= ValidationLevel::kParanoid; }
 
-/// Throw the single contract-failure error type with full context.
+/// Throw the single contract-failure error type with full context.  The
+/// innermost active tracing span (obs/obs.hpp) is appended when one is
+/// open, so a violation thrown deep inside an engine self-locates
+/// ("... (span: core/until/p3/p3/sericola/all_starts)") even in builds
+/// and runs where nothing is being recorded — the span *stack* is
+/// maintained whenever the observability sites are compiled in.
 [[noreturn]] inline void fail(const char* file, int line, const char* expr,
                               const std::string& context) {
-  throw ContractViolation(std::string(expr) + " [" + file + ":" +
-                          std::to_string(line) + "] " + context);
+  std::string message = std::string(expr) + " [" + file + ":" +
+                        std::to_string(line) + "] " + context;
+  if (const std::string span = obs::current_span_path(); !span.empty())
+    message += " (span: " + span + ")";
+  throw ContractViolation(std::move(message));
 }
 
 }  // namespace validation

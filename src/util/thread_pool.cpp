@@ -8,6 +8,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/obs.hpp"
+
 namespace csrl {
 
 namespace {
@@ -69,9 +71,18 @@ struct ThreadPool::Impl {
     for (;;) {
       const std::function<void()>* job = nullptr;
       {
+        // Idle time is only metered while recording: the clock reads cost
+        // more than the dormant-site budget allows, and the wait itself is
+        // where a worker spends its whole life between jobs.
+        const bool meter = CSRL_OBS_ACTIVE();
+        [[maybe_unused]] const std::int64_t idle_from =
+            meter ? obs::now_ns() : 0;
         std::unique_lock<std::mutex> lock(mutex);
         work_ready.wait(lock,
                         [&] { return stop || generation != seen; });
+        if (meter)
+          CSRL_COUNT("pool/worker_idle_ns",
+                     static_cast<std::uint64_t>(obs::now_ns() - idle_from));
         if (stop) return;
         seen = generation;
         job = current;
@@ -113,11 +124,14 @@ void ThreadPool::parallel_for(
   const std::size_t range = end - begin;
   if (impl_ == nullptr || range <= grain || tls_in_parallel_region ||
       tls_force_serial > 0) {
+    CSRL_COUNT("pool/inline_runs", 1);
     chunk_fn(begin, end);
     return;
   }
 
   const std::size_t num_chunks = (range + grain - 1) / grain;
+  CSRL_COUNT("pool/dispatches", 1);
+  CSRL_COUNT("pool/chunks", num_chunks);
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error = nullptr;
   std::mutex error_mutex;
