@@ -10,12 +10,21 @@
 // series shows both marginals' behaviour: increasing in r for fixed t
 // (the barrier relaxes) and converging over t to the reward-bounded
 // reachability probability.
+// `--grid` switches to the batched-lattice comparison (core/batch.hpp):
+// the whole surface through joint_probability_all_starts_grid vs the
+// point-by-point loop, with the SpMV counts of both passes and a bitwise
+// equality verdict written to BENCH_fig1_grid.json.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "core/engines/engine.hpp"
 #include "core/engines/sericola_engine.hpp"
 #include "models/adhoc.hpp"
+#include "obs/json_writer.hpp"
 
 #include "bench_obs.hpp"
 
@@ -49,6 +58,97 @@ void print_surface() {
               "columns with r (the Figure-1 barrier moves up)\n\n");
 }
 
+std::uint64_t spmv_between(const obs::MetricsSnapshot& before,
+                           const obs::MetricsSnapshot& after) {
+  const obs::MetricsSnapshot delta = obs::metrics_delta(before, after);
+  return delta.counter("spmv/multiply") + delta.counter("spmv/multiply_left");
+}
+
+/// The batched-vs-looped comparison behind `--grid`: evaluates the full
+/// Figure-1 surface both ways, prints it, and writes the SpMV counts and
+/// the bitwise verdict to BENCH_fig1_grid.json.
+int run_grid_mode() {
+  const Mrm reduced = build_q3_reduced_mrm();
+  const SericolaEngine engine(1e-9);
+  StateSet success(reduced.num_states());
+  success.insert(3);
+  const std::vector<double> times{1.0, 2.0, 4.0, 8.0, 16.0, 24.0};
+  const std::vector<double> rewards{100.0, 200.0,  400.0,
+                                    600.0, 1200.0, 2400.0};
+  const std::size_t init = reduced.initial_state();
+
+  const obs::ScopedRecording recording(true);
+  const obs::MetricsSnapshot start = obs::snapshot_metrics();
+  const std::vector<std::vector<double>> batched =
+      engine.joint_probability_all_starts_grid(reduced, times, rewards,
+                                               success);
+  const obs::MetricsSnapshot mid = obs::snapshot_metrics();
+  const std::vector<std::vector<double>> looped =
+      joint_grid_reference(engine, reduced, times, rewards, success);
+  const std::uint64_t batched_spmvs = spmv_between(start, mid);
+  const std::uint64_t looped_spmvs = spmv_between(mid, obs::snapshot_metrics());
+
+  bool bitwise = batched.size() == looped.size();
+  for (std::size_t g = 0; bitwise && g < batched.size(); ++g)
+    bitwise = batched[g].size() == looped[g].size() &&
+              std::memcmp(batched[g].data(), looped[g].data(),
+                          batched[g].size() * sizeof(double)) == 0;
+
+  std::printf("=== Figure 1 surface, batched lattice vs point loop ===\n");
+  std::printf("t \\ r   ");
+  for (double r : rewards) std::printf("%9.0f", r);
+  std::printf("\n");
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    std::printf("%5.0f h ", times[i]);
+    for (std::size_t j = 0; j < rewards.size(); ++j)
+      std::printf("%9.5f", batched[i * rewards.size() + j][init]);
+    std::printf("\n");
+  }
+  const double ratio = batched_spmvs == 0
+                           ? 0.0
+                           : static_cast<double>(looped_spmvs) /
+                                 static_cast<double>(batched_spmvs);
+  std::printf("\nSpMV invocations: batched %llu, looped %llu (%.1fx), "
+              "bitwise identical: %s\n",
+              static_cast<unsigned long long>(batched_spmvs),
+              static_cast<unsigned long long>(looped_spmvs), ratio,
+              bitwise ? "yes" : "NO");
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("csrl-bench-grid-v1");
+  w.key("bench").value("fig1_grid");
+  w.key("times").begin_array();
+  for (double t : times) w.value(t);
+  w.end_array();
+  w.key("rewards").begin_array();
+  for (double r : rewards) w.value(r);
+  w.end_array();
+  w.key("values").begin_array();
+  for (std::size_t g = 0; g < batched.size(); ++g) w.value(batched[g][init]);
+  w.end_array();
+  w.key("spmv_batched").value(batched_spmvs);
+  w.key("spmv_looped").value(looped_spmvs);
+  w.key("spmv_ratio").value(ratio);
+  w.key("bitwise_identical").value(bitwise);
+  w.end_object();
+  const std::string text = std::move(w).str();
+
+  const char* path = "BENCH_fig1_grid.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+  } else {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 1;
+  }
+  // The acceptance gate for CI's bench-smoke job: the batched pass must be
+  // at least 5x cheaper and bit-identical.
+  return (bitwise && (batched_spmvs == 0 || ratio >= 5.0)) ? 0 : 1;
+}
+
 void BM_JointSurfacePoint(benchmark::State& state) {
   const double t = static_cast<double>(state.range(0));
   const double r = static_cast<double>(state.range(1));
@@ -68,6 +168,9 @@ BENCHMARK(BM_JointSurfacePoint)
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--grid") == 0) return run_grid_mode();
+  }
   const csrl_bench::BenchObs obs_guard("fig1_joint_distribution");
   print_surface();
   benchmark::Initialize(&argc, argv);

@@ -1,0 +1,171 @@
+#include "core/batch.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "core/checker.hpp"
+#include "mrm/transform.hpp"
+#include "obs/obs.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace csrl {
+
+namespace {
+
+std::uint64_t bucket_key(std::uint64_t model_fingerprint, const Formula& f) {
+  return hashing::mix(hashing::mix(hashing::kOffset, model_fingerprint),
+                      f.hash());
+}
+
+/// The unique initial state of a point-mass distribution, or alpha.size()
+/// when the distribution genuinely mixes states (the non-throwing sibling
+/// of Mrm::initial_state()).
+std::size_t point_mass_state(const std::vector<double>& alpha) {
+  std::size_t found = alpha.size();
+  for (std::size_t s = 0; s < alpha.size(); ++s) {
+    if (alpha[s] == 0.0) continue;
+    if (alpha[s] == 1.0 && found == alpha.size()) {
+      found = s;
+    } else {
+      return alpha.size();
+    }
+  }
+  return found;
+}
+
+void validate_axis(std::span<const double> axis, const char* what) {
+  if (axis.empty())
+    throw ModelError(std::string("until_grid: the ") + what +
+                     " axis must not be empty");
+  for (double v : axis)
+    if (!(v >= 0.0) || !std::isfinite(v))
+      throw ModelError(std::string("until_grid: every ") + what +
+                       " bound must be finite and >= 0");
+}
+
+}  // namespace
+
+const StateSet* SatCache::find(std::uint64_t model_fingerprint,
+                               const Formula& f) {
+  const auto it = buckets_.find(bucket_key(model_fingerprint, f));
+  if (it != buckets_.end()) {
+    const std::string canonical = f.to_string();
+    for (const Entry& entry : it->second) {
+      if (entry.canonical == canonical) {
+        ++stats_.hits;
+        return &entry.sat;
+      }
+    }
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+void SatCache::insert(std::uint64_t model_fingerprint, const Formula& f,
+                      StateSet sat) {
+  std::vector<Entry>& bucket = buckets_[bucket_key(model_fingerprint, f)];
+  std::string canonical = f.to_string();
+  for (Entry& entry : bucket) {
+    if (entry.canonical == canonical) {
+      entry.sat = std::move(sat);
+      return;
+    }
+  }
+  bucket.push_back({std::move(canonical), std::move(sat)});
+  ++size_;
+}
+
+const std::vector<double>& BatchResult::at(std::size_t time_index,
+                                           std::size_t reward_index) const {
+  if (time_index >= times.size() || reward_index >= rewards.size())
+    throw ModelError("BatchResult::at: lattice index out of range");
+  return per_state[time_index * rewards.size() + reward_index];
+}
+
+double BatchResult::value_at(std::size_t time_index,
+                             std::size_t reward_index) const {
+  const std::vector<double>& values = at(time_index, reward_index);
+  if (initial_state >= values.size())
+    throw ModelError(
+        "BatchResult::value_at: the initial distribution is not a point "
+        "mass; read at() against your own distribution instead");
+  return values[initial_state];
+}
+
+std::vector<std::vector<double>> Checker::until_grid_sets(
+    const StateSet& phi, const StateSet& psi, std::span<const double> times,
+    std::span<const double> rewards) const {
+  // Theorem 1: one amalgamating reduction serves the whole lattice — it
+  // depends on the Sat sets only, not on the bounds.
+  const UntilReduction reduction = reduce_for_until(*model_, phi, psi);
+  StateSet target(reduction.model.num_states());
+  target.insert(reduction.success_state);
+
+  const auto engine = make_engine(options_);
+  const std::vector<std::vector<double>> h =
+      options_.batch
+          ? engine->joint_probability_all_starts_grid(reduction.model, times,
+                                                      rewards, target)
+          : joint_grid_reference(*engine, reduction.model, times, rewards,
+                                 target);
+
+  const std::size_t n = model_->num_states();
+  std::vector<std::vector<double>> grid(h.size());
+  for (std::size_t g = 0; g < h.size(); ++g) {
+    grid[g].assign(n, 0.0);
+    for (std::size_t s = 0; s < n; ++s)
+      grid[g][s] = h[g][reduction.state_map[s]];
+  }
+  return grid;
+}
+
+BatchResult Checker::until_grid(const BatchQuery& query) const {
+  if (!query.psi)
+    throw ModelError("until_grid: the psi (right-hand side) formula is "
+                     "required");
+  validate_axis(query.times, "time");
+  validate_axis(query.rewards, "reward");
+
+  CSRL_SPAN("core/until_grid");
+
+  const std::size_t n = model_->num_states();
+  const StateSet phi_set =
+      query.phi ? sat(*query.phi) : StateSet(n, /*filled=*/true);
+  const StateSet psi_set = sat(*query.psi);
+
+  BatchResult result;
+  result.times = query.times;
+  result.rewards = query.rewards;
+  result.initial_state = point_mass_state(model_->initial_distribution());
+  if (psi_set.empty()) {
+    // As in until_probabilities: an unsatisfiable right-hand side fails
+    // surely, everywhere on the lattice.
+    result.per_state.assign(query.times.size() * query.rewards.size(),
+                            std::vector<double>(n, 0.0));
+    return result;
+  }
+  result.per_state =
+      until_grid_sets(phi_set, psi_set, query.times, query.rewards);
+  return result;
+}
+
+BatchResult Checker::check_until_grid(const BatchQuery& query) const {
+  if (!options_.report && !obs::recording_enabled()) return until_grid(query);
+  obs::ReportScope scope;
+  BatchResult result;
+  {
+    CSRL_SPAN("core/check");
+    result = until_grid(query);
+  }
+  obs::RunReport report =
+      scope.finish(engine_label(options_), model_->num_states(),
+                   model_->rates().nnz(), engine_truncation_error(options_));
+  report.grid_times = result.times;
+  report.grid_rewards = result.rewards;
+  obs::write_report_if_requested(report);
+  result.report = std::move(report);
+  return result;
+}
+
+}  // namespace csrl

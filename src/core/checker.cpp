@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/batch.hpp"
 #include "core/engines/discretisation_engine.hpp"
 #include "obs/obs.hpp"
 #include "util/contracts.hpp"
@@ -9,57 +10,33 @@
 
 namespace csrl {
 
-namespace {
-
-/// Report label of the configured P3 engine (matches Engine::name()).
-std::string engine_label(const CheckOptions& options) {
-  switch (options.engine) {
-    case P3Engine::kSericola:
-      return "sericola";
-    case P3Engine::kDiscretisation:
-      return "discretisation-d=" + std::to_string(options.discretisation_step);
-    case P3Engine::kErlang:
-      return "erlang-" + std::to_string(options.erlang_phases);
-  }
-  return "unknown";
-}
-
-/// Configured a-priori error knob of the run: the Sericola truncation
-/// epsilon, the O(d) discretisation step, or the transient-analysis
-/// epsilon for the pseudo-Erlang pipeline.
-double truncation_error_of(const CheckOptions& options) {
-  switch (options.engine) {
-    case P3Engine::kSericola:
-      return options.sericola_epsilon;
-    case P3Engine::kDiscretisation:
-      return options.discretisation_step;
-    case P3Engine::kErlang:
-      return options.transient.epsilon;
-  }
-  return 0.0;
-}
-
-}  // namespace
-
-Checker::Checker(const Mrm& model, CheckOptions options)
-    : model_(&model), options_(options) {
+Checker::Checker(const Mrm& model, CheckOptions options,
+                 std::shared_ptr<SatCache> sat_cache)
+    : model_(&model), options_(options), sat_cache_(std::move(sat_cache)) {
   // Applied here as well as in make_engine so the P0/P1/P2 pipelines
   // (which never instantiate a P3 engine) also see the requested level.
   if (options_.validate) validation::set_level(*options_.validate);
+  if (!sat_cache_ && options_.cache_sat_sets)
+    sat_cache_ = std::make_shared<SatCache>();
+  // The fingerprint scopes this model's entries in a (possibly shared)
+  // cache; computing it once here keeps sat() fingerprint-free.
+  if (sat_cache_) model_fingerprint_ = model_->fingerprint();
 }
 
 StateSet Checker::sat(const Formula& f) const {
-  // Cheap leaves are not worth a string key; numerically expensive nodes
+  // Cheap leaves are not worth a cache probe; numerically expensive nodes
   // (temporal/steady/reward operators under boolean structure) are.
-  if (!options_.cache_sat_sets || f.kind() == FormulaKind::kTrue ||
+  if (!sat_cache_ || f.kind() == FormulaKind::kTrue ||
       f.kind() == FormulaKind::kAtomic) {
     return compute_sat(f);
   }
-  const std::string key = f.to_string();
-  if (const auto it = sat_cache_.find(key); it != sat_cache_.end())
-    return it->second;
+  if (const StateSet* hit = sat_cache_->find(model_fingerprint_, f)) {
+    CSRL_COUNT("core/sat_cache/hits", 1);
+    return *hit;
+  }
+  CSRL_COUNT("core/sat_cache/misses", 1);
   StateSet result = compute_sat(f);
-  sat_cache_.emplace(key, result);
+  sat_cache_->insert(model_fingerprint_, f, result);
   return result;
 }
 
@@ -145,7 +122,7 @@ CheckResult Checker::check(const Formula& f) const {
   }
   result.report =
       scope.finish(engine_label(options_), model_->num_states(),
-                   model_->rates().nnz(), truncation_error_of(options_));
+                   model_->rates().nnz(), engine_truncation_error(options_));
   obs::write_report_if_requested(*result.report);
   return result;
 }

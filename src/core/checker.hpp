@@ -23,9 +23,11 @@
 //   * quantitative queries P=?[...] / S=?[...].
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/options.hpp"
@@ -35,6 +37,10 @@
 #include "util/state_set.hpp"
 
 namespace csrl {
+
+struct BatchQuery;
+struct BatchResult;
+class SatCache;
 
 /// Result of a full quantitative check, optionally carrying the run's
 /// observability report (CheckOptions::report, or process-wide recording
@@ -53,7 +59,12 @@ struct CheckResult {
 /// Model checker bound to one model.  The model must outlive the checker.
 class Checker {
  public:
-  explicit Checker(const Mrm& model, CheckOptions options = {});
+  /// `sat_cache` shares memoised Sat sets across checkers (core/batch.hpp);
+  /// entries are keyed by the model fingerprint, so one cache safely serves
+  /// checkers bound to different models.  Null gives this checker a private
+  /// cache (or none, when CheckOptions::cache_sat_sets is off).
+  explicit Checker(const Mrm& model, CheckOptions options = {},
+                   std::shared_ptr<SatCache> sat_cache = nullptr);
 
   /// The set Sat(f).  Throws ModelError if f contains a quantitative query
   /// node (P=? / S=?), which has no truth value.
@@ -75,6 +86,15 @@ class Checker {
   /// CSRL_OBS_OUT environment variable names an output stem the report
   /// and a chrome://tracing file are also written to disk.
   CheckResult check(const Formula& f) const;
+
+  /// Batched P3 evaluation (core/batch.hpp): one until formula over the
+  /// query's full times x rewards lattice in a single engine pass, every
+  /// value bitwise identical to the point-by-point loop.
+  BatchResult until_grid(const BatchQuery& query) const;
+
+  /// until_grid plus, when CheckOptions::report asks (or recording is
+  /// already on), a RunReport carrying the grid axes.
+  BatchResult check_until_grid(const BatchQuery& query) const;
 
   /// Pr_s(path formula) for every state s.
   std::vector<double> path_probabilities(const PathFormula& p) const;
@@ -111,11 +131,19 @@ class Checker {
                                                 const StateSet& psi, double t,
                                                 double r) const;
 
+  // Shared lattice evaluation behind until_grid and the P3 point path
+  // (which is a 1 x 1 grid); defined in batch.cpp.
+  std::vector<std::vector<double>> until_grid_sets(
+      const StateSet& phi, const StateSet& psi, std::span<const double> times,
+      std::span<const double> rewards) const;
+
   const Mrm* model_;
   CheckOptions options_;
-  // Sat-set memo keyed by the canonical printed form (fully parenthesised
-  // and deterministic, so equal strings mean equal semantics).
-  mutable std::unordered_map<std::string, StateSet> sat_cache_;
+  // Sat-set memo (core/batch.hpp), possibly shared across checkers; null
+  // when cache_sat_sets is off.  The fingerprint scopes this checker's
+  // entries within the cache.
+  std::shared_ptr<SatCache> sat_cache_;
+  std::uint64_t model_fingerprint_ = 0;
 };
 
 }  // namespace csrl

@@ -162,6 +162,169 @@ JointDistribution DiscretisationEngine::joint_distribution(const Mrm& model,
   return result;
 }
 
+std::vector<JointDistribution> DiscretisationEngine::joint_distribution_grid(
+    const Mrm& model, std::span<const double> times,
+    std::span<const double> rewards) const {
+  const std::size_t num_rewards = rewards.size();
+  std::vector<JointDistribution> grid(times.size() * num_rewards);
+  struct Live {
+    std::size_t slot;
+    std::size_t total_steps;
+    std::size_t reward_cells;
+  };
+  std::vector<Live> live;
+  const double d = step_;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    for (std::size_t j = 0; j < num_rewards; ++j) {
+      if (joint_distribution_trivial_case(model, times[i], rewards[j],
+                                          grid[i * num_rewards + j]))
+        continue;
+      live.push_back({i * num_rewards + j,
+                      as_natural(times[i] / d, 1e-6, "t/d"),
+                      as_natural(rewards[j] / d, 1e-6, "r/d")});
+      if (live.back().total_steps == 0)
+        throw ModelError("DiscretisationEngine: t must be at least one step d");
+    }
+  }
+  if (live.empty()) return grid;
+
+  CSRL_SPAN("p3/discretisation/joint_distribution_grid");
+  const std::size_t n = model.num_states();
+  std::vector<std::size_t> rho(n);
+  for (std::size_t s = 0; s < n; ++s)
+    rho[s] = as_natural(model.reward(s), 1e-9, "every reward rate");
+  for (std::size_t s = 0; s < n; ++s)
+    if (model.chain().exit_rate(s) * d >= 1.0)
+      throw ModelError(
+          "DiscretisationEngine: step too coarse, E(s)*d must stay below 1 "
+          "(state " + std::to_string(s) + ")");
+
+  std::size_t max_steps = 0;
+  std::size_t max_cells = 0;
+  for (const Live& pt : live) {
+    max_steps = std::max(max_steps, pt.total_steps);
+    max_cells = std::max(max_cells, pt.reward_cells);
+  }
+
+  // One F array wide enough for the largest reward bound: lower columns
+  // are bit-identical to a narrower run (see the header's argument).
+  const std::size_t width = max_cells + 1;
+  CSRL_GAUGE("p3/discretisation/time_steps", static_cast<double>(max_steps));
+  CSRL_GAUGE("p3/discretisation/reward_cells", static_cast<double>(width));
+  std::vector<double> current(n * width, 0.0);
+  std::vector<double> next(n * width, 0.0);
+  auto cell = [width](std::vector<double>& f, std::size_t s, std::size_t k)
+      -> double& { return f[s * width + k]; };
+
+  for (std::size_t s = 0; s < n; ++s) {
+    const double mass = model.initial_distribution()[s];
+    if (mass == 0.0) continue;
+    if (rho[s] <= max_cells) cell(current, s, rho[s]) += mass / d;
+  }
+
+  const CsrMatrix incoming = model.rates().transposed();
+  struct Donor {
+    std::size_t state;
+    double weight;
+    std::size_t shift;
+  };
+  std::vector<std::vector<Donor>> donors(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (const auto& e : incoming.row(s)) {
+      std::size_t shift = rho[e.col];
+      if (model.has_impulse_rewards()) {
+        const double iota = model.impulse(e.col, s);
+        if (iota > 0.0)
+          shift += as_natural(iota / d, 1e-6, "every impulse divided by d");
+      }
+      donors[s].push_back({e.col, e.value * d, shift});
+    }
+  }
+
+  ThreadPool& workers = pool();
+  const std::size_t grain = sweep_grain(width);
+
+  // Harvest every grid point whose own step count was just reached: the
+  // fold reads columns 0..reward_cells of the shared array in the same
+  // ascending order as the single-point run.
+  const auto harvest = [&](std::size_t steps_done) {
+    for (const Live& pt : live) {
+      if (pt.total_steps != steps_done) continue;
+      JointDistribution& out = grid[pt.slot];
+      out.per_state.assign(n, 0.0);
+      workers.parallel_for(0, n, grain, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t s = lo; s < hi; ++s) {
+          double acc = 0.0;
+          for (std::size_t k = 0; k <= pt.reward_cells; ++k)
+            acc += cell(current, s, k);
+          out.per_state[s] = acc * d;
+        }
+      });
+      out.steps = pt.total_steps;
+    }
+  };
+
+  harvest(1);
+  for (std::size_t j = 1; j < max_steps; ++j) {
+    CSRL_COUNT("p3/discretisation/sweeps", 1);
+    workers.parallel_for(0, n, grain, [&](std::size_t lo, std::size_t hi) {
+      std::fill(next.begin() + static_cast<std::ptrdiff_t>(lo * width),
+                next.begin() + static_cast<std::ptrdiff_t>(hi * width), 0.0);
+      for (std::size_t s = lo; s < hi; ++s) {
+        const double stay = 1.0 - model.chain().exit_rate(s) * d;
+        const std::size_t shift = rho[s];
+        for (std::size_t k = shift; k <= max_cells; ++k)
+          cell(next, s, k) = cell(current, s, k - shift) * stay;
+        for (const Donor& donor : donors[s]) {
+          for (std::size_t k = donor.shift; k <= max_cells; ++k)
+            cell(next, s, k) +=
+                cell(current, donor.state, k - donor.shift) * donor.weight;
+        }
+      }
+    });
+    current.swap(next);
+    harvest(j + 1);
+  }
+
+  CSRL_CONTRACT(
+      [&] {
+        std::vector<std::vector<double>> view;
+        view.reserve(grid.size());
+        for (const JointDistribution& g : grid) view.push_back(g.per_state);
+        double t_max = 0.0;
+        for (double t : times) t_max = std::max(t_max, t);
+        return joint_grid_monotone_in_reward(
+            view, times.size(), rewards,
+            2.0 * d * (1.0 + model.chain().max_exit_rate()) *
+                std::max(1.0, t_max));
+      }(),
+      "DiscretisationEngine: grid results are not monotone in the reward "
+      "bound");
+  return grid;
+}
+
+std::vector<std::vector<double>>
+DiscretisationEngine::joint_probability_all_starts_grid(
+    const Mrm& model, std::span<const double> times,
+    std::span<const double> rewards, const StateSet& target) const {
+  const std::size_t n = model.num_states();
+  if (target.size() != n)
+    throw ModelError("joint_probability_all_starts: universe mismatch");
+  CSRL_SPAN("p3/discretisation/all_starts_grid");
+  std::vector<std::vector<double>> grid(times.size() * rewards.size(),
+                                        std::vector<double>(n, 0.0));
+  for (std::size_t s = 0; s < n; ++s) {
+    Mrm from_s(Ctmc(model.rates()), model.rewards(), model.labelling(), s);
+    if (model.has_impulse_rewards())
+      from_s = from_s.with_impulses(model.impulse_rewards());
+    const std::vector<JointDistribution> per_start =
+        joint_distribution_grid(from_s, times, rewards);
+    for (std::size_t g = 0; g < grid.size(); ++g)
+      grid[g][s] = per_start[g].probability_in(target);
+  }
+  return grid;
+}
+
 double DiscretisationEngine::interval_until(const Mrm& model,
                                             const StateSet& phi,
                                             const StateSet& psi, Interval time,

@@ -72,6 +72,22 @@ class DiscretisationEngine : public JointDistributionEngine {
   // form genuinely costs one run per state.  The paper (like this engine)
   // evaluates single-initial-state queries only.
 
+  /// Batched lattice evaluation.  Column k of F^{j+1} depends only on
+  /// columns <= k of F^j (reward shifts are non-negative), so one sweep
+  /// over a grid wide enough for the largest reward bound leaves every
+  /// lower column bit-identical to a narrower run; each grid point is
+  /// harvested from the shared F array the moment its own step count j =
+  /// t/d is reached.  A T x R grid thus costs one (max t, max r) run.
+  std::vector<JointDistribution> joint_distribution_grid(
+      const Mrm& model, std::span<const double> times,
+      std::span<const double> rewards) const override;
+
+  /// Grid form of the per-start-state shape: one joint_distribution_grid
+  /// run per start state instead of one run per start state *per point*.
+  std::vector<std::vector<double>> joint_probability_all_starts_grid(
+      const Mrm& model, std::span<const double> times,
+      std::span<const double> rewards, const StateSet& target) const override;
+
   std::string name() const override;
 
   double step() const { return step_; }

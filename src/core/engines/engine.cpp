@@ -34,6 +34,42 @@ std::vector<double> JointDistributionEngine::joint_probability_all_starts(
   return result;
 }
 
+std::vector<std::vector<double>>
+JointDistributionEngine::joint_probability_all_starts_grid(
+    const Mrm& model, std::span<const double> times,
+    std::span<const double> rewards, const StateSet& target) const {
+  return joint_grid_reference(*this, model, times, rewards, target);
+}
+
+std::vector<JointDistribution> JointDistributionEngine::joint_distribution_grid(
+    const Mrm& model, std::span<const double> times,
+    std::span<const double> rewards) const {
+  return joint_distribution_grid_reference(*this, model, times, rewards);
+}
+
+std::vector<std::vector<double>> joint_grid_reference(
+    const JointDistributionEngine& engine, const Mrm& model,
+    std::span<const double> times, std::span<const double> rewards,
+    const StateSet& target) {
+  std::vector<std::vector<double>> grid;
+  grid.reserve(times.size() * rewards.size());
+  for (double t : times)
+    for (double r : rewards)
+      grid.push_back(engine.joint_probability_all_starts(model, t, r, target));
+  return grid;
+}
+
+std::vector<JointDistribution> joint_distribution_grid_reference(
+    const JointDistributionEngine& engine, const Mrm& model,
+    std::span<const double> times, std::span<const double> rewards) {
+  std::vector<JointDistribution> grid;
+  grid.reserve(times.size() * rewards.size());
+  for (double t : times)
+    for (double r : rewards)
+      grid.push_back(engine.joint_distribution(model, t, r));
+  return grid;
+}
+
 bool joint_distribution_trivial_case(const Mrm& model, double t, double r,
                                      JointDistribution& out) {
   if (!(t >= 0.0) || !std::isfinite(t))

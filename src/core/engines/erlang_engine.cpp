@@ -145,4 +145,112 @@ std::vector<double> ErlangEngine::joint_probability_all_starts(
   return result;
 }
 
+std::vector<std::vector<double>> ErlangEngine::joint_probability_all_starts_grid(
+    const Mrm& model, std::span<const double> times,
+    std::span<const double> rewards, const StateSet& target) const {
+  const std::size_t num_rewards = rewards.size();
+  std::vector<std::vector<double>> grid(times.size() * num_rewards);
+  std::vector<std::vector<std::size_t>> live_times(num_rewards);
+  bool any_live = false;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    for (std::size_t j = 0; j < num_rewards; ++j) {
+      std::vector<double> trivial;
+      if (joint_all_starts_trivial_case(model, times[i], rewards[j], target,
+                                        trivial)) {
+        grid[i * num_rewards + j] = std::move(trivial);
+      } else {
+        live_times[j].push_back(i);
+        any_live = true;
+      }
+    }
+  }
+  if (!any_live) return grid;
+
+  CSRL_SPAN("p3/erlang/all_starts_grid");
+  const std::size_t n = model.num_states();
+  const std::size_t k = phases_;
+  for (std::size_t j = 0; j < num_rewards; ++j) {
+    if (live_times[j].empty()) continue;
+    const Ctmc expanded = expand(model, rewards[j]);
+    StateSet expanded_target(expanded.num_states());
+    for (std::size_t s : target.members())
+      for (std::size_t i = 0; i < k; ++i) expanded_target.insert(s * k + i);
+
+    std::vector<double> horizon;
+    horizon.reserve(live_times[j].size());
+    for (std::size_t i : live_times[j]) horizon.push_back(times[i]);
+    const std::vector<std::vector<double>> us =
+        transient_reach_batch(expanded, expanded_target, horizon, transient_);
+
+    for (std::size_t pos = 0; pos < live_times[j].size(); ++pos) {
+      std::vector<double>& out = grid[live_times[j][pos] * num_rewards + j];
+      out.assign(n, 0.0);
+      for (std::size_t s = 0; s < n; ++s) out[s] = us[pos][s * k];
+    }
+  }
+
+  CSRL_CONTRACT(
+      joint_grid_monotone_in_reward(
+          grid, times.size(), rewards,
+          4.0 / std::sqrt(static_cast<double>(phases_)) + 1e-9),
+      "ErlangEngine: grid results are not monotone in the reward bound");
+  return grid;
+}
+
+std::vector<JointDistribution> ErlangEngine::joint_distribution_grid(
+    const Mrm& model, std::span<const double> times,
+    std::span<const double> rewards) const {
+  const std::size_t num_rewards = rewards.size();
+  std::vector<JointDistribution> grid(times.size() * num_rewards);
+  std::vector<std::vector<std::size_t>> live_times(num_rewards);
+  bool any_live = false;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    for (std::size_t j = 0; j < num_rewards; ++j) {
+      if (joint_distribution_trivial_case(model, times[i], rewards[j],
+                                          grid[i * num_rewards + j]))
+        continue;
+      live_times[j].push_back(i);
+      any_live = true;
+    }
+  }
+  if (!any_live) return grid;
+
+  CSRL_SPAN("p3/erlang/joint_distribution_grid");
+  const std::size_t n = model.num_states();
+  const std::size_t k = phases_;
+  for (std::size_t j = 0; j < num_rewards; ++j) {
+    if (live_times[j].empty()) continue;
+    const Ctmc expanded = expand(model, rewards[j]);
+
+    std::vector<double> initial(expanded.num_states(), 0.0);
+    for (std::size_t s = 0; s < n; ++s)
+      initial[s * k] = model.initial_distribution()[s];
+
+    std::vector<double> horizon;
+    horizon.reserve(live_times[j].size());
+    for (std::size_t i : live_times[j]) horizon.push_back(times[i]);
+    const std::vector<std::vector<double>> pis =
+        transient_distribution_batch(expanded, initial, horizon, transient_);
+
+    for (std::size_t pos = 0; pos < live_times[j].size(); ++pos) {
+      const std::vector<double>& pi = pis[pos];
+      JointDistribution& out = grid[live_times[j][pos] * num_rewards + j];
+      out.per_state.assign(n, 0.0);
+      pool().parallel_for(
+          0, n, std::max<std::size_t>(1, (std::size_t{1} << 13) / k),
+          [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t s = lo; s < hi; ++s) {
+              double acc = 0.0;
+              for (std::size_t i = 0; i < k; ++i) acc += pi[s * k + i];
+              out.per_state[s] = acc;
+            }
+          });
+      out.steps = poisson_weights(expanded.max_exit_rate() * horizon[pos],
+                                  transient_.epsilon)
+                      .right;
+    }
+  }
+  return grid;
+}
+
 }  // namespace csrl

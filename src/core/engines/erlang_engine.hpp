@@ -40,6 +40,19 @@ class ErlangEngine : public JointDistributionEngine {
       const Mrm& model, double t, double r,
       const StateSet& target) const override;
 
+  /// Batched lattice evaluation.  The expanded chain depends only on the
+  /// reward bound, so each reward column shares one expansion, and the
+  /// column's time axis rides one batched uniformisation run (a single
+  /// vector-power sequence with per-horizon Poisson windows) instead of a
+  /// run per point.
+  std::vector<std::vector<double>> joint_probability_all_starts_grid(
+      const Mrm& model, std::span<const double> times,
+      std::span<const double> rewards, const StateSet& target) const override;
+
+  std::vector<JointDistribution> joint_distribution_grid(
+      const Mrm& model, std::span<const double> times,
+      std::span<const double> rewards) const override;
+
   std::string name() const override;
 
   std::size_t phases() const { return phases_; }

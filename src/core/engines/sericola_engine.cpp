@@ -1,7 +1,9 @@
 #include "core/engines/sericola_engine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <utility>
 
 #include "core/validate.hpp"
@@ -95,43 +97,68 @@ std::size_t SericolaEngine::truncation_depth(const Mrm& model, double t) const {
   return poisson_weights(lambda * t, epsilon_).right;
 }
 
-std::vector<double> SericolaEngine::joint_probability_all_starts(
-    const Mrm& model, double t, double r, const StateSet& target) const {
-  std::vector<double> trivial;
-  if (joint_all_starts_trivial_case(model, t, r, target, trivial))
-    return trivial;
-
-  CSRL_SPAN("p3/sericola/all_starts");
-
+std::vector<std::vector<double>> SericolaEngine::all_starts_points(
+    const Mrm& model, std::span<const std::pair<double, double>> points,
+    const StateSet& target) const {
   if (model.has_impulse_rewards())
     throw ModelError(
         "SericolaEngine: occupation-time distributions are a rate-reward "
         "result ([23]); for impulse rewards use the discretisation or "
         "pseudo-Erlang engine, or the simulator");
 
-  // From here on: t > 0, 0 < r < max_reward * t, hence m >= 1 and the
-  // reward interval index h* below exists.
+  // Every point satisfies t > 0, 0 < r < max_reward * t (the trivial cases
+  // were peeled off by the callers), hence m >= 1 and each point's reward
+  // interval index h* below exists.
   const std::size_t num_states = model.num_states();
   const RewardClasses rc = classify(model);
   const std::size_t m = rc.levels.size() - 1;
 
-  std::size_t h_star = m;
-  for (std::size_t h = 1; h <= m; ++h) {
-    if (r < rc.levels[h] * t) {
-      h_star = h;
-      break;
+  // Points sharing a horizon (same bits of t) share one Poisson window and
+  // one transient accumulator — their single runs accumulate the transient
+  // term identically.
+  std::vector<double> horizon_times;
+  std::vector<std::size_t> time_of_point(points.size());
+  for (std::size_t pt = 0; pt < points.size(); ++pt) {
+    const auto key = std::bit_cast<std::uint64_t>(points[pt].first);
+    std::size_t idx = horizon_times.size();
+    for (std::size_t q = 0; q < horizon_times.size(); ++q) {
+      if (std::bit_cast<std::uint64_t>(horizon_times[q]) == key) {
+        idx = q;
+        break;
+      }
     }
+    if (idx == horizon_times.size()) horizon_times.push_back(points[pt].first);
+    time_of_point[pt] = idx;
   }
-  const double span_h =
-      (rc.levels[h_star] - rc.levels[h_star - 1]) * t;
-  double x = (r - rc.levels[h_star - 1] * t) / span_h;
-  x = std::clamp(x, 0.0, 1.0 - 1e-16);
+
+  // Per point: the enclosing reward interval h* and Bernstein abscissa x.
+  std::vector<std::size_t> h_star(points.size(), m);
+  std::vector<double> x_of(points.size(), 0.0);
+  for (std::size_t pt = 0; pt < points.size(); ++pt) {
+    const double t = points[pt].first;
+    const double r = points[pt].second;
+    for (std::size_t h = 1; h <= m; ++h) {
+      if (r < rc.levels[h] * t) {
+        h_star[pt] = h;
+        break;
+      }
+    }
+    const double span_h =
+        (rc.levels[h_star[pt]] - rc.levels[h_star[pt] - 1]) * t;
+    const double x = (r - rc.levels[h_star[pt] - 1] * t) / span_h;
+    x_of[pt] = std::clamp(x, 0.0, 1.0 - 1e-16);
+  }
 
   const double lambda =
       model.chain().max_exit_rate() > 0.0 ? model.chain().max_exit_rate() : 1.0;
   const CsrMatrix p = model.chain().uniformised_dtmc(lambda);
-  const PoissonWeights weights = poisson_weights(lambda * t, epsilon_);
-  const std::size_t max_n = weights.right;
+  std::vector<PoissonWeights> windows;
+  windows.reserve(horizon_times.size());
+  std::size_t max_n = 0;
+  for (double t : horizon_times) {
+    windows.push_back(poisson_weights(lambda * t, epsilon_));
+    max_n = std::max(max_n, windows.back().right);
+  }
   CSRL_GAUGE("p3/sericola/truncation_depth", static_cast<double>(max_n));
   CSRL_GAUGE("p3/sericola/reward_classes", static_cast<double>(m));
 
@@ -143,8 +170,10 @@ std::vector<double> SericolaEngine::joint_probability_all_starts(
 
   std::vector<double> u = target.indicator();  // u = P^n v
   std::vector<double> scratch(num_states, 0.0);
-  std::vector<double> transient(num_states, 0.0);
-  std::vector<double> exceed(num_states, 0.0);  // accumulates H * weights
+  std::vector<std::vector<double>> transient(
+      horizon_times.size(), std::vector<double>(num_states, 0.0));
+  std::vector<std::vector<double>> exceed(
+      points.size(), std::vector<double>(num_states, 0.0));
 
   // Per-state updates within one (h, k) slot are independent, so the
   // member lists parallelise chunk-wise; the (h, k) iteration order itself
@@ -229,21 +258,51 @@ std::vector<double> SericolaEngine::joint_probability_all_starts(
       }
     }
 
-    const double w = weights.weight(n);
-    axpy(w, u, transient);
-    if (w > 0.0) {
-      for (std::size_t k = 0; k <= n; ++k) {
-        const double basis = bernstein(n, k, x);
-        if (basis > 0.0) axpy(w * basis, current.span(h_star, k), exceed);
+    // A point's single run executes its accumulation for every n up to its
+    // own window's right bound (including zero-weight steps below the
+    // window, whose axpy leaves the accumulator bit-unchanged) and never
+    // beyond it — mirror that exactly.
+    for (std::size_t h = 0; h < horizon_times.size(); ++h) {
+      if (n > windows[h].right) continue;
+      axpy(windows[h].weight(n), u, transient[h]);
+    }
+    for (std::size_t pt = 0; pt < points.size(); ++pt) {
+      const PoissonWeights& window = windows[time_of_point[pt]];
+      if (n > window.right) continue;
+      const double w = window.weight(n);
+      if (w > 0.0) {
+        for (std::size_t k = 0; k <= n; ++k) {
+          const double basis = bernstein(n, k, x_of[pt]);
+          if (basis > 0.0)
+            axpy(w * basis, current.span(h_star[pt], k), exceed[pt]);
+        }
       }
     }
 
     std::swap(current, previous);
   }
 
-  std::vector<double> result(num_states, 0.0);
-  for (std::size_t i = 0; i < num_states; ++i)
-    result[i] = std::clamp(transient[i] - exceed[i], 0.0, 1.0);
+  std::vector<std::vector<double>> results(points.size());
+  for (std::size_t pt = 0; pt < points.size(); ++pt) {
+    const std::vector<double>& tr = transient[time_of_point[pt]];
+    results[pt].assign(num_states, 0.0);
+    for (std::size_t i = 0; i < num_states; ++i)
+      results[pt][i] = std::clamp(tr[i] - exceed[pt][i], 0.0, 1.0);
+  }
+  return results;
+}
+
+std::vector<double> SericolaEngine::joint_probability_all_starts(
+    const Mrm& model, double t, double r, const StateSet& target) const {
+  std::vector<double> trivial;
+  if (joint_all_starts_trivial_case(model, t, r, target, trivial))
+    return trivial;
+
+  CSRL_SPAN("p3/sericola/all_starts");
+
+  const std::pair<double, double> point[1] = {{t, r}};
+  std::vector<double> result =
+      std::move(all_starts_points(model, point, target)[0]);
   if (CSRL_CONTRACTS_ACTIVE())
     validate_joint_result(
         name() + " all-starts", t, r, result, 2.0 * epsilon_ + 1e-12,
@@ -251,6 +310,80 @@ std::vector<double> SericolaEngine::joint_probability_all_starts(
           return joint_probability_all_starts(model, t, rr, target);
         });
   return result;
+}
+
+std::vector<std::vector<double>> SericolaEngine::joint_probability_all_starts_grid(
+    const Mrm& model, std::span<const double> times,
+    std::span<const double> rewards, const StateSet& target) const {
+  const std::size_t num_rewards = rewards.size();
+  std::vector<std::vector<double>> grid(times.size() * num_rewards);
+  std::vector<std::pair<double, double>> live;
+  std::vector<std::size_t> live_slot;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    for (std::size_t j = 0; j < num_rewards; ++j) {
+      std::vector<double> trivial;
+      if (joint_all_starts_trivial_case(model, times[i], rewards[j], target,
+                                        trivial)) {
+        grid[i * num_rewards + j] = std::move(trivial);
+      } else {
+        live.emplace_back(times[i], rewards[j]);
+        live_slot.push_back(i * num_rewards + j);
+      }
+    }
+  }
+  if (live.empty()) return grid;
+
+  CSRL_SPAN("p3/sericola/all_starts_grid");
+  std::vector<std::vector<double>> computed =
+      all_starts_points(model, live, target);
+  for (std::size_t k = 0; k < live.size(); ++k)
+    grid[live_slot[k]] = std::move(computed[k]);
+
+  CSRL_CONTRACT(
+      joint_grid_monotone_in_reward(grid, times.size(), rewards,
+                                    2.0 * epsilon_ + 1e-12),
+      "SericolaEngine: grid results are not monotone in the reward bound");
+  return grid;
+}
+
+std::vector<JointDistribution> SericolaEngine::joint_distribution_grid(
+    const Mrm& model, std::span<const double> times,
+    std::span<const double> rewards) const {
+  const std::size_t num_rewards = rewards.size();
+  std::vector<JointDistribution> grid(times.size() * num_rewards);
+  std::vector<std::pair<double, double>> live;
+  std::vector<std::size_t> live_slot;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    for (std::size_t j = 0; j < num_rewards; ++j) {
+      if (joint_distribution_trivial_case(model, times[i], rewards[j],
+                                          grid[i * num_rewards + j]))
+        continue;
+      live.emplace_back(times[i], rewards[j]);
+      live_slot.push_back(i * num_rewards + j);
+    }
+  }
+  if (live.empty()) return grid;
+
+  CSRL_SPAN("p3/sericola/joint_distribution_grid");
+
+  const std::size_t n = model.num_states();
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    grid[live_slot[k]].per_state.assign(n, 0.0);
+    grid[live_slot[k]].steps = truncation_depth(model, live[k].first);
+  }
+  // One multi-point pass per final state j; the initial distribution then
+  // picks out the required mixture of start states, exactly as the
+  // single-point form does.
+  for (std::size_t j = 0; j < n; ++j) {
+    StateSet single(n);
+    single.insert(j);
+    const std::vector<std::vector<double>> cols =
+        all_starts_points(model, live, single);
+    for (std::size_t k = 0; k < live.size(); ++k)
+      grid[live_slot[k]].per_state[j] =
+          dot(model.initial_distribution(), cols[k]);
+  }
+  return grid;
 }
 
 JointDistribution SericolaEngine::joint_distribution(const Mrm& model, double t,

@@ -54,6 +54,19 @@ class SericolaEngine : public JointDistributionEngine {
       const Mrm& model, double t, double r,
       const StateSet& target) const override;
 
+  /// Batched lattice evaluation.  The c(h, n, k) recursion depends on
+  /// neither t nor r, so one coefficient pass to the deepest truncation
+  /// depth serves every grid point; only the Poisson windows (per t) and
+  /// the Bernstein accumulation (per point) are point-specific.  A T x R
+  /// grid therefore costs about one (max t, max r) solve instead of T * R.
+  std::vector<std::vector<double>> joint_probability_all_starts_grid(
+      const Mrm& model, std::span<const double> times,
+      std::span<const double> rewards, const StateSet& target) const override;
+
+  std::vector<JointDistribution> joint_distribution_grid(
+      const Mrm& model, std::span<const double> times,
+      std::span<const double> rewards) const override;
+
   std::string name() const override;
 
   double epsilon() const { return epsilon_; }
@@ -63,6 +76,15 @@ class SericolaEngine : public JointDistributionEngine {
   std::size_t truncation_depth(const Mrm& model, double t) const;
 
  private:
+  /// Core recursion for a set of non-trivial (t, r) points: one coefficient
+  /// recursion to the deepest window serves every point, with one transient
+  /// accumulator per distinct t and one Bernstein accumulator per point.
+  /// Each returned vector is bitwise identical to the single-point pass for
+  /// its (t, r) — see DESIGN.md section 3d for the argument.
+  std::vector<std::vector<double>> all_starts_points(
+      const Mrm& model, std::span<const std::pair<double, double>> points,
+      const StateSet& target) const;
+
   double epsilon_;
 };
 

@@ -36,4 +36,28 @@ std::unique_ptr<JointDistributionEngine> make_engine(const CheckOptions& options
   throw Error("make_engine: invalid engine selector");
 }
 
+std::string engine_label(const CheckOptions& options) {
+  switch (options.engine) {
+    case P3Engine::kSericola:
+      return "sericola";
+    case P3Engine::kDiscretisation:
+      return "discretisation-d=" + std::to_string(options.discretisation_step);
+    case P3Engine::kErlang:
+      return "erlang-" + std::to_string(options.erlang_phases);
+  }
+  return "unknown";
+}
+
+double engine_truncation_error(const CheckOptions& options) {
+  switch (options.engine) {
+    case P3Engine::kSericola:
+      return options.sericola_epsilon;
+    case P3Engine::kDiscretisation:
+      return options.discretisation_step;
+    case P3Engine::kErlang:
+      return options.transient.epsilon;
+  }
+  return 0.0;
+}
+
 }  // namespace csrl

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "core/engines/engine.hpp"
 #include "ctmc/uniformisation.hpp"
@@ -43,9 +44,18 @@ struct CheckOptions {
   /// operator.
   SolverOptions solver{};
 
-  /// Memoise Sat sets by the (canonical) printed form of subformulas, so
-  /// repeated fragments across queries are checked once per Checker.
+  /// Memoise Sat sets of subformulas (keyed by the model fingerprint and
+  /// the formula's structural hash, verified by the canonical printed
+  /// form), so repeated fragments across queries are checked once per
+  /// cache.  A SatCache passed to the Checker constructor is shared across
+  /// checkers; otherwise each Checker owns a private one.
   bool cache_sat_sets = true;
+
+  /// Route grid queries (Checker::until_grid) through the engines' batched
+  /// lattice entry points.  Off means one single-point engine run per grid
+  /// point — bitwise the same values, only slower; the differential tests
+  /// flip this to diff the two paths.
+  bool batch = true;
 
   /// Runtime numerical contract level (util/contracts.hpp): kOff, kBasic
   /// (cheap structural/row-sum/bounds checks at the places that establish
@@ -74,5 +84,13 @@ struct CheckOptions {
 
 /// Instantiate the configured P3 engine.
 std::unique_ptr<JointDistributionEngine> make_engine(const CheckOptions& options);
+
+/// Report label of the configured P3 engine (matches Engine::name()).
+std::string engine_label(const CheckOptions& options);
+
+/// Configured a-priori error knob of the run: the Sericola truncation
+/// epsilon, the O(d) discretisation step, or the transient-analysis
+/// epsilon for the pseudo-Erlang pipeline.
+double engine_truncation_error(const CheckOptions& options);
 
 }  // namespace csrl

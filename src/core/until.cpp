@@ -154,21 +154,13 @@ std::vector<double> Checker::time_reward_bounded_until(const StateSet& phi,
 
   CSRL_SPAN("core/until/p3");
 
-  // Theorem 1: amalgamating reduction, then reward-bounded instant-of-time
-  // reachability of the "success" state via the configured engine
-  // (Theorem 2).
-  const UntilReduction reduction = reduce_for_until(*model_, phi, psi);
-  StateSet target(reduction.model.num_states());
-  target.insert(reduction.success_state);
-
-  const auto engine = make_engine(options_);
-  const std::vector<double> h =
-      engine->joint_probability_all_starts(reduction.model, t, r, target);
-
-  const std::size_t n = model_->num_states();
-  std::vector<double> result(n, 0.0);
-  for (std::size_t s = 0; s < n; ++s) result[s] = h[reduction.state_map[s]];
-  return result;
+  // Theorem 1 reduction + engine run, shared with the batched lattice path
+  // (core/batch.hpp): a point query is its 1 x 1 grid.
+  const double times[1] = {t};
+  const double rewards[1] = {r};
+  std::vector<std::vector<double>> grid =
+      until_grid_sets(phi, psi, times, rewards);
+  return std::move(grid[0]);
 }
 
 }  // namespace csrl

@@ -240,4 +240,24 @@ void validate_joint_result(
   }
 }
 
+bool joint_grid_monotone_in_reward(
+    const std::vector<std::vector<double>>& grid, std::size_t num_times,
+    std::span<const double> rewards, double slack) {
+  const std::size_t num_rewards = rewards.size();
+  if (grid.size() != num_times * num_rewards) return false;
+  for (std::size_t i = 0; i < num_times; ++i) {
+    for (std::size_t a = 0; a < num_rewards; ++a) {
+      for (std::size_t b = 0; b < num_rewards; ++b) {
+        if (!(rewards[a] <= rewards[b])) continue;
+        const std::vector<double>& lo = grid[i * num_rewards + a];
+        const std::vector<double>& hi = grid[i * num_rewards + b];
+        if (lo.size() != hi.size()) return false;
+        for (std::size_t s = 0; s < lo.size(); ++s)
+          if (lo[s] > hi[s] + slack) return false;
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace csrl

@@ -95,4 +95,14 @@ void validate_joint_result(
     std::span<const double> result, double monotone_slack,
     const std::function<std::vector<double>(double)>& recompute_at_r);
 
+/// Cheap structural postcondition for the batched grid entry points:
+/// within each time row of a grid-point-major result lattice, Pr{Y_t <= r}
+/// must be non-decreasing in the reward bound (up to `slack` absorbing the
+/// engine's approximation error).  Compares every reward pair, so unsorted
+/// reward axes are fine.  Returns false instead of throwing so call sites
+/// can gate it with CSRL_CONTRACT.
+bool joint_grid_monotone_in_reward(
+    const std::vector<std::vector<double>>& grid, std::size_t num_times,
+    std::span<const double> rewards, double slack);
+
 }  // namespace csrl

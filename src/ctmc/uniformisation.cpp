@@ -63,6 +63,101 @@ void accumulate_series(std::vector<double>& iterate, std::vector<double>& scratc
   }
 }
 
+/// Batched counterpart of accumulate_series: one iterate sequence shared
+/// by every horizon, one Poisson window per horizon.  Mirrors the
+/// single-horizon loop operation for operation (see the header's bitwise
+/// guarantee): each pre-zeroed *results[i] receives exactly the axpy
+/// sequence the single run for its horizon would issue, a horizon simply
+/// stops participating once n passes its window's right bound, and a
+/// steady-state cutoff folds each still-running horizon's remaining window
+/// mass with the same summation loop as the single run.
+template <typename StepFn>
+void accumulate_series_batch(std::vector<double>& iterate,
+                             std::vector<double>& scratch,
+                             const std::vector<PoissonWeights>& windows,
+                             const std::vector<std::vector<double>*>& results,
+                             const TransientOptions& options, StepFn step) {
+  std::size_t max_right = 0;
+  for (const PoissonWeights& w : windows)
+    max_right = std::max(max_right, w.right);
+  for (std::size_t i = 0; i < windows.size(); ++i)
+    if (windows[i].left == 0 && !windows[i].weights.empty())
+      axpy(windows[i].weights[0], iterate, *results[i]);
+  for (std::size_t n = 1; n <= max_right; ++n) {
+    CSRL_COUNT("uniformisation/steps", 1);
+    step(iterate, scratch);
+    if (options.steady_state_detection &&
+        max_abs_diff(iterate, scratch) <= options.steady_state_tolerance) {
+      // Identical iterates mean identical convergence decisions: every
+      // horizon whose window reaches this step would detect the cutoff at
+      // the same n in its single run (and one that ended earlier already
+      // received its full series above).
+      for (std::size_t i = 0; i < windows.size(); ++i) {
+        if (windows[i].right < n) continue;
+        double remaining = 0.0;
+        for (std::size_t m = std::max(n, windows[i].left);
+             m <= windows[i].right; ++m)
+          remaining += windows[i].weight(m);
+        axpy(remaining, scratch, *results[i]);
+      }
+      iterate.swap(scratch);
+      CSRL_COUNT("uniformisation/steady_state_cutoffs", 1);
+      return;
+    }
+    iterate.swap(scratch);
+    for (std::size_t i = 0; i < windows.size(); ++i)
+      if (n >= windows[i].left && n <= windows[i].right)
+        axpy(windows[i].weight(n), iterate, *results[i]);
+  }
+}
+
+/// Shared wrapper for the three *_batch entry points: splits degenerate
+/// horizons (t == 0, empty or fully absorbing chain) from the series
+/// horizons, builds the per-horizon windows and runs the batched loop.
+/// `start` is the t = 0 vector (initial distribution or terminal values).
+template <typename StepFn>
+std::vector<std::vector<double>> run_batch(const Ctmc& chain,
+                                           std::span<const double> start,
+                                           std::span<const double> times,
+                                           const TransientOptions& options,
+                                           const char* what, StepFn step_of) {
+  const std::size_t n = chain.num_states();
+  if (start.size() != n)
+    throw ModelError(std::string(what) + ": vector size mismatch");
+  for (double t : times)
+    if (!(t >= 0.0) || !std::isfinite(t))
+      throw ModelError(std::string(what) + ": times must be finite and >= 0");
+
+  std::vector<std::vector<double>> results(times.size());
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (times[i] == 0.0 || n == 0 || chain.max_exit_rate() == 0.0)
+      results[i].assign(start.begin(), start.end());
+    else
+      active.push_back(i);
+  }
+  if (active.empty()) return results;
+
+  const double lambda = resolve_rate(chain, options);
+  const CsrMatrix p = chain.uniformised_dtmc(lambda);
+  const auto step = step_of(p);
+
+  std::vector<PoissonWeights> windows;
+  windows.reserve(active.size());
+  std::vector<std::vector<double>*> outs;
+  outs.reserve(active.size());
+  for (std::size_t i : active) {
+    windows.push_back(poisson_weights(lambda * times[i], options.epsilon));
+    results[i].assign(n, 0.0);
+    outs.push_back(&results[i]);
+  }
+
+  std::vector<double> iterate(start.begin(), start.end());
+  std::vector<double> scratch(n, 0.0);
+  accumulate_series_batch(iterate, scratch, windows, outs, options, step);
+  return results;
+}
+
 }  // namespace
 
 std::vector<double> transient_distribution(const Ctmc& chain,
@@ -151,6 +246,68 @@ std::vector<double> transient_reach(const Ctmc& chain, const StateSet& target,
   if (target.size() != chain.num_states())
     throw ModelError("transient_reach: target universe size mismatch");
   return transient_backward(chain, target.indicator(), t, options);
+}
+
+std::vector<std::vector<double>> transient_distribution_batch(
+    const Ctmc& chain, std::span<const double> initial,
+    std::span<const double> times, const TransientOptions& options) {
+  for (double v : initial)
+    if (!(v >= 0.0) || !std::isfinite(v))
+      throw ModelError(
+          "transient_distribution_batch: initial entries must be >= 0");
+
+  CSRL_SPAN("ctmc/transient/forward_batch");
+  auto results =
+      run_batch(chain, initial, times, options, "transient_distribution_batch",
+                [](const CsrMatrix& p) {
+                  return [&p](const std::vector<double>& x,
+                              std::vector<double>& y) { p.multiply_left(x, y); };
+                });
+  CSRL_CONTRACT(
+      [&] {
+        double mass_in = 0.0;
+        for (double v : initial) mass_in += v;
+        for (const auto& result : results) {
+          if (!within_probability_bounds(result, mass_in, 1e-9)) return false;
+          double mass_out = 0.0;
+          for (double v : result) mass_out += v;
+          if (mass_out > mass_in + 1e-9) return false;
+        }
+        return true;
+      }(),
+      "transient_distribution_batch: a result is not a sub-distribution of "
+      "the initial mass");
+  return results;
+}
+
+std::vector<std::vector<double>> transient_backward_batch(
+    const Ctmc& chain, std::span<const double> terminal,
+    std::span<const double> times, const TransientOptions& options) {
+  CSRL_SPAN("ctmc/transient/backward_batch");
+  auto results =
+      run_batch(chain, terminal, times, options, "transient_backward_batch",
+                [](const CsrMatrix& p) {
+                  return [&p](const std::vector<double>& x,
+                              std::vector<double>& y) { p.multiply(x, y); };
+                });
+  CSRL_CONTRACT(
+      [&] {
+        if (!within_probability_bounds(terminal, 1.0, 0.0)) return true;
+        for (const auto& result : results)
+          if (!within_probability_bounds(result, 1.0, 1e-9)) return false;
+        return true;
+      }(),
+      "transient_backward_batch: [0,1] terminal values produced an "
+      "out-of-range expectation");
+  return results;
+}
+
+std::vector<std::vector<double>> transient_reach_batch(
+    const Ctmc& chain, const StateSet& target, std::span<const double> times,
+    const TransientOptions& options) {
+  if (target.size() != chain.num_states())
+    throw ModelError("transient_reach_batch: target universe size mismatch");
+  return transient_backward_batch(chain, target.indicator(), times, options);
 }
 
 }  // namespace csrl

@@ -53,4 +53,37 @@ std::vector<double> transient_reach(const Ctmc& chain, const StateSet& target,
                                     double t,
                                     const TransientOptions& options = {});
 
+// -- Batched (multi-horizon) forms -----------------------------------------
+//
+// One vector-power sequence P^n serves every horizon at once: the iterate
+// at step n is shared, only the Poisson windows differ per t, so a batch
+// over horizons {t_1, ..., t_T} costs one run at max t_i in SpMVs instead
+// of T runs.  Each returned vector is BITWISE identical to the
+// corresponding single-horizon call: per horizon, the same iterates are
+// accumulated with the same weights in the same order, the horizon's
+// series simply stops being accumulated once n passes its own Fox-Glynn
+// right bound, and a steady-state cutoff folds the remaining mass of each
+// still-running horizon's window exactly as the single run would (a
+// horizon whose window ended before the cutoff step never reaches the
+// detection in the single run either).  Horizons may come in any order
+// and may repeat.
+
+/// transient_distribution for several horizons; result[i] bitwise equals
+/// transient_distribution(chain, initial, times[i], options).
+std::vector<std::vector<double>> transient_distribution_batch(
+    const Ctmc& chain, std::span<const double> initial,
+    std::span<const double> times, const TransientOptions& options = {});
+
+/// transient_backward for several horizons; result[i] bitwise equals
+/// transient_backward(chain, terminal, times[i], options).
+std::vector<std::vector<double>> transient_backward_batch(
+    const Ctmc& chain, std::span<const double> terminal,
+    std::span<const double> times, const TransientOptions& options = {});
+
+/// transient_reach for several horizons; result[i] bitwise equals
+/// transient_reach(chain, target, times[i], options).
+std::vector<std::vector<double>> transient_reach_batch(
+    const Ctmc& chain, const StateSet& target, std::span<const double> times,
+    const TransientOptions& options = {});
+
 }  // namespace csrl

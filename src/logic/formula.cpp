@@ -1,9 +1,11 @@
 #include "logic/formula.hpp"
 
+#include <bit>
 #include <cmath>
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/hash.hpp"
 
 namespace csrl {
 
@@ -326,6 +328,117 @@ std::string Formula::to_string() const {
     }
   }
   throw Error("Formula::to_string: invalid kind");
+}
+
+namespace {
+
+using hashing::mix;
+
+/// Bit-level equality for formula parameters: the exact counterpart of
+/// hashing doubles through their bit pattern, so structurally_equal and
+/// hash() can never disagree.
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+std::uint64_t mix_interval(std::uint64_t h, const Interval& i) {
+  h = mix(h, i.lo);
+  return mix(h, i.hi);
+}
+
+bool same_interval(const Interval& a, const Interval& b) {
+  return same_bits(a.lo, b.lo) && same_bits(a.hi, b.hi);
+}
+
+}  // namespace
+
+std::uint64_t Formula::hash() const {
+  std::uint64_t h = hashing::kOffset;
+  h = mix(h, static_cast<std::uint64_t>(kind_));
+  h = mix(h, static_cast<std::uint64_t>(is_query_));
+  switch (kind_) {
+    case FormulaKind::kTrue:
+      break;
+    case FormulaKind::kAtomic:
+      h = mix(h, name_);
+      break;
+    case FormulaKind::kNot:
+      h = mix(h, lhs_->hash());
+      break;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      h = mix(h, lhs_->hash());
+      h = mix(h, rhs_->hash());
+      break;
+    case FormulaKind::kProb:
+      h = mix(h, path_->hash());
+      break;
+    case FormulaKind::kSteady:
+      h = mix(h, lhs_->hash());
+      break;
+    case FormulaKind::kReward:
+      h = mix(h, static_cast<std::uint64_t>(reward_query_));
+      h = mix(h, reward_parameter_);
+      if (lhs_) h = mix(h, lhs_->hash());
+      break;
+  }
+  if (!is_query_ && has_bound(kind_)) {
+    h = mix(h, static_cast<std::uint64_t>(comparison_));
+    h = mix(h, bound_);
+  }
+  return h;
+}
+
+std::uint64_t PathFormula::hash() const {
+  std::uint64_t h = hashing::kOffset;
+  h = mix(h, static_cast<std::uint64_t>(kind_));
+  h = mix_interval(h, time_);
+  h = mix_interval(h, reward_);
+  if (lhs_) h = mix(h, lhs_->hash());
+  h = mix(h, rhs_->hash());
+  return h;
+}
+
+bool structurally_equal(const Formula& a, const Formula& b) {
+  if (a.kind() != b.kind() || a.is_query() != b.is_query()) return false;
+  if (!a.is_query() && has_bound(a.kind())) {
+    if (a.comparison() != b.comparison() || !same_bits(a.bound(), b.bound()))
+      return false;
+  }
+  switch (a.kind()) {
+    case FormulaKind::kTrue:
+      return true;
+    case FormulaKind::kAtomic:
+      return a.name() == b.name();
+    case FormulaKind::kNot:
+      return structurally_equal(*a.operand(), *b.operand());
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      return structurally_equal(*a.lhs(), *b.lhs()) &&
+             structurally_equal(*a.rhs(), *b.rhs());
+    case FormulaKind::kProb:
+      return structurally_equal(*a.path(), *b.path());
+    case FormulaKind::kSteady:
+      return structurally_equal(*a.operand(), *b.operand());
+    case FormulaKind::kReward: {
+      if (a.reward_query_kind() != b.reward_query_kind() ||
+          !same_bits(a.reward_parameter(), b.reward_parameter()))
+        return false;
+      if (a.reward_query_kind() != RewardQuery::kReachability) return true;
+      return structurally_equal(*a.reward_target(), *b.reward_target());
+    }
+  }
+  throw Error("structurally_equal: invalid formula kind");
+}
+
+bool structurally_equal(const PathFormula& a, const PathFormula& b) {
+  if (a.kind() != b.kind() || !same_interval(a.time(), b.time()) ||
+      !same_interval(a.reward(), b.reward()))
+    return false;
+  if (!structurally_equal(*a.target(), *b.target())) return false;
+  if (a.kind() == PathKind::kUntil || a.kind() == PathKind::kWeakUntil)
+    return structurally_equal(*a.lhs(), *b.lhs());
+  return true;
 }
 
 namespace {

@@ -19,6 +19,7 @@
 // cheap to copy and safe to reuse as subterms of several formulas.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <string>
@@ -155,6 +156,13 @@ class Formula {
   /// Concrete-syntax rendering, re-parsable by parse_formula().
   std::string to_string() const;
 
+  /// Structural hash: structurally_equal formulas hash equally (numeric
+  /// parameters enter via their bit patterns).  Combined with the model
+  /// fingerprint this keys the Sat-subformula cache (core/batch.hpp);
+  /// cache users must still verify candidates with structurally_equal or
+  /// the canonical printed form, since distinct formulas may collide.
+  std::uint64_t hash() const;
+
  protected:
   // Only the factory functions create nodes (via a file-local subclass);
   // protected rather than private so that subclass can reach it.
@@ -206,6 +214,9 @@ class PathFormula {
 
   std::string to_string() const;
 
+  /// Structural hash; see Formula::hash().
+  std::uint64_t hash() const;
+
  protected:
   PathFormula() = default;
 
@@ -216,5 +227,12 @@ class PathFormula {
   FormulaPtr lhs_;
   FormulaPtr rhs_;
 };
+
+/// Structural equality: same tree shape, kinds, names and bit-identical
+/// numeric parameters.  Agrees with the canonical printed form
+/// (to_string) on every formula the parser can produce, and with hash():
+/// structurally equal formulas hash equally.
+bool structurally_equal(const Formula& a, const Formula& b);
+bool structurally_equal(const PathFormula& a, const PathFormula& b);
 
 }  // namespace csrl

@@ -6,6 +6,7 @@
 
 #include "matrix/vector_ops.hpp"
 #include "util/error.hpp"
+#include "util/hash.hpp"
 
 namespace csrl {
 
@@ -88,6 +89,41 @@ std::vector<double> Mrm::distinct_rewards() const {
   std::sort(values.begin(), values.end());
   values.erase(std::unique(values.begin(), values.end()), values.end());
   return values;
+}
+
+std::uint64_t Mrm::fingerprint() const {
+  using hashing::mix;
+  const std::size_t n = num_states();
+  std::uint64_t h = hashing::kOffset;
+  h = mix(h, static_cast<std::uint64_t>(n));
+  for (std::size_t s = 0; s < n; ++s) {
+    for (const auto& e : rates().row(s)) {
+      h = mix(h, static_cast<std::uint64_t>(s));
+      h = mix(h, static_cast<std::uint64_t>(e.col));
+      h = mix(h, e.value);
+    }
+    h = mix(h, rewards_[s]);
+    h = mix(h, initial_[s]);
+  }
+  h = mix(h, static_cast<std::uint64_t>(impulses_.nnz()));
+  if (impulses_.nnz() > 0) {
+    for (std::size_t s = 0; s < n; ++s) {
+      for (const auto& e : impulses_.row(s)) {
+        h = mix(h, static_cast<std::uint64_t>(s));
+        h = mix(h, static_cast<std::uint64_t>(e.col));
+        h = mix(h, e.value);
+      }
+    }
+  }
+  // Propositions in registration order, so relabelled models (same sets,
+  // different names or order) fingerprint differently — exactly the
+  // discipline Sat sets require, since they are computed from names.
+  for (const std::string& prop : labelling_.propositions()) {
+    h = mix(h, prop);
+    for (std::size_t s : labelling_.states_with(prop).members())
+      h = mix(h, static_cast<std::uint64_t>(s));
+  }
+  return h;
 }
 
 std::size_t Mrm::initial_state() const {

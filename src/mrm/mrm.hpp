@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "ctmc/ctmc.hpp"
@@ -78,6 +79,14 @@ class Mrm {
   /// ModelError otherwise.  Theorem 2 of the paper (and hence all three P3
   /// engines) is phrased for a point-mass alpha.
   std::size_t initial_state() const;
+
+  /// Structural fingerprint of the full model — rate matrix, rewards,
+  /// impulses, initial distribution and labelling, all entering through
+  /// their bit patterns — so equal fingerprints identify models that are
+  /// bit-for-bit the same input to every checking pipeline.  Keys the
+  /// Sat-subformula cache (core/batch.hpp) together with Formula::hash().
+  /// O(nnz + states * labels); not cached, callers hold on to the value.
+  std::uint64_t fingerprint() const;
 
  private:
   Ctmc chain_;

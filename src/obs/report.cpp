@@ -26,6 +26,16 @@ std::string RunReport::to_json() const {
   w.key("spmv_count").value(spmv_count);
   w.key("solver_residual").value(solver_residual);
   w.key("wall_seconds").value(wall_seconds);
+  if (!grid_times.empty() || !grid_rewards.empty()) {
+    w.key("grid").begin_object();
+    w.key("times").begin_array();
+    for (double t : grid_times) w.value(t);
+    w.end_array();
+    w.key("rewards").begin_array();
+    for (double r : grid_rewards) w.value(r);
+    w.end_array();
+    w.end_object();
+  }
   emit_metrics(w, metrics);
   emit_spans(w, spans);
   w.end_object();

@@ -45,6 +45,12 @@ struct RunReport {
 
   double wall_seconds = 0.0;
 
+  /// Bound lattice of a batched grid run (Checker::check_until_grid):
+  /// the time and reward axes the query evaluated.  Empty for point
+  /// queries; emitted as a "grid" object in the JSON only when set.
+  std::vector<double> grid_times;
+  std::vector<double> grid_rewards;
+
   /// Metric delta of the run (counters/histograms) plus current gauges.
   MetricsSnapshot metrics;
 

@@ -1,0 +1,41 @@
+// FNV-1a mixing helpers shared by the structural-hash users (formula
+// hashing in logic/, the model fingerprint in mrm/, the Sat-cache key in
+// core/batch).  64-bit FNV-1a folded byte-wise; doubles enter via their
+// bit pattern, so two values hash equally iff they are bit-identical
+// (in particular -0.0 and +0.0 differ — callers that want numeric
+// equality must normalise first).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace csrl {
+namespace hashing {
+
+inline constexpr std::uint64_t kOffset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kPrime = 1099511628211ULL;
+
+inline std::uint64_t mix(std::uint64_t h, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (value >> (8 * byte)) & 0xffULL;
+    h *= kPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t mix(std::uint64_t h, double value) {
+  return mix(h, std::bit_cast<std::uint64_t>(value));
+}
+
+inline std::uint64_t mix(std::uint64_t h, std::string_view text) {
+  h = mix(h, static_cast<std::uint64_t>(text.size()));
+  for (char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kPrime;
+  }
+  return h;
+}
+
+}  // namespace hashing
+}  // namespace csrl

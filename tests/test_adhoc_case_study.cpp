@@ -10,6 +10,7 @@
 #include "logic/parser.hpp"
 #include "models/adhoc.hpp"
 #include "mrm/transform.hpp"
+#include "sim/simulator.hpp"
 
 namespace csrl {
 namespace {
@@ -187,6 +188,39 @@ TEST(AdhocCaseStudy, Q1AndQ2AreDecidable) {
   // Within 24h an incoming call rings with near-certainty (mean time 80
   // minutes while Call_Idle): Q2 holds comfortably.
   EXPECT_TRUE(checker.holds_initially(*parse_formula(kPropertyQ2)));
+}
+
+TEST(AdhocCaseStudy, MonteCarloBracketsTheBatchedLattice) {
+  // Independent cross-validation of the batched grid (core/batch.hpp):
+  // every numerical lattice value must fall inside the Monte-Carlo
+  // confidence interval of a trajectory simulation of the same reduced
+  // model — the simulator shares no code with the engines' recursions.
+  const Mrm reduced = build_q3_reduced_mrm();
+  StateSet success(5);
+  success.insert(3);
+  const std::vector<double> times{8.0, 16.0, 24.0};
+  const std::vector<double> rewards{200.0, 400.0, 600.0};
+
+  const SericolaEngine engine(1e-9);
+  const auto grid = engine.joint_probability_all_starts_grid(reduced, times,
+                                                             rewards, success);
+
+  SimulationOptions options;
+  options.seed = 7;
+  options.samples = 100000;
+  Simulator simulator(reduced, options);
+  const std::size_t init = reduced.initial_state();
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    for (std::size_t j = 0; j < rewards.size(); ++j) {
+      const SimulationEstimate estimate =
+          simulator.joint_probability(times[i], rewards[j], success);
+      const double value = grid[i * rewards.size() + j][init];
+      EXPECT_TRUE(estimate.consistent_with(value))
+          << "t = " << times[i] << ", r = " << rewards[j] << ": batched "
+          << value << " vs simulated " << estimate.probability << " +/- "
+          << estimate.half_width_95;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,468 @@
+// Differential tests for the batched P3 lattice layer (core/batch.hpp).
+//
+// The batched engine entry points promise two things at once: every
+// lattice value is BITWISE identical to the point-by-point loop, and the
+// whole lattice costs close to a single (max t, max r) solve.  Both are
+// checked here against joint_grid_reference(), which literally loops the
+// single-point calls — the acceptance bar is a >= 5x reduction in SpMV
+// invocations for a 10 x 10 grid on the paper's Q3 model.  On top sit
+// the BatchQuery/BatchResult checker API (diffed against per-point
+// formula evaluation) and the SatCache memo (hit/miss accounting,
+// sharing across checkers, fingerprint scoping across models).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/checker.hpp"
+#include "core/engines/discretisation_engine.hpp"
+#include "core/engines/erlang_engine.hpp"
+#include "core/engines/sericola_engine.hpp"
+#include "logic/parser.hpp"
+#include "models/adhoc.hpp"
+#include "obs/obs.hpp"
+#include "util/error.hpp"
+
+namespace csrl {
+namespace {
+
+// The acceptance grid: 10 time bounds x 10 reward bounds spanning the
+// paper's Figure 1 ranges on the reduced Q3 model.
+std::vector<double> ten_times() {
+  std::vector<double> times;
+  for (int i = 1; i <= 10; ++i) times.push_back(2.4 * i);  // up to 24 h
+  return times;
+}
+
+std::vector<double> ten_rewards() {
+  std::vector<double> rewards;
+  for (int i = 3; i <= 12; ++i) rewards.push_back(50.0 * i);  // 150..600 mAh
+  return rewards;
+}
+
+bool bitwise_equal(const std::vector<std::vector<double>>& a,
+                   const std::vector<std::vector<double>>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    if (!a[i].empty() &&
+        std::memcmp(a[i].data(), b[i].data(), a[i].size() * sizeof(double)) !=
+            0)
+      return false;
+  }
+  return true;
+}
+
+std::uint64_t spmv_total(const obs::MetricsSnapshot& delta) {
+  return delta.counter("spmv/multiply") + delta.counter("spmv/multiply_left");
+}
+
+struct MeasuredGrid {
+  std::vector<std::vector<double>> grid;
+  std::uint64_t spmvs = 0;
+};
+
+template <typename Fn>
+MeasuredGrid measure(Fn&& fn) {
+  const obs::ScopedRecording rec(true);
+  const obs::MetricsSnapshot before = obs::snapshot_metrics();
+  MeasuredGrid out;
+  out.grid = fn();
+  out.spmvs = spmv_total(obs::metrics_delta(before, obs::snapshot_metrics()));
+  return out;
+}
+
+StateSet q3_success_target() {
+  StateSet target(5);
+  target.insert(3);  // the amalgamated success state of the reduced MRM
+  return target;
+}
+
+TEST(BatchGridSericola, TenByTenLatticeBitwiseEqualsPointLoopFiveFoldCheaper) {
+  const Mrm model = build_q3_reduced_mrm();
+  const StateSet target = q3_success_target();
+  const std::vector<double> times = ten_times();
+  const std::vector<double> rewards = ten_rewards();
+  const SericolaEngine engine(1e-9);
+
+  const MeasuredGrid batched = measure([&] {
+    return engine.joint_probability_all_starts_grid(model, times, rewards,
+                                                    target);
+  });
+  const MeasuredGrid looped = measure([&] {
+    return joint_grid_reference(engine, model, times, rewards, target);
+  });
+
+  ASSERT_EQ(batched.grid.size(), times.size() * rewards.size());
+  EXPECT_TRUE(bitwise_equal(batched.grid, looped.grid));
+#ifndef CSRL_OBS_DISABLED
+  // The acceptance criterion: one batched pass beats the 100-point loop
+  // by at least 5x in SpMV invocations (in practice far more — the
+  // occupation-time recursion restarts from scratch at every point).
+  EXPECT_GT(batched.spmvs, 0u);
+  EXPECT_GE(looped.spmvs, 5 * batched.spmvs)
+      << "looped " << looped.spmvs << " vs batched " << batched.spmvs;
+#endif
+}
+
+TEST(BatchGridErlang, TenByTenLatticeBitwiseEqualsPointLoopFiveFoldCheaper) {
+  const Mrm model = build_q3_reduced_mrm();
+  const StateSet target = q3_success_target();
+  const std::vector<double> times = ten_times();
+  const std::vector<double> rewards = ten_rewards();
+  const ErlangEngine engine(128);
+
+  const MeasuredGrid batched = measure([&] {
+    return engine.joint_probability_all_starts_grid(model, times, rewards,
+                                                    target);
+  });
+  const MeasuredGrid looped = measure([&] {
+    return joint_grid_reference(engine, model, times, rewards, target);
+  });
+
+  ASSERT_EQ(batched.grid.size(), times.size() * rewards.size());
+  EXPECT_TRUE(bitwise_equal(batched.grid, looped.grid));
+#ifndef CSRL_OBS_DISABLED
+  // One uniformisation sequence per reward column serves all ten time
+  // bounds; the loop pays for every (t, r) pair separately, so the ratio
+  // approaches sum(t_i) / max(t_i) = 5.5 from above.
+  EXPECT_GT(batched.spmvs, 0u);
+  EXPECT_GE(looped.spmvs, 5 * batched.spmvs)
+      << "looped " << looped.spmvs << " vs batched " << batched.spmvs;
+#endif
+}
+
+TEST(BatchGridDiscretisation, LatticeDistributionsBitwiseEqualPointLoop) {
+  const Mrm model = build_q3_reduced_mrm();
+  // t and r must sit on the d-grid; keep the lattice coarse — the check
+  // here is the bitwise harvest property, not the SpMV count (the F-grid
+  // sweep is cell arithmetic, not matrix-vector products).
+  const double d = 1.0 / 32.0;
+  const std::vector<double> times{3.0, 6.0, 12.0};
+  const std::vector<double> rewards{150.0, 300.0, 600.0};
+  const DiscretisationEngine engine(d);
+
+  const std::vector<JointDistribution> batched =
+      engine.joint_distribution_grid(model, times, rewards);
+  const std::vector<JointDistribution> looped =
+      joint_distribution_grid_reference(engine, model, times, rewards);
+
+  ASSERT_EQ(batched.size(), looped.size());
+  for (std::size_t g = 0; g < batched.size(); ++g) {
+    EXPECT_EQ(batched[g].steps, looped[g].steps) << "lattice point " << g;
+    ASSERT_EQ(batched[g].per_state.size(), looped[g].per_state.size());
+    EXPECT_EQ(std::memcmp(batched[g].per_state.data(),
+                          looped[g].per_state.data(),
+                          batched[g].per_state.size() * sizeof(double)),
+              0)
+        << "lattice point " << g;
+  }
+}
+
+TEST(BatchGridDiscretisation, AllStartsLatticeBitwiseEqualsPointLoop) {
+  const Mrm model = build_q3_reduced_mrm();
+  const std::vector<double> times{4.0, 8.0};
+  const std::vector<double> rewards{200.0, 400.0};
+  const DiscretisationEngine engine(1.0 / 32.0);
+
+  const std::vector<std::vector<double>> batched =
+      engine.joint_probability_all_starts_grid(model, times, rewards,
+                                               q3_success_target());
+  const std::vector<std::vector<double>> looped = joint_grid_reference(
+      engine, model, times, rewards, q3_success_target());
+  EXPECT_TRUE(bitwise_equal(batched, looped));
+}
+
+TEST(BatchCheckerApi, UntilGridMatchesPointwiseFormulaEvaluation) {
+  const Mrm m = build_adhoc_mrm();
+  const Checker checker(m);
+
+  BatchQuery query;
+  query.phi = parse_formula("Call_Idle | Doze");
+  query.psi = parse_formula("Call_Initiated");
+  query.times = {8.0, 16.0, 24.0};
+  query.rewards = {200.0, 400.0, 600.0};
+  const BatchResult result = checker.until_grid(query);
+
+  ASSERT_EQ(result.per_state.size(), 9u);
+  for (std::size_t i = 0; i < query.times.size(); ++i) {
+    for (std::size_t j = 0; j < query.rewards.size(); ++j) {
+      const FormulaPtr point = Formula::probability_query(PathFormula::until(
+          Interval::upto(query.times[i]), Interval::upto(query.rewards[j]),
+          query.phi, query.psi));
+      const std::vector<double> expected = checker.values(*point);
+      const std::vector<double>& got = result.at(i, j);
+      ASSERT_EQ(got.size(), expected.size());
+      for (std::size_t s = 0; s < got.size(); ++s)
+        EXPECT_EQ(got[s], expected[s])
+            << "(t, r) = (" << query.times[i] << ", " << query.rewards[j]
+            << "), state " << s;
+      EXPECT_EQ(result.value_at(i, j), checker.value_initially(*point));
+    }
+  }
+}
+
+TEST(BatchCheckerApi, TrivialLatticePointsAgreeWithPointPath) {
+  const Mrm m = build_adhoc_mrm();
+  const Checker checker(m);
+
+  BatchQuery query;
+  query.phi = parse_formula("Call_Idle | Doze");
+  query.psi = parse_formula("Call_Initiated");
+  // t = 0, r = 0 and r beyond max_reward * t exercise every trivial-case
+  // branch of the engines' grid peel.
+  query.times = {0.0, 1.0, 24.0};
+  query.rewards = {0.0, 600.0, 1.0e6};
+  const BatchResult result = checker.until_grid(query);
+
+  for (std::size_t i = 0; i < query.times.size(); ++i) {
+    for (std::size_t j = 0; j < query.rewards.size(); ++j) {
+      const FormulaPtr point = Formula::probability_query(PathFormula::until(
+          Interval::upto(query.times[i]), Interval::upto(query.rewards[j]),
+          query.phi, query.psi));
+      const std::vector<double> expected = checker.values(*point);
+      const std::vector<double>& got = result.at(i, j);
+      for (std::size_t s = 0; s < got.size(); ++s)
+        EXPECT_EQ(got[s], expected[s])
+            << "(t, r) = (" << query.times[i] << ", " << query.rewards[j]
+            << "), state " << s;
+    }
+  }
+}
+
+TEST(BatchCheckerApi, BatchFlagOffIsBitwiseIdentical) {
+  const Mrm m = build_adhoc_mrm();
+  BatchQuery query;
+  query.phi = parse_formula("Call_Idle | Doze");
+  query.psi = parse_formula("Call_Initiated");
+  query.times = {6.0, 12.0, 24.0};
+  query.rewards = {300.0, 600.0};
+
+  CheckOptions off;
+  off.batch = false;
+  const BatchResult batched = Checker(m).until_grid(query);
+  const BatchResult looped = Checker(m, off).until_grid(query);
+  EXPECT_TRUE(bitwise_equal(batched.per_state, looped.per_state));
+}
+
+TEST(BatchCheckerApi, UnsatisfiablePsiYieldsAllZeroLattice) {
+  const Mrm m = build_adhoc_mrm();
+  const Checker checker(m);
+
+  BatchQuery query;
+  query.psi = Formula::conjunction(Formula::atomic("Call_Idle"),
+                                   Formula::negation(
+                                       Formula::atomic("Call_Idle")));
+  query.times = {12.0, 24.0};
+  query.rewards = {600.0};
+  const BatchResult result = checker.until_grid(query);
+
+  ASSERT_EQ(result.per_state.size(), 2u);
+  for (const std::vector<double>& point : result.per_state) {
+    ASSERT_EQ(point.size(), m.num_states());
+    for (double v : point) EXPECT_EQ(v, 0.0);
+  }
+}
+
+TEST(BatchCheckerApi, NullPhiMeansEventually) {
+  const Mrm m = build_adhoc_mrm();
+  const Checker checker(m);
+
+  BatchQuery query;
+  query.psi = parse_formula("Call_Incoming");
+  // Small bounds: with phi = true the reduction keeps the fast handover
+  // states (exit rates ~435/h), and the occupation-time recursion is
+  // quadratic in the Poisson truncation depth ~ lambda * t.
+  query.times = {0.05, 0.1};
+  query.rewards = {5.0, 20.0};
+  const BatchResult result = checker.until_grid(query);
+
+  for (std::size_t i = 0; i < query.times.size(); ++i) {
+    for (std::size_t j = 0; j < query.rewards.size(); ++j) {
+      const FormulaPtr point = Formula::probability_query(
+          PathFormula::eventually(Interval::upto(query.times[i]),
+                                  Interval::upto(query.rewards[j]),
+                                  query.psi));
+      const std::vector<double> expected = checker.values(*point);
+      const std::vector<double>& got = result.at(i, j);
+      for (std::size_t s = 0; s < got.size(); ++s)
+        EXPECT_EQ(got[s], expected[s]);
+    }
+  }
+}
+
+TEST(BatchCheckerApi, RejectsMalformedQueries) {
+  const Mrm m = build_adhoc_mrm();
+  const Checker checker(m);
+
+  BatchQuery no_psi;
+  no_psi.times = {1.0};
+  no_psi.rewards = {1.0};
+  EXPECT_THROW(checker.until_grid(no_psi), ModelError);
+
+  BatchQuery empty_axis;
+  empty_axis.psi = parse_formula("Call_Incoming");
+  empty_axis.rewards = {1.0};
+  EXPECT_THROW(checker.until_grid(empty_axis), ModelError);
+
+  BatchQuery negative;
+  negative.psi = parse_formula("Call_Incoming");
+  negative.times = {1.0};
+  negative.rewards = {-1.0};
+  EXPECT_THROW(checker.until_grid(negative), ModelError);
+
+  BatchQuery infinite;
+  infinite.psi = parse_formula("Call_Incoming");
+  infinite.times = {std::numeric_limits<double>::infinity()};
+  infinite.rewards = {1.0};
+  EXPECT_THROW(checker.until_grid(infinite), ModelError);
+}
+
+TEST(BatchResultLattice, IndexingAndPointMassErrors) {
+  const Mrm m = build_adhoc_mrm();
+  BatchQuery query;
+  query.phi = parse_formula("Call_Idle | Doze");
+  query.psi = parse_formula("Call_Initiated");
+  query.times = {6.0, 12.0};
+  query.rewards = {300.0};
+  const BatchResult result = Checker(m).until_grid(query);
+
+  EXPECT_NO_THROW(result.at(1, 0));
+  EXPECT_THROW(result.at(2, 0), ModelError);
+  EXPECT_THROW(result.at(0, 1), ModelError);
+  EXPECT_EQ(result.initial_state, m.initial_state());
+  EXPECT_NO_THROW(result.value_at(0, 0));
+
+  // A genuinely mixed initial distribution has no initial state to read;
+  // value_at refuses instead of guessing.
+  std::vector<double> mixed(m.num_states(), 0.0);
+  mixed[0] = 0.5;
+  mixed[1] = 0.5;
+  const Mrm mixed_model(Ctmc(m.rates()), m.rewards(), m.labelling(), mixed);
+  const BatchResult mixed_result = Checker(mixed_model).until_grid(query);
+  EXPECT_EQ(mixed_result.initial_state, m.num_states());
+  EXPECT_NO_THROW(mixed_result.at(0, 0));
+  EXPECT_THROW(mixed_result.value_at(0, 0), ModelError);
+}
+
+TEST(SatCacheMemo, RepeatQueriesHitAndCachesShareAcrossCheckers) {
+  const Mrm m = build_adhoc_mrm();
+  const FormulaPtr q3 = parse_formula(kQueryQ3);
+
+  auto cache = std::make_shared<SatCache>();
+  const Checker first(m, CheckOptions{}, cache);
+  first.values(*q3);
+  const std::uint64_t misses_after_first = cache->stats().misses;
+  const std::size_t size_after_first = cache->size();
+  EXPECT_GT(size_after_first, 0u);
+  EXPECT_GT(misses_after_first, 0u);
+  EXPECT_EQ(cache->stats().hits, 0u);
+
+  // The same query again: every cacheable subformula is served from the
+  // memo, nothing new is inserted.
+  first.values(*q3);
+  EXPECT_GT(cache->stats().hits, 0u);
+  EXPECT_EQ(cache->stats().misses, misses_after_first);
+  EXPECT_EQ(cache->size(), size_after_first);
+
+  // A second checker on the same model shares the entries.
+  const std::uint64_t hits_before_sharing = cache->stats().hits;
+  const Checker second(m, CheckOptions{}, cache);
+  second.values(*q3);
+  EXPECT_GT(cache->stats().hits, hits_before_sharing);
+  EXPECT_EQ(cache->size(), size_after_first);
+}
+
+TEST(SatCacheMemo, ModelFingerprintScopesEntries) {
+  const Mrm m = build_adhoc_mrm();
+  const FormulaPtr phi = parse_formula("Call_Idle | Doze");
+
+  auto cache = std::make_shared<SatCache>();
+  const Checker original(m, CheckOptions{}, cache);
+  const StateSet on_original = original.sat(*phi);
+  const std::size_t size_after_first = cache->size();
+
+  // The same formula on a *different* model (another initial state is
+  // enough to change the fingerprint) must miss, not alias: invalidation
+  // by construction.
+  const Mrm moved(Ctmc(m.rates()), m.rewards(), m.labelling(),
+                  (m.initial_state() + 1) % m.num_states());
+  const Checker other(moved, CheckOptions{}, cache);
+  const std::uint64_t hits_before = cache->stats().hits;
+  const StateSet on_moved = other.sat(*phi);
+  EXPECT_EQ(cache->stats().hits, hits_before);
+  EXPECT_GT(cache->size(), size_after_first);
+  // Same labelling, so the sets agree even though the entries are
+  // distinct.
+  EXPECT_EQ(on_original.members(), on_moved.members());
+}
+
+TEST(SatCacheMemo, HitAndMissCountersReachTheMetricsRegistry) {
+  const Mrm m = build_adhoc_mrm();
+  const FormulaPtr q3 = parse_formula(kQueryQ3);
+  const Checker checker(m);  // private cache via cache_sat_sets
+
+  const obs::ScopedRecording rec(true);
+  const obs::MetricsSnapshot before = obs::snapshot_metrics();
+  checker.values(*q3);
+  checker.values(*q3);
+  const obs::MetricsSnapshot delta =
+      obs::metrics_delta(before, obs::snapshot_metrics());
+#ifndef CSRL_OBS_DISABLED
+  EXPECT_GT(delta.counter("core/sat_cache/misses"), 0u);
+  EXPECT_GT(delta.counter("core/sat_cache/hits"), 0u);
+#else
+  EXPECT_EQ(delta.counter("core/sat_cache/misses"), 0u);
+#endif
+}
+
+TEST(SatCacheMemo, DisablingTheOptionSkipsCaching) {
+  const Mrm m = build_adhoc_mrm();
+  const FormulaPtr q3 = parse_formula(kQueryQ3);
+
+  CheckOptions off;
+  off.cache_sat_sets = false;
+  const Checker checker(m, off);
+
+  const obs::ScopedRecording rec(true);
+  const obs::MetricsSnapshot before = obs::snapshot_metrics();
+  checker.values(*q3);
+  checker.values(*q3);
+  const obs::MetricsSnapshot delta =
+      obs::metrics_delta(before, obs::snapshot_metrics());
+  EXPECT_EQ(delta.counter("core/sat_cache/misses"), 0u);
+  EXPECT_EQ(delta.counter("core/sat_cache/hits"), 0u);
+}
+
+TEST(BatchCheckerApi, CheckUntilGridCarriesTheGridInItsReport) {
+  const Mrm m = build_adhoc_mrm();
+  CheckOptions opts;
+  opts.report = true;
+  const Checker checker(m, opts);
+
+  BatchQuery query;
+  query.phi = parse_formula("Call_Idle | Doze");
+  query.psi = parse_formula("Call_Initiated");
+  query.times = {12.0, 24.0};
+  query.rewards = {300.0, 600.0};
+  const BatchResult result = checker.check_until_grid(query);
+
+  ASSERT_TRUE(result.report.has_value());
+  EXPECT_EQ(result.report->grid_times, query.times);
+  EXPECT_EQ(result.report->grid_rewards, query.rewards);
+  EXPECT_EQ(result.report->engine, "sericola");
+#ifndef CSRL_OBS_DISABLED
+  EXPECT_GT(result.report->spmv_count, 0u);
+#endif
+
+  // And the values are the same as the unreported path.
+  const BatchResult plain = Checker(m).until_grid(query);
+  EXPECT_TRUE(bitwise_equal(result.per_state, plain.per_state));
+}
+
+}  // namespace
+}  // namespace csrl

@@ -9,7 +9,9 @@
 // (range, monotonicity, complementation).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "core/engines/discretisation_engine.hpp"
 #include "core/engines/erlang_engine.hpp"
@@ -143,6 +145,137 @@ TEST_P(EngineAgreement, TargetAdditivity) {
 
 INSTANTIATE_TEST_SUITE_P(RandomModels, EngineAgreement,
                          ::testing::Range<std::uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------------
+// Batched-grid cross-validation: the same three-way agreement, but over a
+// full (t, r) lattice evaluated through the engines' batched entry points
+// (core/batch.hpp).
+// ---------------------------------------------------------------------------
+
+struct GridInstance {
+  Mrm model;
+  std::vector<double> times;
+  std::vector<double> rewards;
+  StateSet target;
+  double d = 0.0;  // discretisation step aligned with both axes
+};
+
+/// A lattice around make_instance's point: two time bounds on the
+/// discretisation grid and up to three reward bounds picked, like
+/// make_instance, to stay away from the atoms of Y_t — for *both* lattice
+/// times, since the atoms rho(s) * t move with t and the pseudo-Erlang
+/// smear degrades next to them.
+GridInstance make_grid_instance(std::uint64_t seed) {
+  Instance inst = make_instance(seed);
+  const double exit = inst.model.chain().max_exit_rate();
+  double d = 1.0 / 64.0;
+  while (exit * d >= 1.0) d /= 2.0;
+
+  const double t_hi = std::max(d, std::floor(inst.t / d) * d);
+  const double t_lo = std::max(d, std::floor(0.6 * inst.t / d) * d);
+  std::vector<double> times{t_lo, t_hi};
+
+  // Score every 1/4-multiple candidate by its distance to the nearest
+  // atom over the lattice times; keep the three best-separated ones.
+  const std::size_t n = inst.model.num_states();
+  const double max_rt = inst.model.max_reward() * t_hi;
+  std::vector<std::pair<double, double>> scored;  // (-distance, candidate)
+  for (double candidate = 0.25; candidate < max_rt; candidate += 0.25) {
+    if (candidate < 0.15 * max_rt || candidate > 0.85 * max_rt) continue;
+    double distance = max_rt;
+    for (double t : times)
+      for (std::size_t s = 0; s < n; ++s)
+        distance =
+            std::min(distance, std::abs(inst.model.reward(s) * t - candidate));
+    scored.emplace_back(-distance, candidate);
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<double> rewards;
+  for (std::size_t i = 0; i < scored.size() && rewards.size() < 3; ++i)
+    rewards.push_back(scored[i].second);
+  if (rewards.empty()) rewards.push_back(inst.r);
+  std::sort(rewards.begin(), rewards.end());
+
+  return {std::move(inst.model), std::move(times), std::move(rewards),
+          std::move(inst.target), d};
+}
+
+class GridAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GridAgreement, ThreeMethodsConcurOnTheFullLattice) {
+  const GridInstance inst = make_grid_instance(GetParam());
+  const SericolaEngine sericola(1e-10);
+  const ErlangEngine erlang(2048);
+  const DiscretisationEngine discretisation(inst.d);
+
+  const auto ref = sericola.joint_probability_all_starts_grid(
+      inst.model, inst.times, inst.rewards, inst.target);
+  const auto approx = erlang.joint_probability_all_starts_grid(
+      inst.model, inst.times, inst.rewards, inst.target);
+  const auto joints = discretisation.joint_distribution_grid(
+      inst.model, inst.times, inst.rewards);
+
+  ASSERT_EQ(ref.size(), inst.times.size() * inst.rewards.size());
+  ASSERT_EQ(approx.size(), ref.size());
+  ASSERT_EQ(joints.size(), ref.size());
+  const std::size_t init = inst.model.initial_state();
+  for (std::size_t g = 0; g < ref.size(); ++g) {
+    for (std::size_t s = 0; s < ref[g].size(); ++s) {
+      EXPECT_GE(ref[g][s], -1e-12);
+      EXPECT_LE(ref[g][s], 1.0 + 1e-12);
+      // Looser than the point test's 5e-3: the runner-up reward
+      // candidates sit closer to the atoms of Y_t.
+      EXPECT_NEAR(ref[g][s], approx[g][s], 2e-2)
+          << "lattice point " << g << ", state " << s;
+    }
+    EXPECT_NEAR(joints[g].probability_in(inst.target), ref[g][init], 3e-2)
+        << "lattice point " << g;
+  }
+}
+
+TEST_P(GridAgreement, LatticeIsMonotoneAlongBothAxes) {
+  const GridInstance inst = make_grid_instance(GetParam());
+  const SericolaEngine sericola(1e-10);
+  const auto grid = sericola.joint_probability_all_starts_grid(
+      inst.model, inst.times, inst.rewards, inst.target);
+  // Raising r (t fixed) can only admit more paths.  (Raising t is NOT
+  // monotone in general — the target may be left again.)
+  const std::size_t rewards = inst.rewards.size();
+  for (std::size_t i = 0; i < inst.times.size(); ++i)
+    for (std::size_t j = 0; j + 1 < rewards; ++j)
+      for (std::size_t s = 0; s < inst.model.num_states(); ++s)
+        EXPECT_LE(grid[i * rewards + j][s], grid[i * rewards + j + 1][s] + 1e-9)
+            << "t index " << i << ", r index " << j << ", state " << s;
+}
+
+TEST_P(GridAgreement, BatchedLatticesAreBitwiseIdenticalToThePointLoop) {
+  const GridInstance inst = make_grid_instance(GetParam());
+  const SericolaEngine sericola(1e-10);
+  const DiscretisationEngine discretisation(inst.d);
+
+  const auto batched = sericola.joint_probability_all_starts_grid(
+      inst.model, inst.times, inst.rewards, inst.target);
+  const auto looped = joint_grid_reference(sericola, inst.model, inst.times,
+                                           inst.rewards, inst.target);
+  ASSERT_EQ(batched.size(), looped.size());
+  for (std::size_t g = 0; g < batched.size(); ++g)
+    for (std::size_t s = 0; s < batched[g].size(); ++s)
+      EXPECT_EQ(batched[g][s], looped[g][s])
+          << "sericola lattice point " << g << ", state " << s;
+
+  const auto joint_batched = discretisation.joint_distribution_grid(
+      inst.model, inst.times, inst.rewards);
+  const auto joint_looped = joint_distribution_grid_reference(
+      discretisation, inst.model, inst.times, inst.rewards);
+  ASSERT_EQ(joint_batched.size(), joint_looped.size());
+  for (std::size_t g = 0; g < joint_batched.size(); ++g)
+    for (std::size_t s = 0; s < joint_batched[g].per_state.size(); ++s)
+      EXPECT_EQ(joint_batched[g].per_state[s], joint_looped[g].per_state[s])
+          << "discretisation lattice point " << g << ", state " << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomModels, GridAgreement,
+                         ::testing::Range<std::uint64_t>(1, 7));
 
 }  // namespace
 }  // namespace csrl

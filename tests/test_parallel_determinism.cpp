@@ -9,6 +9,7 @@
 // the SpMV kernels and all three engine sweeps.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <vector>
 
@@ -143,6 +144,114 @@ TEST(ParallelDeterminism, DiscretisationCluster) {
   check_thread_invariance(
       [&] { return engine.joint_distribution(model, t, r).per_state; },
       "discretisation joint distribution on cluster");
+}
+
+// ---------------------------------------------------------------------------
+// Batched lattices (core/batch.hpp): at every thread count, the batched
+// grid must equal the point-by-point loop bit for bit — the two axes of
+// determinism (batching and parallelism) must compose.
+// ---------------------------------------------------------------------------
+
+std::vector<double> flatten(const std::vector<std::vector<double>>& grid) {
+  std::vector<double> flat;
+  for (const std::vector<double>& point : grid)
+    flat.insert(flat.end(), point.begin(), point.end());
+  return flat;
+}
+
+TEST(ParallelDeterminism, SericolaGridEqualsPointLoopAtBothThreadCounts) {
+  const Mrm model = small_cluster();
+  const double t = 1.0;
+  const std::vector<double> times{0.5 * t, t};
+  const std::vector<double> rewards{0.3 * model.max_reward() * t,
+                                    0.6 * model.max_reward() * t};
+  const StateSet target = last_states(model, 10);
+  const SericolaEngine engine(1e-6);
+
+  std::vector<double> serial_batched;
+  for (const std::size_t threads : {std::size_t{1}, kManyThreads}) {
+    ThreadPool::set_global_threads(threads);
+    const std::vector<double> batched = flatten(
+        engine.joint_probability_all_starts_grid(model, times, rewards,
+                                                 target));
+    const std::vector<double> looped = flatten(
+        joint_grid_reference(engine, model, times, rewards, target));
+    expect_bitwise_equal(batched, looped,
+                         "sericola lattice vs point loop on cluster");
+    if (threads == 1)
+      serial_batched = batched;
+    else
+      expect_bitwise_equal(serial_batched, batched,
+                           "sericola lattice across thread counts");
+  }
+  ThreadPool::set_global_threads(1);
+}
+
+TEST(ParallelDeterminism, ErlangGridEqualsPointLoopAtBothThreadCounts) {
+  const Mrm model = big_synthetic();
+  const double t = 0.5;
+  const std::vector<double> times{0.5 * t, t};
+  const std::vector<double> rewards{0.4 * model.max_reward() * t};
+  const StateSet target = last_states(model, 50);
+  const ErlangEngine engine(8);
+
+  std::vector<double> serial_batched;
+  for (const std::size_t threads : {std::size_t{1}, kManyThreads}) {
+    ThreadPool::set_global_threads(threads);
+    const std::vector<double> batched = flatten(
+        engine.joint_probability_all_starts_grid(model, times, rewards,
+                                                 target));
+    const std::vector<double> looped = flatten(
+        joint_grid_reference(engine, model, times, rewards, target));
+    expect_bitwise_equal(batched, looped,
+                         "erlang-8 lattice vs point loop on random_mrm(4000)");
+    if (threads == 1)
+      serial_batched = batched;
+    else
+      expect_bitwise_equal(serial_batched, batched,
+                           "erlang-8 lattice across thread counts");
+  }
+  ThreadPool::set_global_threads(1);
+}
+
+TEST(ParallelDeterminism, DiscretisationGridEqualsPointLoopAtBothThreadCounts) {
+  const Mrm model = small_cluster();
+  double d = 1.0;
+  while (model.chain().max_exit_rate() * d >= 0.9) d /= 2.0;
+  const DiscretisationEngine engine(d);
+  const std::vector<double> times{16.0 * d, 32.0 * d};
+  const double r_hi = 0.5 * model.max_reward() * 32.0 * d;
+  const std::vector<double> rewards{std::floor(0.5 * r_hi / d) * d,
+                                    std::floor(r_hi / d) * d};
+
+  const auto run = [&] {
+    std::vector<double> flat;
+    for (const JointDistribution& joint :
+         engine.joint_distribution_grid(model, times, rewards))
+      flat.insert(flat.end(), joint.per_state.begin(), joint.per_state.end());
+    return flat;
+  };
+  const auto run_looped = [&] {
+    std::vector<double> flat;
+    for (const JointDistribution& joint : joint_distribution_grid_reference(
+             engine, model, times, rewards))
+      flat.insert(flat.end(), joint.per_state.begin(), joint.per_state.end());
+    return flat;
+  };
+
+  std::vector<double> serial_batched;
+  for (const std::size_t threads : {std::size_t{1}, kManyThreads}) {
+    ThreadPool::set_global_threads(threads);
+    const std::vector<double> batched = run();
+    expect_bitwise_equal(batched, run_looped(),
+                         "discretisation lattice vs point loop on cluster");
+    if (threads == 1)
+      serial_batched = batched;
+    else
+      expect_bitwise_equal(serial_batched, batched,
+                           "discretisation lattice across thread counts");
+  }
+  ThreadPool::set_global_threads(1);
 }
 
 TEST(ParallelDeterminism, MakeEnginePlumbsThreadCount) {
