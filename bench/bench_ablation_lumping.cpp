@@ -98,8 +98,14 @@ BENCHMARK(BM_LumpingAlone)->DenseRange(4, 10, 2)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const csrl_bench::BenchObs obs_guard("ablation_lumping");
+  csrl_bench::BenchObs obs_guard("ablation_lumping");
   print_comparison();
+  {
+    const Mrm model = independent_machines_mrm(6, 0.5, 1.0);
+    obs_guard.timed_reps("check_full_k6", [&] { return check_full(model); });
+    obs_guard.timed_reps("lump_then_check_k6",
+                         [&] { return check_lumped(model); });
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

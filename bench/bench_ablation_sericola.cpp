@@ -90,8 +90,19 @@ BENCHMARK(BM_SericolaMatrixCost)->RangeMultiplier(2)->Range(4, 32)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
-  const csrl_bench::BenchObs obs_guard("ablation_sericola");
+  csrl_bench::BenchObs obs_guard("ablation_sericola");
   print_comparison();
+  {
+    const Mrm model = scaled_model(32);
+    const double t = 4.0;
+    const double r = 0.4 * model.max_reward() * t;
+    StateSet target(32);
+    target.insert(31);
+    const SericolaEngine engine(1e-8);
+    obs_guard.timed_reps("sericola_vector_n32", [&] {
+      return engine.joint_probability_all_starts(model, t, r, target)[0];
+    });
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

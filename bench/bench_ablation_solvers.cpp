@@ -110,8 +110,18 @@ BENCHMARK(BM_TransientLargeHorizon)->Arg(0)->Arg(1)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
-  const csrl_bench::BenchObs obs_guard("ablation_solvers");
+  csrl_bench::BenchObs obs_guard("ablation_solvers");
   print_comparison();
+  {
+    const Mrm model = workload(32);
+    const FormulaPtr formula = parse_formula("P=? [ !full2 U blocked ]");
+    CheckOptions options;
+    options.solver.method = LinearMethod::kGaussSeidel;
+    const Checker checker(model, options);
+    obs_guard.timed_reps("p0_gauss_seidel_side32", [&] {
+      return checker.value_initially(*formula);
+    });
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -69,8 +69,15 @@ BENCHMARK(BM_Q3_TimeRewardBounded)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const csrl_bench::BenchObs obs_guard("case_study_properties");
+  csrl_bench::BenchObs obs_guard("case_study_properties");
   print_properties();
+  {
+    const Mrm model = build_adhoc_mrm();
+    const Checker checker(model);
+    const FormulaPtr q3 = parse_formula(kQueryQ3);
+    obs_guard.timed_reps("q3_time_reward_until",
+                         [&] { return checker.value_initially(*q3); });
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

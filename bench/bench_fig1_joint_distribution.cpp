@@ -171,8 +171,10 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--grid") == 0) return run_grid_mode();
   }
-  const csrl_bench::BenchObs obs_guard("fig1_joint_distribution");
+  csrl_bench::BenchObs obs_guard("fig1_joint_distribution");
   print_surface();
+  obs_guard.timed_reps("surface_point_t24_r600",
+                       [] { return surface_point(24.0, 600.0); });
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

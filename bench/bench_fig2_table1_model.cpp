@@ -84,8 +84,12 @@ BENCHMARK(BM_ReduceForQ3);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const csrl_bench::BenchObs obs_guard("fig2_table1_model");
+  csrl_bench::BenchObs obs_guard("fig2_table1_model");
   print_model();
+  obs_guard.timed_reps("explore_state_space", [] {
+    const Srn net = build_adhoc_srn();
+    return explore(net).model.num_states();
+  });
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -7,11 +7,18 @@
 // The perf trajectory thereby carries attribution — a wall-clock
 // regression in BENCH_*.json can be matched against the counters that
 // explain it without re-running anything.
+// Every bench also routes its headline workloads through timed_reps():
+// one warmup run, then at least five timed repetitions, with the median
+// and minimum wall-clock recorded under the "reps" key of the obs JSON.
+// Medians resist scheduler noise; minima approximate the unloaded cost.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "obs/json_writer.hpp"
 #include "obs/obs.hpp"
@@ -21,11 +28,46 @@ namespace csrl_bench {
 
 class BenchObs {
  public:
+  struct RepStats {
+    std::string name;
+    std::size_t reps;
+    double median_ms;
+    double min_ms;
+  };
+
   explicit BenchObs(std::string name)
       : name_(std::move(name)), before_(csrl::obs::snapshot_metrics()) {}
 
   BenchObs(const BenchObs&) = delete;
   BenchObs& operator=(const BenchObs&) = delete;
+
+  /// Run `fn` once untimed (warmup), then `reps` (>= 5) timed times;
+  /// record the median and minimum wall-clock under `label` in the
+  /// "reps" section of the obs JSON and return the last run's result.
+  template <typename Fn>
+  auto timed_reps(const std::string& label, Fn&& fn, std::size_t reps = 5) {
+    if (reps < 5) reps = 5;
+    fn();  // warmup: faults pages, warms caches and allocator pools
+    std::vector<double> seconds;
+    seconds.reserve(reps);
+    if constexpr (std::is_void_v<std::invoke_result_t<Fn&>>) {
+      for (std::size_t i = 0; i < reps; ++i) {
+        csrl::WallTimer timer;
+        fn();
+        seconds.push_back(timer.seconds());
+      }
+      record_reps(label, seconds);
+    } else {
+      std::invoke_result_t<Fn&> result{};
+      for (std::size_t i = 0; i < reps; ++i) {
+        csrl::WallTimer timer;
+        result = fn();
+        seconds.push_back(timer.seconds());
+      }
+      record_reps(label, seconds);
+      return result;
+    }
+  }
 
   ~BenchObs() {
     const csrl::obs::MetricsSnapshot after = csrl::obs::snapshot_metrics();
@@ -38,6 +80,16 @@ class BenchObs {
     w.begin_object();
     w.key("schema").value("csrl-bench-obs-v1");
     w.key("bench").value(name_);
+    w.key("reps").begin_array();
+    for (const RepStats& r : rep_stats_) {
+      w.begin_object();
+      w.key("name").value(r.name);
+      w.key("reps").value(static_cast<std::uint64_t>(r.reps));
+      w.key("median_ms").value(r.median_ms);
+      w.key("min_ms").value(r.min_ms);
+      w.end_object();
+    }
+    w.end_array();
     csrl::obs::emit_metrics(w, delta);
     csrl::obs::emit_spans(w, spans);
     w.end_object();
@@ -54,10 +106,24 @@ class BenchObs {
     }
   }
 
+  /// Stats recorded by timed_reps so far, in call order.
+  const std::vector<RepStats>& reps() const { return rep_stats_; }
+
  private:
+  void record_reps(const std::string& label, std::vector<double>& seconds) {
+    std::sort(seconds.begin(), seconds.end());
+    rep_stats_.push_back({label, seconds.size(),
+                          seconds[seconds.size() / 2] * 1e3,
+                          seconds.front() * 1e3});
+    std::printf("[reps] %-32s %zu reps: median %.3f ms, min %.3f ms\n",
+                label.c_str(), seconds.size(), rep_stats_.back().median_ms,
+                rep_stats_.back().min_ms);
+  }
+
   csrl::obs::ScopedRecording recording_{true};
   std::string name_;
   csrl::obs::MetricsSnapshot before_;
+  std::vector<RepStats> rep_stats_;
 };
 
 }  // namespace csrl_bench

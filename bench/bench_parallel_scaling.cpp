@@ -118,10 +118,20 @@ void write_json(const std::vector<Record>& records, const char* path) {
 }  // namespace
 
 int main() {
-  const csrl_bench::BenchObs obs_guard("parallel_scaling");
+  csrl_bench::BenchObs obs_guard("parallel_scaling");
   std::printf("=== Parallel scaling of the P3 engines ===\n");
   std::printf("hardware threads: %zu (CSRL_THREADS overrides)\n\n",
               ThreadPool::resolve_threads(0));
+  {
+    const Mrm q3 = build_q3_reduced_mrm();
+    StateSet success(q3.num_states());
+    success.insert(1);
+    const SericolaEngine engine(1e-8);
+    obs_guard.timed_reps("sericola_q3", [&] {
+      return engine.joint_probability_all_starts(
+          q3, kTimeBoundHours, kRewardBoundMah, success)[0];
+    });
+  }
 
   // On a single-CPU host every multi-thread point would just measure
   // oversubscription noise and report speedups < 1 that say nothing about

@@ -101,8 +101,16 @@ BENCHMARK(BM_ScalingDiscretisation)->RangeMultiplier(2)->Range(4, 32)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
-  const csrl_bench::BenchObs obs_guard("scaling_engines");
+  csrl_bench::BenchObs obs_guard("scaling_engines");
   print_comparison();
+  {
+    const Workload w = workload(32);
+    const SericolaEngine engine(1e-8);
+    obs_guard.timed_reps("sericola_n32", [&] {
+      return engine.joint_probability_all_starts(w.model, w.t, w.r,
+                                                 w.target)[0];
+    });
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -100,9 +100,11 @@ BENCHMARK(BM_SericolaQ3)->DenseRange(1, 8)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const csrl_bench::BenchObs obs_guard("table2_sericola");
+  csrl_bench::BenchObs obs_guard("table2_sericola");
   print_table();
   print_grid_comparison();
+  obs_guard.timed_reps("sericola_q3_eps1e-4",
+                       [] { return run_once(1e-4); });
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -107,9 +107,11 @@ BENCHMARK(BM_DiscretisationQ3)->RangeMultiplier(2)->Range(32, 256)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
-  const csrl_bench::BenchObs obs_guard("table4_discretisation");
+  csrl_bench::BenchObs obs_guard("table4_discretisation");
   print_table();
   print_grid_comparison();
+  obs_guard.timed_reps("discretisation_q3_d1_32",
+                       [] { return discretisation_once(1.0 / 32.0); });
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -36,6 +36,14 @@ is not installed):
                      traces are keyed by these names, so a stray space,
                      capital or dot silently forks the aggregation.
 
+  loop-alloc         A `std::vector<double>` declared inside a loop body
+                     in src/matrix/ or src/ctmc/ — the hot-path layers
+                     whose iteration loops are contractually
+                     allocation-free (util/workspace.hpp).  A vector
+                     constructed per iteration reallocates on every pass;
+                     hoist it out of the loop or lease it from the
+                     caller's Workspace arena.
+
 A finding can be waived for one line with a trailing comment
 `// lint:allow <rule> (<justification>)` — the justification is required
 so waivers stay auditable.
@@ -71,6 +79,13 @@ DELETED_FN_RE = re.compile(r"=\s*delete\s*[;,)]")
 # match position to skip occurrences inside comments.
 OBS_SITE_RE = re.compile(r"\bCSRL_(?:SPAN|COUNT|GAUGE|HIST)\s*\(\s*\"([^\"]*)\"")
 OBS_NAME_RE = re.compile(r"^[a-z0-9_]+(/[a-z0-9_]+)*$")
+
+# Hot-path layers whose iteration loops must stay allocation-free; the
+# loop-alloc rule only fires on files inside these directories.
+LOOP_ALLOC_DIRS = {"matrix", "ctmc"}
+
+LOOP_HEAD_RE = re.compile(r"\b(?:for|while)\s*\(")
+VECTOR_DOUBLE_DECL_RE = re.compile(r"\bstd::vector<double>\s+\w+")
 
 UNORDERED_DECL_RE = re.compile(
     r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+(\w+)\s*[;{=(]"
@@ -127,6 +142,46 @@ def strip_comments_and_strings(line, in_block_comment):
     return "".join(out), comment, in_block_comment
 
 
+def loop_vector_decl_lines(stripped_lines):
+    """Line numbers (1-based) of std::vector<double> declarations inside
+    for/while loop bodies, tracked by brace depth across the file.  Loop
+    heads may span lines; a body only counts once its `{` opens (a
+    brace-less single-statement body cannot hold a declaration anyway)."""
+    hits = []
+    depth = 0
+    body_depths = []  # brace depths at which a loop body opened
+    awaiting_body = False  # saw a loop head, its '{' not yet reached
+    head_parens = 0  # unclosed parens of that loop head
+    for lineno, (code, _comment) in enumerate(stripped_lines, start=1):
+        head_starts = {m.start() for m in LOOP_HEAD_RE.finditer(code)}
+        decl_starts = {m.start() for m in VECTOR_DOUBLE_DECL_RE.finditer(code)}
+        for pos, ch in enumerate(code):
+            if pos in head_starts:
+                awaiting_body = True
+                head_parens = 0
+            if pos in decl_starts and body_depths:
+                hits.append(lineno)
+            if ch == "(":
+                if awaiting_body:
+                    head_parens += 1
+            elif ch == ")":
+                if awaiting_body and head_parens > 0:
+                    head_parens -= 1
+            elif ch == "{":
+                depth += 1
+                if awaiting_body and head_parens == 0:
+                    body_depths.append(depth)
+                    awaiting_body = False
+            elif ch == ";":
+                if awaiting_body and head_parens == 0:
+                    awaiting_body = False  # brace-less body ended
+            elif ch == "}":
+                if body_depths and body_depths[-1] == depth:
+                    body_depths.pop()
+                depth -= 1
+    return hits
+
+
 def waived(rule, comment):
     m = WAIVER_RE.search(comment)
     return m is not None and m.group(1) == rule
@@ -155,6 +210,16 @@ def lint_file(path):
         stripped_lines.append((code, comment))
         for m in UNORDERED_DECL_RE.finditer(code):
             unordered_names.add(m.group(1))
+
+    if LOOP_ALLOC_DIRS & set(path.parts):
+        for lineno in loop_vector_decl_lines(stripped_lines):
+            if not waived("loop-alloc", stripped_lines[lineno - 1][1]):
+                report(
+                    lineno,
+                    "loop-alloc",
+                    "std::vector<double> constructed inside a loop body"
+                    " (hoist it or lease from a Workspace arena)",
+                )
 
     for lineno, (code, comment) in enumerate(stripped_lines, start=1):
         if RAW_NEW_RE.search(code) and not waived("raw-new-delete", comment):

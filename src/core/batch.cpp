@@ -121,6 +121,17 @@ std::vector<std::vector<double>> Checker::until_grid_sets(
 }
 
 BatchResult Checker::until_grid(const BatchQuery& query) const {
+  BatchResult result = until_grid_internal(query);
+  if (!to_original_.empty()) {
+    for (std::vector<double>& cell : result.per_state)
+      cell = map_to_original(std::move(cell));
+    if (result.initial_state < to_original_.size())
+      result.initial_state = to_original_[result.initial_state];
+  }
+  return result;
+}
+
+BatchResult Checker::until_grid_internal(const BatchQuery& query) const {
   if (!query.psi)
     throw ModelError("until_grid: the psi (right-hand side) formula is "
                      "required");
@@ -131,8 +142,8 @@ BatchResult Checker::until_grid(const BatchQuery& query) const {
 
   const std::size_t n = model_->num_states();
   const StateSet phi_set =
-      query.phi ? sat(*query.phi) : StateSet(n, /*filled=*/true);
-  const StateSet psi_set = sat(*query.psi);
+      query.phi ? sat_internal(*query.phi) : StateSet(n, /*filled=*/true);
+  const StateSet psi_set = sat_internal(*query.psi);
 
   BatchResult result;
   result.times = query.times;

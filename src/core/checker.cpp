@@ -4,6 +4,8 @@
 
 #include "core/batch.hpp"
 #include "core/engines/discretisation_engine.hpp"
+#include "ctmc/graph.hpp"
+#include "mrm/transform.hpp"
 #include "obs/obs.hpp"
 #include "util/contracts.hpp"
 #include "util/error.hpp"
@@ -12,18 +14,84 @@ namespace csrl {
 
 Checker::Checker(const Mrm& model, CheckOptions options,
                  std::shared_ptr<SatCache> sat_cache)
-    : model_(&model), options_(options), sat_cache_(std::move(sat_cache)) {
+    : model_(&model),
+      original_model_(&model),
+      options_(options),
+      sat_cache_(std::move(sat_cache)) {
   // Applied here as well as in make_engine so the P0/P1/P2 pipelines
   // (which never instantiate a P3 engine) also see the requested level.
   if (options_.validate) validation::set_level(*options_.validate);
+  if (options_.reorder_states && model.num_states() > 0) {
+    // Renumber once at the outermost checker; the flag is consumed so
+    // checkers built internally on derived models (e.g. the duality
+    // pipeline's dual checker) inherit the internal numbering and never
+    // permute again — their per-state vectors feed straight back into
+    // this checker's internal computations.
+    options_.reorder_states = false;
+    to_original_ = reverse_cuthill_mckee(model.rates());
+    to_internal_.resize(to_original_.size());
+    for (std::size_t i = 0; i < to_original_.size(); ++i)
+      to_internal_[to_original_[i]] = i;
+    reordered_model_ =
+        std::make_shared<const Mrm>(permute_states(model, to_original_));
+    model_ = reordered_model_.get();
+  }
   if (!sat_cache_ && options_.cache_sat_sets)
     sat_cache_ = std::make_shared<SatCache>();
   // The fingerprint scopes this model's entries in a (possibly shared)
-  // cache; computing it once here keeps sat() fingerprint-free.
+  // cache; computing it once here keeps sat() fingerprint-free.  The
+  // reordered copy fingerprints differently from the original, so cached
+  // internal-numbering sets can never leak across the two.
   if (sat_cache_) model_fingerprint_ = model_->fingerprint();
 }
 
 StateSet Checker::sat(const Formula& f) const {
+  return map_to_original(sat_internal(f));
+}
+
+std::vector<double> Checker::values(const Formula& f) const {
+  return map_to_original(values_internal(f));
+}
+
+std::vector<double> Checker::path_probabilities(const PathFormula& p) const {
+  return map_to_original(path_probabilities_internal(p));
+}
+
+std::vector<double> Checker::reward_values(const Formula& f) const {
+  return map_to_original(reward_values_internal(f));
+}
+
+std::vector<double> Checker::steady_probabilities(
+    const StateSet& phi_states) const {
+  return map_to_original(
+      steady_probabilities_internal(map_to_internal(phi_states)));
+}
+
+std::vector<double> Checker::map_to_original(std::vector<double> values) const {
+  if (to_original_.empty()) return values;
+  std::vector<double> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    out[to_original_[i]] = values[i];
+  return out;
+}
+
+StateSet Checker::map_to_original(const StateSet& internal_set) const {
+  if (to_original_.empty()) return internal_set;
+  StateSet out(internal_set.size());
+  for (std::size_t i : internal_set.members()) out.insert(to_original_[i]);
+  return out;
+}
+
+StateSet Checker::map_to_internal(const StateSet& original_set) const {
+  if (to_internal_.empty()) return original_set;
+  if (original_set.size() != to_internal_.size())
+    throw ModelError("steady_probabilities: universe size mismatch");
+  StateSet out(original_set.size());
+  for (std::size_t s : original_set.members()) out.insert(to_internal_[s]);
+  return out;
+}
+
+StateSet Checker::sat_internal(const Formula& f) const {
   // Cheap leaves are not worth a cache probe; numerically expensive nodes
   // (temporal/steady/reward operators under boolean structure) are.
   if (!sat_cache_ || f.kind() == FormulaKind::kTrue ||
@@ -48,17 +116,17 @@ StateSet Checker::compute_sat(const Formula& f) const {
     case FormulaKind::kAtomic:
       return model_->labelling().states_with(f.name());
     case FormulaKind::kNot:
-      return sat(*f.operand()).complement();
+      return sat_internal(*f.operand()).complement();
     case FormulaKind::kAnd:
-      return sat(*f.lhs()) & sat(*f.rhs());
+      return sat_internal(*f.lhs()) & sat_internal(*f.rhs());
     case FormulaKind::kOr:
-      return sat(*f.lhs()) | sat(*f.rhs());
+      return sat_internal(*f.lhs()) | sat_internal(*f.rhs());
     case FormulaKind::kProb: {
       if (f.is_query())
         throw ModelError(
             "sat: P=? is a quantitative query and has no truth value; use "
             "values() or give a probability bound");
-      const std::vector<double> probs = path_probabilities(*f.path());
+      const std::vector<double> probs = path_probabilities_internal(*f.path());
       StateSet result(n);
       for (std::size_t s = 0; s < n; ++s)
         if (compare(f.comparison(), probs[s], f.bound())) result.insert(s);
@@ -69,8 +137,8 @@ StateSet Checker::compute_sat(const Formula& f) const {
         throw ModelError(
             "sat: S=? is a quantitative query and has no truth value; use "
             "values() or give a probability bound");
-      const StateSet phi = sat(*f.operand());
-      const std::vector<double> probs = steady_probabilities(phi);
+      const StateSet phi = sat_internal(*f.operand());
+      const std::vector<double> probs = steady_probabilities_internal(phi);
       StateSet result(n);
       for (std::size_t s = 0; s < n; ++s)
         if (compare(f.comparison(), probs[s], f.bound())) result.insert(s);
@@ -81,7 +149,7 @@ StateSet Checker::compute_sat(const Formula& f) const {
         throw ModelError(
             "sat: R=? is a quantitative query and has no truth value; use "
             "values() or give a reward bound");
-      const std::vector<double> expectations = reward_values(f);
+      const std::vector<double> expectations = reward_values_internal(f);
       StateSet result(n);
       for (std::size_t s = 0; s < n; ++s)
         if (compare(f.comparison(), expectations[s], f.bound()))
@@ -93,20 +161,21 @@ StateSet Checker::compute_sat(const Formula& f) const {
 }
 
 bool Checker::holds_initially(const Formula& f) const {
-  return sat(f).contains(model_->initial_state());
+  return sat_internal(f).contains(model_->initial_state());
 }
 
-std::vector<double> Checker::values(const Formula& f) const {
+std::vector<double> Checker::values_internal(const Formula& f) const {
   if (f.kind() == FormulaKind::kProb && f.is_query())
-    return path_probabilities(*f.path());
+    return path_probabilities_internal(*f.path());
   if (f.kind() == FormulaKind::kSteady && f.is_query())
-    return steady_probabilities(sat(*f.operand()));
-  if (f.kind() == FormulaKind::kReward && f.is_query()) return reward_values(f);
-  return sat(f).indicator();
+    return steady_probabilities_internal(sat_internal(*f.operand()));
+  if (f.kind() == FormulaKind::kReward && f.is_query())
+    return reward_values_internal(f);
+  return sat_internal(f).indicator();
 }
 
 double Checker::value_initially(const Formula& f) const {
-  return values(f)[model_->initial_state()];
+  return values_internal(f)[model_->initial_state()];
 }
 
 CheckResult Checker::check(const Formula& f) const {
@@ -127,7 +196,8 @@ CheckResult Checker::check(const Formula& f) const {
   return result;
 }
 
-std::vector<double> Checker::path_probabilities(const PathFormula& p) const {
+std::vector<double> Checker::path_probabilities_internal(
+    const PathFormula& p) const {
   if (p.kind() == PathKind::kNext) return next_probabilities(p);
   if (p.kind() == PathKind::kWeakUntil) {
     // Phi W Psi fails exactly when the path leaves Phi before reaching Psi
@@ -154,7 +224,7 @@ std::vector<double> Checker::path_probabilities(const PathFormula& p) const {
 
 std::vector<double> Checker::next_probabilities(const PathFormula& p) const {
   const std::size_t n = model_->num_states();
-  const StateSet targets = sat(*p.target());
+  const StateSet targets = sat_internal(*p.target());
   const Interval& time = p.time();
   const Interval& reward = p.reward();
 
@@ -192,8 +262,8 @@ std::vector<double> Checker::next_probabilities(const PathFormula& p) const {
 }
 
 std::vector<double> Checker::until_probabilities(const PathFormula& p) const {
-  const StateSet phi = sat(*p.lhs());
-  const StateSet psi = sat(*p.target());
+  const StateSet phi = sat_internal(*p.lhs());
+  const StateSet psi = sat_internal(*p.target());
   const Interval& time = p.time();
   const Interval& reward = p.reward();
 

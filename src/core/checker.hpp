@@ -110,10 +110,31 @@ class Checker {
   /// state.
   std::vector<double> steady_probabilities(const StateSet& phi_states) const;
 
-  const Mrm& model() const { return *model_; }
+  /// The model as constructed — with CheckOptions::reorder_states the
+  /// checker computes on an internally renumbered copy, but this (like
+  /// every public result) always speaks the original numbering.
+  const Mrm& model() const { return *original_model_; }
   const CheckOptions& options() const { return options_; }
 
  private:
+  // The *_internal methods hold the actual checking logic and speak the
+  // internal state numbering (identical to the public one unless
+  // reorder_states engaged).  The public methods above are thin wrappers
+  // that translate arguments and results at the boundary.
+  StateSet sat_internal(const Formula& f) const;
+  std::vector<double> values_internal(const Formula& f) const;
+  std::vector<double> path_probabilities_internal(const PathFormula& p) const;
+  std::vector<double> reward_values_internal(const Formula& f) const;
+  std::vector<double> steady_probabilities_internal(
+      const StateSet& phi_states) const;
+  BatchResult until_grid_internal(const BatchQuery& query) const;
+
+  // Boundary translation; all three are the identity when no reordering
+  // is in effect.
+  std::vector<double> map_to_original(std::vector<double> values) const;
+  StateSet map_to_original(const StateSet& internal_set) const;
+  StateSet map_to_internal(const StateSet& original_set) const;
+
   StateSet compute_sat(const Formula& f) const;
   std::vector<double> next_probabilities(const PathFormula& p) const;
   std::vector<double> until_probabilities(const PathFormula& p) const;
@@ -137,13 +158,23 @@ class Checker {
       const StateSet& phi, const StateSet& psi, std::span<const double> times,
       std::span<const double> rewards) const;
 
+  // The model all checking runs on: the constructor argument, or the
+  // bandwidth-reduced copy when reorder_states engaged.
   const Mrm* model_;
+  // The constructor argument, always; what model() returns.
+  const Mrm* original_model_;
   CheckOptions options_;
   // Sat-set memo (core/batch.hpp), possibly shared across checkers; null
   // when cache_sat_sets is off.  The fingerprint scopes this checker's
   // entries within the cache.
   std::shared_ptr<SatCache> sat_cache_;
   std::uint64_t model_fingerprint_ = 0;
+  // State reordering (CheckOptions::reorder_states).  The reordered copy
+  // is shared so checkers stay copyable; both index maps are empty when
+  // no reordering is in effect.
+  std::shared_ptr<const Mrm> reordered_model_;
+  std::vector<std::size_t> to_original_;  // internal index -> original
+  std::vector<std::size_t> to_internal_;  // original index -> internal
 };
 
 }  // namespace csrl

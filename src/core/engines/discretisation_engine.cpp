@@ -10,6 +10,7 @@
 #include "obs/obs.hpp"
 #include "util/contracts.hpp"
 #include "util/error.hpp"
+#include "util/workspace.hpp"
 
 namespace csrl {
 
@@ -165,6 +166,13 @@ JointDistribution DiscretisationEngine::joint_distribution(const Mrm& model,
 std::vector<JointDistribution> DiscretisationEngine::joint_distribution_grid(
     const Mrm& model, std::span<const double> times,
     std::span<const double> rewards) const {
+  Workspace workspace;
+  return joint_distribution_grid_impl(model, times, rewards, &workspace);
+}
+
+std::vector<JointDistribution> DiscretisationEngine::joint_distribution_grid_impl(
+    const Mrm& model, std::span<const double> times,
+    std::span<const double> rewards, Workspace* workspace) const {
   const std::size_t num_rewards = rewards.size();
   std::vector<JointDistribution> grid(times.size() * num_rewards);
   struct Live {
@@ -207,12 +215,19 @@ std::vector<JointDistribution> DiscretisationEngine::joint_distribution_grid(
   }
 
   // One F array wide enough for the largest reward bound: lower columns
-  // are bit-identical to a narrower run (see the header's argument).
+  // are bit-identical to a narrower run (see the header's argument).  The
+  // two sweep arrays lease arena storage, so the per-start-state caller's
+  // repeated runs reuse one pair of buffers.
   const std::size_t width = max_cells + 1;
   CSRL_GAUGE("p3/discretisation/time_steps", static_cast<double>(max_steps));
   CSRL_GAUGE("p3/discretisation/reward_cells", static_cast<double>(width));
-  std::vector<double> current(n * width, 0.0);
-  std::vector<double> next(n * width, 0.0);
+  Workspace::LoopGuard guard(workspace);
+  Workspace::Lease current_lease(workspace, n * width);
+  Workspace::Lease next_lease(workspace, n * width);
+  std::vector<double>& current = current_lease.get();
+  std::vector<double>& next = next_lease.get();
+  current.assign(n * width, 0.0);
+  next.assign(n * width, 0.0);
   auto cell = [width](std::vector<double>& f, std::size_t s, std::size_t k)
       -> double& { return f[s * width + k]; };
 
@@ -285,6 +300,7 @@ std::vector<JointDistribution> DiscretisationEngine::joint_distribution_grid(
     current.swap(next);
     harvest(j + 1);
   }
+  CSRL_COUNT("p3/discretisation/allocs_in_loop", guard.heap_allocations());
 
   CSRL_CONTRACT(
       [&] {
@@ -313,12 +329,15 @@ DiscretisationEngine::joint_probability_all_starts_grid(
   CSRL_SPAN("p3/discretisation/all_starts_grid");
   std::vector<std::vector<double>> grid(times.size() * rewards.size(),
                                         std::vector<double>(n, 0.0));
+  // One arena across the per-start-state runs: every run sweeps the same
+  // n-by-width F arrays, so only the first one allocates them.
+  Workspace start_workspace;
   for (std::size_t s = 0; s < n; ++s) {
     Mrm from_s(Ctmc(model.rates()), model.rewards(), model.labelling(), s);
     if (model.has_impulse_rewards())
       from_s = from_s.with_impulses(model.impulse_rewards());
     const std::vector<JointDistribution> per_start =
-        joint_distribution_grid(from_s, times, rewards);
+        joint_distribution_grid_impl(from_s, times, rewards, &start_workspace);
     for (std::size_t g = 0; g < grid.size(); ++g)
       grid[g][s] = per_start[g].probability_in(target);
   }

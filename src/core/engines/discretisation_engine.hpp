@@ -35,6 +35,8 @@
 
 namespace csrl {
 
+class Workspace;
+
 /// Section 4.3's engine.  `step` is the discretisation step d.  The
 /// per-state recurrence sweep runs on `pool` (nullptr = the shared pool);
 /// results are bit-identical at any thread count because each state's row
@@ -93,6 +95,14 @@ class DiscretisationEngine : public JointDistributionEngine {
   double step() const { return step_; }
 
  private:
+  /// Body of joint_distribution_grid with the F arrays leased from
+  /// `workspace` (nullptr: plain vectors).  joint_probability_all_starts_grid
+  /// threads one arena through its per-start-state calls so only the first
+  /// run allocates the two n-by-width sweep arrays.
+  std::vector<JointDistribution> joint_distribution_grid_impl(
+      const Mrm& model, std::span<const double> times,
+      std::span<const double> rewards, Workspace* workspace) const;
+
   double step_;
 };
 

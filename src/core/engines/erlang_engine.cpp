@@ -10,6 +10,7 @@
 #include "obs/obs.hpp"
 #include "util/contracts.hpp"
 #include "util/error.hpp"
+#include "util/workspace.hpp"
 
 namespace csrl {
 
@@ -169,6 +170,12 @@ std::vector<std::vector<double>> ErlangEngine::joint_probability_all_starts_grid
   CSRL_SPAN("p3/erlang/all_starts_grid");
   const std::size_t n = model.num_states();
   const std::size_t k = phases_;
+  // The expanded chain has the same size for every reward column, so one
+  // arena serves every batched transient run of the sweep: the first
+  // column warms it, the rest iterate without heap traffic.
+  Workspace grid_workspace;
+  TransientOptions transient = transient_;
+  if (transient.workspace == nullptr) transient.workspace = &grid_workspace;
   for (std::size_t j = 0; j < num_rewards; ++j) {
     if (live_times[j].empty()) continue;
     const Ctmc expanded = expand(model, rewards[j]);
@@ -180,7 +187,7 @@ std::vector<std::vector<double>> ErlangEngine::joint_probability_all_starts_grid
     horizon.reserve(live_times[j].size());
     for (std::size_t i : live_times[j]) horizon.push_back(times[i]);
     const std::vector<std::vector<double>> us =
-        transient_reach_batch(expanded, expanded_target, horizon, transient_);
+        transient_reach_batch(expanded, expanded_target, horizon, transient);
 
     for (std::size_t pos = 0; pos < live_times[j].size(); ++pos) {
       std::vector<double>& out = grid[live_times[j][pos] * num_rewards + j];
@@ -218,6 +225,9 @@ std::vector<JointDistribution> ErlangEngine::joint_distribution_grid(
   CSRL_SPAN("p3/erlang/joint_distribution_grid");
   const std::size_t n = model.num_states();
   const std::size_t k = phases_;
+  Workspace grid_workspace;
+  TransientOptions transient = transient_;
+  if (transient.workspace == nullptr) transient.workspace = &grid_workspace;
   for (std::size_t j = 0; j < num_rewards; ++j) {
     if (live_times[j].empty()) continue;
     const Ctmc expanded = expand(model, rewards[j]);
@@ -230,7 +240,7 @@ std::vector<JointDistribution> ErlangEngine::joint_distribution_grid(
     horizon.reserve(live_times[j].size());
     for (std::size_t i : live_times[j]) horizon.push_back(times[i]);
     const std::vector<std::vector<double>> pis =
-        transient_distribution_batch(expanded, initial, horizon, transient_);
+        transient_distribution_batch(expanded, initial, horizon, transient);
 
     for (std::size_t pos = 0; pos < live_times[j].size(); ++pos) {
       const std::vector<double>& pi = pis[pos];

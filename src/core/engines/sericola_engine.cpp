@@ -12,6 +12,7 @@
 #include "obs/obs.hpp"
 #include "util/contracts.hpp"
 #include "util/error.hpp"
+#include "util/workspace.hpp"
 
 namespace csrl {
 
@@ -57,19 +58,22 @@ double bernstein(std::size_t n, std::size_t k, double x) {
 
 /// Triangular store for the per-level coefficient vectors c(h, n, k): one
 /// slot per reward interval h in 1..m and jump count k in 0..N, each a
-/// vector over states.
+/// vector over states.  Views caller-provided (typically workspace-leased)
+/// storage, which it zero-fills; swapping two stores just swaps the views.
 class LevelStore {
  public:
-  LevelStore(std::size_t m, std::size_t max_n, std::size_t num_states)
-      : stride_(max_n + 1),
-        num_states_(num_states),
-        data_(m * stride_ * num_states, 0.0) {}
+  LevelStore(std::vector<double>& storage, std::size_t m, std::size_t max_n,
+             std::size_t num_states)
+      : stride_(max_n + 1), num_states_(num_states) {
+    storage.assign(m * stride_ * num_states, 0.0);
+    data_ = storage.data();
+  }
 
   double* slot(std::size_t h, std::size_t k) {
-    return data_.data() + ((h - 1) * stride_ + k) * num_states_;
+    return data_ + ((h - 1) * stride_ + k) * num_states_;
   }
   const double* slot(std::size_t h, std::size_t k) const {
-    return data_.data() + ((h - 1) * stride_ + k) * num_states_;
+    return data_ + ((h - 1) * stride_ + k) * num_states_;
   }
   std::span<const double> span(std::size_t h, std::size_t k) const {
     return {slot(h, k), num_states_};
@@ -78,7 +82,7 @@ class LevelStore {
  private:
   std::size_t stride_;
   std::size_t num_states_;
-  std::vector<double> data_;
+  double* data_ = nullptr;
 };
 
 }  // namespace
@@ -99,7 +103,7 @@ std::size_t SericolaEngine::truncation_depth(const Mrm& model, double t) const {
 
 std::vector<std::vector<double>> SericolaEngine::all_starts_points(
     const Mrm& model, std::span<const std::pair<double, double>> points,
-    const StateSet& target) const {
+    const StateSet& target, Workspace* workspace) const {
   if (model.has_impulse_rewards())
     throw ModelError(
         "SericolaEngine: occupation-time distributions are a rate-reward "
@@ -163,13 +167,27 @@ std::vector<std::vector<double>> SericolaEngine::all_starts_points(
   CSRL_GAUGE("p3/sericola/reward_classes", static_cast<double>(m));
 
   // c(h, n, k) vectors for the current and previous jump count n, plus the
-  // cache of products P * c(h, n-1, k) both sweeps consume.
-  LevelStore current(m, max_n, num_states);
-  LevelStore previous(m, max_n, num_states);
-  LevelStore products(m, max_n, num_states);
+  // cache of products P * c(h, n-1, k) both sweeps consume.  The stores and
+  // the power-iteration pair lease arena storage so repeated calls (the
+  // grid paths) skip the per-call allocations after the first.
+  Workspace::LoopGuard guard(workspace);
+  const std::size_t store_size = m * (max_n + 1) * num_states;
+  Workspace::Lease current_store(workspace, store_size);
+  Workspace::Lease previous_store(workspace, store_size);
+  Workspace::Lease products_store(workspace, store_size);
+  LevelStore current(current_store.get(), m, max_n, num_states);
+  LevelStore previous(previous_store.get(), m, max_n, num_states);
+  LevelStore products(products_store.get(), m, max_n, num_states);
 
-  std::vector<double> u = target.indicator();  // u = P^n v
-  std::vector<double> scratch(num_states, 0.0);
+  Workspace::Lease u_lease(workspace, num_states);
+  Workspace::Lease scratch_lease(workspace, num_states);
+  std::vector<double>& u = u_lease.get();  // u = P^n v
+  {
+    const std::vector<double> indicator = target.indicator();
+    u.assign(indicator.begin(), indicator.end());
+  }
+  std::vector<double>& scratch = scratch_lease.get();
+  scratch.assign(num_states, 0.0);
   std::vector<std::vector<double>> transient(
       horizon_times.size(), std::vector<double>(num_states, 0.0));
   std::vector<std::vector<double>> exceed(
@@ -281,6 +299,7 @@ std::vector<std::vector<double>> SericolaEngine::all_starts_points(
 
     std::swap(current, previous);
   }
+  CSRL_COUNT("p3/sericola/allocs_in_loop", guard.heap_allocations());
 
   std::vector<std::vector<double>> results(points.size());
   for (std::size_t pt = 0; pt < points.size(); ++pt) {
@@ -302,7 +321,7 @@ std::vector<double> SericolaEngine::joint_probability_all_starts(
 
   const std::pair<double, double> point[1] = {{t, r}};
   std::vector<double> result =
-      std::move(all_starts_points(model, point, target)[0]);
+      std::move(all_starts_points(model, point, target, nullptr)[0]);
   if (CSRL_CONTRACTS_ACTIVE())
     validate_joint_result(
         name() + " all-starts", t, r, result, 2.0 * epsilon_ + 1e-12,
@@ -334,8 +353,9 @@ std::vector<std::vector<double>> SericolaEngine::joint_probability_all_starts_gr
   if (live.empty()) return grid;
 
   CSRL_SPAN("p3/sericola/all_starts_grid");
+  Workspace grid_workspace;
   std::vector<std::vector<double>> computed =
-      all_starts_points(model, live, target);
+      all_starts_points(model, live, target, &grid_workspace);
   for (std::size_t k = 0; k < live.size(); ++k)
     grid[live_slot[k]] = std::move(computed[k]);
 
@@ -373,12 +393,14 @@ std::vector<JointDistribution> SericolaEngine::joint_distribution_grid(
   }
   // One multi-point pass per final state j; the initial distribution then
   // picks out the required mixture of start states, exactly as the
-  // single-point form does.
+  // single-point form does.  One arena spans the n passes: the first pass
+  // warms it and the remaining n-1 run without heap traffic.
+  Workspace grid_workspace;
   for (std::size_t j = 0; j < n; ++j) {
     StateSet single(n);
     single.insert(j);
     const std::vector<std::vector<double>> cols =
-        all_starts_points(model, live, single);
+        all_starts_points(model, live, single, &grid_workspace);
     for (std::size_t k = 0; k < live.size(); ++k)
       grid[live_slot[k]].per_state[j] =
           dot(model.initial_distribution(), cols[k]);

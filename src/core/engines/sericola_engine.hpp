@@ -40,6 +40,8 @@
 
 namespace csrl {
 
+class Workspace;
+
 /// Section 4.4's engine.  `epsilon` is the a-priori bound on the Poisson
 /// truncation error.
 class SericolaEngine : public JointDistributionEngine {
@@ -80,10 +82,14 @@ class SericolaEngine : public JointDistributionEngine {
   /// recursion to the deepest window serves every point, with one transient
   /// accumulator per distinct t and one Bernstein accumulator per point.
   /// Each returned vector is bitwise identical to the single-point pass for
-  /// its (t, r) — see DESIGN.md section 3d for the argument.
+  /// its (t, r) — see DESIGN.md section 3d for the argument.  The recursion
+  /// leases its state-sized stores from `workspace` when one is supplied
+  /// (nullptr: plain vectors), so grid paths that call this repeatedly —
+  /// joint_distribution_grid runs it once per final state — reuse one set
+  /// of buffers instead of reallocating the coefficient stores per call.
   std::vector<std::vector<double>> all_starts_points(
       const Mrm& model, std::span<const std::pair<double, double>> points,
-      const StateSet& target) const;
+      const StateSet& target, Workspace* workspace) const;
 
   double epsilon_;
 };

@@ -73,6 +73,15 @@ struct CheckOptions {
   /// CSRL_TRACE environment variable or obs::set_recording).
   bool report = false;
 
+  /// Renumber the states by reverse Cuthill-McKee (ctmc/graph.hpp) before
+  /// checking, shrinking the bandwidth of the rate matrix so the
+  /// SpMV-heavy iteration loops walk memory with better locality.  Purely
+  /// internal: every result the Checker returns is translated back, so
+  /// the public state numbering (Sat sets, per-state vectors, grid
+  /// results) is unchanged.  Off by default — worthwhile for models whose
+  /// generator order scatters neighbouring states far apart.
+  bool reorder_states = false;
+
   /// Number of threads for the parallel kernels and engine sweeps.
   /// 0 = automatic: the CSRL_THREADS environment variable if set, else
   /// std::thread::hardware_concurrency().  All checking through one

@@ -71,7 +71,7 @@ std::vector<double> reachability_reward(const Mrm& model,
 
 }  // namespace
 
-std::vector<double> Checker::reward_values(const Formula& f) const {
+std::vector<double> Checker::reward_values_internal(const Formula& f) const {
   if (f.kind() != FormulaKind::kReward)
     throw ModelError("reward_values: not a reward formula");
 
@@ -83,7 +83,7 @@ std::vector<double> Checker::reward_values(const Formula& f) const {
       return expected_instantaneous_reward_all_starts(
           *model_, f.reward_parameter(), options_.transient);
     case RewardQuery::kReachability:
-      return reachability_reward(*model_, sat(*f.reward_target()),
+      return reachability_reward(*model_, sat_internal(*f.reward_target()),
                                  options_.solver);
     case RewardQuery::kSteadyState: {
       // Long-run reward rate: per BSCC the stationary average of the

@@ -14,7 +14,7 @@
 
 namespace csrl {
 
-std::vector<double> Checker::steady_probabilities(
+std::vector<double> Checker::steady_probabilities_internal(
     const StateSet& phi_states) const {
   const std::size_t n = model_->num_states();
   if (phi_states.size() != n)

@@ -1,12 +1,15 @@
 #include "ctmc/uniformisation.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "ctmc/foxglynn.hpp"
+#include "matrix/support.hpp"
 #include "matrix/vector_ops.hpp"
 #include "obs/obs.hpp"
 #include "util/contracts.hpp"
 #include "util/error.hpp"
+#include "util/workspace.hpp"
 
 namespace csrl {
 
@@ -29,69 +32,125 @@ double resolve_rate(const Ctmc& chain, const TransientOptions& options) {
   return chain.max_exit_rate() > 0.0 ? chain.max_exit_rate() : 1.0;
 }
 
-/// Shared series loop.  `step` advances the iterate by one power of P;
-/// the Poisson-weighted iterates are accumulated into `result`.
-template <typename StepFn>
-void accumulate_series(std::vector<double>& iterate, std::vector<double>& scratch,
-                       std::vector<double>& result, const PoissonWeights& weights,
-                       const TransientOptions& options, StepFn step) {
-  // Fox-Glynn guarantees at least one weight for every lambda*t >= 0, but
-  // a degenerate window (e.g. from a pathologically tiny lambda*t) must
-  // not read past the end — guard the anchor access defensively.
-  if (weights.left == 0 && !weights.weights.empty())
-    axpy(weights.weights[0], iterate, result);
-  for (std::size_t n = 1; n <= weights.right; ++n) {
-    CSRL_COUNT("uniformisation/steps", 1);
-    step(iterate, scratch);
-    // The steady-state check compares the *full* vector (max_abs_diff is a
-    // max-reduction over every entry, serial or parallel alike), so
-    // convergence decisions are identical at any thread count.
-    if (options.steady_state_detection &&
-        max_abs_diff(iterate, scratch) <= options.steady_state_tolerance) {
-      // The iterate has converged: every further power of P yields the
-      // same vector, so the rest of the Poisson mass multiplies it.
-      double remaining = 0.0;
-      for (std::size_t m = std::max(n, weights.left); m <= weights.right; ++m)
-        remaining += weights.weight(m);
-      axpy(remaining, scratch, result);
-      iterate.swap(scratch);
-      CSRL_COUNT("uniformisation/steady_state_cutoffs", 1);
-      return;
-    }
-    iterate.swap(scratch);
-    if (n >= weights.left) axpy(weights.weight(n), iterate, result);
-  }
+/// The active-support mode engages only for non-negative start vectors.
+/// Together with the strictly positive stored entries of the uniformised
+/// DTMC this rules out signed zeros anywhere in the iteration, which is
+/// what makes "skip an off-support term" bit-identical to "add its exact
+/// +0.0" in the dense kernel.  (A NaN entry fails v >= 0 and falls back
+/// to the dense path too.)
+bool eligible_for_active(std::span<const double> start) {
+  for (double v : start)
+    if (!(v >= 0.0)) return false;
+  return true;
 }
 
-/// Batched counterpart of accumulate_series: one iterate sequence shared
-/// by every horizon, one Poisson window per horizon.  Mirrors the
-/// single-horizon loop operation for operation (see the header's bitwise
-/// guarantee): each pre-zeroed *results[i] receives exactly the axpy
-/// sequence the single run for its horizon would issue, a horizon simply
-/// stops participating once n passes its window's right bound, and a
-/// steady-state cutoff folds each still-running horizon's remaining window
-/// mass with the same summation loop as the single run.
-template <typename StepFn>
-void accumulate_series_batch(std::vector<double>& iterate,
-                             std::vector<double>& scratch,
-                             const std::vector<PoissonWeights>& windows,
-                             const std::vector<std::vector<double>*>& results,
-                             const TransientOptions& options, StepFn step) {
+/// The one series loop behind every transient entry point, single- or
+/// multi-horizon (a single horizon is simply a one-window batch; the
+/// header's bitwise batch == single guarantee is by construction).  One
+/// iterate sequence P^n serves every window; pre-zeroed *results[i]
+/// receives exactly the weight-n axpy sequence its horizon needs.
+///
+/// Poisson-weight updates are deferred one step so they ride the next
+/// SpMV's memory traversal (the fused kernels of matrix/csr.hpp): the
+/// weight-n axpy on the step-n iterate is carried as a pending into step
+/// n + 1.  The window anchors (weight 0 on the start vector) seed the
+/// first step's pendings, and whatever is pending when the loop ends is
+/// flushed as a plain axpy.  In every case the per-element arithmetic is
+/// the identical y[i] += w * x[i] of the unfused loop, so fusion changes
+/// no bits.  A steady-state cutoff at step n happens before weight n is
+/// pended, so the remaining-mass fold (which starts at n) attributes the
+/// window tail exactly as the unfused loop did.
+///
+/// While the start vector is non-negative and its support is below the
+/// crossover density, steps run on the active-support kernels, which
+/// visit only the frontier and keep the result bit-identical to the
+/// dense path for support_epsilon == 0.  With support_epsilon > 0,
+/// frontier entries below the threshold are dropped and their total
+/// magnitude accumulates into `dropped`: each step's drop vector d
+/// perturbs every later iterate by at most ||d||_1 in L1 (P is
+/// substochastic), and the Poisson weights sum to at most 1, so the
+/// total is a sound bound on the L1 (forward) / max-norm (backward)
+/// deviation of every result from its epsilon = 0 run.
+void accumulate_series(const CsrMatrix& p, bool forward,
+                       std::vector<double>& iterate,
+                       std::vector<double>& scratch,
+                       const std::vector<PoissonWeights>& windows,
+                       const std::vector<std::vector<double>*>& results,
+                       const TransientOptions& options) {
+  const std::size_t n_states = iterate.size();
   std::size_t max_right = 0;
   for (const PoissonWeights& w : windows)
     max_right = std::max(max_right, w.right);
+
+  // Fox-Glynn guarantees at least one weight for every lambda*t >= 0, but
+  // a degenerate window (e.g. from a pathologically tiny lambda*t) must
+  // not read past the end — guard the anchor access defensively.
+  std::vector<FusedAxpy> pendings;
+  pendings.reserve(windows.size());
   for (std::size_t i = 0; i < windows.size(); ++i)
     if (windows[i].left == 0 && !windows[i].weights.empty())
-      axpy(windows[i].weights[0], iterate, *results[i]);
+      pendings.push_back({windows[i].weights[0], results[i]->data()});
+
+  bool active = options.active_support && n_states > 0 &&
+                eligible_for_active(iterate);
+  if (active) {
+    std::size_t support = 0;
+    for (double v : iterate)
+      if (v != 0.0) ++support;
+    active = static_cast<double>(support) <=
+             options.support_crossover * static_cast<double>(n_states);
+  }
+  SupportMask mask_in;
+  SupportMask mask_out;
+  if (active) {
+    mask_in = SupportMask(n_states);
+    mask_in.reset_to_support(iterate);
+    mask_out = SupportMask(n_states);
+    // The stale mask of scratch is empty, so scratch must be exactly
+    // zero everywhere on entry to the first active step.
+    std::fill(scratch.begin(), scratch.end(), 0.0);
+  }
+  p.warm_kernel_caches(forward || active);
+
+  double dropped = 0.0;
+  bool cutoff = false;
   for (std::size_t n = 1; n <= max_right; ++n) {
     CSRL_COUNT("uniformisation/steps", 1);
-    step(iterate, scratch);
+    const bool want_diff = options.steady_state_detection;
+    double diff;
+    if (active) {
+      diff = forward ? p.multiply_left_active(iterate, scratch, mask_in,
+                                              mask_out, pendings, want_diff)
+                     : p.multiply_active(iterate, scratch, mask_in, mask_out,
+                                         pendings, want_diff);
+      if (options.support_epsilon > 0.0) {
+        mask_out.remove_if_not([&](std::size_t i) {
+          const double v = scratch[i];
+          if (v != 0.0 && std::abs(v) < options.support_epsilon) {
+            dropped += std::abs(v);
+            scratch[i] = 0.0;
+            return false;
+          }
+          return true;
+        });
+      }
+    } else {
+      diff = forward
+                 ? p.multiply_left_fused(iterate, scratch, pendings, want_diff)
+                 : p.multiply_fused(iterate, scratch, pendings, want_diff);
+    }
+    pendings.clear();
+    // The steady-state check compares the *full* vector (the fused diff
+    // is a max-reduction over every entry, serial or parallel alike, and
+    // the active kernels account for positions entering or leaving the
+    // frontier), so convergence decisions are identical at any thread
+    // count and in either mode.
     if (options.steady_state_detection &&
-        max_abs_diff(iterate, scratch) <= options.steady_state_tolerance) {
-      // Identical iterates mean identical convergence decisions: every
-      // horizon whose window reaches this step would detect the cutoff at
-      // the same n in its single run (and one that ended earlier already
-      // received its full series above).
+        diff <= options.steady_state_tolerance) {
+      // The iterate has converged: every further power of P yields the
+      // same vector, so the rest of each still-running window's Poisson
+      // mass multiplies it.  A horizon whose window ended before this
+      // step already received its full series.
       for (std::size_t i = 0; i < windows.size(); ++i) {
         if (windows[i].right < n) continue;
         double remaining = 0.0;
@@ -102,25 +161,47 @@ void accumulate_series_batch(std::vector<double>& iterate,
       }
       iterate.swap(scratch);
       CSRL_COUNT("uniformisation/steady_state_cutoffs", 1);
-      return;
+      cutoff = true;
+      break;
     }
     iterate.swap(scratch);
+    if (active) {
+      // After the swap the out-mask names the support of the new
+      // iterate and the in-mask names the stale non-zeros of the new
+      // scratch — exactly the entry invariant of the next step.
+      std::swap(mask_in, mask_out);
+      // Hand over to the dense kernels once the frontier stops being
+      // sparse; they overwrite scratch in full, so the masks simply
+      // retire.  The handover never changes bits, only traversal order
+      // of identical per-element operations.
+      if (static_cast<double>(mask_in.size()) >
+          options.support_crossover * static_cast<double>(n_states))
+        active = false;
+    }
     for (std::size_t i = 0; i < windows.size(); ++i)
       if (n >= windows[i].left && n <= windows[i].right)
-        axpy(windows[i].weight(n), iterate, *results[i]);
+        pendings.push_back({windows[i].weight(n), results[i]->data()});
   }
+  if (!cutoff)
+    for (const FusedAxpy& pending : pendings)
+      axpy(pending.weight, iterate,
+           std::span<double>(pending.out, n_states));
+  if (options.support_epsilon > 0.0)
+    CSRL_HIST("uniformisation/truncation_dropped", dropped);
+  if (options.budget != nullptr) options.budget->support_dropped += dropped;
 }
 
-/// Shared wrapper for the three *_batch entry points: splits degenerate
-/// horizons (t == 0, empty or fully absorbing chain) from the series
-/// horizons, builds the per-horizon windows and runs the batched loop.
-/// `start` is the t = 0 vector (initial distribution or terminal values).
-template <typename StepFn>
+/// Shared wrapper for every entry point: splits degenerate horizons
+/// (t == 0, empty or fully absorbing chain) from the series horizons,
+/// builds the per-horizon windows, leases the iteration buffers and runs
+/// the series loop.  `start` is the t = 0 vector (initial distribution
+/// or terminal values); `forward` selects distribution pushing (y = x P)
+/// over value backpropagation (y = P x).
 std::vector<std::vector<double>> run_batch(const Ctmc& chain,
                                            std::span<const double> start,
                                            std::span<const double> times,
                                            const TransientOptions& options,
-                                           const char* what, StepFn step_of) {
+                                           const char* what, bool forward) {
   const std::size_t n = chain.num_states();
   if (start.size() != n)
     throw ModelError(std::string(what) + ": vector size mismatch");
@@ -129,32 +210,39 @@ std::vector<std::vector<double>> run_batch(const Ctmc& chain,
       throw ModelError(std::string(what) + ": times must be finite and >= 0");
 
   std::vector<std::vector<double>> results(times.size());
-  std::vector<std::size_t> active;
+  std::vector<std::size_t> series;
   for (std::size_t i = 0; i < times.size(); ++i) {
     if (times[i] == 0.0 || n == 0 || chain.max_exit_rate() == 0.0)
       results[i].assign(start.begin(), start.end());
     else
-      active.push_back(i);
+      series.push_back(i);
   }
-  if (active.empty()) return results;
+  if (series.empty()) return results;
 
   const double lambda = resolve_rate(chain, options);
   const CsrMatrix p = chain.uniformised_dtmc(lambda);
-  const auto step = step_of(p);
 
   std::vector<PoissonWeights> windows;
-  windows.reserve(active.size());
+  windows.reserve(series.size());
   std::vector<std::vector<double>*> outs;
-  outs.reserve(active.size());
-  for (std::size_t i : active) {
+  outs.reserve(series.size());
+  for (std::size_t i : series) {
     windows.push_back(poisson_weights(lambda * times[i], options.epsilon));
     results[i].assign(n, 0.0);
     outs.push_back(&results[i]);
   }
 
-  std::vector<double> iterate(start.begin(), start.end());
-  std::vector<double> scratch(n, 0.0);
-  accumulate_series_batch(iterate, scratch, windows, outs, options, step);
+  // The guard observes the whole series phase: against a warmed arena
+  // the leases reuse retired buffers and the loop itself performs no
+  // arena allocation, so the counter reports zero (tests pin this).
+  Workspace::LoopGuard guard(options.workspace);
+  Workspace::Lease iterate_lease(options.workspace, n);
+  Workspace::Lease scratch_lease(options.workspace, n);
+  std::vector<double>& iterate = iterate_lease.get();
+  iterate.assign(start.begin(), start.end());
+  accumulate_series(p, forward, iterate, scratch_lease.get(), windows, outs,
+                    options);
+  CSRL_COUNT("uniformisation/allocs_in_loop", guard.heap_allocations());
   return results;
 }
 
@@ -173,23 +261,17 @@ std::vector<double> transient_distribution(const Ctmc& chain,
   if (!(t >= 0.0) || !std::isfinite(t))
     throw ModelError("transient_distribution: time must be finite and >= 0");
 
-  std::vector<double> pi(initial.begin(), initial.end());
   // With every state absorbing the distribution never moves; returning it
   // directly also avoids charging the truncation error for nothing.
-  if (t == 0.0 || n == 0 || chain.max_exit_rate() == 0.0) return pi;
+  if (t == 0.0 || n == 0 || chain.max_exit_rate() == 0.0)
+    return std::vector<double>(initial.begin(), initial.end());
 
   CSRL_SPAN("ctmc/transient/forward");
 
-  const double lambda = resolve_rate(chain, options);
-  const CsrMatrix p = chain.uniformised_dtmc(lambda);
-  const PoissonWeights weights = poisson_weights(lambda * t, options.epsilon);
-
-  std::vector<double> result(n, 0.0);
-  std::vector<double> scratch(n, 0.0);
-  accumulate_series(pi, scratch, result, weights, options,
-                    [&p](const std::vector<double>& x, std::vector<double>& y) {
-                      p.multiply_left(x, y);
-                    });
+  const double times[1] = {t};
+  auto results = run_batch(chain, initial, times, options,
+                           "transient_distribution", /*forward=*/true);
+  std::vector<double> result = std::move(results[0]);
   // P is stochastic, so each entry stays within the initial total mass
   // and the summed mass can only shrink by the truncation error.  This
   // also holds for the sub-distributions the engines feed in.
@@ -216,21 +298,15 @@ std::vector<double> transient_backward(const Ctmc& chain,
   if (!(t >= 0.0) || !std::isfinite(t))
     throw ModelError("transient_backward: time must be finite and >= 0");
 
-  std::vector<double> u(terminal.begin(), terminal.end());
-  if (t == 0.0 || n == 0 || chain.max_exit_rate() == 0.0) return u;
+  if (t == 0.0 || n == 0 || chain.max_exit_rate() == 0.0)
+    return std::vector<double>(terminal.begin(), terminal.end());
 
   CSRL_SPAN("ctmc/transient/backward");
 
-  const double lambda = resolve_rate(chain, options);
-  const CsrMatrix p = chain.uniformised_dtmc(lambda);
-  const PoissonWeights weights = poisson_weights(lambda * t, options.epsilon);
-
-  std::vector<double> result(n, 0.0);
-  std::vector<double> scratch(n, 0.0);
-  accumulate_series(u, scratch, result, weights, options,
-                    [&p](const std::vector<double>& x, std::vector<double>& y) {
-                      p.multiply(x, y);
-                    });
+  const double times[1] = {t};
+  auto results = run_batch(chain, terminal, times, options,
+                           "transient_backward", /*forward=*/false);
+  std::vector<double> result = std::move(results[0]);
   // E_s[v(X_t)] is a convex-combination-of-v per step, so whenever the
   // terminal vector is a [0,1] value function the result must be too.
   CSRL_CONTRACT(within_probability_bounds(terminal, 1.0, 0.0)
@@ -257,12 +333,8 @@ std::vector<std::vector<double>> transient_distribution_batch(
           "transient_distribution_batch: initial entries must be >= 0");
 
   CSRL_SPAN("ctmc/transient/forward_batch");
-  auto results =
-      run_batch(chain, initial, times, options, "transient_distribution_batch",
-                [](const CsrMatrix& p) {
-                  return [&p](const std::vector<double>& x,
-                              std::vector<double>& y) { p.multiply_left(x, y); };
-                });
+  auto results = run_batch(chain, initial, times, options,
+                           "transient_distribution_batch", /*forward=*/true);
   CSRL_CONTRACT(
       [&] {
         double mass_in = 0.0;
@@ -284,12 +356,8 @@ std::vector<std::vector<double>> transient_backward_batch(
     const Ctmc& chain, std::span<const double> terminal,
     std::span<const double> times, const TransientOptions& options) {
   CSRL_SPAN("ctmc/transient/backward_batch");
-  auto results =
-      run_batch(chain, terminal, times, options, "transient_backward_batch",
-                [](const CsrMatrix& p) {
-                  return [&p](const std::vector<double>& x,
-                              std::vector<double>& y) { p.multiply(x, y); };
-                });
+  auto results = run_batch(chain, terminal, times, options,
+                           "transient_backward_batch", /*forward=*/false);
   CSRL_CONTRACT(
       [&] {
         if (!within_probability_bounds(terminal, 1.0, 0.0)) return true;

@@ -13,6 +13,21 @@
 
 namespace csrl {
 
+class Workspace;
+
+/// Accumulator for the active-support truncation error (see
+/// TransientOptions::support_epsilon).  The mass dropped below the
+/// threshold sums across every call that carries the budget; because the
+/// uniformised matrix is substochastic and the Poisson weights sum to at
+/// most 1, `support_dropped` soundly bounds both the L1 deviation of a
+/// forward result and the max-norm deviation of a backward result from
+/// the corresponding epsilon = 0 (bitwise dense-identical) run.  The
+/// total error bound of a run is this plus the a-priori Fox-Glynn
+/// epsilon; RunReport carries both (obs/report.hpp).
+struct TruncationBudget {
+  double support_dropped = 0.0;
+};
+
 /// Controls for uniformisation-based transient analysis.
 struct TransientOptions {
   /// Bound on the truncation error of the Poisson series (L1, a priori).
@@ -25,6 +40,28 @@ struct TransientOptions {
   /// mass to that iterate.
   bool steady_state_detection = true;
   double steady_state_tolerance = 1e-14;
+  /// Iterate over the active frontier only while it is sparse
+  /// (matrix/support.hpp), switching to the dense fused kernel once it
+  /// covers support_crossover of the state space.  Engages only for
+  /// non-negative start vectors (all library uses); results are bitwise
+  /// identical to the dense path whenever support_epsilon is 0.
+  bool active_support = true;
+  /// Drop frontier entries with magnitude below this threshold.  The
+  /// dropped mass accumulates into `budget` (and the obs histogram
+  /// "uniformisation/truncation_dropped") as a sound deviation bound; 0
+  /// drops nothing and reproduces the dense output bit for bit.
+  double support_epsilon = 0.0;
+  /// Frontier density (fraction of states) above which the active mode
+  /// hands over to the dense kernel.
+  double support_crossover = 0.25;
+  /// Optional scratch arena (util/workspace.hpp): series buffers are
+  /// leased from it instead of allocated per call, so a warmed arena
+  /// serves a whole batched grid without heap traffic.  Not owned; may
+  /// be null.  The arena is not thread-safe — share one only across
+  /// calls issued from the same thread.
+  Workspace* workspace = nullptr;
+  /// Optional truncation-error accumulator.  Not owned; may be null.
+  TruncationBudget* budget = nullptr;
 };
 
 /// Forward transient analysis: the state distribution at time t >= 0,

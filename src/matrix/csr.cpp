@@ -1,6 +1,7 @@
 #include "matrix/csr.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <string>
 #include <utility>
@@ -20,6 +21,18 @@ constexpr std::size_t kParallelNnzThreshold = 1 << 14;
 /// Row chunks per pool lane: a few chunks per thread so dynamic claiming
 /// can even out row-structure imbalance that nnz balancing misses.
 constexpr std::size_t kChunksPerThread = 4;
+
+/// Merge a chunk-local max into the shared reduction slot.  max is
+/// associative, commutative and exact, so the merge order across chunks
+/// cannot change the result — the parallel diff is bit-identical to the
+/// serial one.
+void atomic_max(std::atomic<double>& slot, double value) {
+  double current = slot.load(std::memory_order_relaxed);
+  while (value > current &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
 
 }  // namespace
 
@@ -270,6 +283,181 @@ void CsrMatrix::multiply_left(std::span<const double> x, std::span<double> y) co
           }
         }
       });
+}
+
+double CsrMatrix::multiply_fused(std::span<const double> x,
+                                 std::span<double> y,
+                                 std::span<const FusedAxpy> pendings,
+                                 bool want_diff) const {
+  if (rows_ != cols_ || x.size() != cols_ || y.size() != rows_)
+    throw ModelError("CsrMatrix::multiply_fused: dimension mismatch");
+  CSRL_COUNT("spmv/multiply", 1);
+  CSRL_COUNT("matrix/spmv/rows_active", rows_);
+
+  const auto process_rows = [&](std::size_t row_begin, std::size_t row_end) {
+    double local = 0.0;
+    for (std::size_t r = row_begin; r < row_end; ++r) {
+      double acc = 0.0;
+      for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i)
+        acc += entries_[i].value * x[entries_[i].col];
+      y[r] = acc;
+      const double xr = x[r];
+      for (const FusedAxpy& p : pendings) p.out[r] += p.weight * xr;
+      if (want_diff) local = std::max(local, std::abs(acc - xr));
+    }
+    return local;
+  };
+
+  const ThreadPool& pool = ThreadPool::global();
+  if (pool.num_threads() == 1 || nnz() < kParallelNnzThreshold)
+    return process_rows(0, rows_);
+
+  std::atomic<double> diff{0.0};
+  const auto chunks = row_chunks(pool.num_threads() * kChunksPerThread);
+  pool.parallel_for(0, chunks->size() - 1, 1,
+                    [&](std::size_t chunk_begin, std::size_t chunk_end) {
+                      for (std::size_t c = chunk_begin; c < chunk_end; ++c)
+                        atomic_max(diff, process_rows((*chunks)[c],
+                                                      (*chunks)[c + 1]));
+                    });
+  return diff.load(std::memory_order_relaxed);
+}
+
+double CsrMatrix::multiply_left_fused(std::span<const double> x,
+                                      std::span<double> y,
+                                      std::span<const FusedAxpy> pendings,
+                                      bool want_diff) const {
+  if (rows_ != cols_ || x.size() != rows_ || y.size() != cols_)
+    throw ModelError("CsrMatrix::multiply_left_fused: dimension mismatch");
+  CSRL_COUNT("spmv/multiply_left", 1);
+  CSRL_COUNT("matrix/spmv/rows_active", rows_);
+
+  // Gather along the transpose: each column's contributions accumulate
+  // in ascending original-row order, the exact sequence the serial
+  // scatter of multiply_left performs (including the x == 0 skip), so
+  // the bits match the unfused kernel at any thread count.
+  const CsrMatrix& t = cached_transpose();
+  const auto process_cols = [&](std::size_t col_begin, std::size_t col_end) {
+    double local = 0.0;
+    for (std::size_t col = col_begin; col < col_end; ++col) {
+      double acc = 0.0;
+      for (const CsrEntry& e : t.row(col)) {
+        const double xr = x[e.col];
+        if (xr != 0.0) acc += xr * e.value;
+      }
+      y[col] = acc;
+      const double xc = x[col];
+      for (const FusedAxpy& p : pendings) p.out[col] += p.weight * xc;
+      if (want_diff) local = std::max(local, std::abs(acc - xc));
+    }
+    return local;
+  };
+
+  const ThreadPool& pool = ThreadPool::global();
+  if (pool.num_threads() == 1 || nnz() < kParallelNnzThreshold)
+    return process_cols(0, cols_);
+
+  std::atomic<double> diff{0.0};
+  const auto chunks = t.row_chunks(pool.num_threads() * kChunksPerThread);
+  pool.parallel_for(0, chunks->size() - 1, 1,
+                    [&](std::size_t chunk_begin, std::size_t chunk_end) {
+                      for (std::size_t c = chunk_begin; c < chunk_end; ++c)
+                        atomic_max(diff, process_cols((*chunks)[c],
+                                                      (*chunks)[c + 1]));
+                    });
+  return diff.load(std::memory_order_relaxed);
+}
+
+double CsrMatrix::multiply_active(std::span<const double> x,
+                                  std::span<double> y, const SupportMask& in,
+                                  SupportMask& out,
+                                  std::span<const FusedAxpy> pendings,
+                                  bool want_diff) const {
+  if (rows_ != cols_ || x.size() != cols_ || y.size() != rows_ ||
+      in.universe() != rows_ || out.universe() != rows_)
+    throw ModelError("CsrMatrix::multiply_active: dimension mismatch");
+  CSRL_COUNT("spmv/multiply", 1);
+
+  // Clear the stale support of y, then find the rows that can see the
+  // frontier: exactly the rows holding an entry in an `in` column, i.e.
+  // the transpose rows of the `in` members.
+  for (std::size_t i : out.members()) y[i] = 0.0;
+  out.clear();
+  const CsrMatrix& t = cached_transpose();
+  for (std::size_t c : in.members())
+    for (const CsrEntry& e : t.row(c)) out.insert(e.col);
+  out.sort();
+  CSRL_COUNT("matrix/spmv/rows_active", out.size());
+
+  // Full-row gathers for the touched rows: off-frontier columns hold an
+  // exact +0.0, so every skipped term of the dense kernel contributes an
+  // exact +0.0 there too — identical bits, a fraction of the traffic.
+  for (std::size_t r : out.members()) {
+    double acc = 0.0;
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i)
+      acc += entries_[i].value * x[entries_[i].col];
+    y[r] = acc;
+  }
+  for (const FusedAxpy& p : pendings)
+    for (std::size_t i : in.members()) p.out[i] += p.weight * x[i];
+
+  double diff = 0.0;
+  if (want_diff) {
+    for (std::size_t r : out.members())
+      diff = std::max(diff, std::abs(y[r] - x[r]));
+    for (std::size_t i : in.members())
+      if (!out.contains(i)) diff = std::max(diff, std::abs(x[i]));
+  }
+  return diff;
+}
+
+double CsrMatrix::multiply_left_active(std::span<const double> x,
+                                       std::span<double> y,
+                                       const SupportMask& in, SupportMask& out,
+                                       std::span<const FusedAxpy> pendings,
+                                       bool want_diff) const {
+  if (rows_ != cols_ || x.size() != rows_ || y.size() != cols_ ||
+      in.universe() != rows_ || out.universe() != rows_)
+    throw ModelError("CsrMatrix::multiply_left_active: dimension mismatch");
+  CSRL_COUNT("spmv/multiply_left", 1);
+  CSRL_COUNT("matrix/spmv/rows_active", in.size());
+
+  for (std::size_t i : out.members()) y[i] = 0.0;
+  out.clear();
+  // Scatter the frontier rows in ascending order — the dense serial
+  // scatter restricted to the rows it would not skip anyway, so each
+  // y[col] receives the same contributions in the same order.
+  for (std::size_t r : in.members()) {
+    const double xr = x[r];
+    for (const FusedAxpy& p : pendings) p.out[r] += p.weight * xr;
+    if (xr == 0.0) continue;
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      y[entries_[i].col] += xr * entries_[i].value;
+      out.insert(entries_[i].col);
+    }
+  }
+
+  double diff = 0.0;
+  if (want_diff) {
+    for (std::size_t i : out.members())
+      diff = std::max(diff, std::abs(y[i] - x[i]));
+    for (std::size_t i : in.members())
+      if (!out.contains(i)) diff = std::max(diff, std::abs(x[i]));
+  }
+  out.sort();
+  return diff;
+}
+
+void CsrMatrix::warm_kernel_caches(bool transpose) const {
+  const ThreadPool& pool = ThreadPool::global();
+  const std::size_t target = pool.num_threads() * kChunksPerThread;
+  if (pool.num_threads() > 1 && nnz() >= kParallelNnzThreshold)
+    row_chunks(target);
+  if (transpose) {
+    const CsrMatrix& t = cached_transpose();
+    if (pool.num_threads() > 1 && t.nnz() >= kParallelNnzThreshold)
+      t.row_chunks(target);
+  }
 }
 
 std::vector<double> CsrMatrix::row_sums() const {

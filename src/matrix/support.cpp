@@ -1,0 +1,9 @@
+#include "matrix/support.hpp"
+
+#include <algorithm>
+
+namespace csrl {
+
+void SupportMask::sort() { std::sort(members_.begin(), members_.end()); }
+
+}  // namespace csrl

@@ -1,0 +1,95 @@
+// Active-support tracking for sparsity-aware SpMV.
+//
+// Uniformisation iterates start as (near-)point masses and spread along
+// the transition graph one hop per step, so early iterations touch a tiny
+// frontier of the state space while the dense kernel sweeps all of it.
+// A SupportMask names the states that may be non-zero in one iterate (a
+// conservative superset of the true support); the active kernels in
+// matrix/csr.hpp propagate the mask alongside the vector and only visit
+// masked rows, falling back to the dense kernel once the frontier stops
+// being sparse (see TransientOptions::support_crossover).
+//
+// The mask is bitmap + index list so membership tests are O(1) and
+// iteration is O(|mask|).  Capacity for the full universe is reserved at
+// construction, so inserts inside iteration loops never allocate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace csrl {
+
+/// A deferred running-sum update fused into an SpMV pass (see the fused
+/// kernels in matrix/csr.hpp): out[i] += weight * x[i] applied during the
+/// same memory traversal that reads x for the product.
+struct FusedAxpy {
+  double weight = 0.0;
+  double* out = nullptr;
+};
+
+/// Conservative superset of the non-zero positions of one iterate.
+class SupportMask {
+ public:
+  SupportMask() = default;
+
+  /// Empty mask over `universe` states; reserves full capacity up front.
+  explicit SupportMask(std::size_t universe) : bitmap_(universe, 0) {
+    members_.reserve(universe);
+  }
+
+  std::size_t universe() const { return bitmap_.size(); }
+  std::size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+
+  bool contains(std::size_t i) const { return bitmap_[i] != 0; }
+
+  /// Insert `i` (idempotent).  Never allocates after construction.
+  void insert(std::size_t i) {
+    if (bitmap_[i] != 0) return;
+    bitmap_[i] = 1;
+    members_.push_back(i);
+  }
+
+  /// Remove every member, leaving capacity in place.  O(size()).
+  void clear() {
+    for (std::size_t i : members_) bitmap_[i] = 0;
+    members_.clear();
+  }
+
+  /// Rebuild as the support of `x` (positions with x[i] != 0).
+  void reset_to_support(std::span<const double> x) {
+    clear();
+    for (std::size_t i = 0; i < x.size(); ++i)
+      if (x[i] != 0.0) insert(i);
+  }
+
+  /// Members in ascending order.  The active kernels call this before
+  /// traversing, so masked scatters visit rows in exactly the order the
+  /// dense kernel would (the bitwise-identity requirement).  In-place
+  /// introsort: no allocation.
+  void sort();
+
+  /// Drop the member `i` positions whose `keep(i)` is false, resetting
+  /// their bitmap bits.  Used by the epsilon-truncation pass.  O(size()).
+  template <typename KeepFn>
+  void remove_if_not(KeepFn keep) {
+    std::size_t kept = 0;
+    for (std::size_t i : members_) {
+      if (keep(i))
+        members_[kept++] = i;
+      else
+        bitmap_[i] = 0;
+    }
+    members_.resize(kept);
+  }
+
+  std::span<const std::size_t> members() const { return members_; }
+
+ private:
+  std::vector<std::uint8_t> bitmap_;
+  std::vector<std::size_t> members_;
+};
+
+}  // namespace csrl

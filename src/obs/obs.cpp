@@ -266,6 +266,13 @@ double MetricsSnapshot::gauge(const std::string& name) const {
   return 0.0;
 }
 
+MetricsSnapshot::HistogramStats MetricsSnapshot::histogram(
+    const std::string& name) const {
+  for (const auto& [n, v] : histograms)
+    if (n == name) return v;
+  return {};
+}
+
 MetricsSnapshot snapshot_metrics() {
   Registry& reg = Registry::instance();
   std::lock_guard<std::mutex> lock(reg.mutex);

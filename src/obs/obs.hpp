@@ -128,6 +128,7 @@ struct MetricsSnapshot {
   /// Lookup helpers; zero-value defaults when the name is absent.
   std::uint64_t counter(const std::string& name) const;
   double gauge(const std::string& name) const;
+  HistogramStats histogram(const std::string& name) const;
 };
 
 /// Merge all shards (counters/histograms summed, gauges read) into one

@@ -17,6 +17,8 @@ std::string RunReport::to_json() const {
   w.key("transitions").value(static_cast<std::uint64_t>(transitions));
   w.end_object();
   w.key("truncation_error").value(truncation_error);
+  w.key("support_truncation_bound").value(support_truncation_bound);
+  w.key("total_error_bound").value(total_error_bound);
   w.key("fox_glynn").begin_object();
   w.key("left").value(fox_glynn_left);
   w.key("right").value(fox_glynn_right);
@@ -73,6 +75,12 @@ RunReport ReportScope::finish(std::string engine, std::size_t states,
   report.spmv_count = report.metrics.counter("spmv/multiply") +
                       report.metrics.counter("spmv/multiply_left");
   report.solver_residual = after.gauge("solver/residual");
+  // The histogram arrives through the delta, so the bound covers exactly
+  // the mass this run's epsilon truncation dropped.
+  report.support_truncation_bound =
+      report.metrics.histogram("uniformisation/truncation_dropped").sum;
+  report.total_error_bound =
+      report.truncation_error + report.support_truncation_bound;
   return report;
 }
 

@@ -35,6 +35,16 @@ struct RunReport {
   /// Sericola epsilon or the transient-analysis epsilon).
   double truncation_error = 0.0;
 
+  /// Total probability mass dropped by the active-support epsilon
+  /// truncation during the run (the sum of the
+  /// "uniformisation/truncation_dropped" histogram; see
+  /// TransientOptions::support_epsilon).  Zero for exact runs.
+  double support_truncation_bound = 0.0;
+
+  /// truncation_error + support_truncation_bound: the run's total sound
+  /// error bound from both truncation sources.
+  double total_error_bound = 0.0;
+
   /// Key effort indicators lifted out of `metrics` for direct access.
   std::uint64_t fox_glynn_left = 0;
   std::uint64_t fox_glynn_right = 0;

@@ -1,0 +1,145 @@
+// Reusable scratch-buffer arena for the numerical hot paths.
+//
+// The uniformisation series loop, the linear solvers and the P3 engines'
+// grid sweeps all need a handful of state-sized double vectors per call.
+// Allocating them per call is invisible for one query but dominates the
+// constant factors of batched lattice runs, where the same sizes are
+// requested thousands of times.  A Workspace keeps retired buffers and
+// hands them back on the next acquire, so a warmed arena serves a whole
+// grid sweep without touching the heap.
+//
+// The arena is deliberately not thread-safe: each engine call owns one
+// workspace (stack-local or threaded through TransientOptions /
+// SolverOptions) and leases buffers from the coordinating thread only.
+// Parallel kernels keep writing into spans of leased buffers, exactly as
+// they do into plain vectors.
+//
+// LoopGuard is the observability hook behind the allocation-free-loop
+// contract: engines wrap their iteration loops in a guard and report the
+// number of arena acquisitions that had to touch the heap while the
+// guard was alive (counters "uniformisation/allocs_in_loop" and
+// "matrix/solver/allocs_in_loop", pinned to zero by tests).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace csrl {
+
+/// Pool of reusable double buffers (see file comment).  Buffers keep
+/// their capacity across acquire/release cycles, so a warmed workspace
+/// satisfies repeated same-shape requests without heap traffic.
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Borrow a buffer resized to `n` (contents unspecified).  Prefers the
+  /// retired buffer with the largest capacity, so arenas converge to a
+  /// small set of full-sized buffers instead of accumulating one per
+  /// distinct size.  Release with release() or via a Lease.
+  std::vector<double>& acquire(std::size_t n) {
+    std::unique_ptr<std::vector<double>> buf;
+    std::size_t best = free_.size();
+    for (std::size_t i = 0; i < free_.size(); ++i)
+      if (best == free_.size() ||
+          free_[i]->capacity() > free_[best]->capacity())
+        best = i;
+    if (best < free_.size()) {
+      buf = std::move(free_[best]);
+      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(best));
+    } else {
+      buf = std::make_unique<std::vector<double>>();
+    }
+    if (buf->capacity() < n) note_heap_allocation();
+    buf->resize(n);
+    std::vector<double>& ref = *buf;
+    live_.push_back(std::move(buf));
+    return ref;
+  }
+
+  /// Return a buffer previously obtained from acquire().  Unknown buffers
+  /// are ignored (so a Lease outliving a cleared workspace stays safe).
+  void release(std::vector<double>& buffer) {
+    for (std::size_t i = 0; i < live_.size(); ++i) {
+      if (live_[i].get() != &buffer) continue;
+      free_.push_back(std::move(live_[i]));
+      live_.erase(live_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+
+  /// Number of buffers currently sitting in the free pool.
+  std::size_t retired() const { return free_.size(); }
+
+  /// RAII lease of one buffer; releases on destruction.  Null-workspace
+  /// tolerant: with `ws == nullptr` the lease owns a plain vector, so
+  /// call sites need no branching on whether an arena was provided.
+  class Lease {
+   public:
+    Lease(Workspace* ws, std::size_t n)
+        : ws_(ws), buffer_(ws != nullptr ? &ws->acquire(n) : nullptr) {
+      if (buffer_ == nullptr) {
+        owned_.resize(n);
+        buffer_ = &owned_;
+      }
+    }
+    ~Lease() {
+      if (ws_ != nullptr) ws_->release(*buffer_);
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    std::vector<double>& get() { return *buffer_; }
+    std::span<double> span() { return {buffer_->data(), buffer_->size()}; }
+
+   private:
+    Workspace* ws_;
+    std::vector<double>* buffer_;
+    std::vector<double> owned_;
+  };
+
+  /// Scope marker for an iteration loop: counts the arena acquisitions
+  /// that had to grow or create heap storage while the guard was alive.
+  /// A warmed loop reports zero; tests pin the derived obs counters to
+  /// that.  Null-workspace tolerant (counts stay zero).
+  class LoopGuard {
+   public:
+    explicit LoopGuard(Workspace* ws) : ws_(ws) {
+      if (ws_ != nullptr) {
+        previous_ = ws_->guard_;
+        ws_->guard_ = this;
+      }
+    }
+    ~LoopGuard() {
+      if (ws_ != nullptr) ws_->guard_ = previous_;
+    }
+    LoopGuard(const LoopGuard&) = delete;
+    LoopGuard& operator=(const LoopGuard&) = delete;
+
+    /// Heap-touching acquisitions observed while this guard was active.
+    std::size_t heap_allocations() const { return heap_allocations_; }
+
+   private:
+    friend class Workspace;
+    Workspace* ws_;
+    LoopGuard* previous_ = nullptr;
+    std::size_t heap_allocations_ = 0;
+  };
+
+ private:
+  void note_heap_allocation() {
+    for (LoopGuard* g = guard_; g != nullptr; g = g->previous_)
+      ++g->heap_allocations_;
+  }
+
+  std::vector<std::unique_ptr<std::vector<double>>> free_;
+  std::vector<std::unique_ptr<std::vector<double>>> live_;
+  LoopGuard* guard_ = nullptr;
+};
+
+}  // namespace csrl

@@ -1,0 +1,305 @@
+// The active-support SpMV hot path (matrix/support.hpp + the frontier
+// mode of uniformisation): differential tests against the dense fused
+// kernel, soundness of the epsilon-truncation error budget, and the
+// allocation-free-loop contract of the workspace arena.
+//
+// Labelled `tsan` in tests/CMakeLists.txt: the differential sweep runs
+// every kernel at 1 and 4 threads, so under -DCSRL_SANITIZE=thread it
+// doubles as a race-detection workload for the frontier path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "ctmc/uniformisation.hpp"
+#include "models/synthetic.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+#include "util/state_set.hpp"
+#include "util/thread_pool.hpp"
+#include "util/workspace.hpp"
+
+namespace csrl {
+namespace {
+
+void expect_bitwise_equal(const std::vector<double>& a,
+                          const std::vector<double>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0)
+      << what << ": active-support result differs from dense";
+}
+
+StateSet last_states(const Mrm& model, std::size_t count) {
+  StateSet target(model.num_states());
+  for (std::size_t s = model.num_states() - count; s < model.num_states(); ++s)
+    target.insert(s);
+  return target;
+}
+
+TransientOptions dense_options() {
+  TransientOptions options;
+  options.active_support = false;
+  return options;
+}
+
+TransientOptions active_options() {
+  TransientOptions options;
+  options.active_support = true;
+  options.support_epsilon = 0.0;
+  return options;
+}
+
+// -- Differential: epsilon = 0 reproduces the dense path bit for bit ------
+
+TEST(ActiveSupport, BitwiseIdenticalToDenseAcrossSeedsAndThreads) {
+  const std::vector<double> times{0.4, 1.1};
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Mrm model = random_mrm(seed, 96, 0.03);
+    const Ctmc& chain = model.chain();
+    const StateSet target = last_states(model, 5);
+    const std::vector<double>& initial = model.initial_distribution();
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      ThreadPool::set_global_threads(threads);
+      for (double t : times) {
+        expect_bitwise_equal(
+            transient_distribution(chain, initial, t, dense_options()),
+            transient_distribution(chain, initial, t, active_options()),
+            "forward");
+        expect_bitwise_equal(
+            transient_reach(chain, target, t, dense_options()),
+            transient_reach(chain, target, t, active_options()), "backward");
+      }
+      const auto dense_fwd =
+          transient_distribution_batch(chain, initial, times, dense_options());
+      const auto active_fwd =
+          transient_distribution_batch(chain, initial, times, active_options());
+      const auto dense_bwd =
+          transient_reach_batch(chain, target, times, dense_options());
+      const auto active_bwd =
+          transient_reach_batch(chain, target, times, active_options());
+      ASSERT_EQ(dense_fwd.size(), active_fwd.size());
+      ASSERT_EQ(dense_bwd.size(), active_bwd.size());
+      for (std::size_t i = 0; i < times.size(); ++i) {
+        expect_bitwise_equal(dense_fwd[i], active_fwd[i], "forward batch");
+        expect_bitwise_equal(dense_bwd[i], active_bwd[i], "backward batch");
+      }
+    }
+    ThreadPool::set_global_threads(1);
+  }
+}
+
+// -- Soundness: the accumulated budget brackets the true deviation --------
+
+TEST(ActiveSupport, TruncationBudgetBoundsForwardL1Deviation) {
+  const Mrm model = birth_death_mrm(256, 2.0, 3.0);
+  const Ctmc& chain = model.chain();
+  std::vector<double> initial(model.num_states(), 0.0);
+  initial[model.initial_state()] = 1.0;
+  const std::vector<double> times{0.5, 1.0, 2.0, 4.0};
+
+  TransientOptions exact = active_options();
+  exact.steady_state_detection = false;
+  TransientOptions lossy = exact;
+  lossy.support_epsilon = 1e-7;
+  TruncationBudget budget;
+  lossy.budget = &budget;
+
+  const auto reference =
+      transient_distribution_batch(chain, initial, times, exact);
+  const auto truncated =
+      transient_distribution_batch(chain, initial, times, lossy);
+  EXPECT_GT(budget.support_dropped, 0.0);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    double l1 = 0.0;
+    for (std::size_t s = 0; s < reference[i].size(); ++s)
+      l1 += std::abs(reference[i][s] - truncated[i][s]);
+    EXPECT_LE(l1, budget.support_dropped + 1e-12)
+        << "t = " << times[i] << ": reported bound does not cover the "
+        << "L1 deviation from the exact run";
+  }
+}
+
+TEST(ActiveSupport, TruncationBudgetBoundsBackwardMaxDeviation) {
+  const Mrm model = birth_death_mrm(256, 2.0, 3.0);
+  const Ctmc& chain = model.chain();
+  StateSet target(model.num_states());
+  target.insert(0);
+  const std::vector<double> times{0.5, 1.0, 2.0, 4.0};
+
+  TransientOptions exact = active_options();
+  exact.steady_state_detection = false;
+  TransientOptions lossy = exact;
+  lossy.support_epsilon = 1e-7;
+  TruncationBudget budget;
+  lossy.budget = &budget;
+
+  const auto reference = transient_reach_batch(chain, target, times, exact);
+  const auto truncated = transient_reach_batch(chain, target, times, lossy);
+  EXPECT_GT(budget.support_dropped, 0.0);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    double max_dev = 0.0;
+    for (std::size_t s = 0; s < reference[i].size(); ++s)
+      max_dev =
+          std::max(max_dev, std::abs(reference[i][s] - truncated[i][s]));
+    EXPECT_LE(max_dev, budget.support_dropped + 1e-12)
+        << "t = " << times[i] << ": reported bound does not cover the "
+        << "max-norm deviation from the exact run";
+  }
+}
+
+TEST(ActiveSupport, TruncationBudgetSoundOnRandomModels) {
+  const std::vector<double> times{0.3, 0.8, 1.5};
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Mrm model = random_mrm(seed, 128, 0.015);
+    const Ctmc& chain = model.chain();
+    const StateSet target = last_states(model, 3);
+
+    TransientOptions exact = active_options();
+    exact.steady_state_detection = false;
+    TransientOptions lossy = exact;
+    lossy.support_epsilon = 1e-7;
+    TruncationBudget budget;
+    lossy.budget = &budget;
+
+    const auto ref_fwd = transient_distribution_batch(
+        chain, model.initial_distribution(), times, exact);
+    const auto cut_fwd = transient_distribution_batch(
+        chain, model.initial_distribution(), times, lossy);
+    const auto ref_bwd = transient_reach_batch(chain, target, times, exact);
+    const auto cut_bwd = transient_reach_batch(chain, target, times, lossy);
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      double l1 = 0.0;
+      double max_dev = 0.0;
+      for (std::size_t s = 0; s < ref_fwd[i].size(); ++s) {
+        l1 += std::abs(ref_fwd[i][s] - cut_fwd[i][s]);
+        max_dev = std::max(max_dev, std::abs(ref_bwd[i][s] - cut_bwd[i][s]));
+      }
+      EXPECT_LE(l1, budget.support_dropped + 1e-12)
+          << "seed " << seed << ", t = " << times[i];
+      EXPECT_LE(max_dev, budget.support_dropped + 1e-12)
+          << "seed " << seed << ", t = " << times[i];
+    }
+  }
+}
+
+// -- Steady-state cutoff: single and batched runs stay bit-identical ------
+
+TEST(ActiveSupport, SteadyStateCutoffMatchesBetweenSingleAndBatch) {
+  // A long horizon on a small well-mixed chain triggers the cutoff; the
+  // batched run must fold the remaining Poisson mass exactly as the
+  // single-horizon run does.
+  const Mrm model = birth_death_mrm(16, 2.0, 3.0);
+  const Ctmc& chain = model.chain();
+  std::vector<double> initial(model.num_states(), 0.0);
+  initial[model.initial_state()] = 1.0;
+  const std::vector<double> times{50.0, 200.0};
+
+#ifndef CSRL_OBS_DISABLED
+  obs::ScopedRecording recording;
+  const obs::MetricsSnapshot before = obs::snapshot_metrics();
+#endif
+  const auto batch =
+      transient_distribution_batch(chain, initial, times, active_options());
+#ifndef CSRL_OBS_DISABLED
+  EXPECT_GT(obs::metrics_delta(before, obs::snapshot_metrics())
+                .counter("uniformisation/steady_state_cutoffs"),
+            0u)
+      << "horizons too short to exercise the steady-state epilogue";
+#endif
+  for (std::size_t i = 0; i < times.size(); ++i)
+    expect_bitwise_equal(
+        transient_distribution(chain, initial, times[i], active_options()),
+        batch[i], "steady-state epilogue single vs batch");
+}
+
+#ifndef CSRL_OBS_DISABLED
+
+// -- Rows-active accounting: the frontier path touches far fewer rows -----
+
+TEST(ActiveSupport, FrontierReducesRowsTouched) {
+  const Mrm model = birth_death_mrm(512, 2.0, 3.0);
+  const Ctmc& chain = model.chain();
+  std::vector<double> initial(model.num_states(), 0.0);
+  initial[model.initial_state()] = 1.0;
+  const double t = 1.0;
+
+  obs::ScopedRecording recording;
+  const obs::MetricsSnapshot before_dense = obs::snapshot_metrics();
+  const auto dense = transient_distribution(chain, initial, t, dense_options());
+  const std::uint64_t rows_dense =
+      obs::metrics_delta(before_dense, obs::snapshot_metrics())
+          .counter("matrix/spmv/rows_active");
+
+  const obs::MetricsSnapshot before_active = obs::snapshot_metrics();
+  const auto active =
+      transient_distribution(chain, initial, t, active_options());
+  const std::uint64_t rows_active =
+      obs::metrics_delta(before_active, obs::snapshot_metrics())
+          .counter("matrix/spmv/rows_active");
+
+  expect_bitwise_equal(dense, active, "rows-active accounting run");
+  ASSERT_GT(rows_active, 0u);
+  EXPECT_GE(rows_dense, 3 * rows_active)
+      << "frontier iteration no longer reduces rows touched by >= 3x";
+}
+
+// -- Allocation-free loops: counters pinned to zero on a warmed arena -----
+
+TEST(WorkspaceArena, UniformisationLoopIsAllocFreeWhenWarmed) {
+  const Mrm model = birth_death_mrm(64, 2.0, 3.0);
+  const Ctmc& chain = model.chain();
+  std::vector<double> initial(model.num_states(), 0.0);
+  initial[model.initial_state()] = 1.0;
+
+  obs::ScopedRecording recording;
+  Workspace workspace;
+  TransientOptions options = active_options();
+  options.workspace = &workspace;
+
+  const obs::MetricsSnapshot cold_before = obs::snapshot_metrics();
+  (void)transient_distribution(chain, initial, 1.0, options);
+  EXPECT_GT(obs::metrics_delta(cold_before, obs::snapshot_metrics())
+                .counter("uniformisation/allocs_in_loop"),
+            0u);
+
+  const obs::MetricsSnapshot warm_before = obs::snapshot_metrics();
+  (void)transient_distribution(chain, initial, 1.0, options);
+  (void)transient_reach(chain, last_states(model, 1), 1.0, options);
+  EXPECT_EQ(obs::metrics_delta(warm_before, obs::snapshot_metrics())
+                .counter("uniformisation/allocs_in_loop"),
+            0u)
+      << "warmed arena still hit the heap inside the series loop";
+}
+
+// -- ReportScope: both truncation sources surface in the run report -------
+
+TEST(RunReport, CarriesSupportTruncationBound) {
+  const Mrm model = birth_death_mrm(256, 2.0, 3.0);
+  const Ctmc& chain = model.chain();
+  std::vector<double> initial(model.num_states(), 0.0);
+  initial[model.initial_state()] = 1.0;
+
+  TransientOptions lossy = active_options();
+  lossy.steady_state_detection = false;
+  lossy.support_epsilon = 1e-7;
+
+  obs::ReportScope scope;
+  (void)transient_distribution(chain, initial, 2.0, lossy);
+  const obs::RunReport report =
+      scope.finish("uniformisation", model.num_states(), model.rates().nnz(),
+                   lossy.epsilon);
+
+  EXPECT_GT(report.support_truncation_bound, 0.0);
+  EXPECT_DOUBLE_EQ(report.total_error_bound,
+                   report.truncation_error + report.support_truncation_bound);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"support_truncation_bound\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_error_bound\""), std::string::npos);
+}
+
+#endif  // CSRL_OBS_DISABLED
+
+}  // namespace
+}  // namespace csrl

@@ -1,0 +1,138 @@
+// CheckOptions::reorder_states: the checker computes on a
+// bandwidth-reduced (reverse Cuthill-McKee) copy of the model but every
+// public result speaks the original numbering.  Reordering permutes the
+// summation order inside the kernels, so probabilities agree to
+// near-equality (1e-9), while Sat sets and boolean verdicts — thresholded
+// far from the decision boundaries here — must agree exactly.
+#include "core/checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/options.hpp"
+#include "logic/formula.hpp"
+#include "models/synthetic.hpp"
+#include "util/state_set.hpp"
+
+namespace csrl {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+CheckOptions with_reordering() {
+  CheckOptions options;
+  options.reorder_states = true;
+  return options;
+}
+
+void expect_near_vectors(const std::vector<double>& plain,
+                         const std::vector<double>& reordered,
+                         const char* what) {
+  ASSERT_EQ(plain.size(), reordered.size()) << what;
+  for (std::size_t s = 0; s < plain.size(); ++s)
+    EXPECT_NEAR(plain[s], reordered[s], kTol)
+        << what << " differs at original state " << s;
+}
+
+TEST(ReorderStates, ModelAccessorReturnsOriginalNumbering) {
+  const Mrm model = tandem_queue_mrm(3, 3, 1.0, 2.0, 2.0);
+  const Checker checker(model, with_reordering());
+  EXPECT_EQ(&checker.model(), &model);
+}
+
+TEST(ReorderStates, QuantitativeValuesMatchOnTandemQueue) {
+  const Mrm model = tandem_queue_mrm(4, 4, 1.5, 2.0, 2.0);
+  const Checker plain(model);
+  const Checker reordered(model, with_reordering());
+
+  const FormulaPtr bounded_until = Formula::probability_query(
+      PathFormula::until(Interval::upto(2.0), Interval::upto(8.0),
+                         Formula::negation(Formula::atomic("blocked")),
+                         Formula::atomic("full2")));
+  expect_near_vectors(plain.values(*bounded_until),
+                      reordered.values(*bounded_until), "P3 until values");
+  EXPECT_NEAR(plain.value_initially(*bounded_until),
+              reordered.value_initially(*bounded_until), kTol);
+
+  const FormulaPtr unbounded = Formula::probability_query(
+      PathFormula::eventually(Interval::unbounded(), Interval::unbounded(),
+                              Formula::atomic("blocked")));
+  expect_near_vectors(plain.values(*unbounded), reordered.values(*unbounded),
+                      "unbounded until values");
+
+  const FormulaPtr steady =
+      Formula::steady_state_query(Formula::atomic("empty"));
+  expect_near_vectors(plain.values(*steady), reordered.values(*steady),
+                      "steady-state values");
+}
+
+TEST(ReorderStates, SatSetsAndVerdictsMatchExactly) {
+  for (std::uint64_t seed : {3u, 11u}) {
+    const Mrm model = random_mrm(seed, 48, 0.06);
+    const Checker plain(model);
+    const Checker reordered(model, with_reordering());
+
+    const FormulaPtr thresholded = Formula::probability(
+        Comparison::kGreaterEqual, 0.1,
+        PathFormula::until(Interval::upto(1.0), Interval::upto(3.0),
+                           Formula::atomic("a"), Formula::atomic("b")));
+    EXPECT_EQ(plain.sat(*thresholded).members(),
+              reordered.sat(*thresholded).members())
+        << "Sat set differs under reordering (seed " << seed << ")";
+    EXPECT_EQ(plain.holds_initially(*thresholded),
+              reordered.holds_initially(*thresholded));
+
+    const FormulaPtr atom = Formula::atomic("a");
+    EXPECT_EQ(plain.sat(*atom).members(), reordered.sat(*atom).members())
+        << "atomic Sat set not translated back to original numbering";
+  }
+}
+
+TEST(ReorderStates, SteadyProbabilitiesMatchPerStartState) {
+  const Mrm model = tandem_queue_mrm(3, 3, 1.0, 2.5, 1.5);
+  const Checker plain(model);
+  const Checker reordered(model, with_reordering());
+  StateSet empty_states(model.num_states());
+  for (std::size_t s = 0; s < model.num_states(); ++s)
+    if (model.labelling().has_label(s, "empty")) empty_states.insert(s);
+  expect_near_vectors(plain.steady_probabilities(empty_states),
+                      reordered.steady_probabilities(empty_states),
+                      "steady probabilities");
+}
+
+TEST(ReorderStates, UntilGridMatchesCellByCell) {
+  const Mrm model = random_mrm(17, 40, 0.08);
+  const Checker plain(model);
+  const Checker reordered(model, with_reordering());
+
+  BatchQuery query;
+  query.phi = Formula::atomic("a");
+  query.psi = Formula::atomic("b");
+  query.times = {0.5, 1.0, 2.0};
+  query.rewards = {1.0, 4.0};
+
+  const BatchResult expect = plain.until_grid(query);
+  const BatchResult got = reordered.until_grid(query);
+  EXPECT_EQ(expect.initial_state, got.initial_state);
+  ASSERT_EQ(expect.per_state.size(), got.per_state.size());
+  for (std::size_t cell = 0; cell < expect.per_state.size(); ++cell)
+    expect_near_vectors(expect.per_state[cell], got.per_state[cell],
+                        "until_grid lattice cell");
+}
+
+TEST(ReorderStates, RewardValuesMatch) {
+  const Mrm model = tandem_queue_mrm(3, 3, 1.0, 2.0, 2.0);
+  const Checker plain(model);
+  const Checker reordered(model, with_reordering());
+  const FormulaPtr expected_rate =
+      Formula::reward_query(RewardQuery::kInstantaneous, 1.5, nullptr);
+  expect_near_vectors(plain.reward_values(*expected_rate),
+                      reordered.reward_values(*expected_rate),
+                      "instantaneous reward values");
+}
+
+}  // namespace
+}  // namespace csrl

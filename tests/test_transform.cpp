@@ -149,5 +149,58 @@ TEST(Dual, ZeroRewardAbsorbingAllowed) {
   EXPECT_TRUE(d.chain().is_absorbing(1));
 }
 
+TEST(PermuteStates, MovesEveryIngredientConsistently) {
+  const Mrm m = triangle();
+  // perm[new] = old: new state 0 is old 2, new 1 is old 0, new 2 is old 1.
+  const std::vector<std::size_t> perm{2, 0, 1};
+  const Mrm p = permute_states(m, perm);
+  ASSERT_EQ(p.num_states(), 3u);
+  // Old transition 2 -> 0 (rate 3) is new 0 -> 1, and so on around the cycle.
+  EXPECT_DOUBLE_EQ(p.rates().at(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(p.rates().at(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(p.rates().at(2, 0), 2.0);
+  EXPECT_DOUBLE_EQ(p.reward(0), 4.0);
+  EXPECT_DOUBLE_EQ(p.reward(1), 1.0);
+  EXPECT_DOUBLE_EQ(p.reward(2), 2.0);
+  EXPECT_TRUE(p.labelling().has_label(0, "c"));
+  EXPECT_TRUE(p.labelling().has_label(1, "a"));
+  EXPECT_TRUE(p.labelling().has_label(2, "b"));
+  EXPECT_EQ(p.initial_state(), 1u);  // old initial state 0
+}
+
+TEST(PermuteStates, InversePermutationRoundTrips) {
+  const Mrm m = triangle();
+  const std::vector<std::size_t> perm{1, 2, 0};
+  std::vector<std::size_t> inverse(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) inverse[perm[i]] = i;
+  const Mrm back = permute_states(permute_states(m, perm), inverse);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(back.rates().at(r, c), m.rates().at(r, c));
+    EXPECT_DOUBLE_EQ(back.reward(r), m.reward(r));
+  }
+  EXPECT_EQ(back.initial_state(), m.initial_state());
+  EXPECT_TRUE(back.labelling().has_label(0, "a"));
+}
+
+TEST(PermuteStates, RejectsNonPermutations) {
+  const Mrm m = triangle();
+  EXPECT_THROW((void)permute_states(m, std::vector<std::size_t>{0, 1}),
+               ModelError);
+  EXPECT_THROW((void)permute_states(m, std::vector<std::size_t>{0, 0, 1}),
+               ModelError);
+  EXPECT_THROW((void)permute_states(m, std::vector<std::size_t>{0, 1, 3}),
+               ModelError);
+}
+
+TEST(PermuteStates, MovesImpulseRewards) {
+  CsrBuilder impulses(3, 3);
+  impulses.add(0, 1, 5.0);
+  const Mrm m = triangle().with_impulses(impulses.build());
+  const Mrm p = permute_states(m, std::vector<std::size_t>{2, 0, 1});
+  EXPECT_TRUE(p.has_impulse_rewards());
+  EXPECT_DOUBLE_EQ(p.impulse(1, 2), 5.0);  // old (0, 1) under the renumbering
+}
+
 }  // namespace
 }  // namespace csrl

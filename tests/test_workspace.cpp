@@ -1,0 +1,100 @@
+#include "util/workspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+namespace csrl {
+namespace {
+
+TEST(Workspace, AcquireResizesAndReleaseRetires) {
+  Workspace ws;
+  std::vector<double>& a = ws.acquire(16);
+  EXPECT_EQ(a.size(), 16u);
+  EXPECT_EQ(ws.retired(), 0u);
+  ws.release(a);
+  EXPECT_EQ(ws.retired(), 1u);
+}
+
+TEST(Workspace, ReusesRetiredBufferWithoutReallocating) {
+  Workspace ws;
+  std::vector<double>& a = ws.acquire(128);
+  const double* storage = a.data();
+  ws.release(a);
+
+  Workspace::LoopGuard guard(&ws);
+  std::vector<double>& b = ws.acquire(128);
+  EXPECT_EQ(b.data(), storage);
+  EXPECT_EQ(guard.heap_allocations(), 0u);
+}
+
+TEST(Workspace, PrefersLargestRetiredBuffer) {
+  Workspace ws;
+  std::vector<double>& small = ws.acquire(8);
+  std::vector<double>& large = ws.acquire(256);
+  const double* large_storage = large.data();
+  ws.release(small);
+  ws.release(large);
+
+  // A mid-sized request should come out of the big buffer, heap-free.
+  Workspace::LoopGuard guard(&ws);
+  std::vector<double>& mid = ws.acquire(64);
+  EXPECT_EQ(mid.data(), large_storage);
+  EXPECT_EQ(guard.heap_allocations(), 0u);
+}
+
+TEST(Workspace, LoopGuardCountsColdAcquisitions) {
+  Workspace ws;
+  Workspace::LoopGuard guard(&ws);
+  std::vector<double>& a = ws.acquire(32);
+  ws.release(a);
+  std::vector<double>& b = ws.acquire(32);  // warm: reuses a's storage
+  ws.release(b);
+  std::vector<double>& c = ws.acquire(1024);  // cold again: must grow
+  ws.release(c);
+  EXPECT_EQ(guard.heap_allocations(), 2u);
+}
+
+TEST(Workspace, NestedGuardsEachSeeInnerAllocations) {
+  Workspace ws;
+  Workspace::LoopGuard outer(&ws);
+  {
+    std::vector<double>& a = ws.acquire(8);
+    ws.release(a);
+  }
+  {
+    Workspace::LoopGuard inner(&ws);
+    std::vector<double>& b = ws.acquire(4096);
+    ws.release(b);
+    EXPECT_EQ(inner.heap_allocations(), 1u);
+  }
+  // The outer guard saw both the first acquisition and the inner growth.
+  EXPECT_EQ(outer.heap_allocations(), 2u);
+}
+
+TEST(Workspace, LeaseIsNullWorkspaceTolerant) {
+  Workspace::Lease lease(nullptr, 64);
+  EXPECT_EQ(lease.get().size(), 64u);
+  EXPECT_EQ(lease.span().size(), 64u);
+  lease.get()[0] = 1.5;
+  EXPECT_DOUBLE_EQ(lease.span()[0], 1.5);
+}
+
+TEST(Workspace, LeaseReleasesOnDestruction) {
+  Workspace ws;
+  {
+    Workspace::Lease lease(&ws, 32);
+    EXPECT_EQ(lease.get().size(), 32u);
+    EXPECT_EQ(ws.retired(), 0u);
+  }
+  EXPECT_EQ(ws.retired(), 1u);
+}
+
+TEST(Workspace, NullGuardStaysZero) {
+  Workspace::LoopGuard guard(nullptr);
+  EXPECT_EQ(guard.heap_allocations(), 0u);
+}
+
+}  // namespace
+}  // namespace csrl
