@@ -20,9 +20,12 @@
 #include <utility>
 #include <vector>
 
+#include "matrix/simd.hpp"
+#include "matrix/spmm.hpp"
 #include "obs/json_writer.hpp"
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
+#include "util/error.hpp"
 
 namespace csrl_bench {
 
@@ -80,6 +83,20 @@ class BenchObs {
     w.begin_object();
     w.key("schema").value("csrl-bench-obs-v1");
     w.key("bench").value(name_);
+    // Kernel configuration of this run, so perf trajectories can be
+    // compared like-for-like: the SIMD instruction set the blocked SpMM
+    // lane loops were compiled for ("scalar" under CSRL_SIMD=OFF) and
+    // the effective multi-RHS block width (honouring CSRL_RHS_BLOCK;
+    // 0 only if the environment value is invalid).
+    w.key("simd_isa").value(csrl::simd_isa());
+    std::uint64_t rhs_block = 0;
+    try {
+      rhs_block = csrl::resolve_rhs_block(0);
+    } catch (const csrl::Error&) {
+      // An invalid CSRL_RHS_BLOCK should fail the workload itself, not
+      // the obs write-out.
+    }
+    w.key("rhs_block").value(rhs_block);
     w.key("reps").begin_array();
     for (const RepStats& r : rep_stats_) {
       w.begin_object();

@@ -1,0 +1,150 @@
+// Blocked multi-RHS SpMM gate: the Figure-1-style Sericola grid with
+// grouped coefficient products vs the one-RHS path.
+//
+// The Sericola recursion's m * n per-level products P * c(h, n-1, k) all
+// share the matrix, so the blocked path (rhs_block > 1, the default)
+// streams P once per group of lanes while the one-RHS path (rhs_block =
+// 1) re-streams it once per vector.  This bench evaluates the same
+// all-starts joint-probability surface both ways on a synthetic MRM
+// whose CSR arrays outgrow L2, checks the grids are bitwise identical
+// (the blocked kernels perform the identical per-lane arithmetic — see
+// DESIGN.md section 3f), and times both configurations with 1 warmup +
+// 5 timed reps.
+//
+// The exit code is the acceptance gate for CI's bench-smoke job: 0 only
+// when the grids are bit-identical AND the blocked run is at least 2x
+// faster (median over reps).  Results go to BENCH_spmm.json; the usual
+// metric/span attribution (including the matrix/spmm/* counters) goes
+// to BENCH_spmm_obs.json.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/engines/sericola_engine.hpp"
+#include "matrix/simd.hpp"
+#include "matrix/spmm.hpp"
+#include "models/synthetic.hpp"
+#include "obs/json_writer.hpp"
+#include "obs/obs.hpp"
+#include "util/state_set.hpp"
+
+#include "bench_obs.hpp"
+
+namespace {
+
+using namespace csrl;
+
+bool bitwise_equal(const std::vector<std::vector<double>>& a,
+                   const std::vector<std::vector<double>>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t g = 0; g < a.size(); ++g) {
+    if (a[g].size() != b[g].size() ||
+        std::memcmp(a[g].data(), b[g].data(), a[g].size() * sizeof(double)) !=
+            0)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  csrl_bench::BenchObs obs_guard("spmm");
+
+  // Mean degree ~61 puts the CSR arrays well past L2 and makes the
+  // m * n per-level coefficient products carry ~90% of the recursion's
+  // wall-clock (the high/low sweeps and Bernstein accumulation scale
+  // with |S| per slot, the products with nnz), so the grid ratio tracks
+  // the blocked kernel's own speedup instead of being diluted by the
+  // sweep epilogues.
+  const std::size_t n = 10000;
+  const Mrm model = random_mrm(/*seed=*/7, n, /*density=*/120.0 / n);
+  StateSet target(n);
+  for (std::size_t s = 0; s < n; s += 7) target.insert(s);
+  // Short horizons keep the truncation depth (and so the bench's
+  // wall-clock) modest without touching the blocked-vs-one-RHS ratio:
+  // products, sweeps and Bernstein accumulation all scale together with
+  // depth.  Rewards sit strictly inside (0, max_reward * t) so no grid
+  // cell degenerates to a trivial case.
+  const std::vector<double> times{0.14, 0.15};
+  const std::vector<double> rewards{0.1, 0.3};
+  const double epsilon = 1e-7;
+
+  const SericolaEngine blocked(epsilon, nullptr, /*rhs_block=*/0);
+  const SericolaEngine one_rhs(epsilon, nullptr, /*rhs_block=*/1);
+  const std::size_t block = resolve_rhs_block(0);
+
+  std::printf("=== SpMM gate: blocked Sericola grid vs one-RHS ===\n");
+  std::printf(
+      "random MRM, %zu states, %zu transitions; %zux%zu grid, eps=%.0e\n"
+      "simd: %s, default rhs_block: %zu\n\n",
+      n, model.rates().nnz(), times.size(), rewards.size(), epsilon,
+      simd_isa(), block);
+
+  // Bitwise identity at default settings (one clean run per path).
+  const std::vector<std::vector<double>> grid_blocked =
+      blocked.joint_probability_all_starts_grid(model, times, rewards, target);
+  const std::vector<std::vector<double>> grid_one =
+      one_rhs.joint_probability_all_starts_grid(model, times, rewards, target);
+  const bool identical = bitwise_equal(grid_blocked, grid_one);
+  std::printf("bitwise identical at width %zu vs width 1: %s\n\n", block,
+              identical ? "yes" : "NO");
+
+  obs_guard.timed_reps("grid_rhs_block_default", [&] {
+    return blocked.joint_probability_all_starts_grid(model, times, rewards,
+                                                     target)[0][0];
+  });
+  obs_guard.timed_reps("grid_rhs_block_1", [&] {
+    return one_rhs.joint_probability_all_starts_grid(model, times, rewards,
+                                                     target)[0][0];
+  });
+
+  double blocked_ms = 0.0;
+  double one_rhs_ms = 0.0;
+  for (const csrl_bench::BenchObs::RepStats& r : obs_guard.reps()) {
+    if (r.name == "grid_rhs_block_default") blocked_ms = r.median_ms;
+    if (r.name == "grid_rhs_block_1") one_rhs_ms = r.median_ms;
+  }
+  const double speedup = blocked_ms > 0.0 ? one_rhs_ms / blocked_ms : 0.0;
+  std::printf("\nmedian wall-clock: blocked %.1f ms, one-RHS %.1f ms "
+              "(%.2fx), gate needs >= 2x\n",
+              blocked_ms, one_rhs_ms, speedup);
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("csrl-bench-spmm-v1");
+  w.key("bench").value("spmm");
+  w.key("states").value(static_cast<std::uint64_t>(n));
+  w.key("transitions").value(static_cast<std::uint64_t>(model.rates().nnz()));
+  w.key("simd_isa").value(simd_isa());
+  w.key("rhs_block").value(static_cast<std::uint64_t>(block));
+  w.key("blocked_median_ms").value(blocked_ms);
+  w.key("one_rhs_median_ms").value(one_rhs_ms);
+  w.key("speedup").value(speedup);
+  w.key("bitwise_identical").value(identical);
+  w.key("reps").begin_array();
+  for (const csrl_bench::BenchObs::RepStats& r : obs_guard.reps()) {
+    w.begin_object();
+    w.key("name").value(r.name);
+    w.key("reps").value(static_cast<std::uint64_t>(r.reps));
+    w.key("median_ms").value(r.median_ms);
+    w.key("min_ms").value(r.min_ms);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  const std::string text = std::move(w).str();
+
+  const char* path = "BENCH_spmm.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::printf("wrote %s\n", path);
+  } else {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 1;
+  }
+
+  return (identical && speedup >= 2.0) ? 0 : 1;
+}

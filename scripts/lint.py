@@ -44,9 +44,21 @@ is not installed):
                      hoist it out of the loop or lease it from the
                      caller's Workspace arena.
 
-A finding can be waived for one line with a trailing comment
-`// lint:allow <rule> (<justification>)` — the justification is required
-so waivers stay auditable.
+  spmm-blocking      A one-RHS product call (.multiply( / .multiply_left(
+                     / .multiply_fused( / .multiply_left_fused() inside a
+                     loop body in src/core/engines/ or src/ctmc/.  A
+                     product issued per loop iteration usually means a
+                     batch of right-hand sides is re-streaming the matrix
+                     once per vector; group them through the blocked
+                     multi-RHS kernels (matrix/spmm.hpp) instead.  Waive
+                     individually where a loop genuinely has only one
+                     vector in flight per pass (power iterations,
+                     width-1 fallbacks).
+
+A finding can be waived for one line with a comment
+`// lint:allow <rule> (<justification>)` — trailing on the line itself
+or, where indentation leaves no room, on a comment-only line directly
+above it.  The justification is required so waivers stay auditable.
 
 Usage: scripts/lint.py DIR [DIR...]
 Exit status: 0 when clean, 1 when any finding survives.
@@ -86,6 +98,15 @@ LOOP_ALLOC_DIRS = {"matrix", "ctmc"}
 
 LOOP_HEAD_RE = re.compile(r"\b(?:for|while)\s*\(")
 VECTOR_DOUBLE_DECL_RE = re.compile(r"\bstd::vector<double>\s+\w+")
+
+# Layers whose loops should batch products through the blocked SpMM
+# kernels; the spmm-blocking rule only fires on files inside these
+# directories.  The pattern deliberately misses multiply_block /
+# multiply_active — those are already the batched/frontier forms.
+SPMM_BLOCKING_DIRS = {"engines", "ctmc"}
+ONE_RHS_PRODUCT_RE = re.compile(
+    r"\.\s*multiply(?:_left)?(?:_fused)?\s*\("
+)
 
 UNORDERED_DECL_RE = re.compile(
     r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+(\w+)\s*[;{=(]"
@@ -142,11 +163,11 @@ def strip_comments_and_strings(line, in_block_comment):
     return "".join(out), comment, in_block_comment
 
 
-def loop_vector_decl_lines(stripped_lines):
-    """Line numbers (1-based) of std::vector<double> declarations inside
-    for/while loop bodies, tracked by brace depth across the file.  Loop
-    heads may span lines; a body only counts once its `{` opens (a
-    brace-less single-statement body cannot hold a declaration anyway)."""
+def loop_pattern_lines(stripped_lines, pattern):
+    """Line numbers (1-based) of `pattern` matches inside for/while loop
+    bodies, tracked by brace depth across the file.  Loop heads may span
+    lines; a body only counts once its `{` opens (brace-less
+    single-statement bodies are not tracked)."""
     hits = []
     depth = 0
     body_depths = []  # brace depths at which a loop body opened
@@ -154,7 +175,7 @@ def loop_vector_decl_lines(stripped_lines):
     head_parens = 0  # unclosed parens of that loop head
     for lineno, (code, _comment) in enumerate(stripped_lines, start=1):
         head_starts = {m.start() for m in LOOP_HEAD_RE.finditer(code)}
-        decl_starts = {m.start() for m in VECTOR_DOUBLE_DECL_RE.finditer(code)}
+        decl_starts = {m.start() for m in pattern.finditer(code)}
         for pos, ch in enumerate(code):
             if pos in head_starts:
                 awaiting_body = True
@@ -187,6 +208,17 @@ def waived(rule, comment):
     return m is not None and m.group(1) == rule
 
 
+def waived_at(rule, stripped_lines, lineno):
+    """Waiver trailing on `lineno` (1-based), or on a comment-only line
+    directly above it."""
+    if waived(rule, stripped_lines[lineno - 1][1]):
+        return True
+    if lineno >= 2:
+        code, comment = stripped_lines[lineno - 2]
+        return not code.strip() and waived(rule, comment)
+    return False
+
+
 def is_sentinel(literal):
     return literal.lstrip("-").rstrip("fF") in EXACT_SENTINELS
 
@@ -212,13 +244,25 @@ def lint_file(path):
             unordered_names.add(m.group(1))
 
     if LOOP_ALLOC_DIRS & set(path.parts):
-        for lineno in loop_vector_decl_lines(stripped_lines):
-            if not waived("loop-alloc", stripped_lines[lineno - 1][1]):
+        for lineno in loop_pattern_lines(stripped_lines, VECTOR_DOUBLE_DECL_RE):
+            if not waived_at("loop-alloc", stripped_lines, lineno):
                 report(
                     lineno,
                     "loop-alloc",
                     "std::vector<double> constructed inside a loop body"
                     " (hoist it or lease from a Workspace arena)",
+                )
+
+    if SPMM_BLOCKING_DIRS & set(path.parts):
+        for lineno in loop_pattern_lines(stripped_lines, ONE_RHS_PRODUCT_RE):
+            if not waived_at("spmm-blocking", stripped_lines, lineno):
+                report(
+                    lineno,
+                    "spmm-blocking",
+                    "one-RHS product inside a loop body (group the"
+                    " right-hand sides through the blocked multi-RHS"
+                    " kernels of matrix/spmm.hpp, or waive with the"
+                    " loop's single-vector justification)",
                 )
 
     for lineno, (code, comment) in enumerate(stripped_lines, start=1):

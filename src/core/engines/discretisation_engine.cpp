@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "core/validate.hpp"
+#include "matrix/simd.hpp"
+#include "matrix/spmm.hpp"
 #include "obs/obs.hpp"
 #include "util/contracts.hpp"
 #include "util/error.hpp"
@@ -35,8 +37,11 @@ std::size_t sweep_grain(std::size_t width) {
 }  // namespace
 
 DiscretisationEngine::DiscretisationEngine(double step,
-                                           std::shared_ptr<ThreadPool> pool)
-    : JointDistributionEngine(std::move(pool)), step_(step) {
+                                           std::shared_ptr<ThreadPool> pool,
+                                           std::size_t rhs_block)
+    : JointDistributionEngine(std::move(pool)),
+      step_(step),
+      rhs_block_(resolve_rhs_block(rhs_block)) {
   if (!(step > 0.0) || !std::isfinite(step))
     throw ModelError("DiscretisationEngine: step must be positive and finite");
 }
@@ -319,6 +324,193 @@ std::vector<JointDistribution> DiscretisationEngine::joint_distribution_grid_imp
   return grid;
 }
 
+std::vector<std::vector<JointDistribution>>
+DiscretisationEngine::joint_distribution_grid_block(
+    std::span<const Mrm> models, std::span<const double> times,
+    std::span<const double> rewards, Workspace* workspace) const {
+  const std::size_t lanes = models.size();
+  if (lanes == 0 || lanes > kMaxRhsBlock)
+    throw ModelError(
+        "DiscretisationEngine: lane count must lie in [1, kMaxRhsBlock]");
+  const Mrm& shape = models.front();
+  const std::size_t num_rewards = rewards.size();
+  std::vector<std::vector<JointDistribution>> result(
+      lanes, std::vector<JointDistribution>(times.size() * num_rewards));
+
+  // Triviality is decided by (t, r) and the shared rates/rewards alone
+  // (engine.cpp), so the live set is lane-independent; only the trivial
+  // *results* differ per lane (each consults its own initial
+  // distribution).
+  struct Live {
+    std::size_t slot;
+    std::size_t total_steps;
+    std::size_t reward_cells;
+  };
+  std::vector<Live> live;
+  const double d = step_;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    for (std::size_t j = 0; j < num_rewards; ++j) {
+      const std::size_t slot = i * num_rewards + j;
+      if (joint_distribution_trivial_case(models[0], times[i], rewards[j],
+                                          result[0][slot])) {
+        for (std::size_t b = 1; b < lanes; ++b)
+          joint_distribution_trivial_case(models[b], times[i], rewards[j],
+                                          result[b][slot]);
+        continue;
+      }
+      live.push_back({slot, as_natural(times[i] / d, 1e-6, "t/d"),
+                      as_natural(rewards[j] / d, 1e-6, "r/d")});
+      if (live.back().total_steps == 0)
+        throw ModelError("DiscretisationEngine: t must be at least one step d");
+    }
+  }
+  if (live.empty()) return result;
+
+  CSRL_SPAN("p3/discretisation/joint_distribution_grid");
+  const std::size_t n = shape.num_states();
+  std::vector<std::size_t> rho(n);
+  for (std::size_t s = 0; s < n; ++s)
+    rho[s] = as_natural(shape.reward(s), 1e-9, "every reward rate");
+  for (std::size_t s = 0; s < n; ++s)
+    if (shape.chain().exit_rate(s) * d >= 1.0)
+      throw ModelError(
+          "DiscretisationEngine: step too coarse, E(s)*d must stay below 1 "
+          "(state " + std::to_string(s) + ")");
+
+  std::size_t max_steps = 0;
+  std::size_t max_cells = 0;
+  for (const Live& pt : live) {
+    max_steps = std::max(max_steps, pt.total_steps);
+    max_cells = std::max(max_cells, pt.reward_cells);
+  }
+
+  // One lane-interleaved pair of F arrays: lane b's cell (s, k) lives at
+  // (s * width + k) * lanes + b, so the lane loops below are contiguous
+  // (and SIMD-safe: lanes never mix, each performs its own single-start
+  // arithmetic in the same order).
+  const std::size_t width = max_cells + 1;
+  CSRL_GAUGE("p3/discretisation/time_steps", static_cast<double>(max_steps));
+  CSRL_GAUGE("p3/discretisation/reward_cells", static_cast<double>(width));
+  Workspace::LoopGuard guard(workspace);
+  Workspace::Lease current_lease(workspace, n * width * lanes);
+  Workspace::Lease next_lease(workspace, n * width * lanes);
+  std::vector<double>& current = current_lease.get();
+  std::vector<double>& next = next_lease.get();
+  current.assign(n * width * lanes, 0.0);
+  next.assign(n * width * lanes, 0.0);
+
+  for (std::size_t b = 0; b < lanes; ++b) {
+    const std::vector<double>& initial = models[b].initial_distribution();
+    for (std::size_t s = 0; s < n; ++s) {
+      const double mass = initial[s];
+      if (mass == 0.0) continue;
+      if (rho[s] <= max_cells)
+        current[(s * width + rho[s]) * lanes + b] += mass / d;
+    }
+  }
+
+  const CsrMatrix incoming = shape.rates().transposed();
+  struct Donor {
+    std::size_t state;
+    double weight;
+    std::size_t shift;
+  };
+  std::vector<std::vector<Donor>> donors(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (const auto& e : incoming.row(s)) {
+      std::size_t shift = rho[e.col];
+      if (shape.has_impulse_rewards()) {
+        const double iota = shape.impulse(e.col, s);
+        if (iota > 0.0)
+          shift += as_natural(iota / d, 1e-6, "every impulse divided by d");
+      }
+      donors[s].push_back({e.col, e.value * d, shift});
+    }
+  }
+
+  ThreadPool& workers = pool();
+  const std::size_t grain = sweep_grain(width * lanes);
+
+  const auto harvest = [&](std::size_t steps_done) {
+    for (const Live& pt : live) {
+      if (pt.total_steps != steps_done) continue;
+      JointDistribution* outs[kMaxRhsBlock];
+      for (std::size_t b = 0; b < lanes; ++b) {
+        outs[b] = &result[b][pt.slot];
+        outs[b]->per_state.assign(n, 0.0);
+        outs[b]->steps = pt.total_steps;
+      }
+      workers.parallel_for(0, n, grain, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t s = lo; s < hi; ++s) {
+          double acc[kMaxRhsBlock] = {};
+          for (std::size_t k = 0; k <= pt.reward_cells; ++k) {
+            const double* c = current.data() + (s * width + k) * lanes;
+            CSRL_PRAGMA_SIMD
+            for (std::size_t b = 0; b < lanes; ++b) acc[b] += c[b];
+          }
+          for (std::size_t b = 0; b < lanes; ++b)
+            outs[b]->per_state[s] = acc[b] * d;
+        }
+      });
+    }
+  };
+
+  harvest(1);
+  for (std::size_t j = 1; j < max_steps; ++j) {
+    CSRL_COUNT("p3/discretisation/sweeps", 1);
+    workers.parallel_for(0, n, grain, [&](std::size_t lo, std::size_t hi) {
+      std::fill(
+          next.begin() + static_cast<std::ptrdiff_t>(lo * width * lanes),
+          next.begin() + static_cast<std::ptrdiff_t>(hi * width * lanes), 0.0);
+      for (std::size_t s = lo; s < hi; ++s) {
+        const double stay = 1.0 - shape.chain().exit_rate(s) * d;
+        const std::size_t shift = rho[s];
+        for (std::size_t k = shift; k <= max_cells; ++k) {
+          const double* src = current.data() + (s * width + (k - shift)) * lanes;
+          double* dst = next.data() + (s * width + k) * lanes;
+          CSRL_PRAGMA_SIMD
+          for (std::size_t b = 0; b < lanes; ++b) dst[b] = src[b] * stay;
+        }
+        for (const Donor& donor : donors[s]) {
+          for (std::size_t k = donor.shift; k <= max_cells; ++k) {
+            const double* src =
+                current.data() +
+                (donor.state * width + (k - donor.shift)) * lanes;
+            double* dst = next.data() + (s * width + k) * lanes;
+            CSRL_PRAGMA_SIMD
+            for (std::size_t b = 0; b < lanes; ++b)
+              dst[b] += src[b] * donor.weight;
+          }
+        }
+      }
+    });
+    current.swap(next);
+    harvest(j + 1);
+  }
+  CSRL_COUNT("p3/discretisation/allocs_in_loop", guard.heap_allocations());
+
+  CSRL_CONTRACT(
+      [&] {
+        double t_max = 0.0;
+        for (double t : times) t_max = std::max(t_max, t);
+        for (std::size_t b = 0; b < lanes; ++b) {
+          std::vector<std::vector<double>> view;
+          view.reserve(result[b].size());
+          for (const JointDistribution& g : result[b])
+            view.push_back(g.per_state);
+          if (!joint_grid_monotone_in_reward(
+                  view, times.size(), rewards,
+                  2.0 * d * (1.0 + shape.chain().max_exit_rate()) *
+                      std::max(1.0, t_max)))
+            return false;
+        }
+        return true;
+      }(),
+      "DiscretisationEngine: blocked grid results are not monotone in the "
+      "reward bound");
+  return result;
+}
+
 std::vector<std::vector<double>>
 DiscretisationEngine::joint_probability_all_starts_grid(
     const Mrm& model, std::span<const double> times,
@@ -332,6 +524,31 @@ DiscretisationEngine::joint_probability_all_starts_grid(
   // One arena across the per-start-state runs: every run sweeps the same
   // n-by-width F arrays, so only the first one allocates them.
   Workspace start_workspace;
+  if (rhs_block_ > 1 && n > 1) {
+    // Blocked: each group of up to rhs_block_ start states shares one
+    // lane-interleaved sweep (joint_distribution_grid_block), bitwise
+    // identical per lane to the one-start-per-run loop below.
+    std::vector<Mrm> group;
+    group.reserve(std::min(rhs_block_, n));
+    for (std::size_t s0 = 0; s0 < n; s0 += rhs_block_) {
+      const std::size_t lanes = std::min(rhs_block_, n - s0);
+      group.clear();
+      for (std::size_t b = 0; b < lanes; ++b) {
+        Mrm from_s(Ctmc(model.rates()), model.rewards(), model.labelling(),
+                   s0 + b);
+        if (model.has_impulse_rewards())
+          from_s = from_s.with_impulses(model.impulse_rewards());
+        group.push_back(std::move(from_s));
+      }
+      const std::vector<std::vector<JointDistribution>> per_lane =
+          joint_distribution_grid_block(group, times, rewards,
+                                        &start_workspace);
+      for (std::size_t b = 0; b < lanes; ++b)
+        for (std::size_t g = 0; g < grid.size(); ++g)
+          grid[g][s0 + b] = per_lane[b][g].probability_in(target);
+    }
+    return grid;
+  }
   for (std::size_t s = 0; s < n; ++s) {
     Mrm from_s(Ctmc(model.rates()), model.rewards(), model.labelling(), s);
     if (model.has_impulse_rewards())

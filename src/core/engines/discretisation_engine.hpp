@@ -40,11 +40,17 @@ class Workspace;
 /// Section 4.3's engine.  `step` is the discretisation step d.  The
 /// per-state recurrence sweep runs on `pool` (nullptr = the shared pool);
 /// results are bit-identical at any thread count because each state's row
-/// of F is written by exactly one chunk.
+/// of F is written by exactly one chunk.  `rhs_block` is the multi-start
+/// block width (TransientOptions::rhs_block semantics: 0 = automatic via
+/// CSRL_RHS_BLOCK / kDefaultRhsBlock, 1 disables): the all-starts grid
+/// path propagates up to that many start states' F recursions through one
+/// lane-interleaved sweep instead of one full sweep per start state,
+/// bitwise identical per lane to the one-start runs.
 class DiscretisationEngine : public JointDistributionEngine {
  public:
   explicit DiscretisationEngine(double step,
-                                std::shared_ptr<ThreadPool> pool = nullptr);
+                                std::shared_ptr<ThreadPool> pool = nullptr,
+                                std::size_t rhs_block = 0);
 
   JointDistribution joint_distribution(const Mrm& model, double t,
                                        double r) const override;
@@ -103,7 +109,22 @@ class DiscretisationEngine : public JointDistributionEngine {
       const Mrm& model, std::span<const double> times,
       std::span<const double> rewards, Workspace* workspace) const;
 
+  /// Blocked multi-start form of joint_distribution_grid_impl.  All
+  /// `models` share rates, rewards and labelling and differ only in their
+  /// initial distribution (the per-start-state construction of
+  /// joint_probability_all_starts_grid); one sweep carries models.size()
+  /// lane-interleaved copies of the F recursion (F[(s * width + k) * L + b]
+  /// is lane b's cell), so the model-dependent factors stream once per
+  /// step instead of once per start.  Per lane the recursion performs the
+  /// identical per-cell arithmetic of its own single-start run, so
+  /// result[b] is bitwise equal to joint_distribution_grid_impl(models[b],
+  /// ...).  models.size() must lie in [1, kMaxRhsBlock].
+  std::vector<std::vector<JointDistribution>> joint_distribution_grid_block(
+      std::span<const Mrm> models, std::span<const double> times,
+      std::span<const double> rewards, Workspace* workspace) const;
+
   double step_;
+  std::size_t rhs_block_;  // resolved effective width, in [1, kMaxRhsBlock]
 };
 
 }  // namespace csrl

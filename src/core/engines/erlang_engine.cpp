@@ -172,7 +172,13 @@ std::vector<std::vector<double>> ErlangEngine::joint_probability_all_starts_grid
   const std::size_t k = phases_;
   // The expanded chain has the same size for every reward column, so one
   // arena serves every batched transient run of the sweep: the first
-  // column warms it, the rest iterate without heap traffic.
+  // column warms it, the rest iterate without heap traffic.  The
+  // transient options' rhs_block rides along: each column's batched run
+  // carries all of its live horizons as one interleaved accumulator
+  // block per matrix pass (ctmc/uniformisation.cpp), so a column costs
+  // about one SpMV stream regardless of how many horizons share it.
+  // (Columns cannot be blocked with each other — every reward bound
+  // expands to a different chain.)
   Workspace grid_workspace;
   TransientOptions transient = transient_;
   if (transient.workspace == nullptr) transient.workspace = &grid_workspace;

@@ -8,6 +8,7 @@
 
 #include "core/validate.hpp"
 #include "ctmc/foxglynn.hpp"
+#include "matrix/spmm.hpp"
 #include "matrix/vector_ops.hpp"
 #include "obs/obs.hpp"
 #include "util/contracts.hpp"
@@ -87,8 +88,11 @@ class LevelStore {
 
 }  // namespace
 
-SericolaEngine::SericolaEngine(double epsilon, std::shared_ptr<ThreadPool> pool)
-    : JointDistributionEngine(std::move(pool)), epsilon_(epsilon) {
+SericolaEngine::SericolaEngine(double epsilon, std::shared_ptr<ThreadPool> pool,
+                               std::size_t rhs_block)
+    : JointDistributionEngine(std::move(pool)),
+      epsilon_(epsilon),
+      rhs_block_(resolve_rhs_block(rhs_block)) {
   if (!(epsilon > 0.0 && epsilon < 1.0))
     throw ModelError("SericolaEngine: epsilon must lie in (0, 1)");
 }
@@ -179,6 +183,13 @@ std::vector<std::vector<double>> SericolaEngine::all_starts_points(
   LevelStore previous(previous_store.get(), m, max_n, num_states);
   LevelStore products(products_store.get(), m, max_n, num_states);
 
+  // Block buffers for the grouped coefficient products (zero-sized, hence
+  // free, when blocking is off).
+  Workspace::Lease x_block_lease(workspace,
+                                 rhs_block_ > 1 ? num_states * rhs_block_ : 0);
+  Workspace::Lease y_block_lease(workspace,
+                                 rhs_block_ > 1 ? num_states * rhs_block_ : 0);
+
   Workspace::Lease u_lease(workspace, num_states);
   Workspace::Lease scratch_lease(workspace, num_states);
   std::vector<double>& u = u_lease.get();  // u = P^n v
@@ -205,19 +216,58 @@ std::vector<std::vector<double>> SericolaEngine::all_starts_points(
     CSRL_SPAN("p3/sericola/column_sweep");
     CSRL_COUNT("p3/sericola/jump_levels", 1);
     if (n > 0) {
+      // lint:allow spmm-blocking (single power iterate, no batch to block)
       p.multiply(u, scratch);
       u.swap(scratch);
-      // The m * n products P * c(h, n-1, k) are independent SpMVs; spread
-      // them over the pool (each multiply then runs inline in its worker).
-      workers.parallel_for(
-          0, m * n, 1, [&](std::size_t flat_begin, std::size_t flat_end) {
-            for (std::size_t f = flat_begin; f < flat_end; ++f) {
-              const std::size_t h = 1 + f / n;
-              const std::size_t k = f % n;
-              std::span<double> out{products.slot(h, k), num_states};
-              p.multiply(previous.span(h, k), out);
-            }
-          });
+      const std::size_t num_products = m * n;
+      if (rhs_block_ > 1 && num_products > 1) {
+        // The m * n products P * c(h, n-1, k) share the matrix, so group
+        // them into row-major blocks of at most rhs_block_ lanes and
+        // stream P once per group (matrix/spmm.cpp) instead of once per
+        // vector.  Pack/unpack are exact element copies and the block
+        // kernel gathers each lane in the one-RHS column order, so the
+        // products are bitwise those of the looped multiply; the kernel
+        // parallelises over nnz-balanced row chunks internally.
+        for (std::size_t f0 = 0; f0 < num_products; f0 += rhs_block_) {
+          const std::size_t width = std::min(rhs_block_, num_products - f0);
+          const double* in_cols[kMaxRhsBlock];
+          double* out_cols[kMaxRhsBlock];
+          for (std::size_t b = 0; b < width; ++b) {
+            const std::size_t h = 1 + (f0 + b) / n;
+            const std::size_t k = (f0 + b) % n;
+            in_cols[b] = previous.slot(h, k);
+            out_cols[b] = products.slot(h, k);
+          }
+          std::vector<double>& x = x_block_lease.get();
+          std::vector<double>& y = y_block_lease.get();
+          workers.parallel_for(0, num_states, kMemberGrain,
+                               [&](std::size_t lo, std::size_t hi) {
+                                 pack_block({in_cols, width}, x, lo, hi,
+                                            width);
+                               });
+          p.multiply_block(x, y, width, width);
+          workers.parallel_for(0, num_states, kMemberGrain,
+                               [&](std::size_t lo, std::size_t hi) {
+                                 unpack_block(y, {out_cols, width}, lo, hi,
+                                              width);
+                               });
+        }
+      } else {
+        // One-RHS fallback (rhs_block == 1): the products are independent
+        // SpMVs; spread them over the pool (each multiply then runs
+        // inline in its worker).
+        workers.parallel_for(
+            0, num_products, 1,
+            [&](std::size_t flat_begin, std::size_t flat_end) {
+              for (std::size_t f = flat_begin; f < flat_end; ++f) {
+                const std::size_t h = 1 + f / n;
+                const std::size_t k = f % n;
+                std::span<double> out{products.slot(h, k), num_states};
+                // lint:allow spmm-blocking (width-1 fallback of the blocked path)
+                p.multiply(previous.span(h, k), out);
+              }
+            });
+      }
     }
 
     // High sweep: rows with rho(i) >= rho_h, h ascending, k ascending.

@@ -43,11 +43,17 @@ namespace csrl {
 class Workspace;
 
 /// Section 4.4's engine.  `epsilon` is the a-priori bound on the Poisson
-/// truncation error.
+/// truncation error.  `rhs_block` is the multi-RHS block width for the
+/// m * n per-level coefficient products (TransientOptions::rhs_block
+/// semantics: 0 = automatic via CSRL_RHS_BLOCK / kDefaultRhsBlock, 1
+/// disables blocking); the blocked sweep streams the uniformised matrix
+/// once per group of coefficient vectors instead of once per vector and
+/// is bitwise identical to the looped multiply at every width.
 class SericolaEngine : public JointDistributionEngine {
  public:
   explicit SericolaEngine(double epsilon = 1e-9,
-                          std::shared_ptr<ThreadPool> pool = nullptr);
+                          std::shared_ptr<ThreadPool> pool = nullptr,
+                          std::size_t rhs_block = 0);
 
   JointDistribution joint_distribution(const Mrm& model, double t,
                                        double r) const override;
@@ -92,6 +98,7 @@ class SericolaEngine : public JointDistributionEngine {
       const StateSet& target, Workspace* workspace) const;
 
   double epsilon_;
+  std::size_t rhs_block_;  // resolved effective width, in [1, kMaxRhsBlock]
 };
 
 }  // namespace csrl

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "ctmc/foxglynn.hpp"
+#include "matrix/simd.hpp"
+#include "matrix/spmm.hpp"
 #include "matrix/support.hpp"
 #include "matrix/vector_ops.hpp"
 #include "obs/obs.hpp"
@@ -71,13 +73,28 @@ bool eligible_for_active(std::span<const double> start) {
 /// substochastic), and the Poisson weights sum to at most 1, so the
 /// total is a sound bound on the L1 (forward) / max-norm (backward)
 /// deviation of every result from its epsilon = 0 run.
+///
+/// Blocked accumulation: with `block_acc` non-empty (size n_states * W,
+/// W = windows.size(), paired with `block_weights` of size W) the
+/// per-window running sums live interleaved in block_acc[i * W + w]
+/// instead of in *results[w], and all W Poisson axpys of one step ride
+/// the traversal as ONE FusedBlockAxpy — a contiguous, vectorizable
+/// lane loop per row instead of W strided scalar passes.  Every lane
+/// performs the identical out += weight * x sequence (steps outside a
+/// window carry lane weight 0.0, whose exact +0.0 add is a bit-level
+/// no-op on accumulators that start at +0.0 and can never reach -0.0 by
+/// addition), so the unpacked lanes equal the unblocked accumulators
+/// bit for bit; the caller unpacks into results afterwards.
 void accumulate_series(const CsrMatrix& p, bool forward,
                        std::vector<double>& iterate,
                        std::vector<double>& scratch,
                        const std::vector<PoissonWeights>& windows,
                        const std::vector<std::vector<double>*>& results,
-                       const TransientOptions& options) {
+                       const TransientOptions& options,
+                       std::span<double> block_acc = {},
+                       std::span<double> block_weights = {}) {
   const std::size_t n_states = iterate.size();
+  const std::size_t num_windows = windows.size();
   std::size_t max_right = 0;
   for (const PoissonWeights& w : windows)
     max_right = std::max(max_right, w.right);
@@ -85,11 +102,25 @@ void accumulate_series(const CsrMatrix& p, bool forward,
   // Fox-Glynn guarantees at least one weight for every lambda*t >= 0, but
   // a degenerate window (e.g. from a pathologically tiny lambda*t) must
   // not read past the end — guard the anchor access defensively.
+  const bool blocked = !block_acc.empty();
   std::vector<FusedAxpy> pendings;
-  pendings.reserve(windows.size());
-  for (std::size_t i = 0; i < windows.size(); ++i)
-    if (windows[i].left == 0 && !windows[i].weights.empty())
-      pendings.push_back({windows[i].weights[0], results[i]->data()});
+  FusedBlockAxpy block_pending;
+  std::span<const FusedBlockAxpy> block_pendings{};
+  if (blocked) {
+    std::fill(block_acc.begin(), block_acc.end(), 0.0);
+    for (std::size_t i = 0; i < num_windows; ++i)
+      block_weights[i] = (windows[i].left == 0 && !windows[i].weights.empty())
+                             ? windows[i].weights[0]
+                             : 0.0;
+    block_pending = {block_weights.data(), block_acc.data(), num_windows,
+                     num_windows};
+    block_pendings = {&block_pending, 1};
+  } else {
+    pendings.reserve(num_windows);
+    for (std::size_t i = 0; i < num_windows; ++i)
+      if (windows[i].left == 0 && !windows[i].weights.empty())
+        pendings.push_back({windows[i].weights[0], results[i]->data()});
+  }
 
   bool active = options.active_support && n_states > 0 &&
                 eligible_for_active(iterate);
@@ -120,9 +151,10 @@ void accumulate_series(const CsrMatrix& p, bool forward,
     double diff;
     if (active) {
       diff = forward ? p.multiply_left_active(iterate, scratch, mask_in,
-                                              mask_out, pendings, want_diff)
+                                              mask_out, pendings,
+                                              block_pendings, want_diff)
                      : p.multiply_active(iterate, scratch, mask_in, mask_out,
-                                         pendings, want_diff);
+                                         pendings, block_pendings, want_diff);
       if (options.support_epsilon > 0.0) {
         mask_out.remove_if_not([&](std::size_t i) {
           const double v = scratch[i];
@@ -134,10 +166,16 @@ void accumulate_series(const CsrMatrix& p, bool forward,
           return true;
         });
       }
+    } else if (forward) {
+      // One iterate in flight: batched horizons already ride the fused
+      // pendings, and multi-start runs take run_multi instead.
+      // lint:allow spmm-blocking (single power iterate per step)
+      diff = p.multiply_left_fused(iterate, scratch, pendings,
+                                   block_pendings, want_diff);
     } else {
-      diff = forward
-                 ? p.multiply_left_fused(iterate, scratch, pendings, want_diff)
-                 : p.multiply_fused(iterate, scratch, pendings, want_diff);
+      // lint:allow spmm-blocking (single power iterate per step)
+      diff = p.multiply_fused(iterate, scratch, pendings, block_pendings,
+                              want_diff);
     }
     pendings.clear();
     // The steady-state check compares the *full* vector (the fused diff
@@ -151,13 +189,33 @@ void accumulate_series(const CsrMatrix& p, bool forward,
       // same vector, so the rest of each still-running window's Poisson
       // mass multiplies it.  A horizon whose window ended before this
       // step already received its full series.
-      for (std::size_t i = 0; i < windows.size(); ++i) {
-        if (windows[i].right < n) continue;
-        double remaining = 0.0;
-        for (std::size_t m = std::max(n, windows[i].left);
-             m <= windows[i].right; ++m)
-          remaining += windows[i].weight(m);
-        axpy(remaining, scratch, *results[i]);
+      if (blocked) {
+        // One blocked fold: lane weights are the remaining window masses
+        // (0.0 for windows that already ended — an exact +0.0 add).
+        for (std::size_t i = 0; i < num_windows; ++i) {
+          double remaining = 0.0;
+          if (windows[i].right >= n)
+            for (std::size_t m = std::max(n, windows[i].left);
+                 m <= windows[i].right; ++m)
+              remaining += windows[i].weight(m);
+          block_weights[i] = remaining;
+        }
+        for (std::size_t i = 0; i < n_states; ++i) {
+          const double s = scratch[i];
+          double* out = block_acc.data() + i * num_windows;
+          CSRL_PRAGMA_SIMD
+          for (std::size_t w = 0; w < num_windows; ++w)
+            out[w] += block_weights[w] * s;
+        }
+      } else {
+        for (std::size_t i = 0; i < windows.size(); ++i) {
+          if (windows[i].right < n) continue;
+          double remaining = 0.0;
+          for (std::size_t m = std::max(n, windows[i].left);
+               m <= windows[i].right; ++m)
+            remaining += windows[i].weight(m);
+          axpy(remaining, scratch, *results[i]);
+        }
       }
       iterate.swap(scratch);
       CSRL_COUNT("uniformisation/steady_state_cutoffs", 1);
@@ -178,14 +236,33 @@ void accumulate_series(const CsrMatrix& p, bool forward,
           options.support_crossover * static_cast<double>(n_states))
         active = false;
     }
-    for (std::size_t i = 0; i < windows.size(); ++i)
-      if (n >= windows[i].left && n <= windows[i].right)
-        pendings.push_back({windows[i].weight(n), results[i]->data()});
+    if (blocked) {
+      for (std::size_t i = 0; i < num_windows; ++i)
+        block_weights[i] = (n >= windows[i].left && n <= windows[i].right)
+                               ? windows[i].weight(n)
+                               : 0.0;
+    } else {
+      for (std::size_t i = 0; i < windows.size(); ++i)
+        if (n >= windows[i].left && n <= windows[i].right)
+          pendings.push_back({windows[i].weight(n), results[i]->data()});
+    }
   }
-  if (!cutoff)
-    for (const FusedAxpy& pending : pendings)
-      axpy(pending.weight, iterate,
-           std::span<double>(pending.out, n_states));
+  if (!cutoff) {
+    if (blocked) {
+      // Flush the last pending block of weights against the final iterate.
+      for (std::size_t i = 0; i < n_states; ++i) {
+        const double xi = iterate[i];
+        double* out = block_acc.data() + i * num_windows;
+        CSRL_PRAGMA_SIMD
+        for (std::size_t w = 0; w < num_windows; ++w)
+          out[w] += block_weights[w] * xi;
+      }
+    } else {
+      for (const FusedAxpy& pending : pendings)
+        axpy(pending.weight, iterate,
+             std::span<double>(pending.out, n_states));
+    }
+  }
   if (options.support_epsilon > 0.0)
     CSRL_HIST("uniformisation/truncation_dropped", dropped);
   if (options.budget != nullptr) options.budget->support_dropped += dropped;
@@ -232,18 +309,219 @@ std::vector<std::vector<double>> run_batch(const Ctmc& chain,
     outs.push_back(&results[i]);
   }
 
+  // With more than one live horizon (and blocking not disabled via
+  // rhs_block == 1) the per-horizon Poisson accumulators travel as one
+  // interleaved block: every step updates all of them in one contiguous
+  // lane loop per row instead of one strided pass per horizon.  The
+  // unpacked lanes are bitwise identical to the unblocked accumulators
+  // (see accumulate_series), so the knob changes speed only.
+  const std::size_t num_windows = series.size();
+  const bool block_horizons =
+      num_windows > 1 && resolve_rhs_block(options.rhs_block) > 1;
+
   // The guard observes the whole series phase: against a warmed arena
   // the leases reuse retired buffers and the loop itself performs no
   // arena allocation, so the counter reports zero (tests pin this).
   Workspace::LoopGuard guard(options.workspace);
   Workspace::Lease iterate_lease(options.workspace, n);
   Workspace::Lease scratch_lease(options.workspace, n);
+  Workspace::Lease acc_lease(options.workspace,
+                             block_horizons ? n * num_windows : 0);
+  Workspace::Lease weights_lease(options.workspace,
+                                 block_horizons ? num_windows : 0);
   std::vector<double>& iterate = iterate_lease.get();
   iterate.assign(start.begin(), start.end());
   accumulate_series(p, forward, iterate, scratch_lease.get(), windows, outs,
-                    options);
+                    options,
+                    block_horizons ? acc_lease.span() : std::span<double>{},
+                    block_horizons ? weights_lease.span()
+                                   : std::span<double>{});
+  if (block_horizons) {
+    const std::span<const double> acc = acc_lease.span();
+    for (std::size_t w = 0; w < num_windows; ++w) {
+      std::vector<double>& out = *outs[w];
+      for (std::size_t i = 0; i < n; ++i) out[i] = acc[i * num_windows + w];
+    }
+  }
   CSRL_COUNT("uniformisation/allocs_in_loop", guard.heap_allocations());
   return results;
+}
+
+/// Blocked multi-start runner behind transient_distribution_multi /
+/// transient_backward_multi: groups the start vectors into row-major
+/// lanes of at most rhs_block and streams the uniformised matrix once
+/// per step for a whole group via the *_block_fused kernels.  Per lane
+/// the iteration performs exactly the arithmetic of that start's
+/// single-start batch run — same weighted axpys in the same order, with
+/// per-lane steady-state diffs deciding each lane's cutoff at the same
+/// step its own run would cut (a converged lane folds its remaining
+/// window mass and goes dormant: its lane weights turn 0.0, whose exact
+/// +0.0 adds change no bits; the block keeps iterating for the other
+/// lanes).  Results are therefore bitwise identical to the per-start
+/// loop.  Falls back to that loop outright when blocking is off
+/// (rhs_block == 1), only one start is given, or support_epsilon > 0
+/// (the single runs then truncate on the active path, which a shared
+/// dense block cannot reproduce).
+std::vector<std::vector<std::vector<double>>> run_multi(
+    const Ctmc& chain, std::span<const std::vector<double>> starts,
+    std::span<const double> times, const TransientOptions& options,
+    const char* what, bool forward) {
+  const std::size_t n = chain.num_states();
+  for (const std::vector<double>& s : starts)
+    if (s.size() != n)
+      throw ModelError(std::string(what) + ": vector size mismatch");
+  for (double t : times)
+    if (!(t >= 0.0) || !std::isfinite(t))
+      throw ModelError(std::string(what) + ": times must be finite and >= 0");
+
+  const std::size_t num_starts = starts.size();
+  const std::size_t block = resolve_rhs_block(options.rhs_block);
+  std::vector<std::vector<std::vector<double>>> all(num_starts);
+  if (num_starts == 0) return all;
+  if (block == 1 || num_starts == 1 || n == 0 ||
+      options.support_epsilon > 0.0) {
+    for (std::size_t s = 0; s < num_starts; ++s)
+      all[s] = run_batch(chain, starts[s], times, options, what, forward);
+    return all;
+  }
+
+  // Degenerate horizons (t == 0, absorbing chain) copy the start; the
+  // rest run the blocked series.
+  std::vector<std::size_t> series;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (times[i] == 0.0 || chain.max_exit_rate() == 0.0)
+      for (std::size_t s = 0; s < num_starts; ++s) {
+        all[s].resize(times.size());
+        all[s][i] = starts[s];
+      }
+    else
+      series.push_back(i);
+  }
+  for (std::size_t s = 0; s < num_starts; ++s) all[s].resize(times.size());
+  if (series.empty()) return all;
+
+  const double lambda = resolve_rate(chain, options);
+  const CsrMatrix p = chain.uniformised_dtmc(lambda);
+  p.warm_kernel_caches(forward);
+
+  const std::size_t num_windows = series.size();
+  std::vector<PoissonWeights> windows;
+  windows.reserve(num_windows);
+  std::size_t max_right = 0;
+  for (std::size_t i : series) {
+    windows.push_back(poisson_weights(lambda * times[i], options.epsilon));
+    max_right = std::max(max_right, windows.back().right);
+  }
+
+  Workspace::LoopGuard guard(options.workspace);
+  // Largest lease first: the arena hands out its biggest retired buffer
+  // on every acquire, so descending-size acquisition keeps a warmed
+  // arena's buffers matched to the same requests call after call.
+  Workspace::Lease acc_lease(options.workspace, num_windows * n * block);
+  Workspace::Lease x_lease(options.workspace, n * block);
+  Workspace::Lease y_lease(options.workspace, n * block);
+  Workspace::Lease weights_lease(options.workspace, num_windows * block);
+  std::vector<FusedBlockAxpy> block_pendings(num_windows);
+  std::vector<double> diffs(block, 0.0);
+  std::vector<char> dormant(block, 0);
+  const double* cols[kMaxRhsBlock];
+
+  for (std::size_t group = 0; group < num_starts; group += block) {
+    const std::size_t width = std::min(block, num_starts - group);
+    std::vector<double>& x = x_lease.get();
+    std::vector<double>& y = y_lease.get();
+    for (std::size_t b = 0; b < width; ++b)
+      cols[b] = starts[group + b].data();
+    pack_block({cols, width}, x, 0, n, width);
+
+    double* const acc = acc_lease.get().data();
+    double* const weights = weights_lease.get().data();
+    std::fill_n(acc, num_windows * n * width, 0.0);
+    for (std::size_t w = 0; w < num_windows; ++w) {
+      double* const lane_weights = weights + w * block;
+      const double anchor =
+          (windows[w].left == 0 && !windows[w].weights.empty())
+              ? windows[w].weights[0]
+              : 0.0;
+      for (std::size_t b = 0; b < width; ++b) lane_weights[b] = anchor;
+      block_pendings[w] = {lane_weights, acc + w * n * width, width, width};
+    }
+    std::fill(dormant.begin(), dormant.end(), 0);
+    std::size_t live = width;
+
+    for (std::size_t step = 1; step <= max_right && live > 0; ++step) {
+      CSRL_COUNT("uniformisation/steps", 1);
+      const bool want_diff = options.steady_state_detection;
+      const std::span<double> diff_span =
+          want_diff ? std::span<double>(diffs.data(), width)
+                    : std::span<double>{};
+      if (forward)
+        p.multiply_left_block_fused(x, y, width, width, block_pendings,
+                                    diff_span);
+      else
+        p.multiply_block_fused(x, y, width, width, block_pendings, diff_span);
+      if (want_diff) {
+        for (std::size_t b = 0; b < width; ++b) {
+          if (dormant[b] != 0 || diffs[b] > options.steady_state_tolerance)
+            continue;
+          // Lane b converged: fold each still-running window's remaining
+          // Poisson mass from the new iterate, exactly as its single run
+          // folds at this step, then stop accumulating the lane.
+          for (std::size_t w = 0; w < num_windows; ++w) {
+            double remaining = 0.0;
+            if (windows[w].right >= step)
+              for (std::size_t m = std::max(step, windows[w].left);
+                   m <= windows[w].right; ++m)
+                remaining += windows[w].weight(m);
+            if (remaining != 0.0) {
+              double* const lane_acc = acc + w * n * width;
+              for (std::size_t i = 0; i < n; ++i)
+                lane_acc[i * width + b] += remaining * y[i * width + b];
+            }
+          }
+          dormant[b] = 1;
+          --live;
+          CSRL_COUNT("uniformisation/steady_state_cutoffs", 1);
+        }
+      }
+      x.swap(y);
+      if (live == 0) break;
+      for (std::size_t w = 0; w < num_windows; ++w) {
+        double* const lane_weights = weights + w * block;
+        const double next =
+            (step >= windows[w].left && step <= windows[w].right)
+                ? windows[w].weight(step)
+                : 0.0;
+        for (std::size_t b = 0; b < width; ++b)
+          lane_weights[b] = dormant[b] != 0 ? 0.0 : next;
+      }
+    }
+    if (live > 0) {
+      // Flush the last pending weights against the final iterate
+      // (dormant lanes already carry weight 0.0).
+      for (std::size_t w = 0; w < num_windows; ++w) {
+        const double* const lane_weights = weights + w * block;
+        double* const lane_acc = acc + w * n * width;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double* xi = x.data() + i * width;
+          double* out = lane_acc + i * width;
+          CSRL_PRAGMA_SIMD
+          for (std::size_t b = 0; b < width; ++b)
+            out[b] += lane_weights[b] * xi[b];
+        }
+      }
+    }
+    for (std::size_t w = 0; w < num_windows; ++w) {
+      const double* const lane_acc = acc + w * n * width;
+      for (std::size_t b = 0; b < width; ++b) {
+        std::vector<double>& out = all[group + b][series[w]];
+        out.resize(n);
+        for (std::size_t i = 0; i < n; ++i) out[i] = lane_acc[i * width + b];
+      }
+    }
+  }
+  CSRL_COUNT("uniformisation/allocs_in_loop", guard.heap_allocations());
+  return all;
 }
 
 }  // namespace
@@ -376,6 +654,58 @@ std::vector<std::vector<double>> transient_reach_batch(
   if (target.size() != chain.num_states())
     throw ModelError("transient_reach_batch: target universe size mismatch");
   return transient_backward_batch(chain, target.indicator(), times, options);
+}
+
+std::vector<std::vector<std::vector<double>>> transient_distribution_multi(
+    const Ctmc& chain, std::span<const std::vector<double>> initials,
+    std::span<const double> times, const TransientOptions& options) {
+  for (const std::vector<double>& initial : initials)
+    for (double v : initial)
+      if (!(v >= 0.0) || !std::isfinite(v))
+        throw ModelError(
+            "transient_distribution_multi: initial entries must be >= 0");
+
+  CSRL_SPAN("ctmc/transient/forward_multi");
+  auto results = run_multi(chain, initials, times, options,
+                           "transient_distribution_multi", /*forward=*/true);
+  CSRL_CONTRACT(
+      [&] {
+        for (std::size_t s = 0; s < initials.size(); ++s) {
+          double mass_in = 0.0;
+          for (double v : initials[s]) mass_in += v;
+          for (const auto& result : results[s]) {
+            if (!within_probability_bounds(result, mass_in, 1e-9))
+              return false;
+            double mass_out = 0.0;
+            for (double v : result) mass_out += v;
+            if (mass_out > mass_in + 1e-9) return false;
+          }
+        }
+        return true;
+      }(),
+      "transient_distribution_multi: a result is not a sub-distribution of "
+      "its initial mass");
+  return results;
+}
+
+std::vector<std::vector<std::vector<double>>> transient_backward_multi(
+    const Ctmc& chain, std::span<const std::vector<double>> terminals,
+    std::span<const double> times, const TransientOptions& options) {
+  CSRL_SPAN("ctmc/transient/backward_multi");
+  auto results = run_multi(chain, terminals, times, options,
+                           "transient_backward_multi", /*forward=*/false);
+  CSRL_CONTRACT(
+      [&] {
+        for (std::size_t s = 0; s < terminals.size(); ++s) {
+          if (!within_probability_bounds(terminals[s], 1.0, 0.0)) continue;
+          for (const auto& result : results[s])
+            if (!within_probability_bounds(result, 1.0, 1e-9)) return false;
+        }
+        return true;
+      }(),
+      "transient_backward_multi: [0,1] terminal values produced an "
+      "out-of-range expectation");
+  return results;
 }
 
 }  // namespace csrl

@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "matrix/kernel_tuning.hpp"
+#include "matrix/simd.hpp"
 #include "obs/obs.hpp"
 #include "util/contracts.hpp"
 #include "util/error.hpp"
@@ -15,22 +17,21 @@ namespace csrl {
 
 namespace {
 
-/// Below this many stored entries a product is cheaper than a dispatch.
-constexpr std::size_t kParallelNnzThreshold = 1 << 14;
+using kernel_tuning::atomic_max;
+using kernel_tuning::kChunksPerThread;
+using kernel_tuning::kParallelNnzThreshold;
 
-/// Row chunks per pool lane: a few chunks per thread so dynamic claiming
-/// can even out row-structure imbalance that nnz balancing misses.
-constexpr std::size_t kChunksPerThread = 4;
-
-/// Merge a chunk-local max into the shared reduction slot.  max is
-/// associative, commutative and exact, so the merge order across chunks
-/// cannot change the result — the parallel diff is bit-identical to the
-/// serial one.
-void atomic_max(std::atomic<double>& slot, double value) {
-  double current = slot.load(std::memory_order_relaxed);
-  while (value > current &&
-         !slot.compare_exchange_weak(current, value,
-                                     std::memory_order_relaxed)) {
+/// Apply every blocked epilogue at position `r` from the scalar source
+/// `xr`: out[r * stride + b] += weights[b] * xr per lane.  The lane loop
+/// is contiguous and lane-independent, so SIMD cannot reassociate any
+/// lane's sum — annotated, and bitwise equal to the scalar loop.
+inline void apply_block_pendings(std::span<const FusedBlockAxpy> pendings,
+                                 std::size_t r, double xr) {
+  for (const FusedBlockAxpy& p : pendings) {
+    double* out = p.out + r * p.stride;
+    const double* w = p.weights;
+    CSRL_PRAGMA_SIMD
+    for (std::size_t b = 0; b < p.width; ++b) out[b] += w[b] * xr;
   }
 }
 
@@ -288,6 +289,7 @@ void CsrMatrix::multiply_left(std::span<const double> x, std::span<double> y) co
 double CsrMatrix::multiply_fused(std::span<const double> x,
                                  std::span<double> y,
                                  std::span<const FusedAxpy> pendings,
+                                 std::span<const FusedBlockAxpy> block_pendings,
                                  bool want_diff) const {
   if (rows_ != cols_ || x.size() != cols_ || y.size() != rows_)
     throw ModelError("CsrMatrix::multiply_fused: dimension mismatch");
@@ -303,6 +305,7 @@ double CsrMatrix::multiply_fused(std::span<const double> x,
       y[r] = acc;
       const double xr = x[r];
       for (const FusedAxpy& p : pendings) p.out[r] += p.weight * xr;
+      apply_block_pendings(block_pendings, r, xr);
       if (want_diff) local = std::max(local, std::abs(acc - xr));
     }
     return local;
@@ -326,6 +329,7 @@ double CsrMatrix::multiply_fused(std::span<const double> x,
 double CsrMatrix::multiply_left_fused(std::span<const double> x,
                                       std::span<double> y,
                                       std::span<const FusedAxpy> pendings,
+                                      std::span<const FusedBlockAxpy> block_pendings,
                                       bool want_diff) const {
   if (rows_ != cols_ || x.size() != rows_ || y.size() != cols_)
     throw ModelError("CsrMatrix::multiply_left_fused: dimension mismatch");
@@ -348,6 +352,7 @@ double CsrMatrix::multiply_left_fused(std::span<const double> x,
       y[col] = acc;
       const double xc = x[col];
       for (const FusedAxpy& p : pendings) p.out[col] += p.weight * xc;
+      apply_block_pendings(block_pendings, col, xc);
       if (want_diff) local = std::max(local, std::abs(acc - xc));
     }
     return local;
@@ -372,6 +377,7 @@ double CsrMatrix::multiply_active(std::span<const double> x,
                                   std::span<double> y, const SupportMask& in,
                                   SupportMask& out,
                                   std::span<const FusedAxpy> pendings,
+                                  std::span<const FusedBlockAxpy> block_pendings,
                                   bool want_diff) const {
   if (rows_ != cols_ || x.size() != cols_ || y.size() != rows_ ||
       in.universe() != rows_ || out.universe() != rows_)
@@ -400,6 +406,8 @@ double CsrMatrix::multiply_active(std::span<const double> x,
   }
   for (const FusedAxpy& p : pendings)
     for (std::size_t i : in.members()) p.out[i] += p.weight * x[i];
+  for (std::size_t i : in.members())
+    apply_block_pendings(block_pendings, i, x[i]);
 
   double diff = 0.0;
   if (want_diff) {
@@ -415,6 +423,7 @@ double CsrMatrix::multiply_left_active(std::span<const double> x,
                                        std::span<double> y,
                                        const SupportMask& in, SupportMask& out,
                                        std::span<const FusedAxpy> pendings,
+                                       std::span<const FusedBlockAxpy> block_pendings,
                                        bool want_diff) const {
   if (rows_ != cols_ || x.size() != rows_ || y.size() != cols_ ||
       in.universe() != rows_ || out.universe() != rows_)
@@ -430,6 +439,7 @@ double CsrMatrix::multiply_left_active(std::span<const double> x,
   for (std::size_t r : in.members()) {
     const double xr = x[r];
     for (const FusedAxpy& p : pendings) p.out[r] += p.weight * xr;
+    apply_block_pendings(block_pendings, r, xr);
     if (xr == 0.0) continue;
     for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
       y[entries_[i].col] += xr * entries_[i].value;

@@ -1,0 +1,46 @@
+// SIMD gear for the blocked multi-RHS (SpMM) kernels.
+//
+// The block kernels in matrix/spmm.cpp vectorize across the B lanes of a
+// row-major vector block: every lane accumulates its own terms in exactly
+// the association order of the one-RHS kernel, and SIMD only ever runs
+// *lanes* side by side — never a reduction within one lane's sum.  A
+// vector add/multiply of independent lanes performs the identical IEEE
+// operations the scalar loop performs, so vectorized and scalar builds
+// are bitwise identical by construction (DESIGN.md section 3f).
+//
+// CSRL_PRAGMA_SIMD expands to `#pragma omp simd` when the build enables
+// the CSRL_SIMD option (compiled with -fopenmp-simd: the pragma alone,
+// no OpenMP runtime or threading) and to nothing under CSRL_SIMD=OFF —
+// the scalar fallback the `simd-off` CI preset keeps honest.  Annotate
+// only loops whose iterations are independent per lane.
+#pragma once
+
+#if defined(CSRL_SIMD_ENABLED)
+#define CSRL_PRAGMA_SIMD _Pragma("omp simd")
+#else
+#define CSRL_PRAGMA_SIMD
+#endif
+
+namespace csrl {
+
+/// Widest vector instruction set the lane loops compile to, as a stable
+/// lowercase token for bench JSON and run reports: "avx512" / "avx2" /
+/// "sse2" / "neon", or "scalar" when the build disables CSRL_SIMD (or
+/// targets no recognised vector ISA).
+inline const char* simd_isa() {
+#if !defined(CSRL_SIMD_ENABLED)
+  return "scalar";
+#elif defined(__AVX512F__)
+  return "avx512";
+#elif defined(__AVX2__)
+  return "avx2";
+#elif defined(__SSE2__) || defined(__x86_64__)
+  return "sse2";
+#elif defined(__ARM_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+}  // namespace csrl

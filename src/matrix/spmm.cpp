@@ -1,0 +1,398 @@
+// Blocked multi-RHS SpMM kernels for CsrMatrix (declared in
+// matrix/csr.hpp; see matrix/spmm.hpp for the surrounding plumbing).
+//
+// Layout and identity argument (DESIGN.md section 3f): a block is
+// row-major interleaved — X[i * stride + b] is element i of lane b — so
+// one stored entry (r, c, v) touches the contiguous lane group at
+// X + c * stride and updates the group at Y + r * stride.  The matrix is
+// streamed ONCE for all `width` lanes; that single streaming is the
+// entire win, because the sweeps these kernels serve are bound by matrix
+// memory traffic, not flops.  Within a row, lane b accumulates
+// v_1 * x_b[c_1] + v_2 * x_b[c_2] + ... in exactly the entry order of
+// the one-RHS kernel, starting from 0.0, so each result lane is bitwise
+// identical to a separate multiply() on that lane.  SIMD only ever runs
+// the independent lanes side by side (matrix/simd.hpp), never within one
+// lane's sum, so vectorized and scalar builds agree bit for bit too.
+//
+// The left kernels preserve multiply_left's per-row x == 0 skip *per
+// lane*: lane b skips row r's contributions iff x_b[r] == 0, the exact
+// branch the one-RHS kernel takes.  Those lane loops stay un-annotated —
+// a masked "add ±0.0 instead of skipping" rewrite is not bit-safe for
+// signed zeros, and the compiler may only vectorize them with genuine
+// masked stores.
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <type_traits>
+
+#include "matrix/csr.hpp"
+#include "matrix/kernel_tuning.hpp"
+#include "matrix/simd.hpp"
+#include "matrix/spmm.hpp"
+#include "obs/obs.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace csrl {
+
+namespace {
+
+using kernel_tuning::atomic_max;
+using kernel_tuning::kChunksPerThread;
+using kernel_tuning::kParallelNnzThreshold;
+
+void check_block_shape(const char* what, std::size_t width, std::size_t stride,
+                       std::size_t x_size, std::size_t x_rows,
+                       std::size_t y_size, std::size_t y_rows) {
+  if (width == 0 || width > kMaxRhsBlock)
+    throw ModelError(std::string(what) + ": block width must lie in [1, " +
+                     std::to_string(kMaxRhsBlock) + "]");
+  if (stride < width)
+    throw ModelError(std::string(what) + ": stride below block width");
+  if (x_size < x_rows * stride || y_size < y_rows * stride)
+    throw ModelError(std::string(what) + ": block size mismatch");
+}
+
+void check_block_pendings(const char* what,
+                          std::span<const FusedBlockAxpy> pendings,
+                          std::size_t width) {
+  for (const FusedBlockAxpy& p : pendings)
+    if (p.width != width || p.stride < p.width)
+      throw ModelError(std::string(what) +
+                       ": block pending width does not match the block");
+}
+
+// Run `body` with the block width as a compile-time constant for the
+// power-of-two widths resolve_rhs_block favours, so the per-lane loops
+// fully unroll and each lane's accumulator stays register-resident
+// across a row's entries; other widths run the identical code with the
+// width as a plain runtime value.  Specialisation only changes
+// trip-count knowledge — per-lane association order is the same either
+// way, so results are bitwise independent of which path ran.
+template <typename Body>
+void dispatch_block_width(std::size_t width, Body&& body) {
+  switch (width) {
+    case 1: body(std::integral_constant<std::size_t, 1>()); return;
+    case 2: body(std::integral_constant<std::size_t, 2>()); return;
+    case 4: body(std::integral_constant<std::size_t, 4>()); return;
+    case 8: body(std::integral_constant<std::size_t, 8>()); return;
+    case 16: body(std::integral_constant<std::size_t, 16>()); return;
+    default: body(width); return;
+  }
+}
+
+// Stack-array capacity for a dispatched width: exact for the static
+// widths (small arrays scalarise cleanly), kMaxRhsBlock otherwise.
+template <typename BW>
+constexpr std::size_t lane_capacity() {
+  if constexpr (std::is_same_v<BW, std::size_t>) return kMaxRhsBlock;
+  else return BW::value;
+}
+
+}  // namespace
+
+std::size_t resolve_rhs_block(std::size_t requested) {
+  if (requested == 0) {
+    const char* env = std::getenv("CSRL_RHS_BLOCK");
+    if (env == nullptr || *env == '\0') return kDefaultRhsBlock;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0' || parsed == 0 || parsed > kMaxRhsBlock)
+      throw ModelError(
+          "CSRL_RHS_BLOCK must be an integer in [1, " +
+          std::to_string(kMaxRhsBlock) + "], got \"" + env + "\"");
+    return static_cast<std::size_t>(parsed);
+  }
+  if (requested > kMaxRhsBlock)
+    throw ModelError("rhs_block must lie in [1, " +
+                     std::to_string(kMaxRhsBlock) + "] (0 = automatic)");
+  return requested;
+}
+
+void pack_block(std::span<const double* const> cols, std::span<double> block,
+                std::size_t row_begin, std::size_t row_end,
+                std::size_t stride) {
+  const std::size_t width = cols.size();
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    double* out = block.data() + i * stride;
+    for (std::size_t b = 0; b < width; ++b) out[b] = cols[b][i];
+  }
+}
+
+void unpack_block(std::span<const double> block,
+                  std::span<double* const> cols, std::size_t row_begin,
+                  std::size_t row_end, std::size_t stride) {
+  const std::size_t width = cols.size();
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const double* in = block.data() + i * stride;
+    for (std::size_t b = 0; b < width; ++b) cols[b][i] = in[b];
+  }
+}
+
+void CsrMatrix::multiply_block(std::span<const double> x, std::span<double> y,
+                               std::size_t width, std::size_t stride) const {
+  check_block_shape("CsrMatrix::multiply_block", width, stride, x.size(),
+                    cols_, y.size(), rows_);
+  // Counted per lane so SpMV-reduction ratios (bench_fig1, test_batch)
+  // keep their meaning, plus SpMM-level counters for the block layer.
+  CSRL_COUNT("spmv/multiply", width);
+  CSRL_COUNT("matrix/spmm/block_products", 1);
+  CSRL_COUNT("matrix/spmm/columns", width);
+
+  dispatch_block_width(width, [&](auto bw) {
+    const std::size_t w = bw;
+    const auto gather_rows = [&](std::size_t row_begin, std::size_t row_end) {
+      double acc[lane_capacity<decltype(bw)>()];
+      for (std::size_t r = row_begin; r < row_end; ++r) {
+        CSRL_PRAGMA_SIMD
+        for (std::size_t b = 0; b < w; ++b) acc[b] = 0.0;
+        for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+          const double v = entries_[i].value;
+          const double* xc = x.data() + entries_[i].col * stride;
+          CSRL_PRAGMA_SIMD
+          for (std::size_t b = 0; b < w; ++b) acc[b] += v * xc[b];
+        }
+        double* yr = y.data() + r * stride;
+        CSRL_PRAGMA_SIMD
+        for (std::size_t b = 0; b < w; ++b) yr[b] = acc[b];
+      }
+    };
+
+    const ThreadPool& pool = ThreadPool::global();
+    if (pool.num_threads() == 1 || nnz() * w < kParallelNnzThreshold) {
+      gather_rows(0, rows_);
+      return;
+    }
+    const auto chunks = row_chunks(pool.num_threads() * kChunksPerThread);
+    pool.parallel_for(0, chunks->size() - 1, 1,
+                      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+                        for (std::size_t c = chunk_begin; c < chunk_end; ++c)
+                          gather_rows((*chunks)[c], (*chunks)[c + 1]);
+                      });
+  });
+}
+
+void CsrMatrix::multiply_left_block(std::span<const double> x,
+                                    std::span<double> y, std::size_t width,
+                                    std::size_t stride) const {
+  check_block_shape("CsrMatrix::multiply_left_block", width, stride, x.size(),
+                    rows_, y.size(), cols_);
+  CSRL_COUNT("spmv/multiply_left", width);
+  CSRL_COUNT("matrix/spmm/block_products", 1);
+  CSRL_COUNT("matrix/spmm/columns", width);
+
+  dispatch_block_width(width, [&](auto bw) {
+    const std::size_t w = bw;
+    const ThreadPool& pool = ThreadPool::global();
+    if (pool.num_threads() == 1 || nnz() * w < kParallelNnzThreshold) {
+      // Serial scatter in row order, skipping per lane exactly where the
+      // one-RHS scatter skips the whole row.
+      for (std::size_t c = 0; c < cols_; ++c) {
+        double* yc = y.data() + c * stride;
+        CSRL_PRAGMA_SIMD
+        for (std::size_t b = 0; b < w; ++b) yc[b] = 0.0;
+      }
+      for (std::size_t r = 0; r < rows_; ++r) {
+        const double* xr = x.data() + r * stride;
+        for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+          const double v = entries_[i].value;
+          double* yc = y.data() + entries_[i].col * stride;
+          for (std::size_t b = 0; b < w; ++b) {
+            const double xv = xr[b];
+            if (xv != 0.0) yc[b] += xv * v;
+          }
+        }
+      }
+      return;
+    }
+
+    // Parallel form: gather along the cached transpose, whose per-column
+    // entries are ordered by increasing original row — the exact order
+    // the serial scatter adds each lane's contributions (with the same
+    // per-lane zero skip), so the two forms are bit-identical per lane.
+    const CsrMatrix& t = cached_transpose();
+    const auto chunks = t.row_chunks(pool.num_threads() * kChunksPerThread);
+    pool.parallel_for(
+        0, chunks->size() - 1, 1,
+        [&](std::size_t chunk_begin, std::size_t chunk_end) {
+          double acc[lane_capacity<decltype(bw)>()];
+          for (std::size_t c = chunk_begin; c < chunk_end; ++c) {
+            for (std::size_t col = (*chunks)[c]; col < (*chunks)[c + 1];
+                 ++col) {
+              for (std::size_t b = 0; b < w; ++b) acc[b] = 0.0;
+              for (const CsrEntry& e : t.row(col)) {
+                const double v = e.value;
+                const double* xr = x.data() + e.col * stride;
+                for (std::size_t b = 0; b < w; ++b) {
+                  const double xv = xr[b];
+                  if (xv != 0.0) acc[b] += xv * v;
+                }
+              }
+              double* yc = y.data() + col * stride;
+              for (std::size_t b = 0; b < w; ++b) yc[b] = acc[b];
+            }
+          }
+        });
+  });
+}
+
+void CsrMatrix::multiply_block_fused(std::span<const double> x,
+                                     std::span<double> y, std::size_t width,
+                                     std::size_t stride,
+                                     std::span<const FusedBlockAxpy> pendings,
+                                     std::span<double> diffs) const {
+  if (rows_ != cols_)
+    throw ModelError("CsrMatrix::multiply_block_fused: square matrices only");
+  check_block_shape("CsrMatrix::multiply_block_fused", width, stride, x.size(),
+                    cols_, y.size(), rows_);
+  check_block_pendings("CsrMatrix::multiply_block_fused", pendings, width);
+  const bool want_diff = !diffs.empty();
+  if (want_diff && diffs.size() < width)
+    throw ModelError("CsrMatrix::multiply_block_fused: diffs below width");
+  CSRL_COUNT("spmv/multiply", width);
+  CSRL_COUNT("matrix/spmv/rows_active", rows_ * width);
+  CSRL_COUNT("matrix/spmm/block_products", 1);
+  CSRL_COUNT("matrix/spmm/columns", width);
+
+  dispatch_block_width(width, [&](auto bw) {
+    const std::size_t w = bw;
+    const auto process_rows = [&](std::size_t row_begin, std::size_t row_end,
+                                  double* local) {
+      double acc[lane_capacity<decltype(bw)>()];
+      for (std::size_t r = row_begin; r < row_end; ++r) {
+        CSRL_PRAGMA_SIMD
+        for (std::size_t b = 0; b < w; ++b) acc[b] = 0.0;
+        for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+          const double v = entries_[i].value;
+          const double* xc = x.data() + entries_[i].col * stride;
+          CSRL_PRAGMA_SIMD
+          for (std::size_t b = 0; b < w; ++b) acc[b] += v * xc[b];
+        }
+        double* yr = y.data() + r * stride;
+        CSRL_PRAGMA_SIMD
+        for (std::size_t b = 0; b < w; ++b) yr[b] = acc[b];
+        const double* xr = x.data() + r * stride;
+        for (const FusedBlockAxpy& p : pendings) {
+          double* out = p.out + r * p.stride;
+          const double* pw = p.weights;
+          CSRL_PRAGMA_SIMD
+          for (std::size_t b = 0; b < w; ++b) out[b] += pw[b] * xr[b];
+        }
+        if (want_diff)
+          for (std::size_t b = 0; b < w; ++b)
+            local[b] = std::max(local[b], std::abs(acc[b] - xr[b]));
+      }
+    };
+
+    const ThreadPool& pool = ThreadPool::global();
+    if (pool.num_threads() == 1 || nnz() * w < kParallelNnzThreshold) {
+      double local[kMaxRhsBlock] = {0.0};
+      process_rows(0, rows_, local);
+      if (want_diff)
+        for (std::size_t b = 0; b < w; ++b) diffs[b] = local[b];
+      return;
+    }
+
+    std::atomic<double> merged[kMaxRhsBlock];
+    for (std::size_t b = 0; b < w; ++b)
+      merged[b].store(0.0, std::memory_order_relaxed);
+    const auto chunks = row_chunks(pool.num_threads() * kChunksPerThread);
+    pool.parallel_for(0, chunks->size() - 1, 1,
+                      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+                        double local[kMaxRhsBlock] = {0.0};
+                        for (std::size_t c = chunk_begin; c < chunk_end; ++c)
+                          process_rows((*chunks)[c], (*chunks)[c + 1], local);
+                        for (std::size_t b = 0; b < w; ++b)
+                          atomic_max(merged[b], local[b]);
+                      });
+    if (want_diff)
+      for (std::size_t b = 0; b < w; ++b)
+        diffs[b] = merged[b].load(std::memory_order_relaxed);
+  });
+}
+
+void CsrMatrix::multiply_left_block_fused(
+    std::span<const double> x, std::span<double> y, std::size_t width,
+    std::size_t stride, std::span<const FusedBlockAxpy> pendings,
+    std::span<double> diffs) const {
+  if (rows_ != cols_)
+    throw ModelError(
+        "CsrMatrix::multiply_left_block_fused: square matrices only");
+  check_block_shape("CsrMatrix::multiply_left_block_fused", width, stride,
+                    x.size(), rows_, y.size(), cols_);
+  check_block_pendings("CsrMatrix::multiply_left_block_fused", pendings,
+                       width);
+  const bool want_diff = !diffs.empty();
+  if (want_diff && diffs.size() < width)
+    throw ModelError(
+        "CsrMatrix::multiply_left_block_fused: diffs below width");
+  CSRL_COUNT("spmv/multiply_left", width);
+  CSRL_COUNT("matrix/spmv/rows_active", rows_ * width);
+  CSRL_COUNT("matrix/spmm/block_products", 1);
+  CSRL_COUNT("matrix/spmm/columns", width);
+
+  // Gather along the transpose like multiply_left_fused, per lane with
+  // the serial scatter's x == 0 skip, so each lane matches its one-RHS
+  // fused run bit for bit at any thread count.
+  const CsrMatrix& t = cached_transpose();
+  dispatch_block_width(width, [&](auto bw) {
+    const std::size_t w = bw;
+    const auto process_cols = [&](std::size_t col_begin, std::size_t col_end,
+                                  double* local) {
+      double acc[lane_capacity<decltype(bw)>()];
+      for (std::size_t col = col_begin; col < col_end; ++col) {
+        for (std::size_t b = 0; b < w; ++b) acc[b] = 0.0;
+        for (const CsrEntry& e : t.row(col)) {
+          const double v = e.value;
+          const double* xr = x.data() + e.col * stride;
+          for (std::size_t b = 0; b < w; ++b) {
+            const double xv = xr[b];
+            if (xv != 0.0) acc[b] += xv * v;
+          }
+        }
+        double* yc = y.data() + col * stride;
+        CSRL_PRAGMA_SIMD
+        for (std::size_t b = 0; b < w; ++b) yc[b] = acc[b];
+        const double* xc = x.data() + col * stride;
+        for (const FusedBlockAxpy& p : pendings) {
+          double* out = p.out + col * p.stride;
+          const double* pw = p.weights;
+          CSRL_PRAGMA_SIMD
+          for (std::size_t b = 0; b < w; ++b) out[b] += pw[b] * xc[b];
+        }
+        if (want_diff)
+          for (std::size_t b = 0; b < w; ++b)
+            local[b] = std::max(local[b], std::abs(acc[b] - xc[b]));
+      }
+    };
+
+    const ThreadPool& pool = ThreadPool::global();
+    if (pool.num_threads() == 1 || nnz() * w < kParallelNnzThreshold) {
+      double local[kMaxRhsBlock] = {0.0};
+      process_cols(0, cols_, local);
+      if (want_diff)
+        for (std::size_t b = 0; b < w; ++b) diffs[b] = local[b];
+      return;
+    }
+
+    std::atomic<double> merged[kMaxRhsBlock];
+    for (std::size_t b = 0; b < w; ++b)
+      merged[b].store(0.0, std::memory_order_relaxed);
+    const auto chunks = t.row_chunks(pool.num_threads() * kChunksPerThread);
+    pool.parallel_for(0, chunks->size() - 1, 1,
+                      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+                        double local[kMaxRhsBlock] = {0.0};
+                        for (std::size_t c = chunk_begin; c < chunk_end; ++c)
+                          process_cols((*chunks)[c], (*chunks)[c + 1], local);
+                        for (std::size_t b = 0; b < w; ++b)
+                          atomic_max(merged[b], local[b]);
+                      });
+    if (want_diff)
+      for (std::size_t b = 0; b < w; ++b)
+        diffs[b] = merged[b].load(std::memory_order_relaxed);
+  });
+}
+
+}  // namespace csrl

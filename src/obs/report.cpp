@@ -26,6 +26,8 @@ std::string RunReport::to_json() const {
   w.key("solver_iterations").value(solver_iterations);
   w.key("uniformisation_steps").value(uniformisation_steps);
   w.key("spmv_count").value(spmv_count);
+  w.key("spmm_block_products").value(spmm_block_products);
+  w.key("spmm_columns").value(spmm_columns);
   w.key("solver_residual").value(solver_residual);
   w.key("wall_seconds").value(wall_seconds);
   if (!grid_times.empty() || !grid_rewards.empty()) {
@@ -74,6 +76,9 @@ RunReport ReportScope::finish(std::string engine, std::size_t states,
       report.metrics.counter("uniformisation/steps");
   report.spmv_count = report.metrics.counter("spmv/multiply") +
                       report.metrics.counter("spmv/multiply_left");
+  report.spmm_block_products =
+      report.metrics.counter("matrix/spmm/block_products");
+  report.spmm_columns = report.metrics.counter("matrix/spmm/columns");
   report.solver_residual = after.gauge("solver/residual");
   // The histogram arrives through the delta, so the bound covers exactly
   // the mass this run's epsilon truncation dropped.

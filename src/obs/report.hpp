@@ -53,6 +53,15 @@ struct RunReport {
   std::uint64_t spmv_count = 0;
   double solver_residual = 0.0;
 
+  /// Blocked multi-RHS SpMM usage (matrix/spmm.cpp): the number of block
+  /// products the run issued and the total column (lane) count they
+  /// carried.  spmm_columns / spmm_block_products is the achieved mean
+  /// block width; both are 0 when every product ran the one-RHS path.
+  /// The per-lane SpMV work of block products is already folded into
+  /// spmv_count (block kernels bump the spmv counters by their width).
+  std::uint64_t spmm_block_products = 0;
+  std::uint64_t spmm_columns = 0;
+
   double wall_seconds = 0.0;
 
   /// Bound lattice of a batched grid run (Checker::check_until_grid):
