@@ -1,0 +1,69 @@
+# Clang Thread Safety Analysis wiring (util/annotations.hpp).
+#
+# Included from the top-level CMakeLists.txt when CSRL_THREAD_SAFETY=ON.
+# Two responsibilities:
+#
+#   1. Compile the tree with -Wthread-safety -Werror=thread-safety so
+#      any lock-discipline violation in annotated code fails the build.
+#      Clang-only: the attributes expand to nothing elsewhere
+#      (annotations.hpp gates on __has_attribute(capability)), so
+#      requesting the mode under gcc is a hard configure error rather
+#      than a silent no-op.
+#
+#   2. Verify the analysis actually has teeth with three try_compile
+#      probes over tests/negative_compile/:
+#        locked_access.cpp     correct usage — MUST compile (positive
+#                              control: proves flags/includes are sane
+#                              before trusting any negative result)
+#        unlocked_access.cpp   GUARDED_BY access without the mutex —
+#                              MUST fail
+#        missing_requires.cpp  calling a REQUIRES(m) function without
+#                              holding m — MUST fail
+#      A probe landing on the wrong side is a configure-time FATAL_ERROR.
+
+if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  message(FATAL_ERROR
+    "CSRL_THREAD_SAFETY=ON requires clang (-Wthread-safety); the current "
+    "compiler is ${CMAKE_CXX_COMPILER_ID}. Configure with "
+    "CC=clang CXX=clang++ or drop the option.")
+endif()
+
+add_compile_options(-Wthread-safety -Werror=thread-safety)
+
+function(csrl_thread_safety_probe case expect_success)
+  set(src ${CMAKE_SOURCE_DIR}/tests/negative_compile/${case}.cpp)
+  # try_compile caches its result; per-case names (and an unset) keep
+  # every probe honest on reconfigure.
+  unset(probe_ok_${case} CACHE)
+  try_compile(probe_ok_${case}
+    ${CMAKE_BINARY_DIR}/thread_safety_probes/${case}
+    ${src}
+    COMPILE_DEFINITIONS -Wthread-safety -Werror=thread-safety
+    CMAKE_FLAGS
+      -DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src
+      -DCMAKE_CXX_STANDARD=20
+      -DCMAKE_CXX_STANDARD_REQUIRED=ON
+    OUTPUT_VARIABLE probe_output)
+  if(expect_success AND NOT probe_ok_${case})
+    message(FATAL_ERROR
+      "thread-safety probe `${case}` failed to compile but is the "
+      "positive control — the probe harness itself is broken:\n"
+      "${probe_output}")
+  endif()
+  if(NOT expect_success AND probe_ok_${case})
+    message(FATAL_ERROR
+      "thread-safety probe `${case}` compiled but must be rejected "
+      "under -Werror=thread-safety — the analysis has no teeth "
+      "(annotations expanding to nothing under this compiler?)")
+  endif()
+  if(expect_success)
+    message(STATUS "Thread-safety probe ${case}: compiles, as expected")
+  else()
+    message(STATUS "Thread-safety probe ${case}: rejected, as expected")
+  endif()
+endfunction()
+
+csrl_thread_safety_probe(locked_access TRUE)
+csrl_thread_safety_probe(unlocked_access FALSE)
+csrl_thread_safety_probe(missing_requires FALSE)
+message(STATUS "Thread-safety analysis enabled; negative-compile probes passed")

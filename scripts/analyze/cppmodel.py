@@ -1,0 +1,317 @@
+"""Lightweight C++ declaration/call extractor over the token stream.
+
+Builds, per file, the list of function definitions (qualified name, body
+token range, the token ranges of every for/while/do loop body inside it)
+and, per token range, the calls it contains.  Heuristic by design — no
+template instantiation, no overload resolution — but tuned to be exact
+on this codebase's style and conservative where it guesses:
+
+  * a function definition is `name ( params ) [quals] { body }` at
+    namespace/class scope, with constructor init lists walked back
+    through so a member initialiser is never mistaken for the function
+    name;
+  * lambdas are part of their enclosing function's body (their bodies
+    belong to whatever loop/function region encloses them textually);
+  * a call is `name (` where name is not a keyword, not an ALL_CAPS
+    macro, and not preceded by `new` handling covered separately by the
+    detectors.
+"""
+
+from dataclasses import dataclass, field
+
+from . import tokens as tok
+
+# Keywords that look like `ident (` but are not calls or function names.
+CONTROL_KEYWORDS = {
+    "if", "else", "for", "while", "do", "switch", "case", "return",
+    "catch", "sizeof", "alignof", "alignas", "decltype", "noexcept",
+    "static_assert", "throw", "new", "delete", "co_await", "co_yield",
+    "co_return", "requires", "typeid", "goto", "default",
+}
+CAST_KEYWORDS = {"static_cast", "dynamic_cast", "const_cast",
+                 "reinterpret_cast"}
+NOT_FUNCTION_NAMES = CONTROL_KEYWORDS | CAST_KEYWORDS | {
+    "operator", "template", "namespace", "class", "struct", "enum",
+    "union", "public", "private", "protected", "try", "using", "typedef",
+    "constexpr", "consteval", "constinit", "inline", "static", "extern",
+    "friend", "virtual", "explicit", "mutable", "volatile", "const",
+    "typename", "concept",
+}
+
+
+@dataclass
+class FunctionDef:
+    name: str          # unqualified, e.g. "multiply_left"
+    qualname: str      # e.g. "CsrMatrix::multiply_left"
+    file: str          # repo-relative path
+    line: int
+    body: tuple        # (start, end) token indices of the {...} body,
+                       # inclusive of the braces, in stream.code
+    loops: list = field(default_factory=list)  # [(start, end)] loop bodies
+
+
+@dataclass(frozen=True)
+class Call:
+    name: str          # last name component at the call site
+    line: int
+    is_member: bool    # preceded by `.` or `->` (method call)
+
+
+@dataclass
+class SourceModel:
+    path: str
+    stream: object     # TokenStream
+    functions: list    # [FunctionDef]
+    includes: list     # [(line, path, is_system)]
+
+
+def match_paren_back(code, close_idx):
+    """Index of the `(` matching code[close_idx] == `)`, or -1."""
+    depth = 0
+    i = close_idx
+    while i >= 0:
+        t = code[i]
+        if t.kind == "punct":
+            if t.text == ")":
+                depth += 1
+            elif t.text == "(":
+                depth -= 1
+                if depth == 0:
+                    return i
+        i -= 1
+    return -1
+
+
+def match_brace_forward(code, open_idx):
+    """Index of the `}` matching code[open_idx] == `{`, or len(code)-1."""
+    depth = 0
+    for i in range(open_idx, len(code)):
+        t = code[i]
+        if t.kind == "punct":
+            if t.text == "{":
+                depth += 1
+            elif t.text == "}":
+                depth -= 1
+                if depth == 0:
+                    return i
+    return len(code) - 1
+
+
+def _function_head(code, open_idx):
+    """Try to read a function head ending at the `{` at open_idx.
+    Returns (name, qualname, name_idx) or None."""
+    i = open_idx - 1
+    # Skip trailing qualifiers and specifiers between `)` and `{`:
+    # const/noexcept/override/final/mutable/-> trailing return/attributes,
+    # and constructor init lists (`: member(expr), member{expr}`).
+    while i >= 0:
+        t = code[i]
+        if t.kind == "ident" and t.text in (
+                "const", "noexcept", "override", "final", "mutable",
+                "try", "volatile", "&&"):
+            i -= 1
+            continue
+        if t.kind == "punct" and t.text in ("&", "&&"):
+            i -= 1
+            continue
+        if t.kind == "punct" and t.text == ")":
+            # Either the parameter list or a noexcept(...)/init-list call.
+            open_paren = match_paren_back(code, i)
+            if open_paren <= 0:
+                return None
+            before = code[open_paren - 1]
+            if before.kind == "ident" and before.text == "noexcept":
+                i = open_paren - 2
+                continue
+            if before.kind == "ident" and before.text not in CONTROL_KEYWORDS:
+                # Could be the function name, or a member initialiser /
+                # base-class initialiser in a ctor init list.  Walk the
+                # name back to see what precedes the full ident chain.
+                name_idx = open_paren - 1
+                chain_start = name_idx
+                while chain_start >= 2 and \
+                        code[chain_start - 1].kind == "punct" and \
+                        code[chain_start - 1].text == "::" and \
+                        code[chain_start - 2].kind == "ident":
+                    chain_start -= 2
+                prev = code[chain_start - 1] if chain_start >= 1 else None
+                if prev is not None and prev.kind == "punct" and \
+                        prev.text in (",", ":") :
+                    # Init-list item: keep walking back past it.
+                    i = chain_start - 2
+                    continue
+                return _name_from_chain(code, name_idx)
+            if before.kind == "punct" and before.text in (">", "]"):
+                # Operator template or lambda — not a named function we
+                # track; treat the body as part of the enclosing region.
+                return None
+            return None
+        if t.kind == "punct" and t.text in (">",):
+            return None
+        # `= default`-style or stray tokens: give up.
+        return None
+    return None
+
+
+def _name_from_chain(code, name_idx):
+    name_tok = code[name_idx]
+    if name_tok.kind != "ident" or name_tok.text in NOT_FUNCTION_NAMES:
+        return None
+    parts = [name_tok.text]
+    i = name_idx
+    while i >= 2 and code[i - 1].kind == "punct" and \
+            code[i - 1].text == "::" and code[i - 2].kind == "ident":
+        parts.insert(0, code[i - 2].text)
+        i -= 2
+    # A plain declaration like `struct Foo {` never reaches here (no
+    # parens); destructors (`~Foo`) keep the tilde out of the name chain,
+    # which is fine — they are not hot roots or hot callees by name.
+    return name_tok.text, "::".join(parts), name_idx
+
+
+def extract_functions(stream, path):
+    """All function definitions with their loop regions."""
+    code = stream.code
+    functions = []
+    body_end = -1  # end of the innermost function body being skipped
+    i = 0
+    ends = []  # stack of function body end indices
+    while i < len(code):
+        t = code[i]
+        if ends and i > ends[-1]:
+            ends.pop()
+        if t.kind == "punct" and t.text == "{":
+            if not ends:
+                head = _function_head(code, i)
+                if head is not None:
+                    name, qualname, _ = head
+                    end = match_brace_forward(code, i)
+                    fn = FunctionDef(name=name, qualname=qualname, file=path,
+                                     line=t.line, body=(i, end))
+                    fn.loops = _loop_regions(code, i, end)
+                    functions.append(fn)
+                    ends.append(end)
+        i += 1
+    return functions
+
+
+def _loop_regions(code, body_start, body_end):
+    """Token ranges of every for/while/do loop body inside [start, end].
+    Braced bodies span their braces; brace-less bodies span up to the
+    terminating `;` of the single statement."""
+    regions = []
+    i = body_start
+    while i <= body_end:
+        t = code[i]
+        if t.kind == "ident" and t.text in ("for", "while"):
+            j = i + 1
+            if j <= body_end and code[j].kind == "punct" and \
+                    code[j].text == "(":
+                depth = 0
+                while j <= body_end:
+                    c = code[j]
+                    if c.kind == "punct":
+                        if c.text == "(":
+                            depth += 1
+                        elif c.text == ")":
+                            depth -= 1
+                            if depth == 0:
+                                break
+                    j += 1
+                k = j + 1
+                if k <= body_end:
+                    if code[k].kind == "punct" and code[k].text == "{":
+                        end = match_brace_forward(code, k)
+                        regions.append((k, min(end, body_end)))
+                    elif not (code[k].kind == "punct" and code[k].text == ";"):
+                        end = _statement_end(code, k, body_end)
+                        regions.append((k, end))
+        elif t.kind == "ident" and t.text == "do":
+            k = i + 1
+            if k <= body_end and code[k].kind == "punct" and \
+                    code[k].text == "{":
+                end = match_brace_forward(code, k)
+                regions.append((k, min(end, body_end)))
+        i += 1
+    return regions
+
+
+def _statement_end(code, start, limit):
+    depth = 0
+    for i in range(start, limit + 1):
+        t = code[i]
+        if t.kind == "punct":
+            if t.text in "([{":
+                depth += 1
+            elif t.text in ")]}":
+                depth -= 1
+            elif t.text == ";" and depth == 0:
+                return i
+    return limit
+
+
+def call_opens_at(code, i, limit):
+    """True when the ident at code[i] heads a call: `name(` directly, or
+    `name<...>(` with a short, well-formed template argument list (the
+    scan aborts on statement boundaries and logical operators, so a
+    comparison like `a < b && (c)` is not misread as a call)."""
+    j = i + 1
+    if j > limit:
+        return False
+    if code[j].kind == "punct" and code[j].text == "(":
+        return True
+    if code[j].kind != "punct" or code[j].text != "<":
+        return False
+    depth = 0
+    for k in range(j, min(j + 30, limit + 1)):
+        t = code[k]
+        if t.kind != "punct":
+            continue
+        if t.text == "<":
+            depth += 1
+        elif t.text == ">":
+            depth -= 1
+            if depth == 0:
+                nxt = code[k + 1] if k + 1 <= limit else None
+                return nxt is not None and nxt.kind == "punct" and \
+                    nxt.text == "("
+        elif t.text == ">>":
+            depth -= 2
+            if depth <= 0:
+                nxt = code[k + 1] if k + 1 <= limit else None
+                return nxt is not None and nxt.kind == "punct" and \
+                    nxt.text == "("
+        elif t.text in (";", "{", "}", "&&", "||"):
+            return False
+    return False
+
+
+def extract_calls(code, start, end):
+    """Call sites in code[start:end+1] (inclusive range)."""
+    calls = []
+    for i in range(start, min(end, len(code) - 1) + 1):
+        t = code[i]
+        if t.kind != "ident" or i + 1 > end:
+            continue
+        if not call_opens_at(code, i, end):
+            continue
+        name = t.text
+        if name in CONTROL_KEYWORDS or name in CAST_KEYWORDS:
+            continue
+        if name.isupper() or (name.startswith("CSRL_") and name.isupper()):
+            continue  # macro invocation; audited separately
+        prev = code[i - 1] if i > start else None
+        is_member = prev is not None and prev.kind == "punct" and \
+            prev.text in (".", "->")
+        # `Type name(args)` declarations are indistinguishable from calls
+        # here; the detectors treat constructor-style uses by name, which
+        # is the conservative direction for a purity check.
+        calls.append(Call(name=name, line=t.line, is_member=is_member))
+    return calls
+
+
+def build_model(path, text):
+    stream = tok.tokenize(text)
+    functions = extract_functions(stream, path)
+    return SourceModel(path=path, stream=stream, functions=functions,
+                       includes=stream.includes())

@@ -1,0 +1,62 @@
+"""Machine-readable findings report.
+
+The `analyze` CMake target writes this JSON to build/ANALYZE_report.json
+and CI archives it, so the schema is part of the tool's contract:
+
+{
+  "tool": "csrlcheck-analyze",
+  "version": 1,
+  "files": <int>,                       # files analyzed
+  "findings": [                         # every finding, waived or not
+    {"file": str, "line": int, "rule": str,
+     "message": str, "waived": bool}, ...
+  ],
+  "summary": {"<rule>": {"open": int, "waived": int}, ...},
+  "hot_set": {                          # closure proof for the hot pass
+    "roots": [ "file:qualname", ... ],
+    "closure": { "file:qualname": "<why hot>", ... },
+    "edges": [ {"from":..., "to":..., "line":...}, ... ],
+    "regions": <int>,
+    "violations": {"hot-alloc": int, "hot-lock": int,
+                   "hot-throw": int, "hot-io": int}   # open only
+  }
+}
+
+Exit-status contract: open (unwaived) findings and only those fail the
+run; waived findings stay in the report so the waiver inventory is
+auditable from CI artifacts alone.
+"""
+
+import json
+
+HOT_RULES = ("hot-alloc", "hot-lock", "hot-throw", "hot-io")
+
+
+def build_report(findings, hot_report, file_count):
+    summary = {}
+    for f in findings:
+        entry = summary.setdefault(f.rule, {"open": 0, "waived": 0})
+        entry["waived" if f.waived else "open"] += 1
+    hot = dict(hot_report)
+    hot["violations"] = {
+        rule: sum(1 for f in findings if f.rule == rule and not f.waived)
+        for rule in HOT_RULES
+    }
+    return {
+        "tool": "csrlcheck-analyze",
+        "version": 1,
+        "files": file_count,
+        "findings": [
+            {"file": f.file, "line": f.line, "rule": f.rule,
+             "message": f.message, "waived": f.waived}
+            for f in findings
+        ],
+        "summary": {rule: summary[rule] for rule in sorted(summary)},
+        "hot_set": hot,
+    }
+
+
+def write_report(report, path):
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")

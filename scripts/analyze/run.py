@@ -1,0 +1,15 @@
+#!/usr/bin/env python3
+"""Entry point wrapper so the analyzer runs without installation:
+
+    python3 scripts/analyze/run.py src [--report build/ANALYZE_report.json]
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from analyze.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,265 @@
+"""C++ tokenizer for the csrlcheck analyzer.
+
+Good enough to be trustworthy on this codebase, honest about what it is
+not: a lexer, not a preprocessor or a parser.  It understands
+
+  * line and block comments (kept aside for waiver lookup),
+  * string/char literals including encoding prefixes and raw strings
+    (``R"delim(...)delim"`` with arbitrary delimiters, newlines inside),
+  * preprocessor directives with backslash continuations, folded into
+    single ``pp`` tokens (so a multi-line macro body never leaks tokens
+    into the code stream),
+  * ``#if 0`` / ``#if 1`` conditional regions: tokens under an
+    ``#if 0`` arm are skipped; any condition the lexer cannot decide is
+    treated as active (conservative for a linter: both arms analyzed),
+  * identifiers, numeric literals (hex, floats, digit separators,
+    suffixes) and multi-character operators.
+
+Every token carries its 1-based source line.  Comment text is collected
+into a ``line -> text`` map used by the waiver pass.
+"""
+
+import re
+from dataclasses import dataclass
+
+# Token kinds: "ident", "num", "str", "chr", "punct", "pp".
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+
+
+IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+# Hex/binary/octal/decimal integers and floats, with ' separators and
+# size/FP suffixes.  pp-numbers like 1e+5 are handled by the [eEpP] tail.
+NUM_RE = re.compile(
+    r"(?:0[xX][0-9a-fA-F']+|0[bB][01']+|(?:\d[\d']*)?\.?\d[\d']*)"
+    r"(?:[eEpP][-+]?\d+)?[a-zA-Z]*"
+)
+# Longest-match multi-char operators the extractor cares about; all other
+# punctuation is emitted one character at a time.
+MULTI_OPS = (
+    "<<=", ">>=", "...", "->*", "::", "->", "==", "!=", "<=", ">=", "&&",
+    "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>",
+    "++", "--", ".*",
+)
+STRING_PREFIX_RE = re.compile(r'(?:u8|[uUL])?R?"')
+RAW_STRING_RE = re.compile(r'(?:u8|[uUL])?R"([^()\\ \t\n]*)\(')
+
+
+class Tokenizer:
+    """One-shot tokenizer: Tokenizer().tokenize(text) -> TokenStream."""
+
+    def tokenize(self, text):
+        tokens = []
+        comments = {}  # line -> concatenated comment text on that line
+        i = 0
+        line = 1
+        n = len(text)
+        at_line_start = True  # only whitespace seen since the last newline
+        # Stack of booleans for #if nesting: True = tokens active.
+        cond_stack = []
+
+        def active():
+            return all(cond_stack)
+
+        def note_comment(ln, body):
+            comments[ln] = comments.get(ln, "") + body
+
+        while i < n:
+            ch = text[i]
+
+            if ch == "\n":
+                line += 1
+                i += 1
+                at_line_start = True
+                continue
+            if ch in " \t\r\f\v":
+                i += 1
+                continue
+
+            # Comments -------------------------------------------------
+            if text.startswith("//", i):
+                end = text.find("\n", i)
+                if end < 0:
+                    end = n
+                note_comment(line, text[i:end])
+                i = end
+                continue
+            if text.startswith("/*", i):
+                end = text.find("*/", i + 2)
+                if end < 0:
+                    end = n
+                else:
+                    end += 2
+                body = text[i:end]
+                note_comment(line, body.split("\n", 1)[0])
+                line += body.count("\n")
+                i = end
+                # A block comment does not produce code on its line, so
+                # line-start state survives it (matters for `/**/ #if`).
+                continue
+
+            # Preprocessor ---------------------------------------------
+            if ch == "#" and at_line_start:
+                start = i
+                start_line = line
+                while i < n:
+                    end = text.find("\n", i)
+                    if end < 0:
+                        end = n
+                        break
+                    # Honour backslash-newline continuations.
+                    j = end - 1
+                    while j >= i and text[j] in " \t\r":
+                        j -= 1
+                    if j >= i and text[j] == "\\":
+                        # line advances via directive.count("\n") below.
+                        i = end + 1
+                        continue
+                    break
+                directive = text[start:end]
+                line += directive.count("\n")
+                i = end
+                self._apply_conditional(directive, cond_stack)
+                if active():
+                    tokens.append(Token("pp", directive, start_line))
+                at_line_start = True
+                continue
+
+            at_line_start = False
+
+            # Raw strings ----------------------------------------------
+            m = RAW_STRING_RE.match(text, i)
+            if m:
+                closer = ")" + m.group(1) + '"'
+                end = text.find(closer, m.end())
+                if end < 0:
+                    end = n
+                else:
+                    end += len(closer)
+                body = text[i:end]
+                if active():
+                    tokens.append(Token("str", body, line))
+                line += body.count("\n")
+                i = end
+                continue
+
+            # Ordinary string literals ---------------------------------
+            m = STRING_PREFIX_RE.match(text, i)
+            if m and not m.group(0).endswith('R"'):
+                end = self._scan_quoted(text, m.end() - 1, '"')
+                if active():
+                    tokens.append(Token("str", text[i:end], line))
+                line += text.count("\n", i, end)
+                i = end
+                continue
+
+            # Char literals.  A bare ' after an identifier or number is a
+            # digit separator context already consumed by NUM_RE, so any
+            # ' reached here opens a literal.
+            if ch == "'":
+                end = self._scan_quoted(text, i, "'")
+                if active():
+                    tokens.append(Token("chr", text[i:end], line))
+                i = end
+                continue
+
+            # Identifiers and numbers ----------------------------------
+            m = IDENT_RE.match(text, i)
+            if m:
+                if active():
+                    tokens.append(Token("ident", m.group(0), line))
+                i = m.end()
+                continue
+            if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+                m = NUM_RE.match(text, i)
+                if m:
+                    if active():
+                        tokens.append(Token("num", m.group(0), line))
+                    i = m.end()
+                    continue
+
+            # Operators / punctuation ----------------------------------
+            for op in MULTI_OPS:
+                if text.startswith(op, i):
+                    if active():
+                        tokens.append(Token("punct", op, line))
+                    i += len(op)
+                    break
+            else:
+                if active():
+                    tokens.append(Token("punct", ch, line))
+                i += 1
+
+        return TokenStream(tokens, comments)
+
+    @staticmethod
+    def _scan_quoted(text, start, quote):
+        """Index one past the closing quote (start points at the opener)."""
+        i = start + 1
+        n = len(text)
+        while i < n:
+            c = text[i]
+            if c == "\\":
+                i += 2
+                continue
+            if c == quote or c == "\n":  # unterminated: stop at newline
+                return i + 1 if c == quote else i
+            i += 1
+        return n
+
+    @staticmethod
+    def _apply_conditional(directive, cond_stack):
+        """Track #if/#else/#endif activity.  Only literal `#if 0` and
+        `#if 1` are decided; every other condition is taken as active on
+        both arms (a linter must not silently skip real code)."""
+        stripped = re.sub(r"^#\s*", "#", directive.strip())
+        m = re.match(r"#(if|ifdef|ifndef|elif|else|endif)\b\s*(.*)", stripped,
+                     re.DOTALL)
+        if not m:
+            return
+        kind, rest = m.group(1), m.group(2).strip()
+        if kind in ("if", "ifdef", "ifndef"):
+            if kind == "if" and rest.split("//")[0].strip() == "0":
+                cond_stack.append(False)
+            else:
+                cond_stack.append(True)
+        elif kind == "elif":
+            if cond_stack:
+                # Active only if no earlier arm was (we only track the
+                # literal-0 case, where the first arm was inactive).
+                cond_stack[-1] = not cond_stack[-1] and \
+                    rest.split("//")[0].strip() != "0"
+        elif kind == "else":
+            if cond_stack:
+                cond_stack[-1] = not cond_stack[-1]
+        elif kind == "endif":
+            if cond_stack:
+                cond_stack.pop()
+
+
+class TokenStream:
+    """Tokenizer output: the token list, the comment map, and the code
+    view (pp directives filtered out) the extractor works on."""
+
+    def __init__(self, tokens, comments):
+        self.tokens = tokens
+        self.comments = comments
+        self.code = [t for t in tokens if t.kind != "pp"]
+
+    def includes(self):
+        """(line, path, is_system) for every #include directive."""
+        out = []
+        for t in self.tokens:
+            if t.kind != "pp":
+                continue
+            m = re.match(r'#\s*include\s+([<"])([^>"]+)[>"]', t.text)
+            if m:
+                out.append((t.line, m.group(2), m.group(1) == "<"))
+        return out
+
+
+def tokenize(text):
+    return Tokenizer().tokenize(text)

@@ -1,343 +1,23 @@
 #!/usr/bin/env python3
-"""Project-specific lint pass for csrlcheck.
+"""Compatibility shim: the lint rules now live in scripts/analyze/.
 
-Checks C++ sources under the given directories for patterns that
-clang-tidy does not catch (or that we want enforced even where clang-tidy
-is not installed):
+The original regex linter grew into a call-graph-aware analyzer (see
+scripts/analyze/__init__.py); every legacy rule (raw-new-delete,
+float-eq, unordered-iter, pragma-once, obs-name, loop-alloc,
+spmm-blocking) runs there as a pass alongside the layer/include-graph
+and hot-set passes, under the same
+`// lint:allow <rule> (<justification>)` waiver syntax.
 
-  raw-new-delete     Raw `new` / `delete` expressions.  All ownership in
-                     this codebase goes through containers and
-                     std::unique_ptr; a raw allocation is either a leak
-                     waiting to happen or a missing make_unique.
-                     (`= delete` declarations are not allocations.)
-
-  float-eq           `==` / `!=` with a floating-point literal other than
-                     the exact sentinels 0.0 and 1.0.  Those two are
-                     legitimate: 0.0 marks structurally absent entries
-                     (absorbing states, skipped work) and 1.0 marks exact
-                     point masses — both are assigned, never computed.
-                     Any other literal comparison is almost certainly a
-                     tolerance bug; use std::abs(a - b) <= tol.
-
-  unordered-iter     Range-for over a std::unordered_map/set declared in
-                     the same file.  Iteration order is unspecified and
-                     varies across libstdc++ versions, so anything that
-                     feeds results, output, or numerical accumulation from
-                     such a loop is a nondeterminism bug.  Iterate a
-                     sorted copy or an index vector instead.
-
-  pragma-once        Headers must start their include-guard life with
-                     `#pragma once`.
-
-  obs-name           The name literal of a CSRL_SPAN / CSRL_COUNT /
-                     CSRL_GAUGE / CSRL_HIST site must match
-                     ^[a-z0-9_]+(/[a-z0-9_]+)*$ (the subsystem/engine/
-                     phase scheme of src/obs/obs.hpp).  Reports and
-                     traces are keyed by these names, so a stray space,
-                     capital or dot silently forks the aggregation.
-
-  loop-alloc         A `std::vector<double>` declared inside a loop body
-                     in src/matrix/ or src/ctmc/ — the hot-path layers
-                     whose iteration loops are contractually
-                     allocation-free (util/workspace.hpp).  A vector
-                     constructed per iteration reallocates on every pass;
-                     hoist it out of the loop or lease it from the
-                     caller's Workspace arena.
-
-  spmm-blocking      A one-RHS product call (.multiply( / .multiply_left(
-                     / .multiply_fused( / .multiply_left_fused() inside a
-                     loop body in src/core/engines/ or src/ctmc/.  A
-                     product issued per loop iteration usually means a
-                     batch of right-hand sides is re-streaming the matrix
-                     once per vector; group them through the blocked
-                     multi-RHS kernels (matrix/spmm.hpp) instead.  Waive
-                     individually where a loop genuinely has only one
-                     vector in flight per pass (power iterations,
-                     width-1 fallbacks).
-
-A finding can be waived for one line with a comment
-`// lint:allow <rule> (<justification>)` — trailing on the line itself
-or, where indentation leaves no room, on a comment-only line directly
-above it.  The justification is required so waivers stay auditable.
-
-Usage: scripts/lint.py DIR [DIR...]
-Exit status: 0 when clean, 1 when any finding survives.
+Usage is unchanged: scripts/lint.py DIR [DIR...]
+Exit status: 0 when clean, 1 when any unwaived finding survives.
 """
 
-import re
 import sys
 from pathlib import Path
 
-CPP_SUFFIXES = {".cpp", ".hpp"}
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-WAIVER_RE = re.compile(r"//\s*lint:allow\s+([a-z-]+)\s*\(.+\)")
-
-# Sentinel literals that may be compared exactly (see module docstring).
-EXACT_SENTINELS = {"0.0", "1.0", "0.", "1.", ".0"}
-
-FLOAT_LITERAL = r"-?(?:\d+\.\d*|\.\d+)(?:[eE][-+]?\d+)?[fF]?"
-FLOAT_EQ_RE = re.compile(
-    r"(?:[=!]=\s*(" + FLOAT_LITERAL + r"))|(?:(" + FLOAT_LITERAL + r")\s*[=!]=)"
-)
-
-NEW_RE = re.compile(r"\bnew\b(?!\s*\()")  # `new (place)` is still new; see below
-RAW_NEW_RE = re.compile(r"\bnew\b\s+[A-Za-z_:<]")
-RAW_DELETE_RE = re.compile(r"\bdelete\b\s*(\[\s*\])?\s*[A-Za-z_(]")
-DELETED_FN_RE = re.compile(r"=\s*delete\s*[;,)]")
-
-# Observability sites: the first argument must be a literal matching the
-# naming scheme.  Matched against the raw line (string contents are
-# blanked in the stripped code); the stripped code is consulted at the
-# match position to skip occurrences inside comments.
-OBS_SITE_RE = re.compile(r"\bCSRL_(?:SPAN|COUNT|GAUGE|HIST)\s*\(\s*\"([^\"]*)\"")
-OBS_NAME_RE = re.compile(r"^[a-z0-9_]+(/[a-z0-9_]+)*$")
-
-# Hot-path layers whose iteration loops must stay allocation-free; the
-# loop-alloc rule only fires on files inside these directories.
-LOOP_ALLOC_DIRS = {"matrix", "ctmc"}
-
-LOOP_HEAD_RE = re.compile(r"\b(?:for|while)\s*\(")
-VECTOR_DOUBLE_DECL_RE = re.compile(r"\bstd::vector<double>\s+\w+")
-
-# Layers whose loops should batch products through the blocked SpMM
-# kernels; the spmm-blocking rule only fires on files inside these
-# directories.  The pattern deliberately misses multiply_block /
-# multiply_active — those are already the batched/frontier forms.
-SPMM_BLOCKING_DIRS = {"engines", "ctmc"}
-ONE_RHS_PRODUCT_RE = re.compile(
-    r"\.\s*multiply(?:_left)?(?:_fused)?\s*\("
-)
-
-UNORDERED_DECL_RE = re.compile(
-    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+(\w+)\s*[;{=(]"
-)
-RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*[^;:)]+:\s*(\w+)\s*\)")
-
-
-def strip_comments_and_strings(line, in_block_comment):
-    """Blank out comment and string-literal contents, preserving column
-    positions, and return (code, trailing_comment, still_in_block)."""
-    out = []
-    comment = ""
-    i = 0
-    n = len(line)
-    while i < n:
-        if in_block_comment:
-            end = line.find("*/", i)
-            if end < 0:
-                out.append(" " * (n - i))
-                i = n
-            else:
-                out.append(" " * (end + 2 - i))
-                i = end + 2
-                in_block_comment = False
-            continue
-        ch = line[i]
-        if ch == "/" and i + 1 < n and line[i + 1] == "/":
-            comment = line[i:]
-            out.append(" " * (n - i))
-            break
-        if ch == "/" and i + 1 < n and line[i + 1] == "*":
-            in_block_comment = True
-            out.append("  ")
-            i += 2
-            continue
-        if ch in "\"'":
-            quote = ch
-            out.append(quote)
-            i += 1
-            while i < n:
-                if line[i] == "\\" and i + 1 < n:
-                    out.append("  ")
-                    i += 2
-                    continue
-                if line[i] == quote:
-                    out.append(quote)
-                    i += 1
-                    break
-                out.append(" ")
-                i += 1
-            continue
-        out.append(ch)
-        i += 1
-    return "".join(out), comment, in_block_comment
-
-
-def loop_pattern_lines(stripped_lines, pattern):
-    """Line numbers (1-based) of `pattern` matches inside for/while loop
-    bodies, tracked by brace depth across the file.  Loop heads may span
-    lines; a body only counts once its `{` opens (brace-less
-    single-statement bodies are not tracked)."""
-    hits = []
-    depth = 0
-    body_depths = []  # brace depths at which a loop body opened
-    awaiting_body = False  # saw a loop head, its '{' not yet reached
-    head_parens = 0  # unclosed parens of that loop head
-    for lineno, (code, _comment) in enumerate(stripped_lines, start=1):
-        head_starts = {m.start() for m in LOOP_HEAD_RE.finditer(code)}
-        decl_starts = {m.start() for m in pattern.finditer(code)}
-        for pos, ch in enumerate(code):
-            if pos in head_starts:
-                awaiting_body = True
-                head_parens = 0
-            if pos in decl_starts and body_depths:
-                hits.append(lineno)
-            if ch == "(":
-                if awaiting_body:
-                    head_parens += 1
-            elif ch == ")":
-                if awaiting_body and head_parens > 0:
-                    head_parens -= 1
-            elif ch == "{":
-                depth += 1
-                if awaiting_body and head_parens == 0:
-                    body_depths.append(depth)
-                    awaiting_body = False
-            elif ch == ";":
-                if awaiting_body and head_parens == 0:
-                    awaiting_body = False  # brace-less body ended
-            elif ch == "}":
-                if body_depths and body_depths[-1] == depth:
-                    body_depths.pop()
-                depth -= 1
-    return hits
-
-
-def waived(rule, comment):
-    m = WAIVER_RE.search(comment)
-    return m is not None and m.group(1) == rule
-
-
-def waived_at(rule, stripped_lines, lineno):
-    """Waiver trailing on `lineno` (1-based), or on a comment-only line
-    directly above it."""
-    if waived(rule, stripped_lines[lineno - 1][1]):
-        return True
-    if lineno >= 2:
-        code, comment = stripped_lines[lineno - 2]
-        return not code.strip() and waived(rule, comment)
-    return False
-
-
-def is_sentinel(literal):
-    return literal.lstrip("-").rstrip("fF") in EXACT_SENTINELS
-
-
-def lint_file(path):
-    findings = []
-    text = path.read_text(encoding="utf-8")
-    lines = text.splitlines()
-
-    def report(lineno, rule, message):
-        findings.append((path, lineno, rule, message))
-
-    if path.suffix == ".hpp" and "#pragma once" not in text:
-        report(1, "pragma-once", "header lacks #pragma once")
-
-    unordered_names = set()
-    in_block = False
-    stripped_lines = []
-    for raw in lines:
-        code, comment, in_block = strip_comments_and_strings(raw, in_block)
-        stripped_lines.append((code, comment))
-        for m in UNORDERED_DECL_RE.finditer(code):
-            unordered_names.add(m.group(1))
-
-    if LOOP_ALLOC_DIRS & set(path.parts):
-        for lineno in loop_pattern_lines(stripped_lines, VECTOR_DOUBLE_DECL_RE):
-            if not waived_at("loop-alloc", stripped_lines, lineno):
-                report(
-                    lineno,
-                    "loop-alloc",
-                    "std::vector<double> constructed inside a loop body"
-                    " (hoist it or lease from a Workspace arena)",
-                )
-
-    if SPMM_BLOCKING_DIRS & set(path.parts):
-        for lineno in loop_pattern_lines(stripped_lines, ONE_RHS_PRODUCT_RE):
-            if not waived_at("spmm-blocking", stripped_lines, lineno):
-                report(
-                    lineno,
-                    "spmm-blocking",
-                    "one-RHS product inside a loop body (group the"
-                    " right-hand sides through the blocked multi-RHS"
-                    " kernels of matrix/spmm.hpp, or waive with the"
-                    " loop's single-vector justification)",
-                )
-
-    for lineno, (code, comment) in enumerate(stripped_lines, start=1):
-        if RAW_NEW_RE.search(code) and not waived("raw-new-delete", comment):
-            report(lineno, "raw-new-delete", "raw `new` expression")
-        if (
-            RAW_DELETE_RE.search(code)
-            and not DELETED_FN_RE.search(code)
-            and not waived("raw-new-delete", comment)
-        ):
-            report(lineno, "raw-new-delete", "raw `delete` expression")
-
-        for m in FLOAT_EQ_RE.finditer(code):
-            literal = m.group(1) or m.group(2)
-            if is_sentinel(literal):
-                continue
-            if not waived("float-eq", comment):
-                report(
-                    lineno,
-                    "float-eq",
-                    f"exact comparison with float literal {literal}",
-                )
-
-        for m in OBS_SITE_RE.finditer(lines[lineno - 1]):
-            if not code.startswith("CSRL_", m.start()):
-                continue  # the site text sits inside a comment
-            name = m.group(1)
-            if not OBS_NAME_RE.match(name) and not waived("obs-name", comment):
-                report(
-                    lineno,
-                    "obs-name",
-                    f'observability name "{name}" violates'
-                    " ^[a-z0-9_]+(/[a-z0-9_]+)*$",
-                )
-
-        for m in RANGE_FOR_RE.finditer(code):
-            if m.group(1) in unordered_names and not waived(
-                "unordered-iter", comment
-            ):
-                report(
-                    lineno,
-                    "unordered-iter",
-                    f"iteration over unordered container `{m.group(1)}`"
-                    " (unspecified order)",
-                )
-
-    return findings
-
-
-def main(argv):
-    if len(argv) < 2:
-        print(__doc__, file=sys.stderr)
-        return 2
-    files = []
-    for arg in argv[1:]:
-        root = Path(arg)
-        if root.is_file():
-            files.append(root)
-        else:
-            files.extend(
-                p
-                for p in sorted(root.rglob("*"))
-                if p.suffix in CPP_SUFFIXES
-            )
-    all_findings = []
-    for path in files:
-        all_findings.extend(lint_file(path))
-    for path, lineno, rule, message in all_findings:
-        print(f"{path}:{lineno}: [{rule}] {message}")
-    if all_findings:
-        print(f"lint.py: {len(all_findings)} finding(s)", file=sys.stderr)
-        return 1
-    print(f"lint.py: {len(files)} files clean")
-    return 0
-
+from analyze.cli import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(main(sys.argv[1:]))

@@ -46,26 +46,33 @@ void validate_axis(std::span<const double> axis, const char* what) {
 
 }  // namespace
 
-const StateSet* SatCache::find(std::uint64_t model_fingerprint,
-                               const Formula& f) {
-  const auto it = buckets_.find(bucket_key(model_fingerprint, f));
+std::optional<StateSet> SatCache::find(std::uint64_t model_fingerprint,
+                                       const Formula& f) {
+  // The key and the canonical form derive from the arguments alone;
+  // computing them outside the lock keeps the critical section to the
+  // lookup, the string compares and the hit copy.
+  const std::uint64_t key = bucket_key(model_fingerprint, f);
+  const std::string canonical = f.to_string();
+  MutexLock lock(mutex_);
+  const auto it = buckets_.find(key);
   if (it != buckets_.end()) {
-    const std::string canonical = f.to_string();
     for (const Entry& entry : it->second) {
       if (entry.canonical == canonical) {
         ++stats_.hits;
-        return &entry.sat;
+        return entry.sat;
       }
     }
   }
   ++stats_.misses;
-  return nullptr;
+  return std::nullopt;
 }
 
 void SatCache::insert(std::uint64_t model_fingerprint, const Formula& f,
                       StateSet sat) {
-  std::vector<Entry>& bucket = buckets_[bucket_key(model_fingerprint, f)];
+  const std::uint64_t key = bucket_key(model_fingerprint, f);
   std::string canonical = f.to_string();
+  MutexLock lock(mutex_);
+  std::vector<Entry>& bucket = buckets_[key];
   for (Entry& entry : bucket) {
     if (entry.canonical == canonical) {
       entry.sat = std::move(sat);
@@ -74,6 +81,16 @@ void SatCache::insert(std::uint64_t model_fingerprint, const Formula& f,
   }
   bucket.push_back({std::move(canonical), std::move(sat)});
   ++size_;
+}
+
+std::size_t SatCache::size() const {
+  MutexLock lock(mutex_);
+  return size_;
+}
+
+SatCache::Stats SatCache::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
 }
 
 const std::vector<double>& BatchResult::at(std::size_t time_index,

@@ -31,6 +31,8 @@
 
 #include "logic/formula.hpp"
 #include "obs/report.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 #include "util/state_set.hpp"
 
 namespace csrl {
@@ -75,8 +77,12 @@ struct BatchResult {
   std::optional<obs::RunReport> report;
 };
 
-/// Cross-query Sat-set memo (see file comment).  Not thread-safe: share
-/// one cache per sequential checking pipeline, not across threads.
+/// Cross-query Sat-set memo (see file comment).  Thread-safe: every
+/// probe and insert runs under the internal mutex, so one cache can be
+/// shared across concurrent checkers — the substrate the resident
+/// service layer (ROADMAP item 1) builds on.  Contention is not a
+/// concern: a probe costs a hash lookup plus a string compare, dwarfed
+/// by the numerical work a hit saves.
 /// The cache-key scheme: bucket = mix(model fingerprint, formula hash),
 /// candidate entries verified by the canonical printed form, so a hash
 /// collision costs a string compare, never a wrong Sat set.
@@ -88,18 +94,22 @@ class SatCache {
   };
 
   /// The cached Sat set for `f` on the model with this fingerprint, or
-  /// nullptr.  Counts a hit or miss.  The pointer is invalidated by the
-  /// next insert().
-  const StateSet* find(std::uint64_t model_fingerprint, const Formula& f);
+  /// nullopt.  Counts a hit or miss.  Returns a copy made under the
+  /// lock, so the result stays valid whatever other threads insert.
+  std::optional<StateSet> find(std::uint64_t model_fingerprint,
+                               const Formula& f) CSRL_EXCLUDES(mutex_);
 
   /// Memoise Sat(f) for the model with this fingerprint.  Overwrites an
   /// existing entry for the same formula (the sets are equal anyway).
-  void insert(std::uint64_t model_fingerprint, const Formula& f, StateSet sat);
+  void insert(std::uint64_t model_fingerprint, const Formula& f, StateSet sat)
+      CSRL_EXCLUDES(mutex_);
 
   /// Number of memoised (model, formula) pairs.
-  std::size_t size() const { return size_; }
+  std::size_t size() const CSRL_EXCLUDES(mutex_);
 
-  const Stats& stats() const { return stats_; }
+  /// Hit/miss totals since construction (by value: a snapshot, not a
+  /// reference into guarded state).
+  Stats stats() const CSRL_EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -107,9 +117,11 @@ class SatCache {
     StateSet sat;
   };
 
-  std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;
-  std::size_t size_ = 0;
-  Stats stats_;
+  mutable Mutex mutex_;
+  std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_
+      CSRL_GUARDED_BY(mutex_);
+  std::size_t size_ CSRL_GUARDED_BY(mutex_) = 0;
+  Stats stats_ CSRL_GUARDED_BY(mutex_);
 };
 
 }  // namespace csrl

@@ -98,9 +98,9 @@ StateSet Checker::sat_internal(const Formula& f) const {
       f.kind() == FormulaKind::kAtomic) {
     return compute_sat(f);
   }
-  if (const StateSet* hit = sat_cache_->find(model_fingerprint_, f)) {
+  if (std::optional<StateSet> hit = sat_cache_->find(model_fingerprint_, f)) {
     CSRL_COUNT("core/sat_cache/hits", 1);
-    return *hit;
+    return *std::move(hit);
   }
   CSRL_COUNT("core/sat_cache/misses", 1);
   StateSet result = compute_sat(f);

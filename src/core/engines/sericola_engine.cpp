@@ -135,6 +135,7 @@ std::vector<std::vector<double>> SericolaEngine::all_starts_points(
         break;
       }
     }
+    // lint:allow hot-alloc (horizon dedup during point preprocessing, before any series work)
     if (idx == horizon_times.size()) horizon_times.push_back(points[pt].first);
     time_of_point[pt] = idx;
   }
@@ -164,6 +165,7 @@ std::vector<std::vector<double>> SericolaEngine::all_starts_points(
   windows.reserve(horizon_times.size());
   std::size_t max_n = 0;
   for (double t : horizon_times) {
+    // lint:allow hot-alloc (per-horizon window setup into capacity reserved above, before the series loop)
     windows.push_back(poisson_weights(lambda * t, epsilon_));
     max_n = std::max(max_n, windows.back().right);
   }

@@ -119,6 +119,7 @@ void accumulate_series(const CsrMatrix& p, bool forward,
     pendings.reserve(num_windows);
     for (std::size_t i = 0; i < num_windows; ++i)
       if (windows[i].left == 0 && !windows[i].weights.empty())
+        // lint:allow hot-alloc (append into capacity reserved to num_windows just above; never reallocates)
         pendings.push_back({windows[i].weights[0], results[i]->data()});
   }
 
@@ -244,6 +245,7 @@ void accumulate_series(const CsrMatrix& p, bool forward,
     } else {
       for (std::size_t i = 0; i < windows.size(); ++i)
         if (n >= windows[i].left && n <= windows[i].right)
+          // lint:allow hot-alloc (capacity reserved to num_windows at setup; the runtime LoopGuard pins series-loop allocations to zero)
           pendings.push_back({windows[i].weight(n), results[i]->data()});
     }
   }
@@ -284,6 +286,7 @@ std::vector<std::vector<double>> run_batch(const Ctmc& chain,
     throw ModelError(std::string(what) + ": vector size mismatch");
   for (double t : times)
     if (!(t >= 0.0) || !std::isfinite(t))
+      // lint:allow hot-throw (argument validation at entry, before any series work)
       throw ModelError(std::string(what) + ": times must be finite and >= 0");
 
   std::vector<std::vector<double>> results(times.size());
@@ -292,6 +295,7 @@ std::vector<std::vector<double>> run_batch(const Ctmc& chain,
     if (times[i] == 0.0 || n == 0 || chain.max_exit_rate() == 0.0)
       results[i].assign(start.begin(), start.end());
     else
+      // lint:allow hot-alloc (horizon scan at entry, before the series loop)
       series.push_back(i);
   }
   if (series.empty()) return results;
@@ -304,8 +308,10 @@ std::vector<std::vector<double>> run_batch(const Ctmc& chain,
   std::vector<std::vector<double>*> outs;
   outs.reserve(series.size());
   for (std::size_t i : series) {
+    // lint:allow hot-alloc (per-horizon window setup into capacity reserved above, before the series loop)
     windows.push_back(poisson_weights(lambda * times[i], options.epsilon));
     results[i].assign(n, 0.0);
+    // lint:allow hot-alloc (per-horizon setup into capacity reserved above, before the series loop)
     outs.push_back(&results[i]);
   }
 
@@ -369,9 +375,11 @@ std::vector<std::vector<std::vector<double>>> run_multi(
   const std::size_t n = chain.num_states();
   for (const std::vector<double>& s : starts)
     if (s.size() != n)
+      // lint:allow hot-throw (argument validation at entry, before any series work)
       throw ModelError(std::string(what) + ": vector size mismatch");
   for (double t : times)
     if (!(t >= 0.0) || !std::isfinite(t))
+      // lint:allow hot-throw (argument validation at entry, before any series work)
       throw ModelError(std::string(what) + ": times must be finite and >= 0");
 
   const std::size_t num_starts = starts.size();
@@ -387,17 +395,15 @@ std::vector<std::vector<std::vector<double>>> run_multi(
 
   // Degenerate horizons (t == 0, absorbing chain) copy the start; the
   // rest run the blocked series.
+  // lint:allow hot-alloc (result-slot sizing at entry, one resize per start vector)
+  for (std::size_t s = 0; s < num_starts; ++s) all[s].resize(times.size());
   std::vector<std::size_t> series;
   for (std::size_t i = 0; i < times.size(); ++i) {
     if (times[i] == 0.0 || chain.max_exit_rate() == 0.0)
-      for (std::size_t s = 0; s < num_starts; ++s) {
-        all[s].resize(times.size());
-        all[s][i] = starts[s];
-      }
+      for (std::size_t s = 0; s < num_starts; ++s) all[s][i] = starts[s];
     else
-      series.push_back(i);
+      series.push_back(i);  // lint:allow hot-alloc (horizon scan at entry, before the series loop)
   }
-  for (std::size_t s = 0; s < num_starts; ++s) all[s].resize(times.size());
   if (series.empty()) return all;
 
   const double lambda = resolve_rate(chain, options);
@@ -409,6 +415,7 @@ std::vector<std::vector<std::vector<double>>> run_multi(
   windows.reserve(num_windows);
   std::size_t max_right = 0;
   for (std::size_t i : series) {
+    // lint:allow hot-alloc (per-horizon window setup into capacity reserved above, before the series loop)
     windows.push_back(poisson_weights(lambda * times[i], options.epsilon));
     max_right = std::max(max_right, windows.back().right);
   }
@@ -515,6 +522,7 @@ std::vector<std::vector<std::vector<double>>> run_multi(
       const double* const lane_acc = acc + w * n * width;
       for (std::size_t b = 0; b < width; ++b) {
         std::vector<double>& out = all[group + b][series[w]];
+        // lint:allow hot-alloc (sizes each caller-owned result vector once while unpacking, after the series loop)
         out.resize(n);
         for (std::size_t i = 0; i < n; ++i) out[i] = lane_acc[i * width + b];
       }

@@ -122,21 +122,27 @@ CsrMatrix& CsrMatrix::operator=(const CsrMatrix& other) {
   cols_ = other.cols_;
   row_ptr_ = other.row_ptr_;
   entries_ = other.entries_;
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  MutexLock lock(cache_mutex_);
   chunk_cache_.reset();
   chunk_target_ = 0;
   transpose_cache_.reset();
   return *this;
 }
 
+// Moves require exclusive access to `other` anyway, but the thread-safety
+// analysis reasons per field, not per object: stealing other's guarded
+// caches takes other's mutex (uncontended — one atomic op — and moves are
+// construction-time, never on a kernel path).  The constructed object's
+// own fields are exempt inside its constructor.
 CsrMatrix::CsrMatrix(CsrMatrix&& other) noexcept
     : rows_(other.rows_),
       cols_(other.cols_),
       row_ptr_(std::move(other.row_ptr_)),
-      entries_(std::move(other.entries_)),
-      chunk_cache_(std::move(other.chunk_cache_)),
-      chunk_target_(other.chunk_target_),
-      transpose_cache_(std::move(other.transpose_cache_)) {
+      entries_(std::move(other.entries_)) {
+  MutexLock lock(other.cache_mutex_);
+  chunk_cache_ = std::move(other.chunk_cache_);
+  chunk_target_ = other.chunk_target_;
+  transpose_cache_ = std::move(other.transpose_cache_);
   other.rows_ = 0;
   other.cols_ = 0;
   other.row_ptr_ = {0};
@@ -149,20 +155,24 @@ CsrMatrix& CsrMatrix::operator=(CsrMatrix&& other) noexcept {
   cols_ = other.cols_;
   row_ptr_ = std::move(other.row_ptr_);
   entries_ = std::move(other.entries_);
-  chunk_cache_ = std::move(other.chunk_cache_);
-  chunk_target_ = other.chunk_target_;
-  transpose_cache_ = std::move(other.transpose_cache_);
+  {
+    MutexLock mine(cache_mutex_);
+    MutexLock theirs(other.cache_mutex_);
+    chunk_cache_ = std::move(other.chunk_cache_);
+    chunk_target_ = other.chunk_target_;
+    transpose_cache_ = std::move(other.transpose_cache_);
+    other.chunk_target_ = 0;
+  }
   other.rows_ = 0;
   other.cols_ = 0;
   other.row_ptr_ = {0};
-  other.chunk_target_ = 0;
   return *this;
 }
 
 std::shared_ptr<const std::vector<std::size_t>> CsrMatrix::row_chunks(
     std::size_t target_chunks) const {
   if (target_chunks == 0) target_chunks = 1;
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  MutexLock lock(cache_mutex_);
   if (chunk_cache_ && chunk_target_ == target_chunks) return chunk_cache_;
 
   // Walk row_ptr_ once, closing a chunk whenever it has swallowed its
@@ -191,13 +201,13 @@ std::shared_ptr<const std::vector<std::size_t>> CsrMatrix::row_chunks(
 
 const CsrMatrix& CsrMatrix::cached_transpose() const {
   {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    MutexLock lock(cache_mutex_);
     if (transpose_cache_) return *transpose_cache_;
   }
   // Build outside the lock (it is expensive); a duplicate build on a race
   // is wasted work, not an error — first writer wins.
   auto built = std::make_shared<const CsrMatrix>(transposed());
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  MutexLock lock(cache_mutex_);
   if (!transpose_cache_) transpose_cache_ = std::move(built);
   return *transpose_cache_;
 }
@@ -276,7 +286,7 @@ void CsrMatrix::multiply_left(std::span<const double> x, std::span<double> y) co
         for (std::size_t c = chunk_begin; c < chunk_end; ++c) {
           for (std::size_t col = (*chunks)[c]; col < (*chunks)[c + 1]; ++col) {
             double acc = 0.0;
-            for (const CsrEntry& e : t.row(col)) {
+            for (const CsrEntry& e : t.row_unchecked(col)) {
               const double xr = x[e.col];
               if (xr != 0.0) acc += xr * e.value;
             }
@@ -345,7 +355,7 @@ double CsrMatrix::multiply_left_fused(std::span<const double> x,
     double local = 0.0;
     for (std::size_t col = col_begin; col < col_end; ++col) {
       double acc = 0.0;
-      for (const CsrEntry& e : t.row(col)) {
+      for (const CsrEntry& e : t.row_unchecked(col)) {
         const double xr = x[e.col];
         if (xr != 0.0) acc += xr * e.value;
       }
@@ -391,7 +401,7 @@ double CsrMatrix::multiply_active(std::span<const double> x,
   out.clear();
   const CsrMatrix& t = cached_transpose();
   for (std::size_t c : in.members())
-    for (const CsrEntry& e : t.row(c)) out.insert(e.col);
+    for (const CsrEntry& e : t.row_unchecked(c)) out.insert(e.col);
   out.sort();
   CSRL_COUNT("matrix/spmv/rows_active", out.size());
 

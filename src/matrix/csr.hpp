@@ -12,11 +12,12 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "matrix/support.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace csrl {
 
@@ -88,7 +89,19 @@ class CsrMatrix {
   std::size_t nnz() const { return entries_.size(); }
 
   /// The stored entries of row `r`, ordered by increasing column.
+  /// Throws ModelError when `r` is out of range.
   std::span<const CsrEntry> row(std::size_t r) const;
+
+  /// row() without the range check.  Precondition: r < rows().  This is
+  /// the form the kernels use from their inner loops, whose indices come
+  /// from row_ptr_ / cached masks and are in range by construction — the
+  /// analyzer's hot-path pass statically rejects reachable throws there
+  /// (scripts/analyze, rule hot-throw), and a bounds check per gathered
+  /// entry is measurable on the SpMV/SpMM paths anyway.  External callers
+  /// go through row().
+  std::span<const CsrEntry> row_unchecked(std::size_t r) const noexcept {
+    return {entries_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
+  }
 
   /// Value at (r, c); zero if not stored.  O(log nnz(row)).
   double at(std::size_t r, std::size_t c) const;
@@ -284,10 +297,12 @@ class CsrMatrix {
 
   // Lazy, derived-only state; never observable through the public API
   // except as speed.
-  mutable std::mutex cache_mutex_;
-  mutable std::shared_ptr<const std::vector<std::size_t>> chunk_cache_;
-  mutable std::size_t chunk_target_ = 0;
-  mutable std::shared_ptr<const CsrMatrix> transpose_cache_;
+  mutable Mutex cache_mutex_;
+  mutable std::shared_ptr<const std::vector<std::size_t>> chunk_cache_
+      CSRL_GUARDED_BY(cache_mutex_);
+  mutable std::size_t chunk_target_ CSRL_GUARDED_BY(cache_mutex_) = 0;
+  mutable std::shared_ptr<const CsrMatrix> transpose_cache_
+      CSRL_GUARDED_BY(cache_mutex_);
 };
 
 }  // namespace csrl

@@ -222,7 +222,7 @@ void CsrMatrix::multiply_left_block(std::span<const double> x,
             for (std::size_t col = (*chunks)[c]; col < (*chunks)[c + 1];
                  ++col) {
               for (std::size_t b = 0; b < w; ++b) acc[b] = 0.0;
-              for (const CsrEntry& e : t.row(col)) {
+              for (const CsrEntry& e : t.row_unchecked(col)) {
                 const double v = e.value;
                 const double* xr = x.data() + e.col * stride;
                 for (std::size_t b = 0; b < w; ++b) {
@@ -344,7 +344,7 @@ void CsrMatrix::multiply_left_block_fused(
       double acc[lane_capacity<decltype(bw)>()];
       for (std::size_t col = col_begin; col < col_end; ++col) {
         for (std::size_t b = 0; b < w; ++b) acc[b] = 0.0;
-        for (const CsrEntry& e : t.row(col)) {
+        for (const CsrEntry& e : t.row_unchecked(col)) {
           const double v = e.value;
           const double* xr = x.data() + e.col * stride;
           for (std::size_t b = 0; b < w; ++b) {

@@ -71,6 +71,7 @@ class SupportMask {
   void insert(std::size_t i) {
     if (bitmap_[i] != 0) return;
     bitmap_[i] = 1;
+    // lint:allow hot-alloc (members_ capacity is reserved to the state count at construction; append never reallocates)
     members_.push_back(i);
   }
 
@@ -104,6 +105,7 @@ class SupportMask {
       else
         bitmap_[i] = 0;
     }
+    // lint:allow hot-alloc (shrinking resize; capacity is retained, no allocation)
     members_.resize(kept);
   }
 

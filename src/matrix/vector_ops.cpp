@@ -11,6 +11,7 @@ namespace csrl {
 namespace {
 
 void check_equal_length(std::size_t a, std::size_t b, const char* where) {
+  // lint:allow hot-throw (argument validation guard at kernel entry)
   if (a != b) throw ModelError(std::string(where) + ": length mismatch");
 }
 
@@ -99,6 +100,7 @@ double max_abs_diff(std::span<const double> a, std::span<const double> b) {
 void normalise_l1(std::span<double> x) {
   const double total = sum(x);
   if (!(total > 0.0))
+    // lint:allow hot-throw (zero-mass guard; the fatal exit, never taken on a distribution)
     throw NumericalError("normalise_l1: vector sum is not positive");
   scale(x, 1.0 / total);
 }

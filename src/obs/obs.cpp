@@ -6,10 +6,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
+#include <stdexcept>
 
 #include "obs/json_writer.hpp"
-#include "util/error.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace csrl {
 namespace obs {
@@ -49,19 +50,21 @@ constexpr std::size_t kMaxSpanEventsPerThread = std::size_t{1} << 19;
 /// on — the dormant path never reaches it.
 struct SpanBuffer {
   explicit SpanBuffer(std::uint32_t id) : thread_id(id) {}
-  std::mutex mutex;
-  std::vector<SpanEvent> events;
-  std::uint64_t dropped = 0;
-  std::uint32_t thread_id;
+  Mutex mutex;
+  std::vector<SpanEvent> events CSRL_GUARDED_BY(mutex);
+  std::uint64_t dropped CSRL_GUARDED_BY(mutex) = 0;
+  const std::uint32_t thread_id;  // immutable after construction
 };
 
 struct Registry {
-  std::mutex mutex;  // guards names, shard list, buffer list
-  std::vector<std::string> counter_names;
-  std::vector<std::string> gauge_names;
-  std::vector<std::string> histogram_names;
-  std::vector<std::unique_ptr<Shard>> shards;
-  std::vector<std::unique_ptr<SpanBuffer>> buffers;
+  Mutex mutex;
+  std::vector<std::string> counter_names CSRL_GUARDED_BY(mutex);
+  std::vector<std::string> gauge_names CSRL_GUARDED_BY(mutex);
+  std::vector<std::string> histogram_names CSRL_GUARDED_BY(mutex);
+  std::vector<std::unique_ptr<Shard>> shards CSRL_GUARDED_BY(mutex);
+  std::vector<std::unique_ptr<SpanBuffer>> buffers CSRL_GUARDED_BY(mutex);
+  // Gauges are process-global relaxed atomics, written rarely from the
+  // coordinating thread: no lock on the write or the snapshot read.
   std::array<std::atomic<double>, kMaxMetrics> gauges{};
 
   static Registry& instance() {
@@ -70,15 +73,31 @@ struct Registry {
   }
 };
 
-std::size_t intern(std::vector<std::string>& names, const char* name,
-                   const char* kind) {
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+std::size_t intern(MetricKind kind, const char* name) {
   Registry& reg = Registry::instance();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  MutexLock lock(reg.mutex);
+  std::vector<std::string>& names = kind == MetricKind::kCounter
+                                        ? reg.counter_names
+                                        : kind == MetricKind::kGauge
+                                              ? reg.gauge_names
+                                              : reg.histogram_names;
   for (std::size_t i = 0; i < names.size(); ++i)
     if (names[i] == name) return i;
-  if (names.size() >= kMaxMetrics)
-    throw Error(std::string("obs: ") + kind + " id space exhausted at \"" +
-                name + "\" (" + std::to_string(kMaxMetrics) + " slots)");
+  if (names.size() >= kMaxMetrics) {
+    // Plain std::runtime_error, not util/error.hpp's Error: obs is the
+    // bottom layer of the include DAG (below util) and must stay free of
+    // upward dependencies.  Exhaustion is a programming error — sites
+    // are static program locations — so the generic type is fine.
+    const char* label = kind == MetricKind::kCounter
+                            ? "counter"
+                            : kind == MetricKind::kGauge ? "gauge"
+                                                         : "histogram";
+    throw std::runtime_error(std::string("obs: ") + label +
+                             " id space exhausted at \"" + name + "\" (" +
+                             std::to_string(kMaxMetrics) + " slots)");
+  }
   names.emplace_back(name);
   return names.size() - 1;
 }
@@ -93,7 +112,7 @@ thread_local std::vector<const char*> tls_span_stack;
 Shard& my_shard() {
   if (tls_shard == nullptr) {
     Registry& reg = Registry::instance();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    MutexLock lock(reg.mutex);
     reg.shards.push_back(std::make_unique<Shard>());
     tls_shard = reg.shards.back().get();
   }
@@ -103,7 +122,7 @@ Shard& my_shard() {
 SpanBuffer& my_buffer() {
   if (tls_buffer == nullptr) {
     Registry& reg = Registry::instance();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    MutexLock lock(reg.mutex);
     reg.buffers.push_back(std::make_unique<SpanBuffer>(
         static_cast<std::uint32_t>(reg.buffers.size())));
     tls_buffer = reg.buffers.back().get();
@@ -174,10 +193,10 @@ std::atomic<bool>& recording_flag() {
 /// collection uses (drain would starve the process-exit trace flush).
 std::vector<SpanEvent> collect_spans(bool consume) {
   Registry& reg = Registry::instance();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  MutexLock lock(reg.mutex);
   std::vector<SpanEvent> all;
   for (const std::unique_ptr<SpanBuffer>& buffer : reg.buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    MutexLock buffer_lock(buffer->mutex);
     if (consume) {
       std::move(buffer->events.begin(), buffer->events.end(),
                 std::back_inserter(all));
@@ -220,15 +239,15 @@ std::string output_stem(const std::string& fallback) {
 }
 
 std::size_t intern_counter(const char* name) {
-  return intern(Registry::instance().counter_names, name, "counter");
+  return intern(MetricKind::kCounter, name);
 }
 
 std::size_t intern_gauge(const char* name) {
-  return intern(Registry::instance().gauge_names, name, "gauge");
+  return intern(MetricKind::kGauge, name);
 }
 
 std::size_t intern_histogram(const char* name) {
-  return intern(Registry::instance().histogram_names, name, "histogram");
+  return intern(MetricKind::kHistogram, name);
 }
 
 void counter_add(std::size_t id, std::uint64_t delta) {
@@ -275,7 +294,7 @@ MetricsSnapshot::HistogramStats MetricsSnapshot::histogram(
 
 MetricsSnapshot snapshot_metrics() {
   Registry& reg = Registry::instance();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  MutexLock lock(reg.mutex);
   MetricsSnapshot snap;
 
   std::vector<std::uint64_t> counter_totals(reg.counter_names.size(), 0);
@@ -365,7 +384,7 @@ SpanGuard::~SpanGuard() {
     event.duration_ns = end - start_ns_;
     SpanBuffer& buffer = my_buffer();
     event.thread = buffer.thread_id;
-    std::lock_guard<std::mutex> lock(buffer.mutex);
+    MutexLock lock(buffer.mutex);
     if (buffer.events.size() < kMaxSpanEventsPerThread)
       buffer.events.push_back(std::move(event));
     else
@@ -433,7 +452,7 @@ bool write_chrome_trace(const std::string& path,
 
 void reset_all() {
   Registry& reg = Registry::instance();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  MutexLock lock(reg.mutex);
   for (const std::unique_ptr<Shard>& shard : reg.shards) {
     for (std::size_t i = 0; i < kMaxMetrics; ++i) {
       shard->counters[i].store(0, std::memory_order_relaxed);
@@ -446,7 +465,7 @@ void reset_all() {
   for (std::size_t i = 0; i < kMaxMetrics; ++i)
     reg.gauges[i].store(0.0, std::memory_order_relaxed);
   for (const std::unique_ptr<SpanBuffer>& buffer : reg.buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    MutexLock buffer_lock(buffer->mutex);
     buffer->events.clear();
     buffer->dropped = 0;
   }

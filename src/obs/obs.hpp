@@ -20,7 +20,8 @@
 //
 // Naming scheme: every span and metric name is a static '/'-separated
 // path `subsystem/engine/phase` matching ^[a-z0-9_]+(/[a-z0-9_]+)*$
-// (enforced by scripts/lint.py), e.g. "p3/sericola/column_sweep",
+// (enforced by the obs-name pass of scripts/analyze),
+// e.g. "p3/sericola/column_sweep",
 // "solver/iterations", "pool/chunks".
 //
 // Concurrency: counters and histograms accumulate into lock-free

@@ -1,0 +1,87 @@
+// Annotated mutex primitives for the concurrent core.
+//
+// libstdc++'s std::mutex / std::lock_guard carry no thread-safety
+// attributes, so clang's analysis (util/annotations.hpp) cannot see
+// through them.  These thin wrappers — a std::mutex declared as a
+// CAPABILITY, a lock_guard-shaped SCOPED_CAPABILITY, and a condition
+// variable whose wait() declares its REQUIRES contract — are the only
+// locking vocabulary the annotated subsystems use.  They add no state
+// and no indirection beyond the wrapped standard types; under gcc the
+// attributes vanish and they are exactly std::mutex / std::lock_guard.
+//
+// Deliberately minimal: no timed waits, no shared (reader/writer) mode,
+// no try-scoped form — nothing in the codebase needs them, and every
+// entry point added here is an entry point the analysis must model.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/annotations.hpp"
+
+namespace csrl {
+
+/// std::mutex declared as a thread-safety capability.  Fields guarded by
+/// an instance are annotated CSRL_GUARDED_BY(that_instance).
+class CSRL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CSRL_ACQUIRE() { m_.lock(); }
+  void unlock() CSRL_RELEASE() { m_.unlock(); }
+  bool try_lock() CSRL_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+/// RAII scoped lock over a Mutex (std::lock_guard with the
+/// scoped-capability attributes clang needs to track the critical
+/// section's extent).
+class CSRL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) CSRL_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~MutexLock() CSRL_RELEASE() { m_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// Condition variable bound to a Mutex at each wait.  wait() declares
+/// that the caller holds the mutex, which is what lets guarded fields be
+/// read in the caller's own `while (!condition) cv.wait(mu);` loop —
+/// the analysis sees the whole loop inside the critical section.
+/// (Predicate-lambda waits are deliberately absent: the lambda would be
+/// analysed as a separate function that touches guarded state without a
+/// visible lock.)
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `m`, sleep, re-acquire `m` before returning.
+  /// The adopt/release dance below hands the already-held native mutex
+  /// to a unique_lock for the wait and takes it back afterwards, so the
+  /// capability stays held across the call from the analysis' point of
+  /// view — which matches reality on both edges of the wait.
+  void wait(Mutex& m) CSRL_REQUIRES(m) CSRL_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> native(m.m_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace csrl

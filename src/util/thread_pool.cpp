@@ -1,14 +1,14 @@
 #include "util/thread_pool.hpp"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 
 #include "obs/obs.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace csrl {
 
@@ -36,7 +36,7 @@ struct ThreadPool::Impl {
 
   ~Impl() {
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       stop = true;
     }
     work_ready.notify_all();
@@ -47,10 +47,10 @@ struct ThreadPool::Impl {
   /// participants finished the current job.  Dispatches are serialized so
   /// independent callers (e.g. two Checkers on user threads) can share the
   /// pool; the second caller blocks until the first job drained.
-  void run(const std::function<void()>& job) {
-    std::lock_guard<std::mutex> dispatch(run_mutex);
+  void run(const std::function<void()>& job) CSRL_EXCLUDES(run_mutex, mutex) {
+    MutexLock dispatch(run_mutex);
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       current = &job;
       ++generation;
       active = threads.size();
@@ -61,12 +61,14 @@ struct ThreadPool::Impl {
     job();
     tls_in_parallel_region = false;
 
-    std::unique_lock<std::mutex> lock(mutex);
-    work_done.wait(lock, [this] { return active == 0; });
-    current = nullptr;
+    {
+      MutexLock lock(mutex);
+      while (active != 0) work_done.wait(mutex);
+      current = nullptr;
+    }
   }
 
-  void worker_loop() {
+  void worker_loop() CSRL_EXCLUDES(mutex) {
     std::uint64_t seen = 0;
     for (;;) {
       const std::function<void()>* job = nullptr;
@@ -77,9 +79,8 @@ struct ThreadPool::Impl {
         const bool meter = CSRL_OBS_ACTIVE();
         [[maybe_unused]] const std::int64_t idle_from =
             meter ? obs::now_ns() : 0;
-        std::unique_lock<std::mutex> lock(mutex);
-        work_ready.wait(lock,
-                        [&] { return stop || generation != seen; });
+        MutexLock lock(mutex);
+        while (!stop && generation == seen) work_ready.wait(mutex);
         if (meter)
           CSRL_COUNT("pool/worker_idle_ns",
                      static_cast<std::uint64_t>(obs::now_ns() - idle_from));
@@ -91,21 +92,24 @@ struct ThreadPool::Impl {
       (*job)();
       tls_in_parallel_region = false;
       {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         if (--active == 0) work_done.notify_all();
       }
     }
   }
 
-  std::mutex run_mutex;  // serializes run() callers
-  std::mutex mutex;
-  std::condition_variable work_ready;
-  std::condition_variable work_done;
-  const std::function<void()>* current = nullptr;
-  std::uint64_t generation = 0;
-  std::size_t active = 0;
-  bool stop = false;
-  std::vector<std::thread> threads;
+  /// Lock order: run_mutex (dispatch serialization) strictly before
+  /// mutex (job state); worker threads only ever take mutex.
+  Mutex run_mutex CSRL_ACQUIRED_BEFORE(mutex);
+  Mutex mutex;
+  CondVar work_ready;  // signalled with `mutex` held state changed:
+                       // stop set or generation bumped
+  CondVar work_done;   // signalled when `active` drops to zero
+  const std::function<void()>* current CSRL_GUARDED_BY(mutex) = nullptr;
+  std::uint64_t generation CSRL_GUARDED_BY(mutex) = 0;
+  std::size_t active CSRL_GUARDED_BY(mutex) = 0;
+  bool stop CSRL_GUARDED_BY(mutex) = false;
+  std::vector<std::thread> threads;  // immutable after construction
 };
 
 ThreadPool::ThreadPool(std::size_t num_threads)
@@ -134,7 +138,7 @@ void ThreadPool::parallel_for(
   CSRL_COUNT("pool/chunks", num_chunks);
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error = nullptr;
-  std::mutex error_mutex;
+  Mutex error_mutex;
   std::atomic<bool> failed{false};
 
   const std::function<void()> job = [&] {
@@ -146,7 +150,7 @@ void ThreadPool::parallel_for(
       try {
         chunk_fn(lo, hi);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
         failed.store(true, std::memory_order_relaxed);
         return;
@@ -170,19 +174,21 @@ std::size_t ThreadPool::resolve_threads(std::size_t requested) {
 }
 
 namespace {
-std::mutex global_pool_mutex;
-std::shared_ptr<ThreadPool> global_pool;
+Mutex global_pool_mutex;
+std::shared_ptr<ThreadPool> global_pool CSRL_GUARDED_BY(global_pool_mutex);
 }  // namespace
 
 std::shared_ptr<ThreadPool> ThreadPool::global_ptr() {
-  std::lock_guard<std::mutex> lock(global_pool_mutex);
+  // lint:allow hot-lock (guards the global pool pointer; taken once per parallel dispatch, never per element)
+  MutexLock lock(global_pool_mutex);
+  // lint:allow hot-alloc (one-time lazy construction of the global pool; every later dispatch takes the pointer-copy path)
   if (!global_pool) global_pool = std::make_shared<ThreadPool>(0);
   return global_pool;
 }
 
 void ThreadPool::set_global_threads(std::size_t num_threads) {
   const std::size_t resolved = resolve_threads(num_threads);
-  std::lock_guard<std::mutex> lock(global_pool_mutex);
+  MutexLock lock(global_pool_mutex);
   if (global_pool && global_pool->num_threads() == resolved) return;
   global_pool = std::make_shared<ThreadPool>(resolved);
 }

@@ -27,6 +27,9 @@
 #include <utility>
 #include <vector>
 
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
+
 namespace csrl {
 
 /// Pool of reusable double buffers (see file comment).  Buffers keep
@@ -140,6 +143,78 @@ class Workspace {
   std::vector<std::unique_ptr<std::vector<double>>> free_;
   std::vector<std::unique_ptr<std::vector<double>>> live_;
   LoopGuard* guard_ = nullptr;
+};
+
+/// Thread-safe pool of whole Workspace arenas, for callers that issue
+/// engine calls from several threads at once (the resident checker
+/// service of ROADMAP item 1).  The unit of checkout is an entire arena:
+/// a Workspace itself stays single-threaded by design (see the file
+/// comment), so each concurrent engine call borrows one, threads it
+/// through its TransientOptions / SolverOptions, and returns it warm —
+/// the next caller inherits the full-sized buffers instead of paying the
+/// first-iteration allocations again.
+class WorkspacePool {
+ public:
+  /// A pool seeded with `prewarm` empty arenas (they warm up on first
+  /// use; pre-seeding merely avoids the unique_ptr allocations under
+  /// first-wave contention).
+  explicit WorkspacePool(std::size_t prewarm = 0) {
+    MutexLock lock(mutex_);
+    for (std::size_t i = 0; i < prewarm; ++i)
+      idle_.push_back(std::make_unique<Workspace>());
+  }
+
+  WorkspacePool(const WorkspacePool&) = delete;
+  WorkspacePool& operator=(const WorkspacePool&) = delete;
+
+  /// Borrow an arena: the most recently returned one (warmest), or a
+  /// fresh one when every arena is checked out.  Never blocks and never
+  /// fails — peak concurrency simply grows the pool.
+  std::unique_ptr<Workspace> check_out() CSRL_EXCLUDES(mutex_) {
+    {
+      MutexLock lock(mutex_);
+      if (!idle_.empty()) {
+        std::unique_ptr<Workspace> ws = std::move(idle_.back());
+        idle_.pop_back();
+        return ws;
+      }
+    }
+    return std::make_unique<Workspace>();
+  }
+
+  /// Return an arena obtained from check_out().  Null is ignored, so a
+  /// moved-from handle can be returned unconditionally.
+  void check_in(std::unique_ptr<Workspace> ws) CSRL_EXCLUDES(mutex_) {
+    if (ws == nullptr) return;
+    MutexLock lock(mutex_);
+    idle_.push_back(std::move(ws));
+  }
+
+  /// Number of arenas currently sitting idle in the pool.
+  std::size_t idle() const CSRL_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return idle_.size();
+  }
+
+  /// RAII checkout: `Scope scope(pool); engine(..., &scope.get());`.
+  class Scope {
+   public:
+    explicit Scope(WorkspacePool& pool)
+        : pool_(pool), ws_(pool.check_out()) {}
+    ~Scope() { pool_.check_in(std::move(ws_)); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+    Workspace& get() { return *ws_; }
+
+   private:
+    WorkspacePool& pool_;
+    std::unique_ptr<Workspace> ws_;
+  };
+
+ private:
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<Workspace>> idle_ CSRL_GUARDED_BY(mutex_);
 };
 
 }  // namespace csrl

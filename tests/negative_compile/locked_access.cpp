@@ -1,0 +1,37 @@
+// Positive control for the thread-safety try_compile harness: correct
+// MutexLock / CSRL_REQUIRES usage that MUST compile cleanly under
+// -Wthread-safety -Werror=thread-safety.  If this case fails, the
+// harness (not the annotations under test) is broken — e.g. include
+// paths or flags are wrong — and the negative cases' failures would be
+// meaningless, so cmake/ThreadSafetyChecks.cmake checks it first.
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    csrl::MutexLock lock(mutex_);
+    bump_locked();
+  }
+
+  int get() {
+    csrl::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  void bump_locked() CSRL_REQUIRES(mutex_) { value_ = value_ + 1; }
+
+  csrl::Mutex mutex_;
+  int value_ CSRL_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.get() == 1 ? 0 : 1;
+}

@@ -1,0 +1,30 @@
+// Negative thread-safety case: calling a CSRL_REQUIRES(mutex) function
+// without holding the mutex.  Under clang with
+// -Wthread-safety -Werror=thread-safety this translation unit MUST fail
+// to compile; cmake/ThreadSafetyChecks.cmake asserts exactly that with
+// try_compile.  (It never becomes part of any target.)
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
+
+namespace {
+
+class Queue {
+ public:
+  void drain() {
+    pop_locked();  // caller does not hold mutex_: must warn
+  }
+
+ private:
+  void pop_locked() CSRL_REQUIRES(mutex_) { head_ = head_ + 1; }
+
+  csrl::Mutex mutex_;
+  int head_ CSRL_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue q;
+  q.drain();
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Negative thread-safety case: reading and writing a CSRL_GUARDED_BY
+// field without holding its mutex.  Under clang with
+// -Wthread-safety -Werror=thread-safety this translation unit MUST fail
+// to compile; cmake/ThreadSafetyChecks.cmake asserts exactly that with
+// try_compile.  (It never becomes part of any target.)
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {  // missing MutexLock: both accesses below must warn
+    value_ = value_ + 1;
+  }
+
+ private:
+  csrl::Mutex mutex_;
+  int value_ CSRL_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return 0;
+}

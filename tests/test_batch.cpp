@@ -11,10 +11,12 @@
 // sharing across checkers, fingerprint scoping across models).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <limits>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/batch.hpp"
@@ -436,6 +438,57 @@ TEST(SatCacheMemo, DisablingTheOptionSkipsCaching) {
       obs::metrics_delta(before, obs::snapshot_metrics());
   EXPECT_EQ(delta.counter("core/sat_cache/misses"), 0u);
   EXPECT_EQ(delta.counter("core/sat_cache/hits"), 0u);
+}
+
+TEST(SatCacheMemo, ConcurrentCheckersShareOneCacheSafely) {
+  const Mrm m = build_adhoc_mrm();
+
+  // Single-threaded reference: probe and entry counts for one
+  // evaluation are deterministic (same formula traversal every run).
+  auto reference = std::make_shared<SatCache>();
+  {
+    const FormulaPtr q3 = parse_formula(kQueryQ3);
+    const Checker checker(m, CheckOptions{}, reference);
+    checker.values(*q3);
+  }
+  const std::size_t ref_size = reference->size();
+  const std::uint64_t ref_probes =
+      reference->stats().hits + reference->stats().misses;
+  ASSERT_GT(ref_size, 0u);
+
+  // Hammer one shared cache from many checkers at once.  Which probes
+  // hit and which miss depends on the interleaving; the invariants do
+  // not: the entry set is exactly the reference's (duplicate inserts
+  // collapse), every probe is accounted for, and each thread's results
+  // are bitwise the reference's.
+  auto cache = std::make_shared<SatCache>();
+  constexpr int kThreads = 8;
+  const std::vector<double> expected = [&] {
+    const FormulaPtr q3 = parse_formula(kQueryQ3);
+    return Checker(m, CheckOptions{}, reference).values(*q3);
+  }();
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&m, &cache, &expected, &mismatches] {
+      const FormulaPtr q3 = parse_formula(kQueryQ3);
+      const Checker checker(m, CheckOptions{}, cache);
+      const std::vector<double> got = checker.values(*q3);
+      if (got.size() != expected.size() ||
+          std::memcmp(got.data(), expected.data(),
+                      got.size() * sizeof(double)) != 0)
+        mismatches.fetch_add(1);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(cache->size(), ref_size);
+  const SatCache::Stats stats = cache->stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * ref_probes);
+  EXPECT_GE(stats.misses, reference->stats().misses);
 }
 
 TEST(BatchCheckerApi, CheckUntilGridCarriesTheGridInItsReport) {

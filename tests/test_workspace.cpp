@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <memory>
+#include <thread>
 #include <vector>
 
 namespace csrl {
@@ -94,6 +98,77 @@ TEST(Workspace, LeaseReleasesOnDestruction) {
 TEST(Workspace, NullGuardStaysZero) {
   Workspace::LoopGuard guard(nullptr);
   EXPECT_EQ(guard.heap_allocations(), 0u);
+}
+
+TEST(WorkspacePool, PrewarmSeedsIdleArenas) {
+  WorkspacePool pool(3);
+  EXPECT_EQ(pool.idle(), 3u);
+}
+
+TEST(WorkspacePool, CheckOutGrowsAtPeakAndCheckInReturns) {
+  WorkspacePool pool;
+  EXPECT_EQ(pool.idle(), 0u);
+  std::unique_ptr<Workspace> a = pool.check_out();  // pool empty: fresh
+  std::unique_ptr<Workspace> b = pool.check_out();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  pool.check_in(std::move(a));
+  pool.check_in(std::move(b));
+  EXPECT_EQ(pool.idle(), 2u);
+  pool.check_in(nullptr);  // moved-from handles are ignored
+  EXPECT_EQ(pool.idle(), 2u);
+}
+
+TEST(WorkspacePool, HandsBackWarmestArenaFirst) {
+  WorkspacePool pool;
+  std::unique_ptr<Workspace> warm = pool.check_out();
+  std::vector<double>& buf = warm->acquire(64);
+  warm->release(buf);
+  Workspace* warm_raw = warm.get();
+  pool.check_in(pool.check_out());  // a cold arena, returned first
+  pool.check_in(std::move(warm));   // warm arena returned last (LIFO top)
+  std::unique_ptr<Workspace> next = pool.check_out();
+  EXPECT_EQ(next.get(), warm_raw);
+  EXPECT_EQ(next->retired(), 1u);
+}
+
+TEST(WorkspacePool, ScopeReturnsOnExit) {
+  WorkspacePool pool(1);
+  {
+    WorkspacePool::Scope scope(pool);
+    EXPECT_EQ(pool.idle(), 0u);
+    std::vector<double>& buf = scope.get().acquire(16);
+    EXPECT_EQ(buf.size(), 16u);
+    scope.get().release(buf);
+  }
+  EXPECT_EQ(pool.idle(), 1u);
+}
+
+TEST(WorkspacePool, ConcurrentCheckOutsNeverShareAnArena) {
+  WorkspacePool pool(2);
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 200;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &failures] {
+      for (int round = 0; round < kRounds; ++round) {
+        WorkspacePool::Scope scope(pool);
+        // Exclusive use: a private buffer written and read back intact.
+        std::vector<double>& buf = scope.get().acquire(32);
+        std::fill(buf.begin(), buf.end(),
+                  static_cast<double>(round));
+        for (double v : buf)
+          if (v != static_cast<double>(round)) failures.fetch_add(1);
+        scope.get().release(buf);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Every arena came home.
+  EXPECT_GE(pool.idle(), 2u);
 }
 
 }  // namespace
