@@ -68,6 +68,10 @@ std::uint64_t spmv_between(const obs::MetricsSnapshot& before,
 /// Figure-1 surface both ways, prints it, and writes the SpMV counts and
 /// the bitwise verdict to BENCH_fig1_grid.json.
 int run_grid_mode() {
+  // Grid mode gets its own obs guard (BENCH_fig1_grid_obs.json + ledger
+  // entry): CI's bench-smoke job runs only this mode, and the perf
+  // baseline-check needs the counter report it leaves behind.
+  csrl_bench::BenchObs obs_guard("fig1_grid");
   const Mrm reduced = build_q3_reduced_mrm();
   const SericolaEngine engine(1e-9);
   StateSet success(reduced.num_states());
@@ -113,6 +117,16 @@ int run_grid_mode() {
               static_cast<unsigned long long>(batched_spmvs),
               static_cast<unsigned long long>(looped_spmvs), ratio,
               bitwise ? "yes" : "NO");
+
+  // Wall-clock trajectory of the batched pass (median of 5 reps in the
+  // obs report).  Runs after the SpMV-count snapshots above, so the
+  // extra evaluations never distort the acceptance ratio; the counters
+  // they add to the obs report are deterministic (same work, 6 times).
+  obs_guard.timed_reps("batched_grid", [&] {
+    return engine
+        .joint_probability_all_starts_grid(reduced, times, rewards, success)
+        .size();
+  });
 
   obs::JsonWriter w;
   w.begin_object();

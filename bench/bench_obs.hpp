@@ -23,9 +23,11 @@
 #include "matrix/simd.hpp"
 #include "matrix/spmm.hpp"
 #include "obs/json_writer.hpp"
+#include "obs/ledger.hpp"
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace csrl_bench {
 
@@ -58,6 +60,10 @@ class BenchObs {
         csrl::WallTimer timer;
         fn();
         seconds.push_back(timer.seconds());
+        // Every rep also lands in the log-bucketed latency histogram, so
+        // the obs JSON carries p50/p99 across workloads alongside the
+        // per-workload median/min.
+        CSRL_HIST("latency/bench_rep", seconds.back());
       }
       record_reps(label, seconds);
     } else {
@@ -66,6 +72,7 @@ class BenchObs {
         csrl::WallTimer timer;
         result = fn();
         seconds.push_back(timer.seconds());
+        CSRL_HIST("latency/bench_rep", seconds.back());
       }
       record_reps(label, seconds);
       return result;
@@ -97,6 +104,16 @@ class BenchObs {
       // the obs write-out.
     }
     w.key("rhs_block").value(rhs_block);
+    const std::uint64_t threads = csrl::ThreadPool::global().num_threads();
+    w.key("threads").value(threads);
+    const std::uint64_t spans_dropped = csrl::obs::dropped_span_events();
+    w.key("spans_dropped").value(spans_dropped);
+    if (spans_dropped > 0)
+      std::fprintf(stderr,
+                   "csrl: obs: %llu span event(s) dropped during this bench "
+                   "(per-thread buffer cap); the span aggregate is "
+                   "truncated\n",
+                   static_cast<unsigned long long>(spans_dropped));
     w.key("reps").begin_array();
     for (const RepStats& r : rep_stats_) {
       w.begin_object();
@@ -120,6 +137,28 @@ class BenchObs {
       std::printf("wrote %s\n", path.c_str());
     } else {
       std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    }
+
+    // Run ledger: append this report to BENCH_history.jsonl (or the
+    // CSRL_BENCH_LEDGER override) stamped with git SHA, build flags and
+    // the hardware fingerprint, so the perf trajectory accumulates
+    // across invocations.  A ledger write failure warns but never fails
+    // the bench — gates live in the bench's own exit code.
+    const std::string ledger = csrl::obs::ledger_path();
+    if (!ledger.empty()) {
+      csrl::obs::LedgerStamp stamp;
+      stamp.bench = name_;
+      stamp.simd_isa = csrl::simd_isa();
+      stamp.rhs_block = rhs_block;
+      stamp.threads = threads;
+#ifdef CSRL_OBS_DISABLED
+      stamp.obs_compiled = false;
+#endif
+      const std::string line = csrl::obs::ledger_line(stamp, text);
+      if (csrl::obs::append_ledger_line(ledger, line))
+        std::printf("appended %s\n", ledger.c_str());
+      else
+        std::fprintf(stderr, "cannot append to %s\n", ledger.c_str());
     }
   }
 

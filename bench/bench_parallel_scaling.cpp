@@ -3,10 +3,15 @@
 // model — tiny, so it mostly measures dispatch overhead) and (b) a large
 // synthetic MRM (>= 10^5 states) where the sweeps and SpMVs dominate.
 //
-// Emits BENCH_parallel_scaling.json in the working directory: one record
-// per (engine, model, threads) with wall_ms, speedup vs 1 thread, and a
-// bitwise-identity flag against the 1-thread result, so future PRs can
-// track the performance trajectory mechanically.
+// Emits BENCH_parallel_scaling.json in the working directory.  Both the
+// measured and the single-CPU path write the same document shape —
+// schema "csrl-bench-parallel-scaling-v1" with the common "reps" array
+// plus a "scaling_measured" flag — so ledger and perf tooling never
+// special-case this bench.  When scaling is measured, "records" holds
+// one entry per (engine, model, threads) with wall_ms, speedup vs
+// 1 thread, and a bitwise-identity flag against the 1-thread result;
+// on single-CPU hosts "single_thread_profiles" carries each engine's
+// full RunReport instead.
 //
 // Engines are measured in the shape the checker uses them in: Sericola in
 // its one-pass all-start-states form, pseudo-Erlang and discretisation via
@@ -23,6 +28,7 @@
 #include "core/engines/sericola_engine.hpp"
 #include "models/adhoc.hpp"
 #include "models/synthetic.hpp"
+#include "obs/json_writer.hpp"
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
 #include "util/state_set.hpp"
@@ -94,25 +100,56 @@ void measure(const std::string& engine, const std::string& model_name,
   ThreadPool::set_global_threads(1);
 }
 
-void write_json(const std::vector<Record>& records, const char* path) {
+/// The single document shape both paths emit.  `records` is empty on
+/// single-CPU hosts, `profiles` (pre-serialised RunReport JSON) is
+/// empty when scaling was measured; the keys are always present so
+/// consumers can parse unconditionally.
+void write_json(const csrl_bench::BenchObs& obs_guard, bool scaling_measured,
+                const std::vector<Record>& records,
+                const std::vector<std::string>& profiles, const char* path) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("csrl-bench-parallel-scaling-v1");
+  w.key("bench").value("parallel_scaling");
+  w.key("scaling_measured").value(scaling_measured);
+  w.key("reps").begin_array();
+  for (const csrl_bench::BenchObs::RepStats& r : obs_guard.reps()) {
+    w.begin_object();
+    w.key("name").value(r.name);
+    w.key("reps").value(static_cast<std::uint64_t>(r.reps));
+    w.key("median_ms").value(r.median_ms);
+    w.key("min_ms").value(r.min_ms);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("records").begin_array();
+  for (const Record& r : records) {
+    w.begin_object();
+    w.key("engine").value(r.engine);
+    w.key("model").value(r.model);
+    w.key("states").value(static_cast<std::uint64_t>(r.states));
+    w.key("threads").value(static_cast<std::uint64_t>(r.threads));
+    w.key("wall_ms").value(r.wall_ms);
+    w.key("speedup").value(r.speedup);
+    w.key("identical_to_serial").value(r.identical_to_serial);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("single_thread_profiles").begin_array();
+  for (const std::string& profile : profiles) w.raw(profile);
+  w.end_array();
+  w.end_object();
+  const std::string text = std::move(w).str();
+
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path);
     return;
   }
-  std::fprintf(f, "[\n");
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    const Record& r = records[i];
-    std::fprintf(f,
-                 "  {\"engine\": \"%s\", \"model\": \"%s\", \"states\": %zu, "
-                 "\"threads\": %zu, \"wall_ms\": %.3f, \"speedup\": %.3f, "
-                 "\"identical_to_serial\": %s}%s\n",
-                 r.engine.c_str(), r.model.c_str(), r.states, r.threads,
-                 r.wall_ms, r.speedup, r.identical_to_serial ? "true" : "false",
-                 i + 1 < records.size() ? "," : "");
-  }
-  std::fprintf(f, "]\n");
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
   std::fclose(f);
+  std::printf("wrote %s\n", path);
 }
 
 }  // namespace
@@ -174,17 +211,8 @@ int main() {
           .joint_distribution(q3, kTimeBoundHours, kRewardBoundMah);
     });
 
-    if (std::FILE* f = std::fopen("BENCH_parallel_scaling.json", "w")) {
-      std::fprintf(f,
-                   "{\"scaling\": \"skipped-single-cpu\",\n"
-                   " \"single_thread_profiles\": [\n");
-      for (std::size_t i = 0; i < profiles.size(); ++i)
-        std::fprintf(f, "  %s%s\n", profiles[i].c_str(),
-                     i + 1 < profiles.size() ? "," : "");
-      std::fprintf(f, "]}\n");
-      std::fclose(f);
-      std::printf("wrote BENCH_parallel_scaling.json\n");
-    }
+    write_json(obs_guard, /*scaling_measured=*/false, {}, profiles,
+               "BENCH_parallel_scaling.json");
     return 0;
   }
 
@@ -250,7 +278,7 @@ int main() {
             records);
   }
 
-  write_json(records, "BENCH_parallel_scaling.json");
-  std::printf("\nwrote BENCH_parallel_scaling.json\n");
+  write_json(obs_guard, /*scaling_measured=*/true, records, {},
+             "BENCH_parallel_scaling.json");
   return 0;
 }

@@ -1,0 +1,185 @@
+"""Command-line driver for the perf gates.
+
+Usage:
+    python3 scripts/perf/run.py diff BASELINE CURRENT [options]
+    python3 scripts/perf/run.py baseline-check BASELINE_DIR CURRENT_DIR
+    python3 scripts/perf/run.py ledger HISTORY_FILE [--bench NAME]
+
+All modes print a markdown table of findings (nothing when clean),
+write the csrl-perf-report-v1 document (--report, default
+PERF_report.json), and exit 1 when a hard counter regressed — or when
+a wall-time band is exceeded under --strict-wall.  Exit 2 means the
+inputs themselves were unusable.
+
+`diff` compares two report files (BENCH_*_obs.json, *.report.json, or
+a single ledger line saved to a file); `--history BENCH_history.jsonl`
+supplies ledger context so the wall-time bands are MAD-based instead
+of the fixed fallback tolerance.  `baseline-check` pairs the
+BENCH_*_obs.json files of two directories by filename — what CI runs
+against bench/baselines/.  `ledger` checks the newest entry of each
+bench in a history file against its own past.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import diff, gates, ledger
+
+
+def history_for(reports, bench_name):
+    """{workload label: [median_ms, ...]} over a bench's ledger entries."""
+    history = {}
+    for report in reports:
+        if report.name != bench_name:
+            continue
+        for label, median in report.rep_medians().items():
+            history.setdefault(label, []).append(median)
+    return history
+
+
+def cmd_diff(args):
+    baseline = ledger.load_report(args.baseline)
+    current = ledger.load_report(args.current)
+    history = None
+    if args.history:
+        entries = ledger.load_ledger(args.history)
+        history = history_for(entries, current.name)
+    result = diff.diff_reports(baseline, current, history=history,
+                               k=args.k, rel_tolerance=args.rel_tolerance)
+    return [result]
+
+
+def cmd_baseline_check(args):
+    baseline_dir = Path(args.baseline_dir)
+    current_dir = Path(args.current_dir)
+    pairs = []
+    for base_path in sorted(baseline_dir.glob("BENCH_*_obs.json")):
+        cur_path = current_dir / base_path.name
+        if not cur_path.is_file():
+            print(f"perf: no current report for {base_path.name}; "
+                  "that bench was not run, skipping",
+                  file=sys.stderr)
+            continue
+        pairs.append((base_path, cur_path))
+    if not pairs:
+        print(f"perf: no BENCH_*_obs.json pairs between {baseline_dir} "
+              f"and {current_dir}", file=sys.stderr)
+        return None
+    results = []
+    for base_path, cur_path in pairs:
+        baseline = ledger.load_report(base_path)
+        current = ledger.load_report(cur_path)
+        results.append(diff.diff_reports(
+            baseline, current, k=args.k,
+            rel_tolerance=args.rel_tolerance))
+    return results
+
+
+def cmd_ledger(args):
+    entries = ledger.load_ledger(args.history_file)
+    if args.bench:
+        entries = [e for e in entries if e.name == args.bench]
+    by_bench = {}
+    for entry in entries:
+        by_bench.setdefault(entry.name, []).append(entry)
+    results = []
+    for name in sorted(by_bench):
+        runs = by_bench[name]
+        if len(runs) < 2:
+            print(f"perf: bench {name}: only {len(runs)} ledger entry, "
+                  "nothing to compare against", file=sys.stderr)
+            continue
+        history = {}
+        for run in runs[:-1]:
+            for label, median in run.rep_medians().items():
+                history.setdefault(label, []).append(median)
+        results.append(diff.diff_reports(
+            runs[-2], runs[-1], history=history, k=args.k,
+            rel_tolerance=args.rel_tolerance))
+    if not results:
+        print("perf: no bench in the ledger has two entries to compare",
+              file=sys.stderr)
+        return None
+    return results
+
+
+def add_common(parser):
+    parser.add_argument("--report", metavar="PATH",
+                        default="PERF_report.json",
+                        help="write the JSON outcome here "
+                        "(default: %(default)s; 'none' disables)")
+    parser.add_argument("--markdown", metavar="PATH",
+                        help="also write the markdown table here")
+    parser.add_argument("--strict-wall", action="store_true",
+                        help="wall-time band violations fail the check "
+                        "instead of warning")
+    parser.add_argument("--k", type=float, default=gates.DEFAULT_K,
+                        help="MAD band width in sigma estimates "
+                        "(default: %(default)s)")
+    parser.add_argument("--rel-tolerance", type=float,
+                        default=gates.DEFAULT_REL_TOLERANCE,
+                        help="fallback relative wall tolerance when the "
+                        "history is short (default: %(default)s)")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="perf", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("diff", help="compare two report files")
+    p.add_argument("baseline")
+    p.add_argument("current")
+    p.add_argument("--history", metavar="LEDGER",
+                   help="BENCH_history.jsonl for MAD wall bands")
+    add_common(p)
+    p.set_defaults(func=cmd_diff)
+
+    p = sub.add_parser("baseline-check",
+                       help="pair BENCH_*_obs.json files of two directories")
+    p.add_argument("baseline_dir")
+    p.add_argument("current_dir")
+    add_common(p)
+    p.set_defaults(func=cmd_baseline_check)
+
+    p = sub.add_parser("ledger",
+                       help="check each bench's newest ledger entry "
+                       "against its history")
+    p.add_argument("history_file")
+    p.add_argument("--bench", help="restrict to one bench name")
+    add_common(p)
+    p.set_defaults(func=cmd_ledger)
+
+    args = parser.parse_args(argv)
+
+    try:
+        results = args.func(args)
+    except (OSError, ValueError) as error:
+        print(f"perf: {error}", file=sys.stderr)
+        return 2
+    if results is None:
+        return 2
+
+    table = diff.markdown_table(results)
+    if table:
+        print(table)
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as f:
+            f.write((table or "No findings.") + "\n")
+    if args.report and args.report != "none":
+        diff.write_report(
+            diff.build_report(results, args.command,
+                              strict_wall=args.strict_wall),
+            args.report)
+
+    hard = sum(len(r.hard_failures) for r in results)
+    soft = sum(len(r.soft_failures) for r in results)
+    improved = sum(len(r.improvements) for r in results)
+    ok = diff.passed(results, strict_wall=args.strict_wall)
+    print(f"perf: {len(results)} pair(s) compared, {hard} hard "
+          f"regression(s), {soft} wall-time warning(s), {improved} "
+          f"improvement(s): {'PASS' if ok else 'FAIL'}",
+          file=sys.stderr if not ok else sys.stdout)
+    return 0 if ok else 1

@@ -1,0 +1,121 @@
+"""Report-level diffing and the PERF_report.json / markdown emitters."""
+
+import json
+from dataclasses import dataclass, field
+
+from . import gates
+
+
+@dataclass
+class DiffResult:
+    """The gate outcomes of one baseline/current report pair."""
+
+    name: str
+    baseline: str
+    current: str
+    findings: list = field(default_factory=list)
+
+    @property
+    def hard_failures(self):
+        return [f for f in self.findings if f.is_hard_failure]
+
+    @property
+    def soft_failures(self):
+        return [f for f in self.findings if f.kind == "soft-regression"]
+
+    @property
+    def improvements(self):
+        return [f for f in self.findings if f.kind == "hard-improvement"]
+
+
+def diff_reports(baseline, current, history=None, k=gates.DEFAULT_K,
+                 rel_tolerance=gates.DEFAULT_REL_TOLERANCE):
+    """Run both gates over a normalised baseline/current report pair.
+
+    `history` maps workload label -> [median_ms, ...] from the ledger
+    for MAD bands; None falls back to the fixed tolerance."""
+    findings = gates.hard_gate(baseline.counters, current.counters)
+    findings.extend(gates.soft_gate(
+        baseline.rep_medians(), current.rep_medians(), history=history,
+        k=k, rel_tolerance=rel_tolerance))
+    return DiffResult(
+        name=current.name, baseline=baseline.source,
+        current=current.source, findings=findings)
+
+
+def passed(results, strict_wall=False):
+    if any(r.hard_failures for r in results):
+        return False
+    if strict_wall and any(r.soft_failures for r in results):
+        return False
+    return True
+
+
+def build_report(results, mode, strict_wall=False):
+    """The csrl-perf-report-v1 document (what CI archives)."""
+    return {
+        "schema": "csrl-perf-report-v1",
+        "mode": mode,
+        "strict_wall": strict_wall,
+        "passed": passed(results, strict_wall=strict_wall),
+        "pairs": [
+            {
+                "name": r.name,
+                "baseline": r.baseline,
+                "current": r.current,
+                "hard_failures": len(r.hard_failures),
+                "soft_failures": len(r.soft_failures),
+                "improvements": len(r.improvements),
+                "findings": [
+                    {
+                        "kind": f.kind,
+                        "metric": f.metric,
+                        "baseline": f.baseline,
+                        "current": f.current,
+                        "detail": f.detail,
+                    }
+                    for f in r.findings
+                ],
+            }
+            for r in results
+        ],
+    }
+
+
+def write_report(report, path):
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=1, sort_keys=False)
+        f.write("\n")
+
+
+_KIND_LABELS = {
+    "hard-regression": "HARD FAIL",
+    "hard-improvement": "improved",
+    "soft-regression": "soft warn",
+}
+
+
+def markdown_table(results):
+    """One markdown table over all pairs; '' when everything is clean."""
+    rows = []
+    for r in results:
+        for f in r.findings:
+            rows.append((r.name, _KIND_LABELS.get(f.kind, f.kind),
+                         f.metric, _format(f.baseline), _format(f.current),
+                         f.detail))
+    if not rows:
+        return ""
+    lines = [
+        "| bench | outcome | metric | baseline | current | detail |",
+        "|---|---|---|---|---|---|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(
+            str(c).replace("|", "\\|") for c in row) + " |")
+    return "\n".join(lines)
+
+
+def _format(value):
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.3f}"
+    return str(int(value))

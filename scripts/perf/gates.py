@@ -1,0 +1,119 @@
+"""The gate policies: hard (exact counters) and soft (wall-time bands).
+
+Hard gates treat a counter missing on one side as zero, so a newly
+instrumented counter gates from its first appearance and a counter that
+disappears shows up as an improvement (prompting a baseline refresh)
+rather than vanishing from the comparison.
+"""
+
+import statistics
+from dataclasses import dataclass
+
+# Thread-pool dispatch statistics depend on the host's thread count and
+# scheduling; everything else the kernels count is structural and
+# bit-identical across machines (DESIGN.md section 3h).
+HARD_EXCLUDE_PREFIXES = ("pool/",)
+
+# 1.4826 * MAD estimates sigma consistently for normal noise; k sigmas
+# around the history median is the soft band.
+MAD_SIGMA = 1.4826
+DEFAULT_K = 4.0
+# Fallback when the ledger history is too short for a MAD band: a fixed
+# relative tolerance around the baseline median.  Wide on purpose —
+# single-shot wall-clock comparisons on shared hosts are that noisy.
+DEFAULT_REL_TOLERANCE = 0.50
+# A MAD band narrower than this fraction of the median is treated as
+# this fraction: timer quantisation can make MAD collapse to ~0 for
+# fast workloads, and a zero-width band would flag every run.
+MIN_REL_BAND = 0.10
+
+
+@dataclass
+class Finding:
+    """One gate outcome worth reporting."""
+
+    kind: str      # hard-regression | hard-improvement | soft-regression
+    metric: str
+    baseline: float
+    current: float
+    detail: str = ""
+
+    @property
+    def is_hard_failure(self):
+        return self.kind == "hard-regression"
+
+
+def is_hard_counter(name):
+    return not name.startswith(HARD_EXCLUDE_PREFIXES)
+
+
+def hard_gate(baseline_counters, current_counters):
+    """Exact comparison over the union of hard counters.
+
+    Returns findings sorted by metric name; equal counters produce
+    nothing.  Any increase is a hard failure."""
+    findings = []
+    names = set(baseline_counters) | set(current_counters)
+    for name in sorted(names):
+        if not is_hard_counter(name):
+            continue
+        base = baseline_counters.get(name, 0)
+        cur = current_counters.get(name, 0)
+        if cur == base:
+            continue
+        if cur > base:
+            findings.append(Finding(
+                "hard-regression", name, base, cur,
+                f"deterministic counter increased {base} -> {cur}"))
+        else:
+            findings.append(Finding(
+                "hard-improvement", name, base, cur,
+                f"counter decreased {base} -> {cur}; "
+                "refresh bench/baselines/ to lock in the win"))
+    return findings
+
+
+def soft_band(label, baseline_median, history_medians,
+              k=DEFAULT_K, rel_tolerance=DEFAULT_REL_TOLERANCE,
+              min_history=3):
+    """(upper_bound_ms, description) for one workload's wall time."""
+    history = [m for m in (history_medians or []) if m is not None]
+    if len(history) >= min_history:
+        centre = statistics.median(history)
+        band = max(k * MAD_SIGMA * mad_of(history), MIN_REL_BAND * centre)
+        return centre + band, (
+            f"median {centre:.3f} ms over {len(history)} ledger entries, "
+            f"MAD band +-{band:.3f} ms (k={k:g})")
+    upper = baseline_median * (1.0 + rel_tolerance)
+    return upper, (
+        f"baseline {baseline_median:.3f} ms + {rel_tolerance:.0%} fixed "
+        f"tolerance (history too short for a MAD band)")
+
+
+def mad_of(values):
+    med = statistics.median(values)
+    return statistics.median(abs(v - med) for v in values)
+
+
+def soft_gate(baseline_medians, current_medians, history=None,
+              k=DEFAULT_K, rel_tolerance=DEFAULT_REL_TOLERANCE):
+    """Wall-time comparison per workload label.
+
+    `history` maps label -> [median_ms, ...] from the ledger (may be
+    None or partial).  Workloads present only on one side are skipped:
+    wall gates are advisory and a label mismatch is a config change,
+    not a perf signal."""
+    findings = []
+    history = history or {}
+    for label in sorted(set(baseline_medians) & set(current_medians)):
+        base = baseline_medians[label]
+        cur = current_medians[label]
+        upper, description = soft_band(
+            label, base, history.get(label), k=k,
+            rel_tolerance=rel_tolerance)
+        if cur > upper:
+            findings.append(Finding(
+                "soft-regression", f"reps/{label}/median_ms", base, cur,
+                f"median {cur:.3f} ms exceeds the noise band "
+                f"({description})"))
+    return findings

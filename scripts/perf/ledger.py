@@ -1,0 +1,105 @@
+"""Loading and normalising bench reports and ledger histories.
+
+Every consumer in this package works on one shape — `Report` — no
+matter which on-disk document it came from.  The loaders accept:
+
+  * csrl-bench-obs-v1       (BENCH_<name>_obs.json, written by BenchObs)
+  * csrl-run-report-v1      (<stem>.report.json, written by ReportScope)
+  * csrl-bench-parallel-scaling-v1 (reps + records, no counters)
+  * csrl-bench-ledger-v1    (one BENCH_history.jsonl line; the embedded
+                             "report" document is unwrapped and the
+                             stamp kept as `Report.stamp`)
+
+Unknown schemas fail loudly: silently gating on a misparsed document
+would read as "no regression" when nothing was checked.
+"""
+
+import json
+from dataclasses import dataclass, field
+
+KNOWN_SCHEMAS = (
+    "csrl-bench-obs-v1",
+    "csrl-run-report-v1",
+    "csrl-bench-parallel-scaling-v1",
+)
+LEDGER_SCHEMA = "csrl-bench-ledger-v1"
+
+
+@dataclass
+class Report:
+    """One normalised bench/run report."""
+
+    name: str                      # bench or engine name
+    source: str                    # path (plus line number for ledgers)
+    schema: str
+    counters: dict = field(default_factory=dict)   # name -> int
+    gauges: dict = field(default_factory=dict)     # name -> float
+    histograms: dict = field(default_factory=dict) # name -> stats dict
+    reps: list = field(default_factory=list)       # [{name, median_ms, ...}]
+    wall_seconds: float = None
+    stamp: dict = field(default_factory=dict)      # ledger stamp, if any
+
+    def rep_medians(self):
+        """{workload label: median_ms} for the soft gates."""
+        return {
+            r["name"]: r["median_ms"]
+            for r in self.reps
+            if "name" in r and "median_ms" in r
+        }
+
+
+class ReportError(ValueError):
+    """A document could not be parsed as any known report schema."""
+
+
+def normalise(doc, source):
+    """dict -> Report, unwrapping a ledger line if necessary."""
+    if not isinstance(doc, dict):
+        raise ReportError(f"{source}: expected a JSON object")
+    stamp = {}
+    if doc.get("schema") == LEDGER_SCHEMA:
+        stamp = {
+            "bench": doc.get("bench"),
+            "git_sha": doc.get("git_sha"),
+            "build": doc.get("build", {}),
+            "hardware": doc.get("hardware", {}),
+        }
+        doc = doc.get("report")
+        if not isinstance(doc, dict):
+            raise ReportError(f"{source}: ledger line carries no report")
+    schema = doc.get("schema")
+    if schema not in KNOWN_SCHEMAS:
+        raise ReportError(f"{source}: unknown report schema {schema!r}")
+    return Report(
+        name=doc.get("bench") or doc.get("engine") or "unknown",
+        source=source,
+        schema=schema,
+        counters=dict(doc.get("counters", {})),
+        gauges=dict(doc.get("gauges", {})),
+        histograms=dict(doc.get("histograms", {})),
+        reps=list(doc.get("reps", [])),
+        wall_seconds=doc.get("wall_seconds"),
+        stamp=stamp,
+    )
+
+
+def load_report(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    return normalise(doc, str(path))
+
+
+def load_ledger(path):
+    """All parseable entries of a BENCH_history.jsonl, in file order.
+
+    Blank lines are skipped; a malformed line raises (a corrupt ledger
+    should be noticed, not silently shortened)."""
+    reports = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            doc = json.loads(line)
+            reports.append(normalise(doc, f"{path}:{lineno}"))
+    return reports

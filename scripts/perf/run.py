@@ -1,0 +1,15 @@
+#!/usr/bin/env python3
+"""Entry point wrapper so the perf gates run without installation:
+
+    python3 scripts/perf/run.py baseline-check bench/baselines build
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from perf.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

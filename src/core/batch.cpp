@@ -184,7 +184,9 @@ BatchResult Checker::check_until_grid(const BatchQuery& query) const {
   BatchResult result;
   {
     CSRL_SPAN("core/check");
+    const WallTimer latency_timer;
     result = until_grid(query);
+    CSRL_HIST("latency/check", latency_timer.seconds());
   }
   obs::RunReport report =
       scope.finish(engine_label(options_), model_->num_states(),

@@ -187,7 +187,12 @@ CheckResult Checker::check(const Formula& f) const {
   obs::ReportScope scope;
   {
     CSRL_SPAN("core/check");
+    const WallTimer latency_timer;
     result.value = value_initially(f);
+    // Seconds into the log-bucketed histogram: the RunReport lifts its
+    // p50/p99 from this delta, and a resident service reusing one scope
+    // across queries gets real percentiles from the same site.
+    CSRL_HIST("latency/check", latency_timer.seconds());
   }
   result.report =
       scope.finish(engine_label(options_), model_->num_states(),

@@ -129,6 +129,7 @@ JointDistribution DiscretisationEngine::joint_distribution(const Mrm& model,
   const std::size_t grain = sweep_grain(width);
   for (std::size_t j = 1; j < total_steps; ++j) {
     CSRL_COUNT("p3/discretisation/sweeps", 1);
+    CSRL_HIST_SCOPE("latency/p3_sweep");
     workers.parallel_for(0, n, grain, [&](std::size_t lo, std::size_t hi) {
       std::fill(next.begin() + static_cast<std::ptrdiff_t>(lo * width),
                 next.begin() + static_cast<std::ptrdiff_t>(hi * width), 0.0);
@@ -287,6 +288,7 @@ std::vector<JointDistribution> DiscretisationEngine::joint_distribution_grid_imp
   harvest(1);
   for (std::size_t j = 1; j < max_steps; ++j) {
     CSRL_COUNT("p3/discretisation/sweeps", 1);
+    CSRL_HIST_SCOPE("latency/p3_sweep");
     workers.parallel_for(0, n, grain, [&](std::size_t lo, std::size_t hi) {
       std::fill(next.begin() + static_cast<std::ptrdiff_t>(lo * width),
                 next.begin() + static_cast<std::ptrdiff_t>(hi * width), 0.0);
@@ -458,6 +460,7 @@ DiscretisationEngine::joint_distribution_grid_block(
   harvest(1);
   for (std::size_t j = 1; j < max_steps; ++j) {
     CSRL_COUNT("p3/discretisation/sweeps", 1);
+    CSRL_HIST_SCOPE("latency/p3_sweep");
     workers.parallel_for(0, n, grain, [&](std::size_t lo, std::size_t hi) {
       std::fill(
           next.begin() + static_cast<std::ptrdiff_t>(lo * width * lanes),
@@ -640,6 +643,7 @@ double DiscretisationEngine::interval_until(const Mrm& model,
   const std::size_t grain = sweep_grain(width);
   for (std::size_t j = 1; j <= t_hi; ++j) {
     CSRL_COUNT("p3/discretisation/sweeps", 1);
+    CSRL_HIST_SCOPE("latency/p3_sweep");
     workers.parallel_for(0, n, grain, [&](std::size_t lo, std::size_t hi) {
       std::fill(next.begin() + static_cast<std::ptrdiff_t>(lo * width),
                 next.begin() + static_cast<std::ptrdiff_t>(hi * width), 0.0);

@@ -84,8 +84,13 @@ JointDistribution ErlangEngine::joint_distribution(const Mrm& model, double t,
   for (std::size_t s = 0; s < n; ++s)
     initial[s * k] = model.initial_distribution()[s];
 
-  const std::vector<double> pi =
-      transient_distribution(expanded, initial, t, transient_);
+  // The Erlang engine's sweep unit is one transient solve on the
+  // phase-expanded chain (its inner steps land in
+  // latency/uniformisation_step like every uniformisation run).
+  const std::vector<double> pi = [&] {
+    CSRL_HIST_SCOPE("latency/p3_sweep");
+    return transient_distribution(expanded, initial, t, transient_);
+  }();
 
   // Per-state mixture over the k phase copies: state s owns the slice
   // pi[s*k .. (s+1)*k), so the fold parallelises over states with the
@@ -245,8 +250,11 @@ std::vector<JointDistribution> ErlangEngine::joint_distribution_grid(
     std::vector<double> horizon;
     horizon.reserve(live_times[j].size());
     for (std::size_t i : live_times[j]) horizon.push_back(times[i]);
-    const std::vector<std::vector<double>> pis =
-        transient_distribution_batch(expanded, initial, horizon, transient);
+    const std::vector<std::vector<double>> pis = [&] {
+      CSRL_HIST_SCOPE("latency/p3_sweep");
+      return transient_distribution_batch(expanded, initial, horizon,
+                                          transient);
+    }();
 
     for (std::size_t pos = 0; pos < live_times[j].size(); ++pos) {
       const std::vector<double>& pi = pis[pos];

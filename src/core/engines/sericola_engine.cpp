@@ -217,6 +217,7 @@ std::vector<std::vector<double>> SericolaEngine::all_starts_points(
   for (std::size_t n = 0; n <= max_n; ++n) {
     CSRL_SPAN("p3/sericola/column_sweep");
     CSRL_COUNT("p3/sericola/jump_levels", 1);
+    CSRL_HIST_SCOPE("latency/p3_sweep");
     if (n > 0) {
       // lint:allow spmm-blocking (single power iterate, no batch to block)
       p.multiply(u, scratch);

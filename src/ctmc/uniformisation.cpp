@@ -46,6 +46,23 @@ bool eligible_for_active(std::span<const double> start) {
   return true;
 }
 
+/// One step's latency sample for the "latency/uniformisation_step"
+/// histogram.  Dormant-safe: when recording is off the constructor does
+/// not even read the clock, so the series loop's per-step overhead stays
+/// one predicted branch.  The destructor fires on break/cutoff exits
+/// too, so the last (partial) step is still sampled.
+struct StepLatencySample {
+  StepLatencySample() : t0(CSRL_OBS_ACTIVE() ? obs::now_ns() : -1) {}
+  ~StepLatencySample() {
+    if (t0 >= 0)
+      CSRL_HIST("latency/uniformisation_step",
+                static_cast<double>(obs::now_ns() - t0) * 1e-9);
+  }
+  StepLatencySample(const StepLatencySample&) = delete;
+  StepLatencySample& operator=(const StepLatencySample&) = delete;
+  std::int64_t t0;
+};
+
 /// The one series loop behind every transient entry point, single- or
 /// multi-horizon (a single horizon is simply a one-window batch; the
 /// header's bitwise batch == single guarantee is by construction).  One
@@ -148,6 +165,7 @@ void accumulate_series(const CsrMatrix& p, bool forward,
   bool cutoff = false;
   for (std::size_t n = 1; n <= max_right; ++n) {
     CSRL_COUNT("uniformisation/steps", 1);
+    const StepLatencySample step_latency;
     const bool want_diff = options.steady_state_detection;
     double diff;
     if (active) {
@@ -458,6 +476,7 @@ std::vector<std::vector<std::vector<double>>> run_multi(
 
     for (std::size_t step = 1; step <= max_right && live > 0; ++step) {
       CSRL_COUNT("uniformisation/steps", 1);
+      const StepLatencySample step_latency;
       const bool want_diff = options.steady_state_detection;
       const std::span<double> diff_span =
           want_diff ? std::span<double>(diffs.data(), width)

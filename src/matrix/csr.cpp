@@ -35,6 +35,38 @@ inline void apply_block_pendings(std::span<const FusedBlockAxpy> pendings,
   }
 }
 
+/// Deterministic cost accounting (DESIGN.md 3h).  The charges are pure
+/// functions of structural dimensions — touched nnz, touched rows, lane
+/// counts — never of floating-point values, so totals are bit-identical
+/// across machines, thread counts and reps and can gate CI exactly.
+/// Traffic model per SpMV: stream the touched CsrEntry records (16 B
+/// each) plus their row_ptr slots (8 B), gather x (8 B per entry) and
+/// write y (8 B per row) — 24*nnz + 16*rows bytes, 2*nnz flops.
+inline void charge_spmv_cost([[maybe_unused]] std::uint64_t touched_nnz,
+                             [[maybe_unused]] std::uint64_t touched_rows) {
+  CSRL_COUNT("cost/spmv/flops", 2 * touched_nnz);
+  CSRL_COUNT("cost/spmv/bytes", 24 * touched_nnz + 16 * touched_rows);
+}
+
+/// Fused-epilogue charge: each touched position updates `lanes` running
+/// sums in place — one multiply-add (2 flops) and a read-modify-write of
+/// the 8 B accumulator (16 B) per lane; the x value is already resident
+/// from the product traversal.
+inline void charge_epilogue_cost([[maybe_unused]] std::uint64_t positions,
+                                 [[maybe_unused]] std::uint64_t lanes) {
+  CSRL_COUNT("cost/epilogue/flops", 2 * positions * lanes);
+  CSRL_COUNT("cost/epilogue/bytes", 16 * positions * lanes);
+}
+
+/// Total accumulator lanes the fused epilogues of one pass update.
+inline std::uint64_t epilogue_lanes(
+    std::span<const FusedAxpy> pendings,
+    std::span<const FusedBlockAxpy> block_pendings) {
+  std::uint64_t lanes = pendings.size();
+  for (const FusedBlockAxpy& p : block_pendings) lanes += p.width;
+  return lanes;
+}
+
 }  // namespace
 
 CsrBuilder::CsrBuilder(std::size_t rows, std::size_t cols)
@@ -230,6 +262,7 @@ void CsrMatrix::multiply(std::span<const double> x, std::span<double> y) const {
   if (x.size() != cols_ || y.size() != rows_)
     throw ModelError("CsrMatrix::multiply: dimension mismatch");
   CSRL_COUNT("spmv/multiply", 1);
+  charge_spmv_cost(nnz(), rows_);
 
   const auto gather_rows = [&](std::size_t row_begin, std::size_t row_end) {
     for (std::size_t r = row_begin; r < row_end; ++r) {
@@ -260,6 +293,7 @@ void CsrMatrix::multiply_left(std::span<const double> x, std::span<double> y) co
   if (x.size() != rows_ || y.size() != cols_)
     throw ModelError("CsrMatrix::multiply_left: dimension mismatch");
   CSRL_COUNT("spmv/multiply_left", 1);
+  charge_spmv_cost(nnz(), rows_);
 
   const ThreadPool& pool = ThreadPool::global();
   if (pool.num_threads() == 1 || nnz() < kParallelNnzThreshold) {
@@ -305,6 +339,8 @@ double CsrMatrix::multiply_fused(std::span<const double> x,
     throw ModelError("CsrMatrix::multiply_fused: dimension mismatch");
   CSRL_COUNT("spmv/multiply", 1);
   CSRL_COUNT("matrix/spmv/rows_active", rows_);
+  charge_spmv_cost(nnz(), rows_);
+  charge_epilogue_cost(rows_, epilogue_lanes(pendings, block_pendings));
 
   const auto process_rows = [&](std::size_t row_begin, std::size_t row_end) {
     double local = 0.0;
@@ -345,6 +381,8 @@ double CsrMatrix::multiply_left_fused(std::span<const double> x,
     throw ModelError("CsrMatrix::multiply_left_fused: dimension mismatch");
   CSRL_COUNT("spmv/multiply_left", 1);
   CSRL_COUNT("matrix/spmv/rows_active", rows_);
+  charge_spmv_cost(nnz(), rows_);
+  charge_epilogue_cost(rows_, epilogue_lanes(pendings, block_pendings));
 
   // Gather along the transpose: each column's contributions accumulate
   // in ascending original-row order, the exact sequence the serial
@@ -404,6 +442,15 @@ double CsrMatrix::multiply_active(std::span<const double> x,
     for (const CsrEntry& e : t.row_unchecked(c)) out.insert(e.col);
   out.sort();
   CSRL_COUNT("matrix/spmv/rows_active", out.size());
+  if (CSRL_OBS_ACTIVE()) {
+    // Touched-nnz sum only when recording: the active path's whole point
+    // is skipping rows, so its cost charge must count what it touched.
+    std::uint64_t touched = 0;
+    for (std::size_t r : out.members())
+      touched += row_ptr_[r + 1] - row_ptr_[r];
+    charge_spmv_cost(touched, out.size());
+    charge_epilogue_cost(in.size(), epilogue_lanes(pendings, block_pendings));
+  }
 
   // Full-row gathers for the touched rows: off-frontier columns hold an
   // exact +0.0, so every skipped term of the dense kernel contributes an
@@ -440,6 +487,13 @@ double CsrMatrix::multiply_left_active(std::span<const double> x,
     throw ModelError("CsrMatrix::multiply_left_active: dimension mismatch");
   CSRL_COUNT("spmv/multiply_left", 1);
   CSRL_COUNT("matrix/spmv/rows_active", in.size());
+  if (CSRL_OBS_ACTIVE()) {
+    std::uint64_t touched = 0;
+    for (std::size_t r : in.members())
+      touched += row_ptr_[r + 1] - row_ptr_[r];
+    charge_spmv_cost(touched, in.size());
+    charge_epilogue_cost(in.size(), epilogue_lanes(pendings, block_pendings));
+  }
 
   for (std::size_t i : out.members()) y[i] = 0.0;
   out.clear();

@@ -31,6 +31,37 @@ void check_square_system(const CsrMatrix& a, std::size_t b_size, const char* whe
     throw ModelError(std::string(where) + ": right-hand side size mismatch");
 }
 
+/// Deterministic per-iteration cost charge for the stationary sweeps
+/// (DESIGN.md 3h).  One Jacobi/Gauss-Seidel sweep streams the matrix
+/// once like an SpMV (2*nnz flops, 24*nnz bytes) plus the vector
+/// traffic of the splitting and the convergence diff: read b and x,
+/// write the iterate, re-read both for the diff — 2*n flops and 48*n
+/// bytes.  Structural only (never value-dependent), so totals are
+/// bit-identical across machines and thread counts.
+inline void charge_sweep_cost([[maybe_unused]] std::uint64_t nnz,
+                              [[maybe_unused]] std::uint64_t n) {
+  CSRL_COUNT("cost/solver/flops", 2 * nnz + 2 * n);
+  CSRL_COUNT("cost/solver/bytes", 24 * nnz + 48 * n);
+}
+
+/// Per-iteration vector-op charge for BiCGSTAB: three dots, four axpy
+/// updates and two norms over length-n vectors (~22*n flops, ~16 vector
+/// passes of 8*n bytes).  The two matrix applies inside the iteration
+/// charge themselves under cost/spmv via CsrMatrix::multiply.
+inline void charge_bicgstab_iteration_cost([[maybe_unused]] std::uint64_t n) {
+  CSRL_COUNT("cost/solver/flops", 22 * n);
+  CSRL_COUNT("cost/solver/bytes", 128 * n);
+}
+
+/// Per-iteration vector-op charge for the stationary power method: an
+/// L1 normalisation and a convergence diff (4*n flops, four vector
+/// passes of 8*n bytes).  The multiply_left charges itself under
+/// cost/spmv.
+inline void charge_power_iteration_cost([[maybe_unused]] std::uint64_t n) {
+  CSRL_COUNT("cost/solver/flops", 4 * n);
+  CSRL_COUNT("cost/solver/bytes", 32 * n);
+}
+
 /// One Jacobi sweep for x = Ax + b in the "proper" splitting: the diagonal
 /// is moved to the left-hand side, which converges whenever the plain
 /// iteration does and is faster in the presence of self-loops.
@@ -122,6 +153,7 @@ std::vector<double> bicgstab(const CsrMatrix& a, std::span<const double> b,
   double omega = 1.0;
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
     CSRL_COUNT("solver/iterations", 1);
+    charge_bicgstab_iteration_cost(n);
     const double rho_next = dot(r_hat, r);
     if (std::abs(rho_next) < 1e-300)
       // lint:allow hot-throw (numerical breakdown guard; the fatal exit, never taken on a converging run)
@@ -180,6 +212,7 @@ std::vector<double> solve_fixpoint(const CsrMatrix& a, std::span<const double> b
     std::fill(x_next.begin(), x_next.end(), 0.0);
     for (std::size_t it = 0; it < options.max_iterations; ++it) {
       CSRL_COUNT("solver/iterations", 1);
+      charge_sweep_cost(a.nnz(), n);
       jacobi_sweep(a, b, x, x_next);
       const double diff = max_abs_diff(x, x_next);
       x.swap(x_next);
@@ -196,6 +229,7 @@ std::vector<double> solve_fixpoint(const CsrMatrix& a, std::span<const double> b
       throw NumericalError("solve_fixpoint: SOR omega must lie in (0, 2)");
     for (std::size_t it = 0; it < options.max_iterations; ++it) {
       CSRL_COUNT("solver/iterations", 1);
+      charge_sweep_cost(a.nnz(), n);
       const double diff = gauss_seidel_sweep(a, b, x, omega);
       if (diff <= options.tolerance) {
         CSRL_GAUGE("solver/residual", diff);
@@ -221,6 +255,7 @@ std::vector<double> power_stationary(const CsrMatrix& p,
   std::fill(next.begin(), next.end(), 0.0);
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
     CSRL_COUNT("solver/iterations", 1);
+    charge_power_iteration_cost(n);
     p.multiply_left(pi, next);
     normalise_l1(next);
     const double diff = max_abs_diff(pi, next);

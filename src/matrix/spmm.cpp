@@ -91,6 +91,28 @@ constexpr std::size_t lane_capacity() {
   else return BW::value;
 }
 
+/// Deterministic cost charge for one block product (DESIGN.md 3h).  The
+/// model captures exactly what blocking buys: the CsrEntry stream
+/// (16 B/entry) and row_ptr slots (8 B/row) are paid ONCE per product,
+/// while the x gathers and y writes (8 B each) scale with the lane
+/// count — so bytes-per-lane falls as the width grows, and the perf
+/// diff tool can verify the saving from counters alone.
+inline void charge_spmm_cost([[maybe_unused]] std::uint64_t nnz,
+                             [[maybe_unused]] std::uint64_t rows,
+                             [[maybe_unused]] std::uint64_t width) {
+  CSRL_COUNT("cost/spmm/flops", 2 * nnz * width);
+  CSRL_COUNT("cost/spmm/bytes", 16 * nnz + 8 * rows + 8 * width * (nnz + rows));
+}
+
+/// Blocked fused-epilogue charge: every row updates `lanes` interleaved
+/// accumulators — 2 flops and a 16 B read-modify-write per lane (the
+/// source block value is resident from the product traversal).
+inline void charge_block_epilogue_cost([[maybe_unused]] std::uint64_t rows,
+                                       [[maybe_unused]] std::uint64_t lanes) {
+  CSRL_COUNT("cost/epilogue/flops", 2 * rows * lanes);
+  CSRL_COUNT("cost/epilogue/bytes", 16 * rows * lanes);
+}
+
 }  // namespace
 
 std::size_t resolve_rhs_block(std::size_t requested) {
@@ -140,6 +162,7 @@ void CsrMatrix::multiply_block(std::span<const double> x, std::span<double> y,
   CSRL_COUNT("spmv/multiply", width);
   CSRL_COUNT("matrix/spmm/block_products", 1);
   CSRL_COUNT("matrix/spmm/columns", width);
+  charge_spmm_cost(nnz(), rows_, width);
 
   dispatch_block_width(width, [&](auto bw) {
     const std::size_t w = bw;
@@ -182,6 +205,7 @@ void CsrMatrix::multiply_left_block(std::span<const double> x,
   CSRL_COUNT("spmv/multiply_left", width);
   CSRL_COUNT("matrix/spmm/block_products", 1);
   CSRL_COUNT("matrix/spmm/columns", width);
+  charge_spmm_cost(nnz(), rows_, width);
 
   dispatch_block_width(width, [&](auto bw) {
     const std::size_t w = bw;
@@ -255,6 +279,8 @@ void CsrMatrix::multiply_block_fused(std::span<const double> x,
   CSRL_COUNT("matrix/spmv/rows_active", rows_ * width);
   CSRL_COUNT("matrix/spmm/block_products", 1);
   CSRL_COUNT("matrix/spmm/columns", width);
+  charge_spmm_cost(nnz(), rows_, width);
+  charge_block_epilogue_cost(rows_, pendings.size() * width);
 
   dispatch_block_width(width, [&](auto bw) {
     const std::size_t w = bw;
@@ -332,6 +358,8 @@ void CsrMatrix::multiply_left_block_fused(
   CSRL_COUNT("matrix/spmv/rows_active", rows_ * width);
   CSRL_COUNT("matrix/spmm/block_products", 1);
   CSRL_COUNT("matrix/spmm/columns", width);
+  charge_spmm_cost(nnz(), rows_, width);
+  charge_block_epilogue_cost(rows_, pendings.size() * width);
 
   // Gather along the transpose like multiply_left_fused, per lane with
   // the serial scatter's x == 0 skip, so each lane matches its one-RHS

@@ -90,6 +90,12 @@ JsonWriter& JsonWriter::value(bool b) {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  separate();
+  out_ += json;
+  return *this;
+}
+
 std::string JsonWriter::str() && { return std::move(out_); }
 
 std::string json_escape(std::string_view s) {
@@ -142,6 +148,10 @@ void emit_metrics(JsonWriter& w, const MetricsSnapshot& metrics) {
     w.key("sum").value(stats.sum);
     w.key("min").value(stats.min);
     w.key("max").value(stats.max);
+    w.key("p50").value(stats.quantile(0.50));
+    w.key("p90").value(stats.quantile(0.90));
+    w.key("p99").value(stats.quantile(0.99));
+    w.key("p999").value(stats.quantile(0.999));
     w.end_object();
   }
   w.end_object();

@@ -36,6 +36,11 @@ class JsonWriter {
   JsonWriter& value(std::int64_t i);
   JsonWriter& value(bool b);
 
+  /// Splice a pre-serialised JSON value verbatim (the ledger embeds a
+  /// bench's own report document).  The caller guarantees `json` is a
+  /// complete, valid JSON value; no escaping or validation happens here.
+  JsonWriter& raw(std::string_view json);
+
   /// The finished document.  Consumes the builder.
   std::string str() &&;
 

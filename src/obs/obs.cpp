@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 
@@ -34,6 +36,9 @@ struct Shard {
     std::atomic<double> sum{0.0};
     std::atomic<double> min{0.0};
     std::atomic<double> max{0.0};
+    // Log-spaced per-bucket counts (see the geometry block in obs.hpp);
+    // same single-writer/relaxed-reader discipline as the scalars.
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
   };
   std::array<Hist, kMaxMetrics> histograms{};
 };
@@ -43,6 +48,14 @@ struct Shard {
 /// it without limit.  Events beyond the cap are counted, not stored; the
 /// aggregate view loses their timing, never their existence.
 constexpr std::size_t kMaxSpanEventsPerThread = std::size_t{1} << 19;
+
+/// The live cap (set_span_event_cap_for_testing shrinks it so tests can
+/// force drops cheaply).  Relaxed: the exact point where drops start is
+/// not synchronisation-sensitive.
+std::atomic<std::size_t>& span_event_cap() {
+  static std::atomic<std::size_t> cap{kMaxSpanEventsPerThread};
+  return cap;
+}
 
 /// Per-thread span buffer.  The owning thread appends under the mutex;
 /// drain/peek lock the same mutex, so buffers are safe against
@@ -238,6 +251,57 @@ std::string output_stem(const std::string& fallback) {
   return stem.empty() ? fallback : stem;
 }
 
+std::size_t histogram_bucket_index(double value) {
+  // The first comparison is false for zero, negatives, underflow and
+  // NaN — all of which belong in the catch-all bucket 0.
+  if (!(value >= std::ldexp(1.0, kHistogramMinExponent))) return 0;
+  if (value >= std::ldexp(1.0, kHistogramMaxExponent))
+    return kHistogramBuckets - 1;
+  int exp = 0;
+  const double mantissa = std::frexp(value, &exp);  // value = m * 2^exp,
+  const int octave = exp - 1;                       // m in [0.5, 1)
+  // 2m - 1 is exact (Sterbenz: 1 <= 2m < 2) and the multiply by the
+  // power-of-two sub-bucket count is exact, so the floor is the true
+  // linear sub-bucket — no boundary jitter across platforms.
+  const int sub = static_cast<int>((2.0 * mantissa - 1.0) *
+                                   kHistogramSubBuckets);
+  return 1 +
+         static_cast<std::size_t>(octave - kHistogramMinExponent) *
+             kHistogramSubBuckets +
+         static_cast<std::size_t>(
+             sub < kHistogramSubBuckets ? sub : kHistogramSubBuckets - 1);
+}
+
+double histogram_bucket_upper(std::size_t index) {
+  if (index == 0) return std::ldexp(1.0, kHistogramMinExponent);
+  if (index >= kHistogramBuckets - 1)
+    return std::numeric_limits<double>::infinity();
+  const std::size_t linear = index - 1;
+  const int octave = kHistogramMinExponent +
+                     static_cast<int>(linear / kHistogramSubBuckets);
+  const int sub = static_cast<int>(linear % kHistogramSubBuckets);
+  return std::ldexp(
+      1.0 + static_cast<double>(sub + 1) / kHistogramSubBuckets, octave);
+}
+
+double MetricsSnapshot::HistogramStats::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (buckets.empty()) return max;  // no bucket data (legacy snapshot)
+  const double scaled = q * static_cast<double>(count);
+  std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(scaled));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      const double upper = histogram_bucket_upper(i);
+      return upper < max ? upper : max;
+    }
+  }
+  return max;
+}
+
 std::size_t intern_counter(const char* name) {
   return intern(MetricKind::kCounter, name);
 }
@@ -270,6 +334,9 @@ void histogram_record(std::size_t id, double value) {
     h.min.store(value, std::memory_order_relaxed);
   if (count == 0 || value > h.max.load(std::memory_order_relaxed))
     h.max.store(value, std::memory_order_relaxed);
+  std::atomic<std::uint64_t>& bucket = h.buckets[histogram_bucket_index(value)];
+  bucket.store(bucket.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
   h.count.store(count + 1, std::memory_order_relaxed);
 }
 
@@ -315,6 +382,9 @@ MetricsSnapshot snapshot_metrics() {
       if (t.count == 0 || hi > t.max) t.max = hi;
       t.count += count;
       t.sum += h.sum.load(std::memory_order_relaxed);
+      if (t.buckets.empty()) t.buckets.assign(kHistogramBuckets, 0);
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b)
+        t.buckets[b] += h.buckets[b].load(std::memory_order_relaxed);
     }
   }
 
@@ -353,9 +423,14 @@ MetricsSnapshot metrics_delta(const MetricsSnapshot& before,
     if (stats.count == prior.count) continue;
     // min/max cannot be un-merged; report the cumulative extrema with
     // the count/sum of this window — a conservative but honest summary.
+    // Buckets, like counters, subtract exactly.
     MetricsSnapshot::HistogramStats d = stats;
     d.count = stats.count - prior.count;
     d.sum = stats.sum - prior.sum;
+    if (!prior.buckets.empty())
+      for (std::size_t b = 0;
+           b < d.buckets.size() && b < prior.buckets.size(); ++b)
+        d.buckets[b] -= prior.buckets[b];
     delta.histograms.emplace_back(name, d);
   }
   return delta;
@@ -385,7 +460,7 @@ SpanGuard::~SpanGuard() {
     SpanBuffer& buffer = my_buffer();
     event.thread = buffer.thread_id;
     MutexLock lock(buffer.mutex);
-    if (buffer.events.size() < kMaxSpanEventsPerThread)
+    if (buffer.events.size() < span_event_cap().load(std::memory_order_relaxed))
       buffer.events.push_back(std::move(event));
     else
       ++buffer.dropped;
@@ -400,6 +475,22 @@ std::string current_span_path() {
     path += name;
   }
   return path;
+}
+
+std::uint64_t dropped_span_events() {
+  Registry& reg = Registry::instance();
+  MutexLock lock(reg.mutex);
+  std::uint64_t total = 0;
+  for (const std::unique_ptr<SpanBuffer>& buffer : reg.buffers) {
+    MutexLock buffer_lock(buffer->mutex);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+void set_span_event_cap_for_testing(std::size_t cap) {
+  span_event_cap().store(cap == 0 ? kMaxSpanEventsPerThread : cap,
+                         std::memory_order_relaxed);
 }
 
 std::vector<SpanEvent> drain_spans() { return collect_spans(/*consume=*/true); }
@@ -460,6 +551,8 @@ void reset_all() {
       shard->histograms[i].sum.store(0.0, std::memory_order_relaxed);
       shard->histograms[i].min.store(0.0, std::memory_order_relaxed);
       shard->histograms[i].max.store(0.0, std::memory_order_relaxed);
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b)
+        shard->histograms[i].buckets[b].store(0, std::memory_order_relaxed);
     }
   }
   for (std::size_t i = 0; i < kMaxMetrics; ++i)

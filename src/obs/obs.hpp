@@ -98,6 +98,38 @@ std::string output_stem(const std::string& fallback = "csrl_trace");
 // Metrics registry
 // ---------------------------------------------------------------------------
 
+// -- Log-bucketed histogram geometry ----------------------------------
+//
+// Histograms accumulate per-value counts into log-spaced buckets so
+// quantiles (p50/p90/p99/p999) can be extracted from merged shards
+// without storing samples.  Each power-of-two octave [2^e, 2^(e+1)) is
+// split into kHistogramSubBuckets linear sub-buckets, so a quantile is
+// pinned to within a factor of 1 + 1/kHistogramSubBuckets (25%) of the
+// exact order statistic — and bucket edges are exact binary doubles
+// (1.25 * 2^e, 1.5 * 2^e, ...), so quantile extraction is bitwise
+// deterministic across shard merge orders.  Bucket 0 absorbs zero,
+// negative and sub-2^kHistogramMinExponent values; the last bucket
+// absorbs everything at or above 2^kHistogramMaxExponent.  The covered
+// range [2^-40, 2^24) spans sub-nanosecond latencies (in seconds) up to
+// ~10^7-scale counts.
+
+constexpr int kHistogramSubBuckets = 4;
+constexpr int kHistogramMinExponent = -40;
+constexpr int kHistogramMaxExponent = 24;
+constexpr std::size_t kHistogramBuckets =
+    static_cast<std::size_t>(kHistogramMaxExponent - kHistogramMinExponent) *
+        kHistogramSubBuckets +
+    2;
+
+/// Bucket index a value lands in (0 for zero/negative/underflow,
+/// kHistogramBuckets - 1 for overflow).
+std::size_t histogram_bucket_index(double value);
+
+/// Inclusive upper edge of a bucket: the deterministic value quantile
+/// extraction reports for samples inside it.  +infinity for the
+/// overflow bucket (callers clamp to the recorded max).
+double histogram_bucket_upper(std::size_t index);
+
 /// Interned metric identifiers.  Each instrumentation site interns its
 /// name once (function-local static) and then increments by id; the
 /// three kinds have independent id spaces.  Names must be string
@@ -121,6 +153,15 @@ struct MetricsSnapshot {
     double sum = 0.0;
     double min = 0.0;
     double max = 0.0;
+    // Merged per-bucket counts (kHistogramBuckets entries, or empty for
+    // a histogram that was never recorded); what quantile() walks.
+    std::vector<std::uint64_t> buckets;
+
+    /// Nearest-rank quantile (q in [0, 1]): the upper edge of the
+    /// bucket holding the ceil(q * count)-th smallest sample, clamped
+    /// to the recorded max (so p999 of a tight distribution never
+    /// exceeds the largest value actually seen).  0 when empty.
+    double quantile(double q) const;
   };
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
@@ -177,12 +218,46 @@ class SpanGuard {
 /// outside every span.  Contract failures append this to their context.
 std::string current_span_path();
 
+/// RAII latency sample: records the scope's wall time in seconds into
+/// histogram `name` (a string literal) on destruction.  Dormant-safe —
+/// when recording is off at construction the clock is never read and
+/// nothing is interned.  Fires on every exit path, so loop bodies with
+/// breaks still sample their last (partial) pass.  For per-element hot
+/// loops prefer an explicit CSRL_HIST site with a cached id; this guard
+/// re-interns per construction and suits sweep/phase granularity.
+class HistScope {
+ public:
+  explicit HistScope(const char* name)
+      : name_(name), start_ns_(recording_enabled() ? now_ns() : -1) {}
+  ~HistScope() {
+    if (start_ns_ >= 0)
+      histogram_record(intern_histogram(name_),
+                       static_cast<double>(now_ns() - start_ns_) * 1e-9);
+  }
+  HistScope(const HistScope&) = delete;
+  HistScope& operator=(const HistScope&) = delete;
+
+ private:
+  const char* name_;
+  std::int64_t start_ns_;
+};
+
 /// Move all buffered span events (every thread) out of the registry.
 std::vector<SpanEvent> drain_spans();
 
 /// Copy the buffered span events without consuming them (what report
 /// collection uses, so the process-exit trace flush still sees them).
 std::vector<SpanEvent> peek_spans();
+
+/// Total span events dropped (per-thread buffer cap reached) since the
+/// last drain_spans()/reset_all().  A nonzero value means the recorded
+/// trace is truncated; ReportScope surfaces it in RunReport.
+std::uint64_t dropped_span_events();
+
+///// Testing hook: shrink the per-thread span-buffer cap so a fast test
+/// can force drops without recording half a million events.  0 restores
+/// the default cap.  Not for production use.
+void set_span_event_cap_for_testing(std::size_t cap);
 
 /// Flat per-path aggregate of a batch of events, sorted by path.
 struct SpanAggregate {
@@ -216,6 +291,7 @@ void reset_all();
 // CSRL_COUNT(name, delta)  add `delta` to counter `name`.
 // CSRL_GAUGE(name, value)  set gauge `name` to `value`.
 // CSRL_HIST(name, value)   record `value` into histogram `name`.
+// CSRL_HIST_SCOPE(name)    RAII latency sample (seconds) for the scope.
 // CSRL_OBS_ACTIVE()        true when sites are compiled in AND recording.
 //
 // With -DCSRL_OBS=OFF all of them compile to nothing.
@@ -226,6 +302,7 @@ void reset_all();
 #define CSRL_COUNT(name, delta) ((void)0)
 #define CSRL_GAUGE(name, value) ((void)0)
 #define CSRL_HIST(name, value) ((void)0)
+#define CSRL_HIST_SCOPE(name) ((void)0)
 #define CSRL_OBS_ACTIVE() false
 
 #else
@@ -235,6 +312,9 @@ void reset_all();
 
 #define CSRL_SPAN(name) \
   ::csrl::obs::SpanGuard CSRL_OBS_CONCAT(csrl_obs_span_, __LINE__)(name)
+
+#define CSRL_HIST_SCOPE(name) \
+  ::csrl::obs::HistScope CSRL_OBS_CONCAT(csrl_obs_hist_, __LINE__)(name)
 
 #define CSRL_COUNT(name, delta)                                            \
   do {                                                                     \

@@ -30,6 +30,26 @@ std::string RunReport::to_json() const {
   w.key("spmm_columns").value(spmm_columns);
   w.key("solver_residual").value(solver_residual);
   w.key("wall_seconds").value(wall_seconds);
+  w.key("cost_model").begin_object();
+  w.key("spmv_flops").value(cost_model.spmv_flops);
+  w.key("spmv_bytes").value(cost_model.spmv_bytes);
+  w.key("spmm_flops").value(cost_model.spmm_flops);
+  w.key("spmm_bytes").value(cost_model.spmm_bytes);
+  w.key("epilogue_flops").value(cost_model.epilogue_flops);
+  w.key("epilogue_bytes").value(cost_model.epilogue_bytes);
+  w.key("solver_flops").value(cost_model.solver_flops);
+  w.key("solver_bytes").value(cost_model.solver_bytes);
+  w.key("total_flops").value(cost_model.total_flops());
+  w.key("total_bytes").value(cost_model.total_bytes());
+  w.end_object();
+  w.key("latency").begin_object();
+  w.key("count").value(latency_count);
+  w.key("p50").value(latency_p50);
+  w.key("p90").value(latency_p90);
+  w.key("p99").value(latency_p99);
+  w.key("p999").value(latency_p999);
+  w.end_object();
+  w.key("spans_dropped").value(spans_dropped);
   if (!grid_times.empty() || !grid_rewards.empty()) {
     w.key("grid").begin_object();
     w.key("times").begin_array();
@@ -47,7 +67,10 @@ std::string RunReport::to_json() const {
 }
 
 ReportScope::ReportScope()
-    : recording_(true), before_(snapshot_metrics()), start_ns_(now_ns()) {}
+    : recording_(true),
+      before_(snapshot_metrics()),
+      dropped_before_(dropped_span_events()),
+      start_ns_(now_ns()) {}
 
 RunReport ReportScope::finish(std::string engine, std::size_t states,
                               std::size_t transitions,
@@ -86,6 +109,38 @@ RunReport ReportScope::finish(std::string engine, std::size_t states,
       report.metrics.histogram("uniformisation/truncation_dropped").sum;
   report.total_error_bound =
       report.truncation_error + report.support_truncation_bound;
+
+  report.cost_model.spmv_flops = report.metrics.counter("cost/spmv/flops");
+  report.cost_model.spmv_bytes = report.metrics.counter("cost/spmv/bytes");
+  report.cost_model.spmm_flops = report.metrics.counter("cost/spmm/flops");
+  report.cost_model.spmm_bytes = report.metrics.counter("cost/spmm/bytes");
+  report.cost_model.epilogue_flops =
+      report.metrics.counter("cost/epilogue/flops");
+  report.cost_model.epilogue_bytes =
+      report.metrics.counter("cost/epilogue/bytes");
+  report.cost_model.solver_flops = report.metrics.counter("cost/solver/flops");
+  report.cost_model.solver_bytes = report.metrics.counter("cost/solver/bytes");
+
+  const MetricsSnapshot::HistogramStats latency =
+      report.metrics.histogram("latency/check");
+  report.latency_count = latency.count;
+  report.latency_p50 = latency.quantile(0.50);
+  report.latency_p90 = latency.quantile(0.90);
+  report.latency_p99 = latency.quantile(0.99);
+  report.latency_p999 = latency.quantile(0.999);
+
+  // drain_spans()/reset_all() zero the per-buffer drop counters, so a
+  // scope spanning one sees after < before; clamp instead of wrapping.
+  const std::uint64_t dropped_after = dropped_span_events();
+  report.spans_dropped =
+      dropped_after >= dropped_before_ ? dropped_after - dropped_before_
+                                       : dropped_after;
+  if (report.spans_dropped > 0)
+    std::fprintf(stderr,
+                 "csrl: obs: %llu span event(s) dropped during this run "
+                 "(per-thread buffer cap); the trace and span aggregate "
+                 "are truncated\n",
+                 static_cast<unsigned long long>(report.spans_dropped));
   return report;
 }
 

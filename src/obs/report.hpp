@@ -64,6 +64,46 @@ struct RunReport {
 
   double wall_seconds = 0.0;
 
+  /// Deterministic cost accounting: flop and memory-traffic totals the
+  /// kernels computed from their structural dimensions (nnz, rows,
+  /// block widths, sweep counts) — pure functions of the run, identical
+  /// across machines, thread counts and reps, so perf gates can compare
+  /// them exactly where wall time only supports noise bands.  The
+  /// traffic model is documented per kernel family in DESIGN.md §3h.
+  struct CostModel {
+    std::uint64_t spmv_flops = 0;      // cost/spmv/flops
+    std::uint64_t spmv_bytes = 0;      // cost/spmv/bytes
+    std::uint64_t spmm_flops = 0;      // cost/spmm/flops
+    std::uint64_t spmm_bytes = 0;      // cost/spmm/bytes
+    std::uint64_t epilogue_flops = 0;  // cost/epilogue/flops
+    std::uint64_t epilogue_bytes = 0;  // cost/epilogue/bytes
+    std::uint64_t solver_flops = 0;    // cost/solver/flops
+    std::uint64_t solver_bytes = 0;    // cost/solver/bytes
+
+    std::uint64_t total_flops() const {
+      return spmv_flops + spmm_flops + epilogue_flops + solver_flops;
+    }
+    std::uint64_t total_bytes() const {
+      return spmv_bytes + spmm_bytes + epilogue_bytes + solver_bytes;
+    }
+  };
+  CostModel cost_model;
+
+  /// End-to-end check latency distribution of the run window (the
+  /// "latency/check" histogram delta): sample count and nearest-rank
+  /// quantiles in seconds.  One sample per Checker::check; a resident
+  /// service reusing one scope across queries gets real percentiles.
+  std::uint64_t latency_count = 0;
+  double latency_p50 = 0.0;
+  double latency_p90 = 0.0;
+  double latency_p99 = 0.0;
+  double latency_p999 = 0.0;
+
+  /// Span events dropped during the run window (per-thread buffer cap
+  /// reached).  Nonzero means `spans` undercounts; finish() also warns
+  /// on stderr so a truncated trace is never mistaken for complete.
+  std::uint64_t spans_dropped = 0;
+
   /// Bound lattice of a batched grid run (Checker::check_until_grid):
   /// the time and reward axes the query evaluated.  Empty for point
   /// queries; emitted as a "grid" object in the JSON only when set.
@@ -93,6 +133,7 @@ class ReportScope {
  private:
   ScopedRecording recording_;
   MetricsSnapshot before_;
+  std::uint64_t dropped_before_;
   std::int64_t start_ns_;
   WallTimer timer_;
 };

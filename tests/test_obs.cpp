@@ -13,7 +13,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <limits>
 #include <new>
@@ -72,6 +74,7 @@ void touch_all_sites([[maybe_unused]] std::size_t amount) {
   CSRL_SPAN("test/outer");
   {
     CSRL_SPAN("test/inner");
+    CSRL_HIST_SCOPE("test/touch_hist_scope");
     CSRL_COUNT("test/touch_counter", amount);
     CSRL_GAUGE("test/touch_gauge", static_cast<double>(amount));
     CSRL_HIST("test/touch_hist", static_cast<double>(amount));
@@ -319,12 +322,48 @@ TEST(ObsReport, CheckerCheckAttachesRunReport) {
   }
   EXPECT_TRUE(saw_check);
   EXPECT_TRUE(saw_p3);
+
+  // Cost model: the totals are the exact sums of the per-kernel
+  // counters the run emitted — deterministic, so they must agree with
+  // the metric delta to the bit.
+  EXPECT_GT(report.cost_model.spmv_flops, 0u);
+  EXPECT_GT(report.cost_model.spmv_bytes, report.cost_model.spmv_flops);
+  EXPECT_EQ(report.cost_model.spmv_flops,
+            report.metrics.counter("cost/spmv/flops"));
+  EXPECT_EQ(report.cost_model.total_flops(),
+            report.cost_model.spmv_flops + report.cost_model.spmm_flops +
+                report.cost_model.epilogue_flops +
+                report.cost_model.solver_flops);
+  EXPECT_EQ(report.cost_model.total_bytes(),
+            report.cost_model.spmv_bytes + report.cost_model.spmm_bytes +
+                report.cost_model.epilogue_bytes +
+                report.cost_model.solver_bytes);
+  // Every SpMV charges 2 flops per touched stored entry; the
+  // active-support kernels touch at most the full matrix, so the call
+  // counter bounds the flop total from above (2 * nnz per call) and
+  // every charge is a whole number of entry-pairs.
+  EXPECT_LE(report.cost_model.spmv_flops, 2u * 3u * report.spmv_count);
+  EXPECT_EQ(report.cost_model.spmv_flops % 2u, 0u);
+
+  // Latency: one check() call lands one sample in latency/check, so
+  // every quantile equals that sample exactly (single-sample histogram:
+  // the bucket edge clamps to the recorded max).
+  EXPECT_EQ(report.latency_count, 1u);
+  EXPECT_GT(report.latency_p50, 0.0);
+  EXPECT_EQ(report.latency_p50, report.latency_p90);
+  EXPECT_EQ(report.latency_p50, report.latency_p99);
+  EXPECT_EQ(report.latency_p50, report.latency_p999);
+  EXPECT_EQ(report.latency_p50,
+            report.metrics.histogram("latency/check").max);
+  EXPECT_EQ(report.spans_dropped, 0u);
 #endif
 
   const std::string json = report.to_json();
   EXPECT_EQ(json.find("{\"schema\": \"csrl-run-report-v1\""), 0u);
   EXPECT_NE(json.find("\"engine\": \"sericola\""), std::string::npos);
   EXPECT_NE(json.find("\"fox_glynn\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"cost_model\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"latency\": {"), std::string::npos);
   EXPECT_NE(json.find("\"spans\": ["), std::string::npos);
 }
 
@@ -334,6 +373,199 @@ TEST(ObsReport, NoReportWhenNotRequested) {
   const CheckResult result =
       checker.check(*parse_formula("P=? [ true U goal ]"));
   EXPECT_FALSE(result.report.has_value());
+}
+
+TEST(ObsHistogram, BucketGeometryPins) {
+  // Bucket 0 absorbs zero, negatives, NaN and sub-2^-40 underflow.
+  EXPECT_EQ(obs::histogram_bucket_index(0.0), 0u);
+  EXPECT_EQ(obs::histogram_bucket_index(-1.0), 0u);
+  EXPECT_EQ(obs::histogram_bucket_index(
+                std::numeric_limits<double>::quiet_NaN()),
+            0u);
+  EXPECT_EQ(obs::histogram_bucket_index(std::ldexp(1.0, -41)), 0u);
+  // The first real bucket starts exactly at 2^-40.
+  EXPECT_EQ(obs::histogram_bucket_index(std::ldexp(1.0, -40)), 1u);
+  EXPECT_EQ(obs::histogram_bucket_upper(0), std::ldexp(1.0, -40));
+  // 1.0 opens octave 0: index 1 + 40 * 4, upper edge exactly 1.25.
+  const std::size_t one = obs::histogram_bucket_index(1.0);
+  EXPECT_EQ(one, 1u + 40u * 4u);
+  EXPECT_EQ(obs::histogram_bucket_upper(one), 1.25);
+  // 1.3 lands in the second linear sub-bucket [1.25, 1.5).
+  EXPECT_EQ(obs::histogram_bucket_index(1.3), one + 1);
+  EXPECT_EQ(obs::histogram_bucket_upper(one + 1), 1.5);
+  // 3.0 sits in octave 1, sub-bucket 2: upper edge 1.75 * 2 = 3.5.
+  const std::size_t three = obs::histogram_bucket_index(3.0);
+  EXPECT_EQ(three, one + 4u + 2u);
+  EXPECT_EQ(obs::histogram_bucket_upper(three), 3.5);
+  // At and above 2^24 everything collapses into the overflow bucket.
+  EXPECT_EQ(obs::histogram_bucket_index(std::ldexp(1.0, 24)),
+            obs::kHistogramBuckets - 1);
+  EXPECT_EQ(obs::histogram_bucket_index(1e300), obs::kHistogramBuckets - 1);
+  EXPECT_EQ(obs::histogram_bucket_upper(obs::kHistogramBuckets - 1),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(ObsHistogram, ExactQuantilePins) {
+  obs::reset_all();
+  const obs::ScopedRecording rec(true);
+  for (int i = 0; i < 10; ++i) CSRL_HIST("test/quantile_pin", 1.0);
+  CSRL_HIST("test/quantile_pin", 3.0);
+
+  const obs::MetricsSnapshot snap = obs::snapshot_metrics();
+  const obs::MetricsSnapshot::HistogramStats stats =
+      snap.histogram("test/quantile_pin");
+#ifdef CSRL_OBS_DISABLED
+  EXPECT_EQ(stats.count, 0u);
+#else
+  ASSERT_EQ(stats.count, 11u);
+  // Ranks 1..10 are the 1.0 samples: their bucket's upper edge is 1.25.
+  EXPECT_EQ(stats.quantile(0.50), 1.25);
+  EXPECT_EQ(stats.quantile(0.90), 1.25);
+  // Rank 11 is the 3.0 sample: its bucket's upper edge is 3.5, clamped
+  // to the recorded max.
+  EXPECT_EQ(stats.quantile(0.999), 3.0);
+  EXPECT_EQ(stats.quantile(1.0), 3.0);
+#endif
+  // An empty histogram reports 0 for every quantile.
+  EXPECT_EQ(obs::MetricsSnapshot::HistogramStats{}.quantile(0.5), 0.0);
+}
+
+TEST(ObsHistogram, QuantilesMatchSortedSampleOracle) {
+  obs::reset_all();
+  const obs::ScopedRecording rec(true);
+
+  // Deterministic LCG samples spanning several octaves.
+  std::vector<double> samples;
+  std::uint64_t state = 0x2545F4914F6CDD1Dull;
+  for (int i = 0; i < 500; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const double unit =
+        static_cast<double>(state >> 11) / 9007199254740992.0;  // [0, 1)
+    samples.push_back(1e-6 * (1.0 + 1e4 * unit));
+    CSRL_HIST("test/quantile_oracle", samples.back());
+  }
+  std::sort(samples.begin(), samples.end());
+
+  const obs::MetricsSnapshot::HistogramStats stats =
+      obs::snapshot_metrics().histogram("test/quantile_oracle");
+#ifdef CSRL_OBS_DISABLED
+  EXPECT_EQ(stats.count, 0u);
+#else
+  ASSERT_EQ(stats.count, samples.size());
+  // Bucketing is monotone, so the bucket holding the nearest-rank
+  // order statistic is exactly the bucket quantile() stops in: the
+  // reported value is that bucket's upper edge, clamped to the max.
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    const double oracle = samples[rank - 1];
+    const double expected =
+        std::min(obs::histogram_bucket_upper(
+                     obs::histogram_bucket_index(oracle)),
+                 samples.back());
+    EXPECT_EQ(stats.quantile(q), expected) << "q=" << q;
+    // And the band is tight: within one sub-bucket of the oracle.
+    EXPECT_GE(stats.quantile(q), oracle);
+    EXPECT_LE(stats.quantile(q), oracle * 1.25);
+  }
+#endif
+}
+
+TEST(ObsHistogram, ShardMergeIsBitwiseDeterministic) {
+  // The same values recorded from pool threads and serially must merge
+  // to identical bucket vectors, hence identical quantiles — the
+  // property the perf ledger's cross-run comparability rests on.
+  obs::reset_all();
+  const obs::ScopedRecording rec(true);
+  const ThreadPool pool(4);
+
+  const auto run_once = [&pool] {
+    const obs::MetricsSnapshot before = obs::snapshot_metrics();
+    // One sample per element (not per chunk), so the recorded multiset
+    // is independent of how the range is split across threads.
+    pool.parallel_for(0, 256, 1,
+                      []([[maybe_unused]] std::size_t lo,
+                         [[maybe_unused]] std::size_t hi) {
+                        for (std::size_t i = lo; i < hi; ++i)
+                          CSRL_HIST("test/merge_hist",
+                                    1e-6 * static_cast<double>(i + 1));
+                      });
+    return obs::metrics_delta(before, obs::snapshot_metrics())
+        .histogram("test/merge_hist");
+  };
+
+  const obs::MetricsSnapshot::HistogramStats parallel_stats = run_once();
+  ForceSerialGuard serial;
+  const obs::MetricsSnapshot::HistogramStats serial_stats = run_once();
+
+  EXPECT_EQ(parallel_stats.count, serial_stats.count);
+  EXPECT_EQ(parallel_stats.buckets, serial_stats.buckets);
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(parallel_stats.quantile(q), serial_stats.quantile(q));
+  }
+#ifndef CSRL_OBS_DISABLED
+  EXPECT_EQ(serial_stats.count, 256u);
+#endif
+}
+
+TEST(ObsCostModel, SpmvAndSpmmChargesAreExact) {
+  obs::reset_all();
+  const obs::ScopedRecording rec(true);
+
+  CsrBuilder b(3, 3);
+  b.add(0, 1, 2.0);
+  b.add(0, 2, 1.0);
+  b.add(1, 0, 1.0);
+  const CsrMatrix a = b.build();
+  ASSERT_EQ(a.nnz(), 3u);
+
+  const obs::MetricsSnapshot before = obs::snapshot_metrics();
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y(3, 0.0);
+  a.multiply(x, y);
+
+  constexpr std::size_t kWidth = 4;
+  const std::vector<double> xb(3 * kWidth, 1.0);
+  std::vector<double> yb(3 * kWidth, 0.0);
+  a.multiply_block(xb, yb, kWidth, kWidth);
+
+  const obs::MetricsSnapshot delta =
+      obs::metrics_delta(before, obs::snapshot_metrics());
+#ifdef CSRL_OBS_DISABLED
+  EXPECT_EQ(delta.counter("cost/spmv/flops"), 0u);
+#else
+  // One full SpMV on nnz = 3, rows = 3: 2 flops per stored entry; 24
+  // bytes per entry (16-byte CsrEntry + two 8-byte vector slots) plus
+  // 16 bytes per row of row-pointer and result traffic.
+  EXPECT_EQ(delta.counter("cost/spmv/flops"), 2u * 3u);
+  EXPECT_EQ(delta.counter("cost/spmv/bytes"), 24u * 3u + 16u * 3u);
+  // One block product of width 4: the entry stream is paid once for
+  // all lanes (the saving blocking exists for), the vector traffic
+  // scales with the width.
+  EXPECT_EQ(delta.counter("cost/spmm/flops"), 2u * 3u * kWidth);
+  EXPECT_EQ(delta.counter("cost/spmm/bytes"),
+            16u * 3u + 8u * 3u + 8u * kWidth * (3u + 3u));
+#endif
+}
+
+TEST(ObsSpans, DroppedEventsAreCountedAndSurfaced) {
+#ifdef CSRL_OBS_DISABLED
+  GTEST_SKIP() << "obs compiled out";
+#else
+  obs::reset_all();
+  obs::set_span_event_cap_for_testing(4);
+  obs::ReportScope scope;
+  for (int i = 0; i < 16; ++i) {
+    CSRL_SPAN("test/drop_me");
+  }
+  EXPECT_GT(obs::dropped_span_events(), 0u);
+  const obs::RunReport report = scope.finish("test", 1, 1, 0.0);
+  EXPECT_EQ(report.spans_dropped, 12u);
+  EXPECT_NE(report.to_json().find("\"spans_dropped\": 12"),
+            std::string::npos);
+  obs::set_span_event_cap_for_testing(0);
+  obs::reset_all();
+#endif
 }
 
 TEST(ObsDormant, HotPathDoesNotAllocate) {
