@@ -1,0 +1,350 @@
+// Resident-service gate: concurrent mixed-query replay with cross-client
+// lattice coalescing.
+//
+// The workload replays a large stream of textual CSRL queries (default
+// 1e5, --queries N) drawn from ~100 unique queries over two models — the
+// paper's multiprocessor case study and a tandem queue — in a
+// deterministic shuffled order: four P3 point-query families that
+// coalesce into times x rewards lattice passes, plus a sprinkle of
+// direct (boolean / steady-state / unbounded-until) queries that
+// exercise the shared SatCache instead.
+//
+// Two phases:
+//   * offline replay (workers = 0, drain_now): the deterministic
+//     coalescing gate.  Total SpMV work of the served replay must be
+//     >= 3x lower than the uncoalesced per-query baseline (each unique
+//     query run once on a fresh private checker, scaled by its replay
+//     multiplicity), every answer bitwise identical to that private
+//     checker, and zero queries dropped.
+//   * live serving (2 workers, 4 client threads): throughput and the
+//     p50/p99 query latency lifted from the service's own RunReport.
+//
+// Exit code 0 only when the offline gate holds; CI's bench-smoke job
+// runs this with --queries 10000 and archives BENCH_service.json plus
+// the BENCH_service_obs.json attribution.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/checker.hpp"
+#include "models/multiprocessor.hpp"
+#include "models/synthetic.hpp"
+#include "obs/json_writer.hpp"
+#include "obs/obs.hpp"
+#include "service/plan.hpp"
+#include "service/service.hpp"
+#include "util/rng.hpp"
+
+#include "bench_obs.hpp"
+
+namespace {
+
+using namespace csrl;
+
+struct UniqueQuery {
+  std::size_t model = 0;  // index into the model table
+  std::string text;
+  std::size_t multiplicity = 0;
+  // Reference answer from a private per-query checker (the uncoalesced
+  // client), mirroring the service's value semantics.
+  double ref_value = 0.0;
+  std::uint64_t baseline_spmv = 0;  // SpMV count of one private run
+};
+
+std::uint64_t spmv_total(const obs::MetricsSnapshot& delta) {
+  return delta.counter("spmv/multiply") + delta.counter("spmv/multiply_left");
+}
+
+std::string fmt(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", v);
+  return buffer;
+}
+
+/// The ~100 unique queries of the replay: four coalescible P3 families
+/// (6 times x 4 rewards each) plus four direct queries per model.
+std::vector<UniqueQuery> build_unique_queries() {
+  const std::vector<double> times{0.5, 1.0, 1.5, 2.0, 2.5, 3.0};
+  const std::vector<double> mp_rewards{1.0, 2.0, 4.0, 6.0};
+  const std::vector<double> tq_rewards{1.0, 2.0, 3.0, 5.0};
+
+  std::vector<UniqueQuery> unique;
+  const auto lattice_family = [&](std::size_t model, const std::string& head,
+                                  const std::string& body,
+                                  const std::vector<double>& rewards) {
+    for (double t : times) {
+      for (double r : rewards) {
+        UniqueQuery q;
+        q.model = model;
+        q.text = head + " [ " + body + "[0," + fmt(t) + "]{0," + fmt(r) +
+                 "} " + (model == 0 ? "down" : "blocked") + " ]";
+        unique.push_back(q);
+      }
+    }
+    (void)body;
+  };
+  lattice_family(0, "P=?", "operational U", mp_rewards);
+  lattice_family(0, "P>=0.5", "(operational | degraded) U", mp_rewards);
+  lattice_family(1, "P=?", "!blocked U", tq_rewards);
+  lattice_family(1, "P<0.5", "(full1 | full2) U", tq_rewards);
+
+  const char* const direct[][2] = {
+      {"0", "P>=0.01 [ operational U down ]"},
+      {"0", "S>0.05 [ all_up ]"},
+      {"0", "operational | down"},
+      {"0", "P>=0.5 [ (operational & !degraded) U[1,2] down ]"},
+      {"1", "S>0.05 [ empty ]"},
+      {"1", "empty | full1"},
+      {"1", "P>=0.01 [ !blocked U blocked ]"},
+      {"1", "P<0.9 [ (full1 | full2) U[0.5,1.5] blocked ]"},
+  };
+  for (const auto& d : direct) {
+    UniqueQuery q;
+    q.model = static_cast<std::size_t>(d[0][0] - '0');
+    q.text = d[1];
+    unique.push_back(q);
+  }
+  return unique;
+}
+
+/// Private-checker reference mirroring CheckerService value semantics:
+/// lattice-planned verdict queries carry the underlying probability.
+double reference_value(const Mrm& model, const std::string& text) {
+  const Checker checker(model);
+  const service::QueryPlan plan = service::plan_query(text);
+  if (plan.kind == service::PlanKind::kLattice && !plan.is_value_query)
+    return checker.value_initially(
+        *Formula::probability_query(plan.formula->path()));
+  return checker.value_initially(*plan.formula);
+}
+
+bool bitwise_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+struct ReplayOutcome {
+  std::uint64_t spmv = 0;
+  std::uint64_t mismatches = 0;
+  service::ServiceStats stats;
+  obs::RunReport report;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t num_queries = 100000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc)
+      num_queries = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+  }
+
+  csrl_bench::BenchObs obs_guard("service");
+
+  MultiprocessorParams params;
+  const std::vector<Mrm> models = {multiprocessor_mrm(params),
+                                   tandem_queue_mrm(3, 3, 2.0, 2.5, 2.0)};
+  std::printf("=== Service gate: coalesced replay vs per-query baseline ===\n");
+  std::printf("models: multiprocessor (%zu states), tandem queue (%zu states)\n",
+              models[0].num_states(), models[1].num_states());
+
+  // ---- Workload -----------------------------------------------------------
+  std::vector<UniqueQuery> unique = build_unique_queries();
+  // Direct queries get ~0.25% of the stream each; the lattice families
+  // share the rest evenly.
+  const std::size_t num_direct = 8;
+  const std::size_t num_lattice = unique.size() - num_direct;
+  const std::size_t direct_mult =
+      num_queries / 400 > 0 ? num_queries / 400 : 1;
+  std::size_t assigned = 0;
+  for (std::size_t i = num_lattice; i < unique.size(); ++i) {
+    unique[i].multiplicity = direct_mult;
+    assigned += direct_mult;
+  }
+  const std::size_t remaining = num_queries > assigned ? num_queries - assigned : 0;
+  for (std::size_t i = 0; i < num_lattice; ++i)
+    unique[i].multiplicity = remaining / num_lattice + (i < remaining % num_lattice ? 1 : 0);
+
+  std::vector<std::size_t> stream;  // indices into `unique`
+  stream.reserve(num_queries);
+  for (std::size_t i = 0; i < unique.size(); ++i)
+    for (std::size_t k = 0; k < unique[i].multiplicity; ++k) stream.push_back(i);
+  SplitMix64 rng(4242);
+  for (std::size_t i = stream.size(); i > 1; --i)
+    std::swap(stream[i - 1], stream[rng.next_below(i)]);
+  std::printf("replaying %zu queries over %zu unique (%zu coalescible)\n",
+              stream.size(), unique.size(), num_lattice);
+
+  // ---- Uncoalesced baseline ----------------------------------------------
+  // Each unique query once, on a fresh private checker (no shared cache),
+  // scaled by its multiplicity: what num_queries independent clients with
+  // private Checkers would pay.
+  std::uint64_t baseline_spmv = 0;
+  for (UniqueQuery& q : unique) {
+    const obs::MetricsSnapshot before = obs::snapshot_metrics();
+    q.ref_value = reference_value(models[q.model], q.text);
+    q.baseline_spmv =
+        spmv_total(obs::metrics_delta(before, obs::snapshot_metrics()));
+    baseline_spmv += q.baseline_spmv * q.multiplicity;
+  }
+  std::printf("baseline (private checker per query): %llu SpMV\n",
+              static_cast<unsigned long long>(baseline_spmv));
+
+  // ---- Phase 1: offline replay (deterministic coalescing gate) ------------
+  const auto offline_replay = [&]() {
+    service::ServiceOptions options;
+    options.workers = 0;
+    options.max_pending = stream.size() + 1;
+    service::CheckerService checker_service(options);
+    std::vector<service::ModelId> ids;
+    ids.reserve(models.size());
+    for (const Mrm& m : models)
+      ids.push_back(checker_service.register_model(m));
+
+    const obs::MetricsSnapshot before = obs::snapshot_metrics();
+    std::vector<std::future<service::QueryResult>> futures;
+    futures.reserve(stream.size());
+    for (std::size_t q : stream)
+      futures.push_back(
+          checker_service.submit(ids[unique[q].model], unique[q].text));
+    checker_service.drain_now();
+
+    ReplayOutcome outcome;
+    outcome.spmv =
+        spmv_total(obs::metrics_delta(before, obs::snapshot_metrics()));
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const service::QueryResult r = futures[i].get();
+      if (r.status != service::QueryStatus::kOk ||
+          !bitwise_equal(r.value, unique[stream[i]].ref_value))
+        ++outcome.mismatches;
+    }
+    outcome.stats = checker_service.stats();
+    outcome.report = checker_service.report();
+    return outcome;
+  };
+  const ReplayOutcome offline =
+      obs_guard.timed_reps("offline_replay", offline_replay);
+
+  const double ratio = offline.spmv > 0
+                           ? static_cast<double>(baseline_spmv) /
+                                 static_cast<double>(offline.spmv)
+                           : 0.0;
+  std::printf("coalesced replay: %llu SpMV in %llu batches "
+              "(%llu lattice passes, %llu cells); ratio %.1fx, gate >= 3x\n",
+              static_cast<unsigned long long>(offline.spmv),
+              static_cast<unsigned long long>(offline.stats.batches),
+              static_cast<unsigned long long>(offline.stats.lattice_passes),
+              static_cast<unsigned long long>(offline.stats.lattice_cells),
+              ratio);
+  std::printf("bitwise mismatches: %llu, rejected: %llu\n",
+              static_cast<unsigned long long>(offline.mismatches),
+              static_cast<unsigned long long>(offline.stats.rejected));
+
+  // ---- Phase 2: live serving (workers + concurrent clients) ---------------
+  const std::size_t num_clients = 4;
+  const auto live_serving = [&]() {
+    service::ServiceOptions options;
+    options.workers = 2;
+    options.max_pending = stream.size() + 1;
+    service::CheckerService checker_service(options);
+    std::vector<service::ModelId> ids;
+    ids.reserve(models.size());
+    for (const Mrm& m : models)
+      ids.push_back(checker_service.register_model(m));
+
+    std::vector<std::thread> clients;
+    std::vector<std::uint64_t> failures(num_clients, 0);
+    clients.reserve(num_clients);
+    for (std::size_t c = 0; c < num_clients; ++c) {
+      clients.emplace_back([&, c] {
+        std::vector<std::future<service::QueryResult>> futures;
+        for (std::size_t i = c; i < stream.size(); i += num_clients)
+          futures.push_back(checker_service.submit(ids[unique[stream[i]].model],
+                                                   unique[stream[i]].text));
+        for (auto& f : futures)
+          if (f.get().status != service::QueryStatus::kOk) ++failures[c];
+      });
+    }
+    for (std::thread& t : clients) t.join();
+
+    ReplayOutcome outcome;
+    for (std::uint64_t f : failures) outcome.mismatches += f;
+    outcome.stats = checker_service.stats();
+    outcome.report = checker_service.report();
+    checker_service.shutdown();
+    return outcome;
+  };
+  const ReplayOutcome live = obs_guard.timed_reps("live_serving", live_serving);
+
+  double live_median_ms = 0.0;
+  for (const csrl_bench::BenchObs::RepStats& r : obs_guard.reps())
+    if (r.name == "live_serving") live_median_ms = r.median_ms;
+  const double throughput =
+      live_median_ms > 0.0
+          ? static_cast<double>(stream.size()) / (live_median_ms / 1e3)
+          : 0.0;
+  std::printf("\nlive serving: %zu clients, throughput %.0f queries/s, "
+              "p50 %.3g s, p99 %.3g s (%llu latency samples)\n",
+              num_clients, throughput, live.report.latency_p50,
+              live.report.latency_p99,
+              static_cast<unsigned long long>(live.report.latency_count));
+
+  // ---- Gate and JSON ------------------------------------------------------
+  const bool obs_compiled = baseline_spmv > 0;
+  const bool gate = offline.mismatches == 0 && offline.stats.rejected == 0 &&
+                    live.mismatches == 0 && live.stats.rejected == 0 &&
+                    (!obs_compiled || ratio >= 3.0);
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("csrl-bench-service-v1");
+  w.key("bench").value("service");
+  w.key("queries").value(static_cast<std::uint64_t>(stream.size()));
+  w.key("unique_queries").value(static_cast<std::uint64_t>(unique.size()));
+  w.key("models").value(static_cast<std::uint64_t>(models.size()));
+  w.key("baseline_spmv").value(baseline_spmv);
+  w.key("coalesced_spmv").value(offline.spmv);
+  w.key("coalescing_ratio").value(ratio);
+  w.key("batches").value(offline.stats.batches);
+  w.key("lattice_passes").value(offline.stats.lattice_passes);
+  w.key("lattice_cells").value(offline.stats.lattice_cells);
+  w.key("coalesced_queries").value(offline.stats.coalesced_queries);
+  w.key("sat_cache_hits").value(offline.report.sat_cache_hits);
+  w.key("bitwise_mismatches").value(offline.mismatches + live.mismatches);
+  w.key("rejected").value(offline.stats.rejected + live.stats.rejected);
+  w.key("clients").value(static_cast<std::uint64_t>(num_clients));
+  w.key("throughput_qps").value(throughput);
+  w.key("latency_p50_s").value(live.report.latency_p50);
+  w.key("latency_p99_s").value(live.report.latency_p99);
+  w.key("gate_passed").value(gate);
+  w.key("reps").begin_array();
+  for (const csrl_bench::BenchObs::RepStats& r : obs_guard.reps()) {
+    w.begin_object();
+    w.key("name").value(r.name);
+    w.key("reps").value(static_cast<std::uint64_t>(r.reps));
+    w.key("median_ms").value(r.median_ms);
+    w.key("min_ms").value(r.min_ms);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  const std::string text = std::move(w).str();
+
+  const char* path = "BENCH_service.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::printf("wrote %s\n", path);
+  } else {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 1;
+  }
+
+  if (!obs_compiled)
+    std::printf("obs compiled out: SpMV ratio gate skipped\n");
+  std::printf("gate %s\n", gate ? "PASSED" : "FAILED");
+  return gate ? 0 : 1;
+}

@@ -1,0 +1,36 @@
+#include "core/artifacts.hpp"
+
+#include <utility>
+
+#include "ctmc/graph.hpp"
+#include "mrm/transform.hpp"
+#include "util/error.hpp"
+
+namespace csrl {
+
+std::shared_ptr<const ModelArtifacts> ModelArtifacts::build(
+    std::shared_ptr<const Mrm> model, const CheckOptions& options) {
+  if (!model) throw ModelError("ModelArtifacts::build: null model");
+  auto artifacts = std::make_shared<ModelArtifacts>(BuildTag{});
+  artifacts->model_ = std::move(model);
+  artifacts->fingerprint_ = artifacts->model_->fingerprint();
+  artifacts->internal_fingerprint_ = artifacts->fingerprint_;
+  if (options.reorder_states && artifacts->model_->num_states() > 0) {
+    artifacts->to_original_ = reverse_cuthill_mckee(artifacts->model_->rates());
+    artifacts->to_internal_.resize(artifacts->to_original_.size());
+    for (std::size_t i = 0; i < artifacts->to_original_.size(); ++i)
+      artifacts->to_internal_[artifacts->to_original_[i]] = i;
+    artifacts->reordered_model_ = std::make_shared<const Mrm>(
+        permute_states(*artifacts->model_, artifacts->to_original_));
+    artifacts->internal_fingerprint_ =
+        artifacts->reordered_model_->fingerprint();
+  }
+  return artifacts;
+}
+
+std::shared_ptr<const ModelArtifacts> ModelArtifacts::build(
+    Mrm model, const CheckOptions& options) {
+  return build(std::make_shared<const Mrm>(std::move(model)), options);
+}
+
+}  // namespace csrl

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/artifacts.hpp"
 #include "core/batch.hpp"
 #include "core/engines/discretisation_engine.hpp"
 #include "ctmc/graph.hpp"
@@ -43,6 +44,30 @@ Checker::Checker(const Mrm& model, CheckOptions options,
   // reordered copy fingerprints differently from the original, so cached
   // internal-numbering sets can never leak across the two.
   if (sat_cache_) model_fingerprint_ = model_->fingerprint();
+}
+
+Checker::Checker(std::shared_ptr<const ModelArtifacts> artifacts,
+                 CheckOptions options, std::shared_ptr<SatCache> sat_cache)
+    : model_(&artifacts->internal_model()),
+      original_model_(artifacts->model().get()),
+      options_(options),
+      sat_cache_(std::move(sat_cache)),
+      artifacts_(std::move(artifacts)) {
+  if (options_.validate) validation::set_level(*options_.validate);
+  // Reordering was decided when the artifact was built; consume the flag
+  // so internally-derived checkers never permute again (see the model
+  // constructor above for the rationale).
+  options_.reorder_states = false;
+  to_original_ = artifacts_->to_original();
+  to_internal_ = artifacts_->to_internal();
+  reordered_model_ = artifacts_->reordered()
+                         ? artifacts_->internal_model_ptr()
+                         : nullptr;
+  if (!sat_cache_ && options_.cache_sat_sets)
+    sat_cache_ = std::make_shared<SatCache>();
+  // The artifact already paid the O(nnz) fingerprint walk — the whole
+  // point of this constructor.
+  if (sat_cache_) model_fingerprint_ = artifacts_->internal_fingerprint();
 }
 
 StateSet Checker::sat(const Formula& f) const {

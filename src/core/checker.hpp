@@ -40,6 +40,7 @@ namespace csrl {
 
 struct BatchQuery;
 struct BatchResult;
+class ModelArtifacts;
 class SatCache;
 
 /// Result of a full quantitative check, optionally carrying the run's
@@ -64,6 +65,18 @@ class Checker {
   /// checkers bound to different models.  Null gives this checker a private
   /// cache (or none, when CheckOptions::cache_sat_sets is off).
   explicit Checker(const Mrm& model, CheckOptions options = {},
+                   std::shared_ptr<SatCache> sat_cache = nullptr);
+
+  /// Checker over precomputed shared artifacts (core/artifacts.hpp):
+  /// construction is O(1) — the fingerprint and any state reordering come
+  /// from the artifact, which the checker keeps alive (no outlive
+  /// obligation on the caller).  This is the stateless-engine form the
+  /// resident service uses: one immutable artifact per registered model,
+  /// any number of concurrent short-lived checkers on top of it.
+  /// `options.reorder_states` is ignored here — reordering is decided
+  /// when the artifact is built.
+  explicit Checker(std::shared_ptr<const ModelArtifacts> artifacts,
+                   CheckOptions options = {},
                    std::shared_ptr<SatCache> sat_cache = nullptr);
 
   /// The set Sat(f).  Throws ModelError if f contains a quantitative query
@@ -175,6 +188,9 @@ class Checker {
   std::shared_ptr<const Mrm> reordered_model_;
   std::vector<std::size_t> to_original_;  // internal index -> original
   std::vector<std::size_t> to_internal_;  // original index -> internal
+  // Engaged by the artifacts constructor only: keeps the shared model
+  // (and its reordered copy) alive for this checker's lifetime.
+  std::shared_ptr<const ModelArtifacts> artifacts_;
 };
 
 }  // namespace csrl

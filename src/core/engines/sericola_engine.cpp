@@ -13,6 +13,7 @@
 #include "obs/obs.hpp"
 #include "util/contracts.hpp"
 #include "util/error.hpp"
+#include "util/math.hpp"
 #include "util/workspace.hpp"
 
 namespace csrl {
@@ -51,8 +52,8 @@ double bernstein(std::size_t n, std::size_t k, double x) {
   if (x == 0.0) return k == 0 ? 1.0 : 0.0;
   const double dn = static_cast<double>(n);
   const double dk = static_cast<double>(k);
-  const double log_choose = std::lgamma(dn + 1.0) - std::lgamma(dk + 1.0) -
-                            std::lgamma(dn - dk + 1.0);
+  const double log_choose = lgamma_safe(dn + 1.0) - lgamma_safe(dk + 1.0) -
+                            lgamma_safe(dn - dk + 1.0);
   return std::exp(log_choose + dk * std::log(x) +
                   (dn - dk) * std::log1p(-x));
 }

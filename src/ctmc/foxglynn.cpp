@@ -6,6 +6,7 @@
 #include "obs/obs.hpp"
 #include "util/contracts.hpp"
 #include "util/error.hpp"
+#include "util/math.hpp"
 
 namespace csrl {
 
@@ -24,7 +25,7 @@ double poisson_pmf(std::size_t n, double lambda) {
   // which is cancellation-free for every lambda (for n < 32 lgamma is
   // small and the direct form is already accurate).
   if (x < 32.0)
-    return std::exp(-lambda + x * std::log(lambda) - std::lgamma(x + 1.0));
+    return std::exp(-lambda + x * std::log(lambda) - lgamma_safe(x + 1.0));
   const double d = lambda - x;
   const double core = x * std::log1p(d / x) - d;
   const double x2 = x * x;

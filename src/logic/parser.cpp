@@ -1,5 +1,6 @@
 #include "logic/parser.hpp"
 
+#include <string>
 #include <vector>
 
 #include "logic/lexer.hpp"
@@ -61,7 +62,24 @@ class Parser {
     return f;
   }
 
+  // Hostile inputs (kilobytes of '(' or '!') must fail with a
+  // diagnostic, not exhaust the stack: every recursive descent passes
+  // through parse_unary, so a depth guard there bounds the whole parse.
+  static constexpr std::size_t kMaxDepth = 200;
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : parser(p) {
+      if (++parser.depth_ > kMaxDepth)
+        throw SyntaxError("formula nesting deeper than " +
+                              std::to_string(kMaxDepth) + " levels",
+                          parser.peek().position);
+    }
+    ~DepthGuard() { --parser.depth_; }
+    Parser& parser;
+  };
+
   FormulaPtr parse_unary() {
+    const DepthGuard guard{*this};
     if (accept(TokenKind::kNot)) return Formula::negation(parse_unary());
     return parse_primary();
   }
@@ -240,6 +258,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace

@@ -28,6 +28,10 @@ std::string RunReport::to_json() const {
   w.key("spmv_count").value(spmv_count);
   w.key("spmm_block_products").value(spmm_block_products);
   w.key("spmm_columns").value(spmm_columns);
+  w.key("sat_cache").begin_object();
+  w.key("hits").value(sat_cache_hits);
+  w.key("misses").value(sat_cache_misses);
+  w.end_object();
   w.key("solver_residual").value(solver_residual);
   w.key("wall_seconds").value(wall_seconds);
   w.key("cost_model").begin_object();
@@ -72,28 +76,12 @@ ReportScope::ReportScope()
       dropped_before_(dropped_span_events()),
       start_ns_(now_ns()) {}
 
-RunReport ReportScope::finish(std::string engine, std::size_t states,
-                              std::size_t transitions,
-                              double truncation_error) {
-  RunReport report;
-  report.engine = std::move(engine);
-  report.states = states;
-  report.transitions = transitions;
-  report.truncation_error = truncation_error;
-  report.wall_seconds = timer_.seconds();
-
-  const MetricsSnapshot after = snapshot_metrics();
-  report.metrics = metrics_delta(before_, after);
-
-  std::vector<SpanEvent> events;
-  for (SpanEvent& event : peek_spans())
-    if (event.start_ns >= start_ns_) events.push_back(std::move(event));
-  report.spans = aggregate_spans(events);
-
+void populate_metric_fields(RunReport& report, const MetricsSnapshot& gauges,
+                            const std::string& latency_histogram) {
   report.fox_glynn_left =
-      static_cast<std::uint64_t>(after.gauge("foxglynn/window_left"));
+      static_cast<std::uint64_t>(gauges.gauge("foxglynn/window_left"));
   report.fox_glynn_right =
-      static_cast<std::uint64_t>(after.gauge("foxglynn/window_right"));
+      static_cast<std::uint64_t>(gauges.gauge("foxglynn/window_right"));
   report.solver_iterations = report.metrics.counter("solver/iterations");
   report.uniformisation_steps =
       report.metrics.counter("uniformisation/steps");
@@ -102,7 +90,9 @@ RunReport ReportScope::finish(std::string engine, std::size_t states,
   report.spmm_block_products =
       report.metrics.counter("matrix/spmm/block_products");
   report.spmm_columns = report.metrics.counter("matrix/spmm/columns");
-  report.solver_residual = after.gauge("solver/residual");
+  report.sat_cache_hits = report.metrics.counter("core/sat_cache/hits");
+  report.sat_cache_misses = report.metrics.counter("core/sat_cache/misses");
+  report.solver_residual = gauges.gauge("solver/residual");
   // The histogram arrives through the delta, so the bound covers exactly
   // the mass this run's epsilon truncation dropped.
   report.support_truncation_bound =
@@ -122,12 +112,33 @@ RunReport ReportScope::finish(std::string engine, std::size_t states,
   report.cost_model.solver_bytes = report.metrics.counter("cost/solver/bytes");
 
   const MetricsSnapshot::HistogramStats latency =
-      report.metrics.histogram("latency/check");
+      report.metrics.histogram(latency_histogram);
   report.latency_count = latency.count;
   report.latency_p50 = latency.quantile(0.50);
   report.latency_p90 = latency.quantile(0.90);
   report.latency_p99 = latency.quantile(0.99);
   report.latency_p999 = latency.quantile(0.999);
+}
+
+RunReport ReportScope::finish(std::string engine, std::size_t states,
+                              std::size_t transitions,
+                              double truncation_error) {
+  RunReport report;
+  report.engine = std::move(engine);
+  report.states = states;
+  report.transitions = transitions;
+  report.truncation_error = truncation_error;
+  report.wall_seconds = timer_.seconds();
+
+  const MetricsSnapshot after = snapshot_metrics();
+  report.metrics = metrics_delta(before_, after);
+
+  std::vector<SpanEvent> events;
+  for (SpanEvent& event : peek_spans())
+    if (event.start_ns >= start_ns_) events.push_back(std::move(event));
+  report.spans = aggregate_spans(events);
+
+  populate_metric_fields(report, after, "latency/check");
 
   // drain_spans()/reset_all() zero the per-buffer drop counters, so a
   // scope spanning one sees after < before; clamp instead of wrapping.

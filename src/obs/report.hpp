@@ -62,6 +62,16 @@ struct RunReport {
   std::uint64_t spmm_block_products = 0;
   std::uint64_t spmm_columns = 0;
 
+  /// Sat-subformula cache traffic of the run window (the
+  /// "core/sat_cache/hits|misses" counters), aggregated across every
+  /// checker that probed a cache — shared caches included.  Per-SatCache
+  /// stats() cannot see cross-session reuse (each instance only counts
+  /// its own probes, and a service builds many short-lived checkers);
+  /// these counters can, so the resident service pins its cross-client
+  /// hit rate on them.
+  std::uint64_t sat_cache_hits = 0;
+  std::uint64_t sat_cache_misses = 0;
+
   double wall_seconds = 0.0;
 
   /// Deterministic cost accounting: flop and memory-traffic totals the
@@ -119,6 +129,18 @@ struct RunReport {
   /// Stable-keyed JSON document ("csrl-run-report-v1").
   std::string to_json() const;
 };
+
+/// Fill every metric-derived field of `report` from `report.metrics`
+/// (the run's counter/histogram delta, which must already be set) and
+/// `gauges` (current gauge values): Fox-Glynn window, solver /
+/// uniformisation / SpMV / SpMM totals, Sat-cache traffic, truncation
+/// bounds, the cost model, and the latency quantiles lifted from the
+/// `latency_histogram` entry of the delta ("latency/check" for single
+/// checks, "service/latency/query" for the resident service's
+/// aggregated report).  ReportScope::finish and
+/// service::CheckerService::report share this one lifting.
+void populate_metric_fields(RunReport& report, const MetricsSnapshot& gauges,
+                            const std::string& latency_histogram);
 
 /// RAII collection window (see file comment).
 class ReportScope {

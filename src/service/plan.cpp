@@ -1,0 +1,43 @@
+#include "service/plan.hpp"
+
+#include "logic/parser.hpp"
+#include "util/hash.hpp"
+
+namespace csrl {
+namespace service {
+
+QueryPlan plan_query(std::string_view text) {
+  QueryPlan plan;
+  plan.formula = parse_formula(text);
+
+  // The coalescible shape: a probability root over a plain until whose
+  // two intervals are both anchored at 0 with finite upper bounds —
+  // exactly the P3 fragment Checker::until_grid evaluates on a lattice.
+  const Formula& f = *plan.formula;
+  if (f.kind() != FormulaKind::kProb) return plan;
+  const PathFormula& path = *f.path();
+  if (path.kind() != PathKind::kUntil) return plan;
+  const Interval& time = path.time();
+  const Interval& reward = path.reward();
+  if (time.lo != 0.0 || reward.lo != 0.0) return plan;
+  if (!time.has_upper_bound() || !reward.has_upper_bound()) return plan;
+
+  plan.kind = PlanKind::kLattice;
+  plan.phi = path.lhs();
+  plan.psi = path.target();
+  plan.time_bound = time.hi;
+  plan.reward_bound = reward.hi;
+  plan.is_value_query = f.is_query();
+  if (!f.is_query()) {
+    plan.comparison = f.comparison();
+    plan.probability_bound = f.bound();
+  }
+  plan.skeleton_hash =
+      hashing::mix(hashing::mix(hashing::kOffset, plan.phi->hash()),
+                   plan.psi->hash());
+  plan.skeleton = plan.phi->to_string() + " U " + plan.psi->to_string();
+  return plan;
+}
+
+}  // namespace service
+}  // namespace csrl

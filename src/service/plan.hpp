@@ -1,0 +1,71 @@
+// Query planning for the resident checker service.
+//
+// The service front-end accepts textual CSRL queries.  Planning parses
+// the text (logic/parser.hpp) and classifies the result by how the
+// service will execute it:
+//
+//   * kLattice — a P3 *point* query P~p[ Phi U[0,t]{0,r} Psi ] (or the
+//     quantitative P=? form, or the F sugar): one cell of a times x
+//     rewards lattice.  All in-flight lattice queries that agree on the
+//     model and on the *formula skeleton* — the (Phi, Psi) operand pair
+//     with the numeric bounds stripped — are coalesced into a single
+//     Checker::until_grid pass whose cells are scattered back to the
+//     waiting clients.  PR 4's batching theorem makes every cell bitwise
+//     identical to the per-client point check, so coalescing is purely a
+//     scheduling decision, never a numerical one.
+//
+//   * kDirect — everything else (boolean combinations, steady-state and
+//     reward operators, unbounded or interval untils, Next, ...): one
+//     per-query Checker evaluation.
+//
+// The skeleton identity is the canonical printed form of the operand
+// pair (collision-proof, like SatCache entries); the structural hash is
+// the cheap first-pass key.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "logic/formula.hpp"
+
+namespace csrl {
+namespace service {
+
+enum class PlanKind {
+  kLattice,  // coalescible P3 point query
+  kDirect,   // per-query evaluation
+};
+
+/// A parsed query plus the execution route chosen for it.
+struct QueryPlan {
+  PlanKind kind = PlanKind::kDirect;
+
+  /// The parsed root formula (always set).
+  FormulaPtr formula;
+
+  // kLattice only ---------------------------------------------------------
+  /// Operands of the until; phi is the paper's "true" formula for the F
+  /// sugar (never null for a lattice plan).
+  FormulaPtr phi;
+  FormulaPtr psi;
+  /// The query's lattice cell: upper time and reward bounds.
+  double time_bound = 0.0;
+  double reward_bound = 0.0;
+  /// P=? (value query) vs P~p (verdict query).
+  bool is_value_query = false;
+  Comparison comparison = Comparison::kGreaterEqual;
+  double probability_bound = 0.0;
+  /// Coalescing key within one model: cheap hash + collision-proof
+  /// canonical form of the (phi, psi) skeleton.
+  std::uint64_t skeleton_hash = 0;
+  std::string skeleton;
+};
+
+/// Parse `text` and choose the execution route.  Throws SyntaxError on
+/// malformed input (the service front-end turns that into a parse-error
+/// verdict; nothing malformed ever reaches a worker).
+QueryPlan plan_query(std::string_view text);
+
+}  // namespace service
+}  // namespace csrl

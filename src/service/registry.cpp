@@ -1,0 +1,57 @@
+#include "service/registry.hpp"
+
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace csrl {
+namespace service {
+
+ModelId ModelRegistry::add(std::shared_ptr<const Mrm> model,
+                           const CheckOptions& options) {
+  // Build outside the lock: artifact construction walks the whole model
+  // (fingerprint, optional RCM), and registration must not stall lookups.
+  std::shared_ptr<const ModelArtifacts> artifacts =
+      ModelArtifacts::build(std::move(model), options);
+  const ModelId id = artifacts->fingerprint();
+  bool fresh = false;
+  {
+    MutexLock lock(mutex_);
+    bool known = false;
+    for (const Entry& entry : entries_)
+      if (entry.id == id) known = true;
+    if (!known) {
+      entries_.push_back({id, std::move(artifacts)});
+      fresh = true;
+    }
+  }
+  if (fresh) CSRL_COUNT("service/registry/registered", 1);
+  return id;
+}
+
+ModelId ModelRegistry::add(Mrm model, const CheckOptions& options) {
+  return add(std::make_shared<const Mrm>(std::move(model)), options);
+}
+
+std::shared_ptr<const ModelArtifacts> ModelRegistry::find(ModelId id) const {
+  MutexLock lock(mutex_);
+  for (const Entry& entry : entries_)
+    if (entry.id == id) return entry.artifacts;
+  return nullptr;
+}
+
+std::vector<ModelId> ModelRegistry::ids() const {
+  MutexLock lock(mutex_);
+  std::vector<ModelId> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) out.push_back(entry.id);
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  MutexLock lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace service
+}  // namespace csrl

@@ -1,0 +1,383 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "core/checker.hpp"
+#include "util/error.hpp"
+
+namespace csrl {
+namespace service {
+
+namespace {
+
+/// Position of `value` in a sorted-unique axis built from values that
+/// include it — exact double comparison is correct here because the axis
+/// entries are bit-copies of the queries' own bounds.
+std::size_t axis_index(const std::vector<double>& axis, double value) {
+  return static_cast<std::size_t>(
+      std::lower_bound(axis.begin(), axis.end(), value) - axis.begin());
+}
+
+}  // namespace
+
+std::string to_string(QueryStatus status) {
+  switch (status) {
+    case QueryStatus::kOk:
+      return "ok";
+    case QueryStatus::kParseError:
+      return "parse_error";
+    case QueryStatus::kUnknownModel:
+      return "unknown_model";
+    case QueryStatus::kRejected:
+      return "rejected";
+    case QueryStatus::kShutdown:
+      return "shutdown";
+    case QueryStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+CheckerService::CheckerService(ServiceOptions options)
+    : options_(std::move(options)),
+      sat_cache_(std::make_shared<SatCache>()),
+      metrics_before_(obs::snapshot_metrics()) {
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+CheckerService::~CheckerService() { shutdown(/*drain=*/true); }
+
+ModelId CheckerService::register_model(Mrm model) {
+  return registry_.add(std::move(model), options_.check);
+}
+
+ModelId CheckerService::register_model(std::shared_ptr<const Mrm> model) {
+  return registry_.add(std::move(model), options_.check);
+}
+
+bool CheckerService::has_model(ModelId id) const {
+  return registry_.find(id) != nullptr;
+}
+
+std::size_t CheckerService::num_models() const { return registry_.size(); }
+
+std::future<QueryResult> CheckerService::submit(ModelId model,
+                                                std::string_view query) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  Pending pending;
+  std::future<QueryResult> future = pending.promise.get_future();
+
+  try {
+    pending.plan = plan_query(query);
+  } catch (const Error& e) {
+    QueryResult result;
+    result.status = QueryStatus::kParseError;
+    result.error = e.what();
+    deliver(pending, std::move(result));
+    return future;
+  }
+
+  pending.artifacts = registry_.find(model);
+  if (!pending.artifacts) {
+    QueryResult result;
+    result.status = QueryStatus::kUnknownModel;
+    result.error = "model not registered with the service";
+    deliver(pending, std::move(result));
+    return future;
+  }
+
+  pending.since_submit.reset();
+  QueryStatus verdict = QueryStatus::kOk;
+  {
+    MutexLock lock(mutex_);
+    if (!accepting_) {
+      verdict = QueryStatus::kShutdown;
+    } else if (total_pending_ >= options_.max_pending) {
+      verdict = QueryStatus::kRejected;
+    } else {
+      const auto emplaced = queues_.try_emplace(model);
+      if (emplaced.second) queue_order_.push_back(model);
+      emplaced.first->second.push_back(std::move(pending));
+      ++total_pending_;
+    }
+  }
+
+  if (verdict == QueryStatus::kOk) {
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    work_cv_.notify_one();
+    return future;
+  }
+
+  QueryResult result;
+  result.status = verdict;
+  result.error = verdict == QueryStatus::kRejected
+                     ? "admission queue full (backpressure)"
+                     : "service is shutting down";
+  deliver(pending, std::move(result));
+  return future;
+}
+
+QueryResult CheckerService::query(ModelId model, std::string_view text) {
+  std::future<QueryResult> future = submit(model, text);
+  if (workers_.empty()) drain_now();
+  return future.get();
+}
+
+void CheckerService::drain_now() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      MutexLock lock(mutex_);
+      if (total_pending_ == 0) return;
+      batch = take_next_batch_locked();
+      ++active_batches_;
+    }
+    execute_batch(batch);
+    MutexLock lock(mutex_);
+    --active_batches_;
+    if (total_pending_ == 0 && active_batches_ == 0) idle_cv_.notify_all();
+  }
+}
+
+void CheckerService::worker_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      MutexLock lock(mutex_);
+      while (!stopping_ && total_pending_ == 0) work_cv_.wait(mutex_);
+      if (total_pending_ == 0) return;  // stopping and fully drained
+      batch = take_next_batch_locked();
+      ++active_batches_;
+    }
+    execute_batch(batch);
+    MutexLock lock(mutex_);
+    --active_batches_;
+    if (total_pending_ == 0 && active_batches_ == 0) idle_cv_.notify_all();
+  }
+}
+
+void CheckerService::shutdown(bool drain) {
+  std::vector<Pending> cancelled;
+  {
+    MutexLock lock(mutex_);
+    accepting_ = false;
+    if (!drain) {
+      for (ModelId id : queue_order_) {
+        const auto it = queues_.find(id);
+        if (it == queues_.end()) continue;
+        while (!it->second.empty()) {
+          cancelled.push_back(std::move(it->second.front()));
+          it->second.pop_front();
+        }
+      }
+      total_pending_ = 0;
+    }
+  }
+  for (Pending& pending : cancelled) {
+    QueryResult result;
+    result.status = QueryStatus::kShutdown;
+    result.error = "cancelled by shutdown";
+    deliver(pending, std::move(result));
+  }
+
+  // Finish what remains: inline when there are no workers, else wait for
+  // them.  In-flight batches complete in both modes.
+  if (drain && workers_.empty()) drain_now();
+  {
+    MutexLock lock(mutex_);
+    while (total_pending_ > 0 || active_batches_ > 0) idle_cv_.wait(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_)
+    if (worker.joinable()) worker.join();
+  workers_.clear();
+}
+
+std::vector<CheckerService::Pending> CheckerService::take_next_batch_locked() {
+  std::vector<Pending> batch;
+  const std::size_t ring = queue_order_.size();
+  for (std::size_t probe = 0; probe < ring; ++probe) {
+    const std::size_t index = (next_model_ + probe) % ring;
+    const auto it = queues_.find(queue_order_[index]);
+    if (it == queues_.end() || it->second.empty()) continue;
+    // Fairness: the next take starts scanning after the model served now,
+    // so a flood on one model cannot starve the others.
+    next_model_ = (index + 1) % ring;
+    std::deque<Pending>& queue = it->second;
+    batch.push_back(std::move(queue.front()));
+    queue.pop_front();
+    if (batch.front().plan.kind == PlanKind::kLattice) {
+      // Coalesce: every queued query of this model with the same formula
+      // skeleton joins the head's lattice pass (hash first, canonical
+      // form as the collision-proof identity).
+      const std::uint64_t key_hash = batch.front().plan.skeleton_hash;
+      const std::string key = batch.front().plan.skeleton;
+      const std::size_t cap =
+          options_.max_batch == 0 ? queue.size() + 1 : options_.max_batch;
+      for (auto member = queue.begin();
+           member != queue.end() && batch.size() < cap;) {
+        if (member->plan.kind == PlanKind::kLattice &&
+            member->plan.skeleton_hash == key_hash &&
+            member->plan.skeleton == key) {
+          batch.push_back(std::move(*member));
+          member = queue.erase(member);
+        } else {
+          ++member;
+        }
+      }
+    }
+    total_pending_ -= batch.size();
+    break;
+  }
+  return batch;
+}
+
+void CheckerService::execute_batch(std::vector<Pending>& batch) {
+  const std::uint64_t seq =
+      serve_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  CSRL_SPAN("service/batch");
+  CSRL_COUNT("service/batches", 1);
+
+  QueryResult base;
+  base.serve_seq = seq;
+  base.batch_clients = batch.size();
+  base.coalesced = batch.size() > 1;
+  if (base.coalesced) {
+    coalesced_queries_.fetch_add(batch.size(), std::memory_order_relaxed);
+    CSRL_COUNT("service/queries/coalesced", batch.size());
+  }
+
+  try {
+    Checker checker(batch.front().artifacts, options_.check, sat_cache_);
+    if (batch.front().plan.kind == PlanKind::kDirect) {
+      Pending& pending = batch.front();
+      QueryResult result = base;
+      result.status = QueryStatus::kOk;
+      result.value = checker.value_initially(*pending.plan.formula);
+      result.truth = result.value != 0.0;
+      deliver(pending, std::move(result));
+      return;
+    }
+
+    lattice_passes_.fetch_add(1, std::memory_order_relaxed);
+    BatchQuery query;
+    query.phi = batch.front().plan.phi;
+    query.psi = batch.front().plan.psi;
+    query.times.reserve(batch.size());
+    query.rewards.reserve(batch.size());
+    for (const Pending& pending : batch) {
+      query.times.push_back(pending.plan.time_bound);
+      query.rewards.push_back(pending.plan.reward_bound);
+    }
+    std::sort(query.times.begin(), query.times.end());
+    query.times.erase(std::unique(query.times.begin(), query.times.end()),
+                      query.times.end());
+    std::sort(query.rewards.begin(), query.rewards.end());
+    query.rewards.erase(
+        std::unique(query.rewards.begin(), query.rewards.end()),
+        query.rewards.end());
+
+    const BatchResult grid = checker.until_grid(query);
+    const std::uint64_t cells = static_cast<std::uint64_t>(
+        query.times.size() * query.rewards.size());
+    lattice_cells_.fetch_add(cells, std::memory_order_relaxed);
+    CSRL_COUNT("service/lattice/passes", 1);
+    CSRL_COUNT("service/lattice/cells", cells);
+
+    for (Pending& pending : batch) {
+      QueryResult result = base;
+      result.status = QueryStatus::kOk;
+      result.value =
+          grid.value_at(axis_index(grid.times, pending.plan.time_bound),
+                        axis_index(grid.rewards, pending.plan.reward_bound));
+      result.truth =
+          pending.plan.is_value_query
+              ? result.value != 0.0
+              : compare(pending.plan.comparison, result.value,
+                        pending.plan.probability_bound);
+      deliver(pending, std::move(result));
+    }
+  } catch (const std::exception& e) {
+    for (Pending& pending : batch) {
+      if (pending.delivered) continue;
+      QueryResult result = base;
+      result.status = QueryStatus::kFailed;
+      result.error = e.what();
+      deliver(pending, std::move(result));
+    }
+  }
+}
+
+void CheckerService::deliver(Pending& pending, QueryResult result) {
+  result.latency_seconds = pending.since_submit.seconds();
+  switch (result.status) {
+    case QueryStatus::kOk:
+      ok_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case QueryStatus::kParseError:
+      parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case QueryStatus::kUnknownModel:
+      unknown_model_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case QueryStatus::kRejected:
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case QueryStatus::kShutdown:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case QueryStatus::kFailed:
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  CSRL_COUNT("service/queries/completed", 1);
+  CSRL_HIST("service/latency/query", result.latency_seconds);
+  pending.delivered = true;
+  pending.promise.set_value(std::move(result));
+}
+
+ServiceStats CheckerService::stats() const {
+  ServiceStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.admitted = admitted_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.ok = ok_.load(std::memory_order_relaxed);
+  stats.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  stats.unknown_model = unknown_model_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.lattice_passes = lattice_passes_.load(std::memory_order_relaxed);
+  stats.lattice_cells = lattice_cells_.load(std::memory_order_relaxed);
+  stats.coalesced_queries =
+      coalesced_queries_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+obs::RunReport CheckerService::report() const {
+  obs::RunReport report;
+  report.engine = "service";
+  for (ModelId id : registry_.ids()) {
+    const std::shared_ptr<const ModelArtifacts> artifacts = registry_.find(id);
+    if (!artifacts) continue;
+    report.states += artifacts->model()->num_states();
+    report.transitions += artifacts->model()->rates().nnz();
+  }
+  report.truncation_error = engine_truncation_error(options_.check);
+  report.wall_seconds = uptime_.seconds();
+  const obs::MetricsSnapshot after = obs::snapshot_metrics();
+  report.metrics = obs::metrics_delta(metrics_before_, after);
+  obs::populate_metric_fields(report, after, "service/latency/query");
+  return report;
+}
+
+}  // namespace service
+}  // namespace csrl

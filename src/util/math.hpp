@@ -1,0 +1,23 @@
+#pragma once
+
+// Reentrant libm wrappers.  glibc's lgamma() reports the sign of the
+// result through the *global* `signgam`, so two threads evaluating
+// lgamma concurrently race on it — harmless for the value we use, but
+// undefined behaviour and a TSan finding the moment two checker
+// sessions run engine maths side by side (the resident service does
+// exactly that).  lgamma_r() takes the sign slot as a parameter; use
+// it wherever it exists.
+#include <cmath>
+
+namespace csrl {
+
+inline double lgamma_safe(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+}  // namespace csrl

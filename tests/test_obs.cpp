@@ -367,6 +367,40 @@ TEST(ObsReport, CheckerCheckAttachesRunReport) {
   EXPECT_NE(json.find("\"spans\": ["), std::string::npos);
 }
 
+TEST(ObsReport, SatCacheTrafficSurfacesInReport) {
+  obs::reset_all();
+  const Mrm m = model();
+  CheckOptions options;
+  options.report = true;
+  options.num_threads = 1;
+  const Checker checker(m, options);
+
+  // Compound operands (bare atoms skip the cache): the first check
+  // misses and populates, the second hits on the identical skeleton.
+  const FormulaPtr first =
+      parse_formula("P=? [ (goal | !goal) U[0,1]{0,2} goal ]");
+  const FormulaPtr second =
+      parse_formula("P=? [ (goal | !goal) U[0,2]{0,3} goal ]");
+  (void)checker.check(*first);
+  const CheckResult result = checker.check(*second);
+  ASSERT_TRUE(result.report.has_value());
+  const obs::RunReport& report = result.report.value();
+#ifndef CSRL_OBS_DISABLED
+  // The fixed sharing gap: the aggregated core/sat_cache counters (not
+  // per-instance SatCache::stats) feed the report fields, so traffic is
+  // visible regardless of which checker owned the probing cache.
+  EXPECT_GT(report.sat_cache_hits, 0u);
+  EXPECT_EQ(report.sat_cache_hits,
+            report.metrics.counter("core/sat_cache/hits"));
+  EXPECT_EQ(report.sat_cache_misses,
+            report.metrics.counter("core/sat_cache/misses"));
+#endif
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"sat_cache\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"hits\": "), std::string::npos);
+  EXPECT_NE(json.find("\"misses\": "), std::string::npos);
+}
+
 TEST(ObsReport, NoReportWhenNotRequested) {
   const Mrm m = model();
   const Checker checker(m);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "util/error.hpp"
 
 namespace csrl {
@@ -153,6 +155,18 @@ TEST(Parser, MalformedInputsThrow) {
        }) {
     EXPECT_THROW((void)parse_formula(bad), Error) << bad;
   }
+}
+
+TEST(Parser, DeepNestingRejectedBeforeStackExhaustion) {
+  // Recursion is bounded: kilobytes of '(' or '!' must throw a
+  // SyntaxError, never overflow the stack (found by the service fuzz
+  // suite under ASan).  Reasonable nesting still parses.
+  std::string deep = "a";
+  for (int i = 0; i < 64; ++i) deep = "!(" + deep + ")";
+  EXPECT_EQ(parse_formula(deep)->kind(), FormulaKind::kNot);
+
+  EXPECT_THROW((void)parse_formula(std::string(4096, '(') + "a"), SyntaxError);
+  EXPECT_THROW((void)parse_formula(std::string(4096, '!') + "a"), SyntaxError);
 }
 
 TEST(Parser, KeywordsNotUsableAsPropositions) {

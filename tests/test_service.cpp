@@ -1,0 +1,433 @@
+// Tests for the resident checker service (service/service.hpp).
+//
+// The load-bearing property is differential: every answer a client gets
+// from a coalesced lattice pass must be BITWISE identical to what a
+// private per-client Checker::check of the same textual query returns —
+// coalescing is a scheduling decision, never a numerical one (PR 4's
+// grid contract).  Checked over seeded random MRMs with 1 and 8 client
+// threads.  On top sit the admission policy (bounded queue with explicit
+// kRejected backpressure, per-model round-robin fairness, clean
+// shutdown with queries in flight), the front-end verdicts (parse
+// error / unknown model), and the shared SatCache whose cross-client
+// traffic the service report exposes.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/checker.hpp"
+#include "logic/parser.hpp"
+#include "models/synthetic.hpp"
+#include "obs/obs.hpp"
+#include "service/service.hpp"
+
+namespace csrl {
+namespace service {
+namespace {
+
+bool bitwise_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// The queries of one synthetic client session against one model: a
+/// shared-skeleton family of P3 point queries (the coalescible kind)
+/// plus a few direct ones, all textual.
+std::vector<std::string> mixed_queries() {
+  std::vector<std::string> queries;
+  for (int i = 1; i <= 4; ++i) {
+    for (int j = 1; j <= 3; ++j) {
+      queries.push_back("P=? [ a U[0," + std::to_string(0.25 * i) + "]{0," +
+                        std::to_string(0.5 * j) + "} b ]");
+      queries.push_back("P>=0.5 [ a U[0," + std::to_string(0.2 * i) + "]{0," +
+                        std::to_string(0.4 * j) + "} b ]");
+    }
+  }
+  for (int i = 1; i <= 3; ++i)
+    queries.push_back("P=? [ (a | b) U[0," + std::to_string(0.3 * i) +
+                      "]{0,1} (b & !a) ]");
+  queries.push_back("P=? [ F[0,1.5]{0,2} b ]");
+  queries.push_back("a | b");
+  queries.push_back("P=? [ a U b ]");
+  queries.push_back("S>0.01 [ b ]");
+  return queries;
+}
+
+/// Reference answer from a private checker on the same model, mirroring
+/// the service's value semantics: lattice-planned verdict queries carry
+/// the underlying probability in `value`; everything else carries
+/// value_initially.
+struct Reference {
+  double value = 0.0;
+  bool truth = false;
+};
+
+Reference reference_answer(const Mrm& model, const std::string& query) {
+  const Checker checker(model);
+  const QueryPlan plan = plan_query(query);
+  Reference ref;
+  if (plan.kind == PlanKind::kLattice && !plan.is_value_query) {
+    ref.value = checker.value_initially(
+        *Formula::probability_query(plan.formula->path()));
+    ref.truth = checker.holds_initially(*plan.formula);
+  } else {
+    ref.value = checker.value_initially(*plan.formula);
+    ref.truth = ref.value != 0.0;
+  }
+  return ref;
+}
+
+class ServiceDifferential
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(ServiceDifferential, CoalescedAnswersBitwiseEqualPrivateCheckers) {
+  const std::uint64_t seed = std::get<0>(GetParam());
+  const int client_threads = std::get<1>(GetParam());
+  const Mrm model = random_mrm(seed, 12, 0.3);
+
+  ServiceOptions options;
+  options.workers = 2;
+  CheckerService service(options);
+  const ModelId id = service.register_model(model);
+
+  const std::vector<std::string> queries = mixed_queries();
+  std::vector<std::vector<QueryResult>> results(
+      static_cast<std::size_t>(client_threads));
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<std::size_t>(client_threads));
+    for (int c = 0; c < client_threads; ++c) {
+      clients.emplace_back([&, c] {
+        std::vector<std::future<QueryResult>> futures;
+        futures.reserve(queries.size());
+        for (const std::string& q : queries)
+          futures.push_back(service.submit(id, q));
+        for (auto& f : futures) results[static_cast<std::size_t>(c)].push_back(f.get());
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  service.shutdown();
+
+  for (const auto& client : results) {
+    ASSERT_EQ(client.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(client[i].status, QueryStatus::kOk) << queries[i];
+      const Reference expected = reference_answer(model, queries[i]);
+      EXPECT_TRUE(bitwise_equal(client[i].value, expected.value))
+          << queries[i] << ": service " << client[i].value << " vs private "
+          << expected.value;
+      EXPECT_EQ(client[i].truth, expected.truth) << queries[i];
+    }
+  }
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted,
+            queries.size() * static_cast<std::size_t>(client_threads));
+  EXPECT_EQ(stats.completed, stats.submitted);
+  EXPECT_EQ(stats.ok, stats.submitted);
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndClients, ServiceDifferential,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 7, 42),
+                       ::testing::Values(1, 8)));
+
+TEST(ServiceCoalescing, QueuedSameSkeletonQueriesShareOneLatticePass) {
+  const Mrm model = random_mrm(3, 10, 0.3);
+  ServiceOptions options;
+  options.workers = 0;  // deterministic: coalesce everything queued
+  CheckerService service(options);
+  const ModelId id = service.register_model(model);
+
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 1; i <= 5; ++i)
+    futures.push_back(service.submit(
+        id, "P=? [ a U[0," + std::to_string(0.3 * i) + "]{0,1.5} b ]"));
+  service.drain_now();
+
+  for (auto& f : futures) {
+    const QueryResult r = f.get();
+    ASSERT_EQ(r.status, QueryStatus::kOk);
+    EXPECT_TRUE(r.coalesced);
+    EXPECT_EQ(r.batch_clients, 5u);
+    EXPECT_EQ(r.serve_seq, 1u);  // one single serving pass
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.lattice_passes, 1u);
+  EXPECT_EQ(stats.coalesced_queries, 5u);
+  EXPECT_EQ(stats.lattice_cells, 5u);  // 5 times x 1 reward
+}
+
+TEST(ServiceCoalescing, DifferentSkeletonsDoNotCoalesce) {
+  const Mrm model = random_mrm(4, 10, 0.3);
+  ServiceOptions options;
+  options.workers = 0;
+  CheckerService service(options);
+  const ModelId id = service.register_model(model);
+
+  auto f1 = service.submit(id, "P=? [ a U[0,1]{0,1} b ]");
+  auto f2 = service.submit(id, "P=? [ b U[0,1]{0,1} a ]");
+  service.drain_now();
+
+  EXPECT_FALSE(f1.get().coalesced);
+  EXPECT_FALSE(f2.get().coalesced);
+  EXPECT_EQ(service.stats().batches, 2u);
+}
+
+TEST(ServiceCoalescing, MaxBatchCapsClientsPerPass) {
+  const Mrm model = random_mrm(5, 10, 0.3);
+  ServiceOptions options;
+  options.workers = 0;
+  options.max_batch = 2;
+  CheckerService service(options);
+  const ModelId id = service.register_model(model);
+
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 1; i <= 4; ++i)
+    futures.push_back(service.submit(
+        id, "P=? [ a U[0," + std::to_string(0.3 * i) + "]{0,1} b ]"));
+  service.drain_now();
+
+  for (auto& f : futures) {
+    const QueryResult r = f.get();
+    ASSERT_EQ(r.status, QueryStatus::kOk);
+    EXPECT_LE(r.batch_clients, 2u);
+  }
+  EXPECT_EQ(service.stats().batches, 2u);
+}
+
+TEST(ServiceAdmission, FullQueueAnswersRejectedImmediately) {
+  const Mrm model = random_mrm(6, 8, 0.3);
+  ServiceOptions options;
+  options.workers = 0;
+  options.max_pending = 3;
+  CheckerService service(options);
+  const ModelId id = service.register_model(model);
+
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 1; i <= 5; ++i)
+    futures.push_back(service.submit(
+        id, "P=? [ a U[0," + std::to_string(0.2 * i) + "]{0,1} b ]"));
+
+  // The overflow verdicts resolve before any draining happens.
+  for (int i = 3; i < 5; ++i) {
+    const QueryResult r = futures[static_cast<std::size_t>(i)].get();
+    EXPECT_EQ(r.status, QueryStatus::kRejected);
+    EXPECT_FALSE(r.error.empty());
+  }
+  service.drain_now();
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get().status,
+              QueryStatus::kOk);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.rejected, 2u);
+  EXPECT_EQ(stats.admitted, 3u);
+  EXPECT_EQ(stats.completed, 5u);  // every query got a verdict
+}
+
+TEST(ServiceAdmission, RoundRobinInterleavesModelsFairly) {
+  ServiceOptions options;
+  options.workers = 0;
+  CheckerService service(options);
+  const ModelId a = service.register_model(random_mrm(10, 8, 0.3));
+  const ModelId b = service.register_model(random_mrm(11, 8, 0.3));
+  ASSERT_NE(a, b);
+
+  // Distinct skeletons so nothing coalesces: each query is its own batch.
+  const std::vector<std::string> skeletons = {
+      "P=? [ a U[0,1]{0,1} b ]",
+      "P=? [ b U[0,1]{0,1} a ]",
+      "P=? [ (a | b) U[0,1]{0,1} b ]",
+  };
+  std::vector<std::future<QueryResult>> on_a;
+  std::vector<std::future<QueryResult>> on_b;
+  // A floods first; B arrives after.  Round-robin must still alternate.
+  for (const std::string& q : skeletons) on_a.push_back(service.submit(a, q));
+  for (const std::string& q : skeletons) on_b.push_back(service.submit(b, q));
+  service.drain_now();
+
+  for (std::size_t i = 0; i < skeletons.size(); ++i) {
+    const QueryResult ra = on_a[i].get();
+    const QueryResult rb = on_b[i].get();
+    ASSERT_EQ(ra.status, QueryStatus::kOk);
+    ASSERT_EQ(rb.status, QueryStatus::kOk);
+    // Serving order a1 b1 a2 b2 a3 b3: seq 1,3,5 for A and 2,4,6 for B.
+    EXPECT_EQ(ra.serve_seq, 2 * i + 1);
+    EXPECT_EQ(rb.serve_seq, 2 * i + 2);
+  }
+}
+
+TEST(ServiceFrontEnd, MalformedQueryYieldsParseErrorVerdict) {
+  ServiceOptions options;
+  options.workers = 0;
+  CheckerService service(options);
+  const ModelId id = service.register_model(random_mrm(12, 6, 0.3));
+
+  auto future = service.submit(id, "P>0.5 [ a U ]");
+  const QueryResult r = future.get();  // resolved synchronously
+  EXPECT_EQ(r.status, QueryStatus::kParseError);
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_EQ(service.stats().parse_errors, 1u);
+  EXPECT_EQ(service.stats().admitted, 0u);
+}
+
+TEST(ServiceFrontEnd, UnknownModelYieldsVerdictNotCrash) {
+  ServiceOptions options;
+  options.workers = 0;
+  CheckerService service(options);
+  auto future = service.submit(12345, "a | b");
+  EXPECT_EQ(future.get().status, QueryStatus::kUnknownModel);
+  EXPECT_EQ(service.stats().unknown_model, 1u);
+}
+
+TEST(ServiceFrontEnd, RegistrationIsIdempotentOnBitIdenticalModels) {
+  CheckerService service(ServiceOptions{});
+  const Mrm model = random_mrm(13, 9, 0.3);
+  const ModelId first = service.register_model(model);
+  const ModelId second = service.register_model(model);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(service.num_models(), 1u);
+  EXPECT_TRUE(service.has_model(first));
+  EXPECT_FALSE(service.has_model(first + 1));
+}
+
+TEST(ServiceShutdown, DrainingShutdownAnswersEverythingInFlight) {
+  const Mrm model = random_mrm(14, 10, 0.3);
+  ServiceOptions options;
+  options.workers = 2;
+  CheckerService service(options);
+  const ModelId id = service.register_model(model);
+
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 1; i <= 20; ++i)
+    futures.push_back(service.submit(
+        id, "P=? [ a U[0," + std::to_string(0.1 * i) + "]{0,1} b ]"));
+  service.shutdown(/*drain=*/true);
+
+  for (auto& f : futures) EXPECT_EQ(f.get().status, QueryStatus::kOk);
+  // Post-shutdown submissions get the explicit verdict.
+  EXPECT_EQ(service.query(id, "a | b").status, QueryStatus::kShutdown);
+}
+
+TEST(ServiceShutdown, NonDrainingShutdownCancelsQueuedQueries) {
+  const Mrm model = random_mrm(15, 10, 0.3);
+  ServiceOptions options;
+  options.workers = 0;
+  CheckerService service(options);
+  const ModelId id = service.register_model(model);
+
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 1; i <= 4; ++i)
+    futures.push_back(service.submit(
+        id, "P=? [ a U[0," + std::to_string(0.2 * i) + "]{0,1} b ]"));
+  service.shutdown(/*drain=*/false);
+
+  for (auto& f : futures) {
+    const QueryResult r = f.get();
+    EXPECT_EQ(r.status, QueryStatus::kShutdown);
+  }
+  EXPECT_EQ(service.stats().cancelled, 4u);
+}
+
+TEST(ServiceShutdown, DestructorDrainsWithoutDeadlock) {
+  const Mrm model = random_mrm(16, 10, 0.3);
+  std::future<QueryResult> future;
+  {
+    ServiceOptions options;
+    options.workers = 2;
+    CheckerService service(options);
+    const ModelId id = service.register_model(model);
+    future = service.submit(id, "P=? [ a U[0,1]{0,1} b ]");
+  }
+  EXPECT_EQ(future.get().status, QueryStatus::kOk);
+}
+
+TEST(ServiceSatCache, CrossClientSatSetsAreSharedThroughOneCache) {
+  const Mrm model = random_mrm(17, 10, 0.3);
+  ServiceOptions options;
+  options.workers = 0;
+  CheckerService service(options);
+  const ModelId id = service.register_model(model);
+
+  // First serving pass: misses populate the shared cache.  (Compound
+  // operands — bare atoms are deliberately not cached.)
+  EXPECT_EQ(service.query(id, "P=? [ (a | b) U[0,1]{0,1} (b & !a) ]").status,
+            QueryStatus::kOk);
+  const SatCache::Stats first = service.sat_cache()->stats();
+  EXPECT_GT(first.misses, 0u);
+
+  // A different client, different bounds, same operands: the Sat sets
+  // come from the shared cache even though the serving checker is new.
+  EXPECT_EQ(service.query(id, "P=? [ (a | b) U[0,2]{0,2} (b & !a) ]").status,
+            QueryStatus::kOk);
+  const SatCache::Stats second = service.sat_cache()->stats();
+  EXPECT_GT(second.hits, first.hits);
+}
+
+TEST(ServiceReport, AggregatesModelsLatencyAndSatCacheTraffic) {
+  const Mrm model_a = random_mrm(18, 10, 0.3);
+  const Mrm model_b = random_mrm(19, 14, 0.3);
+#ifndef CSRL_OBS_DISABLED
+  const obs::ScopedRecording recording(true);
+#endif
+  ServiceOptions options;
+  options.workers = 0;
+  CheckerService service(options);
+  const ModelId a = service.register_model(model_a);
+  const ModelId b = service.register_model(model_b);
+
+  EXPECT_EQ(service.query(a, "P=? [ (a | b) U[0,1]{0,1} b ]").status,
+            QueryStatus::kOk);
+  EXPECT_EQ(service.query(a, "P=? [ (a | b) U[0,2]{0,1} b ]").status,
+            QueryStatus::kOk);
+  EXPECT_EQ(service.query(b, "P=? [ (a | b) U[0,1]{0,1} b ]").status,
+            QueryStatus::kOk);
+
+  const obs::RunReport report = service.report();
+  EXPECT_EQ(report.engine, "service");
+  EXPECT_EQ(report.states, model_a.num_states() + model_b.num_states());
+  EXPECT_EQ(report.transitions,
+            model_a.rates().nnz() + model_b.rates().nnz());
+#ifndef CSRL_OBS_DISABLED
+  // Three queries -> three latency samples with sane quantile ordering.
+  EXPECT_EQ(report.latency_count, 3u);
+  EXPECT_GT(report.latency_p50, 0.0);
+  EXPECT_LE(report.latency_p50, report.latency_p99);
+  // The fixed SatCache sharing gap: cross-checker traffic shows up in the
+  // service-level report (the second query on model a hits the cache).
+  EXPECT_GT(report.sat_cache_hits, 0u);
+  EXPECT_GT(report.sat_cache_misses, 0u);
+  EXPECT_GT(report.spmv_count, 0u);
+#endif
+}
+
+TEST(ServiceValues, VerdictQueriesAgreeWithPrivateHoldsInitially) {
+  const Mrm model = random_mrm(20, 10, 0.3);
+  ServiceOptions options;
+  options.workers = 0;
+  CheckerService service(options);
+  const ModelId id = service.register_model(model);
+  const Checker checker(model);
+
+  const std::vector<std::string> verdicts = {
+      "P>=0.5 [ a U[0,1]{0,1} b ]",
+      "P<0.25 [ a U[0,2]{0,1.5} b ]",
+      "P>0 [ F[0,1]{0,1} b ]",
+  };
+  for (const std::string& q : verdicts) {
+    const QueryResult r = service.query(id, q);
+    ASSERT_EQ(r.status, QueryStatus::kOk) << q;
+    EXPECT_EQ(r.truth, checker.holds_initially(*parse_formula(q))) << q;
+  }
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace csrl

@@ -1,0 +1,162 @@
+// Fuzzing the resident service's textual front-end with malformed and
+// hostile CSRL strings (the string-level sibling of the structural
+// test_fuzz_formulas.cpp generator).  The contract under attack: submit()
+// never crashes, never leaks (the ASan lane runs this binary), never
+// deadlocks a client — every submission resolves to a terminal verdict,
+// malformed text resolves to kParseError with a diagnostic, and the
+// service keeps serving well-formed queries afterwards.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "models/synthetic.hpp"
+#include "service/service.hpp"
+#include "util/rng.hpp"
+
+namespace csrl {
+namespace service {
+namespace {
+
+/// Well-formed seeds the mutator starts from.
+const char* const kSeeds[] = {
+    "P=? [ a U[0,1.5]{0,2} b ]",
+    "P>=0.5 [ (a | b) U[0,24]{0,600} b ]",
+    "P<0.1 [ F[0,2] a ]",
+    "S>0.01 [ b ]",
+    "P=? [ X[0,1]{0,5} a ]",
+    "!a & (b | !b)",
+    "P=? [ a U<=7.5 b ]",
+    "P>0.9 [ a U ( P>0.5 [ F{0,10} b ] ) ]",
+};
+
+/// Bytes the mutator splices in: syntax fragments, meta characters,
+/// digits and a spread of raw non-token bytes.
+const char kNoise[] =
+    "PSU[](){}<>=!&|?.,:;^%$#@~`\"'\\ \t\n\r0123456789abzF infE-+\x01\x7f";
+
+std::string mutate(SplitMix64& rng) {
+  std::string s = kSeeds[rng.next_below(sizeof(kSeeds) / sizeof(kSeeds[0]))];
+  const std::size_t edits = 1 + rng.next_below(8);
+  for (std::size_t e = 0; e < edits; ++e) {
+    switch (rng.next_below(5)) {
+      case 0:  // delete a span
+        if (!s.empty()) {
+          const std::size_t at = rng.next_below(s.size());
+          s.erase(at, 1 + rng.next_below(4));
+        }
+        break;
+      case 1: {  // insert noise
+        const std::size_t at = s.empty() ? 0 : rng.next_below(s.size());
+        s.insert(s.begin() + static_cast<std::ptrdiff_t>(at),
+                 kNoise[rng.next_below(sizeof(kNoise) - 1)]);
+        break;
+      }
+      case 2:  // overwrite a byte
+        if (!s.empty())
+          s[rng.next_below(s.size())] = kNoise[rng.next_below(sizeof(kNoise) - 1)];
+        break;
+      case 3:  // duplicate a prefix (unbalances brackets and operators)
+        s = s.substr(0, rng.next_below(s.size() + 1)) + s;
+        break;
+      default:  // splice two seeds
+        s += kSeeds[rng.next_below(sizeof(kSeeds) / sizeof(kSeeds[0]))];
+        break;
+    }
+    if (s.size() > 4096) s.resize(4096);
+  }
+  return s;
+}
+
+bool is_terminal_verdict(QueryStatus status) {
+  return status == QueryStatus::kOk || status == QueryStatus::kParseError ||
+         status == QueryStatus::kFailed;
+}
+
+class ServiceFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ServiceFuzz, HostileStringsGetVerdictsNeverCrashes) {
+  ServiceOptions options;
+  options.workers = 0;
+  options.max_pending = 1 << 14;
+  CheckerService service(options);
+  const ModelId id = service.register_model(random_mrm(GetParam(), 8, 0.3));
+
+  SplitMix64 rng(GetParam() * 977 + 13);
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 300; ++i) futures.push_back(service.submit(id, mutate(rng)));
+  service.drain_now();
+
+  std::size_t parse_errors = 0;
+  for (auto& f : futures) {
+    const QueryResult r = f.get();
+    EXPECT_TRUE(is_terminal_verdict(r.status)) << to_string(r.status);
+    if (r.status == QueryStatus::kParseError) {
+      EXPECT_FALSE(r.error.empty());
+      ++parse_errors;
+    }
+  }
+  EXPECT_EQ(service.stats().parse_errors, parse_errors);
+  EXPECT_EQ(service.stats().completed, futures.size());
+
+  // The barrage must not poison the service: a clean query still works.
+  EXPECT_EQ(service.query(id, "P=? [ a U[0,1]{0,1} b ]").status,
+            QueryStatus::kOk);
+}
+
+TEST(ServiceFuzzEdgeCases, DegenerateStringsGetParseErrorVerdicts) {
+  ServiceOptions options;
+  options.workers = 0;
+  CheckerService service(options);
+  const ModelId id = service.register_model(random_mrm(99, 6, 0.3));
+
+  std::vector<std::string> hostile = {
+      "",
+      " ",
+      "\n\t\r",
+      "[",
+      "]]]]",
+      "P",
+      "P=?",
+      "P=? [",
+      "P=? [ ]",
+      "P=? [ a U ]",
+      "P=? [ a U[0,] b ]",
+      "P=? [ a U[,1] b ]",
+      "P=? [ a U[1,0] b ]",          // inverted interval
+      "P=? [ a U[0,1]{1,0} b ]",     // inverted reward interval
+      "P=? [ a U[0,1e309] b ]",      // overflowing literal
+      "P=? [ a U[0,nan] b ]",
+      "P=2 [ a U b ]",               // bound outside [0,1]
+      "Q=? [ a U b ]",
+      "P=? [ a U b ] trailing",
+      "((((((((((((((((a",
+      std::string(2048, '('),
+      std::string("a\0b", 3),        // embedded NUL
+      "\xff\xfe\xfd",
+      "P=? [ a U[0,1]{0,1} " + std::string(512, 'x') + " ]",
+  };
+  // Deep but balanced nesting must parse or reject, not overflow.
+  std::string nested = "a";
+  for (int i = 0; i < 64; ++i) nested = "!(" + nested + ")";
+  hostile.push_back(nested);
+
+  for (const std::string& text : hostile) {
+    const QueryResult r = service.query(id, text);
+    EXPECT_TRUE(is_terminal_verdict(r.status))
+        << "input " << testing::PrintToString(text) << " -> "
+        << to_string(r.status);
+    if (r.status != QueryStatus::kOk) {
+      EXPECT_FALSE(r.error.empty());
+    }
+  }
+  EXPECT_EQ(service.stats().completed, service.stats().submitted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServiceFuzz,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace service
+}  // namespace csrl
