@@ -1,18 +1,41 @@
-// Ablation (DESIGN.md): lumping as a preprocessing step.
+// Lumping ablation gate: signature-based quotient as a transparent
+// checker preprocessing pass (DESIGN.md section 3j).
 //
-// k identical fail/repair machines span 2^k states but lump into k+1
-// blocks.  We time a P3 CSRL query (time- and reward-bounded until, the
-// paper's headline measure) on the full model vs lump-then-check, which is
-// how a production checker would attack symmetric SRNs.
-#include <benchmark/benchmark.h>
-
+// k identical fail/repair machines span 2^k states but are ordinarily
+// lumpable into k+1 blocks (the count of working machines).  We check a
+// P3 CSRL query (time- and reward-bounded until, the paper's headline
+// measure) end to end — fresh Checker construction plus values() — with
+// CheckOptions::lump off and on.  The lumped path pays the refiner, the
+// quotient build, and the per-query lift back to the original
+// numbering, so the measured ratio is the honest user-visible speedup,
+// not the kernel-only one.
+//
+// The exit code is the acceptance gate for CI's bench-smoke job: 0 only
+// when, at k = 10 machines (1024 states),
+//   * the quotient has exactly k + 1 blocks,
+//   * lump-then-check is at least 5x faster than the full model
+//     (median over 1 warmup + 5 timed reps each),
+//   * every lifted per-state value agrees with the unlumped run to
+//     1e-9, and
+//   * the Sat set of a threshold formula P>=p[...] is exactly equal,
+//     with p chosen data-driven as the midpoint of the widest gap
+//     between adjacent distinct unlumped values (maximally far from
+//     every decision boundary, so the comparison is robust yet real).
+// Results go to BENCH_lumping.json; metric/span attribution (including
+// the lump/* refiner counters) goes to BENCH_lumping_obs.json.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/checker.hpp"
 #include "logic/parser.hpp"
 #include "models/synthetic.hpp"
 #include "mrm/lumping.hpp"
+#include "obs/json_writer.hpp"
 #include "obs/obs.hpp"
+#include "util/state_set.hpp"
 
 #include "bench_obs.hpp"
 
@@ -22,91 +45,153 @@ using namespace csrl;
 
 const char* kQuery = "P=? [ !all_down U[0,2]{0,6} all_up ]";
 
-double check_full(const Mrm& model) {
-  return Checker(model).value_initially(*parse_formula(kQuery));
+CheckOptions lump_options() {
+  CheckOptions options;
+  options.lump = true;
+  return options;
 }
 
-double check_lumped(const Mrm& model) {
-  const LumpingResult lumped = lump(model);
-  const Checker checker(lumped.quotient);
-  const auto values = checker.values(*parse_formula(kQuery));
-  return values[lumped.block_of[model.initial_state()]];
+std::vector<double> check_full(const Mrm& model, const Formula& f) {
+  return Checker(model).values(f);
 }
 
-void print_comparison() {
-  std::printf("=== Ablation: lumping before checking ===\n");
-  std::printf("k identical machines, query %s\n", kQuery);
-  std::printf("%3s %8s %8s  %12s  %12s  %10s\n", "k", "states", "blocks",
-              "full", "lump+check", "speedup");
-  for (std::size_t k : {4u, 6u, 8u, 10u}) {
-    const Mrm model = independent_machines_mrm(k, 0.5, 1.0);
+std::vector<double> lump_then_check(const Mrm& model, const Formula& f) {
+  return Checker(model, lump_options()).values(f);
+}
 
-    WallTimer full_timer;
-    const double p_full = check_full(model);
-    const double full_seconds = full_timer.seconds();
-
-    WallTimer lumped_timer;
-    const double p_lumped = check_lumped(model);
-    const double lumped_seconds = lumped_timer.seconds();
-
-    std::printf("%3zu %8zu %8zu  %9.2f ms  %9.2f ms  %9.1fx  (|diff|=%.1e)\n",
-                k, model.num_states(), k + 1, full_seconds * 1e3,
-                lumped_seconds * 1e3, full_seconds / lumped_seconds,
-                std::abs(p_full - p_lumped));
+/// Midpoint of the widest gap between adjacent distinct values: a
+/// threshold as far as possible from every per-state probability, so
+/// the derived Sat set is insensitive to sub-gap numerical noise while
+/// still partitioning the states non-trivially.
+double widest_gap_midpoint(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  double best = values.front() / 2.0;
+  double best_gap = values.front();
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    const double gap = values[i] - values[i - 1];
+    if (gap > best_gap) {
+      best_gap = gap;
+      best = (values[i] + values[i - 1]) / 2.0;
+    }
   }
-  std::printf("\n");
+  return best;
 }
-
-void BM_CheckFullModel(benchmark::State& state) {
-  const Mrm model =
-      independent_machines_mrm(static_cast<std::size_t>(state.range(0)), 0.5,
-                               1.0);
-  double value = 0.0;
-  for (auto _ : state) {
-    value = check_full(model);
-    benchmark::DoNotOptimize(value);
-  }
-  state.counters["probability"] = value;
-  state.counters["states"] = static_cast<double>(model.num_states());
-}
-BENCHMARK(BM_CheckFullModel)->DenseRange(4, 8, 2)->Unit(benchmark::kMillisecond);
-
-void BM_LumpThenCheck(benchmark::State& state) {
-  const Mrm model =
-      independent_machines_mrm(static_cast<std::size_t>(state.range(0)), 0.5,
-                               1.0);
-  double value = 0.0;
-  for (auto _ : state) {
-    value = check_lumped(model);
-    benchmark::DoNotOptimize(value);
-  }
-  state.counters["probability"] = value;
-}
-BENCHMARK(BM_LumpThenCheck)->DenseRange(4, 8, 2)->Unit(benchmark::kMillisecond);
-
-void BM_LumpingAlone(benchmark::State& state) {
-  const Mrm model =
-      independent_machines_mrm(static_cast<std::size_t>(state.range(0)), 0.5,
-                               1.0);
-  for (auto _ : state) {
-    const LumpingResult lumped = lump(model);
-    benchmark::DoNotOptimize(lumped.num_blocks);
-  }
-}
-BENCHMARK(BM_LumpingAlone)->DenseRange(4, 10, 2)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  csrl_bench::BenchObs obs_guard("ablation_lumping");
-  print_comparison();
-  {
-    const Mrm model = independent_machines_mrm(6, 0.5, 1.0);
-    obs_guard.timed_reps("check_full_k6", [&] { return check_full(model); });
-    obs_guard.timed_reps("lump_then_check_k6",
-                         [&] { return check_lumped(model); });
+int main() {
+  csrl_bench::BenchObs obs_guard("lumping");
+
+  const std::size_t k = 10;
+  const Mrm model = independent_machines_mrm(k, 0.5, 1.0);
+  const auto formula = parse_formula(kQuery);
+
+  std::printf("=== Lumping gate: quotient-then-check vs full model ===\n");
+  std::printf("%zu identical machines (%zu states), query %s\n\n", k,
+              model.num_states(), kQuery);
+
+  // Smaller sizes for the printed trajectory (not part of the gate).
+  std::printf("%3s %8s %8s  %12s  %12s  %9s\n", "k", "states", "blocks",
+              "full", "lump+check", "speedup");
+  for (std::size_t kk : {std::size_t{4}, std::size_t{6}, std::size_t{8}}) {
+    const Mrm small = independent_machines_mrm(kk, 0.5, 1.0);
+    WallTimer full_timer;
+    const std::vector<double> full = check_full(small, *formula);
+    const double full_s = full_timer.seconds();
+    WallTimer lumped_timer;
+    const std::vector<double> lumped = lump_then_check(small, *formula);
+    const double lumped_s = lumped_timer.seconds();
+    double max_diff = 0.0;
+    for (std::size_t s = 0; s < full.size(); ++s)
+      max_diff = std::max(max_diff, std::abs(full[s] - lumped[s]));
+    std::printf("%3zu %8zu %8zu  %9.2f ms  %9.2f ms  %8.1fx  (|diff|=%.1e)\n",
+                kk, small.num_states(), kk + 1, full_s * 1e3, lumped_s * 1e3,
+                full_s / lumped_s, max_diff);
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  std::printf("\n");
+
+  // Gate 1: exact block count on the gate model.
+  const std::size_t num_blocks = lump(model).num_blocks;
+  const bool blocks_ok = num_blocks == k + 1;
+  std::printf("quotient blocks: %zu (expect %zu): %s\n", num_blocks, k + 1,
+              blocks_ok ? "ok" : "FAIL");
+
+  // Gates 2+3: end-to-end medians and lifted-value agreement.  Each rep
+  // constructs a fresh Checker, so the lumped reps pay the full refiner
+  // + quotient + lift cost every time.
+  const std::vector<double> values_full =
+      obs_guard.timed_reps("check_full", [&] { return check_full(model, *formula); });
+  const std::vector<double> values_lumped = obs_guard.timed_reps(
+      "lump_then_check", [&] { return lump_then_check(model, *formula); });
+
+  double max_diff = 0.0;
+  for (std::size_t s = 0; s < values_full.size(); ++s)
+    max_diff = std::max(max_diff, std::abs(values_full[s] - values_lumped[s]));
+  const bool values_ok = max_diff <= 1e-9;
+  std::printf("max |lifted - full| over %zu states: %.2e (gate 1e-9): %s\n",
+              values_full.size(), max_diff, values_ok ? "ok" : "FAIL");
+
+  double full_ms = 0.0;
+  double lumped_ms = 0.0;
+  for (const csrl_bench::BenchObs::RepStats& r : obs_guard.reps()) {
+    if (r.name == "check_full") full_ms = r.median_ms;
+    if (r.name == "lump_then_check") lumped_ms = r.median_ms;
+  }
+  const double speedup = lumped_ms > 0.0 ? full_ms / lumped_ms : 0.0;
+  const bool speed_ok = speedup >= 5.0;
+  std::printf("median wall-clock: full %.2f ms, lump+check %.2f ms "
+              "(%.2fx), gate needs >= 5x: %s\n",
+              full_ms, lumped_ms, speedup, speed_ok ? "ok" : "FAIL");
+
+  // Gate 4: exact Sat-set agreement on a data-driven threshold formula.
+  const double threshold = widest_gap_midpoint(values_full);
+  char sat_query[160];
+  std::snprintf(sat_query, sizeof sat_query,
+                "P>=%.17g [ !all_down U[0,2]{0,6} all_up ]", threshold);
+  const auto sat_formula = parse_formula(sat_query);
+  const StateSet sat_full = Checker(model).sat(*sat_formula);
+  const StateSet sat_lumped = Checker(model, lump_options()).sat(*sat_formula);
+  const bool sat_ok = sat_full == sat_lumped;
+  std::printf("Sat(%s): full %zu states, lumped %zu states, exact: %s\n",
+              sat_query, sat_full.count(), sat_lumped.count(),
+              sat_ok ? "ok" : "FAIL");
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("csrl-bench-lumping-v1");
+  w.key("bench").value("lumping");
+  w.key("machines").value(static_cast<std::uint64_t>(k));
+  w.key("states").value(static_cast<std::uint64_t>(model.num_states()));
+  w.key("blocks").value(static_cast<std::uint64_t>(num_blocks));
+  w.key("full_median_ms").value(full_ms);
+  w.key("lumped_median_ms").value(lumped_ms);
+  w.key("speedup").value(speedup);
+  w.key("max_value_diff").value(max_diff);
+  w.key("sat_threshold").value(threshold);
+  w.key("sat_exact").value(sat_ok);
+  w.key("reps").begin_array();
+  for (const csrl_bench::BenchObs::RepStats& r : obs_guard.reps()) {
+    w.begin_object();
+    w.key("name").value(r.name);
+    w.key("reps").value(static_cast<std::uint64_t>(r.reps));
+    w.key("median_ms").value(r.median_ms);
+    w.key("min_ms").value(r.min_ms);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  const std::string text = std::move(w).str();
+
+  const char* path = "BENCH_lumping.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::printf("wrote %s\n", path);
+  } else {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 1;
+  }
+
+  return (blocks_ok && values_ok && speed_ok && sat_ok) ? 0 : 1;
 }

@@ -440,6 +440,7 @@ HOT_ROOT_PATTERNS = [
         r"^run_batch$",
         r"^run_multi$",
         r"^all_starts_points$",
+        r"^sign_states$",
     )
 ]
 

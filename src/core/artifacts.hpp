@@ -1,20 +1,21 @@
 // Shared immutable per-model checking artifacts.
 //
 // A Checker bound directly to an Mrm recomputes per construction what is
-// really a property of the model: the bit-exact fingerprint (O(nnz)) and,
-// when state reordering is requested, the reverse Cuthill-McKee
-// permutation plus the renumbered model copy.  A resident service that
-// builds a fresh (stateless) Checker per query batch cannot afford either,
-// and more fundamentally the results are immutable facts about the model
+// really a property of the model: the bit-exact fingerprint (O(nnz)),
+// the bisimulation quotient when lumping is requested, and, when state
+// reordering is requested, the reverse Cuthill-McKee permutation plus the
+// renumbered model copy.  A resident service that builds a fresh
+// (stateless) Checker per query batch cannot afford any of these, and
+// more fundamentally the results are immutable facts about the model
 // that every session should share.
 //
 // ModelArtifacts is that shared precomputation: built once — typically at
 // model registration (service/registry.hpp) — and handed to any number of
-// concurrent Checkers, which then construct in O(1).  The artifact owns
-// the model (shared_ptr), so checkers built from it never dangle; the
-// lazily-built CSR caches (row chunks, transposes, support masks) live
-// inside the shared CsrMatrix and are therefore warmed once per artifact
-// rather than once per checker.
+// concurrent Checkers, which then construct in O(states).  The artifact
+// owns the model (shared_ptr), so checkers built from it never dangle;
+// the lazily-built CSR caches (row chunks, transposes, support masks)
+// live inside the shared CsrMatrix and are therefore warmed once per
+// artifact rather than once per checker.
 #pragma once
 
 #include <cstdint>
@@ -23,19 +24,23 @@
 
 #include "core/options.hpp"
 #include "mrm/mrm.hpp"
+#include "obs/report.hpp"
 
 namespace csrl {
 
 /// Immutable bundle: the model, its fingerprint, and (optionally) the
-/// bandwidth-reduced copy a reordering checker computes on.  Thread-safe
-/// by immutability — build() returns a shared_ptr<const> and nothing
-/// mutates afterwards.
+/// bisimulation quotient and/or bandwidth-reduced copy a lumping or
+/// reordering checker computes on.  Thread-safe by immutability —
+/// build() returns a shared_ptr<const> and nothing mutates afterwards.
 class ModelArtifacts {
  public:
   /// Precompute the artifacts for `model`.  `options` contributes only
-  /// its structural knobs: reorder_states decides whether the RCM
-  /// permutation and the renumbered copy are materialised.  The model
-  /// pointer must be non-null.
+  /// its structural knobs: lump (resolved through CSRL_LUMP) decides
+  /// whether the bisimulation quotient is materialised, reorder_states
+  /// whether the RCM permutation and the renumbered copy are (applied to
+  /// the quotient when both engage).  The model pointer must be
+  /// non-null.  Throws ModelError when lumping is on and impulse rewards
+  /// prevent an exact quotient.
   static std::shared_ptr<const ModelArtifacts> build(
       std::shared_ptr<const Mrm> model, const CheckOptions& options = {});
 
@@ -49,28 +54,42 @@ class ModelArtifacts {
   /// Bit-exact fingerprint of the original model (Mrm::fingerprint).
   std::uint64_t fingerprint() const { return fingerprint_; }
 
+  /// Was the bisimulation quotient materialised?
+  bool lumped() const { return lumped_model_ != nullptr; }
+
   /// Were the RCM permutation and the renumbered copy materialised?
   bool reordered() const { return reordered_model_ != nullptr; }
 
   /// The model all checking runs on: the renumbered copy when reordered,
-  /// else the original.
+  /// else the quotient when lumped, else the original.
   const Mrm& internal_model() const {
-    return reordered_model_ ? *reordered_model_ : *model_;
+    if (reordered_model_) return *reordered_model_;
+    if (lumped_model_) return *lumped_model_;
+    return *model_;
   }
 
   /// Shared ownership of internal_model().
   std::shared_ptr<const Mrm> internal_model_ptr() const {
-    return reordered_model_ ? reordered_model_ : model_;
+    if (reordered_model_) return reordered_model_;
+    if (lumped_model_) return lumped_model_;
+    return model_;
   }
 
   /// Fingerprint of internal_model() — distinct from fingerprint() when
-  /// reordered, so Sat sets cached in internal numbering can never be
-  /// confused with original-numbering entries of the same model.
+  /// lumped or reordered, so Sat sets cached in internal numbering can
+  /// never be confused with original-numbering entries of the same model
+  /// (the quotient fingerprints as its own model).
   std::uint64_t internal_fingerprint() const { return internal_fingerprint_; }
 
-  /// Index maps of the reordering; empty when not reordered.
-  const std::vector<std::size_t>& to_original() const { return to_original_; }
-  const std::vector<std::size_t>& to_internal() const { return to_internal_; }
+  /// Composed original index -> internal index projection (the lumping
+  /// block map, the RCM renumbering, or their composition); empty when
+  /// the internal numbering is the public one.  Non-injective when
+  /// lumped.
+  const std::vector<std::size_t>& projection() const { return projection_; }
+
+  /// Dimensions and refiner accounting of the lumping pass; enabled is
+  /// false when not lumped.  Checkers copy this into their RunReports.
+  const obs::RunReport::Lumping& lumping_info() const { return lumping_info_; }
 
  private:
   // make_shared needs a public constructor; the private tag type keeps
@@ -83,10 +102,11 @@ class ModelArtifacts {
  private:
   std::shared_ptr<const Mrm> model_;
   std::uint64_t fingerprint_ = 0;
+  std::shared_ptr<const Mrm> lumped_model_;     // null unless lumping
   std::shared_ptr<const Mrm> reordered_model_;  // null unless reordering
   std::uint64_t internal_fingerprint_ = 0;
-  std::vector<std::size_t> to_original_;
-  std::vector<std::size_t> to_internal_;
+  std::vector<std::size_t> projection_;
+  obs::RunReport::Lumping lumping_info_;
 };
 
 }  // namespace csrl

@@ -139,11 +139,15 @@ std::vector<std::vector<double>> Checker::until_grid_sets(
 
 BatchResult Checker::until_grid(const BatchQuery& query) const {
   BatchResult result = until_grid_internal(query);
-  if (!to_original_.empty()) {
+  if (!to_internal_.empty()) {
     for (std::vector<double>& cell : result.per_state)
       cell = map_to_original(std::move(cell));
-    if (result.initial_state < to_original_.size())
-      result.initial_state = to_original_[result.initial_state];
+    // Under lumping the internal -> original direction is one-to-many, so
+    // the internal initial state cannot be translated; recompute it from
+    // the original distribution instead (same point-mass rule as the
+    // internal computation).
+    result.initial_state =
+        point_mass_state(original_model_->initial_distribution());
   }
   return result;
 }
@@ -191,6 +195,7 @@ BatchResult Checker::check_until_grid(const BatchQuery& query) const {
   obs::RunReport report =
       scope.finish(engine_label(options_), model_->num_states(),
                    model_->rates().nnz(), engine_truncation_error(options_));
+  report.lumping = lump_info_;
   report.grid_times = result.times;
   report.grid_rewards = result.rewards;
   obs::write_report_if_requested(report);

@@ -6,6 +6,7 @@
 #include "core/batch.hpp"
 #include "core/engines/discretisation_engine.hpp"
 #include "ctmc/graph.hpp"
+#include "mrm/lumping.hpp"
 #include "mrm/transform.hpp"
 #include "obs/obs.hpp"
 #include "util/contracts.hpp"
@@ -22,20 +23,49 @@ Checker::Checker(const Mrm& model, CheckOptions options,
   // Applied here as well as in make_engine so the P0/P1/P2 pipelines
   // (which never instantiate a P3 engine) also see the requested level.
   if (options_.validate) validation::set_level(*options_.validate);
-  if (options_.reorder_states && model.num_states() > 0) {
+  if (resolve_lump(options_.lump) && model.num_states() > 0) {
+    // Quotient once at the outermost checker; like reorder_states below
+    // the flag is consumed so checkers built internally on derived models
+    // (e.g. the duality pipeline's dual checker) inherit the quotient and
+    // never lump again — their per-state vectors feed straight back into
+    // this checker's internal computations.
+    LumpingResult lumped = lump(model);
+    to_internal_ = std::move(lumped.block_of);
+    lumped_model_ = std::make_shared<const Mrm>(std::move(lumped.quotient));
+    model_ = lumped_model_.get();
+    lump_info_.enabled = true;
+    lump_info_.original_states = model.num_states();
+    lump_info_.original_transitions = model.rates().nnz();
+    lump_info_.states = model_->num_states();
+    lump_info_.transitions = model_->rates().nnz();
+    lump_info_.sweeps = lumped.stats.sweeps;
+    lump_info_.splits = lumped.stats.splits;
+    lump_info_.states_resigned = lumped.stats.states_resigned;
+    lump_info_.wall_seconds = lumped.stats.wall_seconds;
+  }
+  options_.lump = false;
+  if (options_.reorder_states && model_->num_states() > 0) {
     // Renumber once at the outermost checker; the flag is consumed so
     // checkers built internally on derived models (e.g. the duality
     // pipeline's dual checker) inherit the internal numbering and never
     // permute again — their per-state vectors feed straight back into
-    // this checker's internal computations.
+    // this checker's internal computations.  Applied after lumping, so
+    // the (smaller) quotient is what gets bandwidth-reduced.
     options_.reorder_states = false;
-    to_original_ = reverse_cuthill_mckee(model.rates());
-    to_internal_.resize(to_original_.size());
-    for (std::size_t i = 0; i < to_original_.size(); ++i)
-      to_internal_[to_original_[i]] = i;
+    const std::vector<std::size_t> rcm_to_original =
+        reverse_cuthill_mckee(model_->rates());
+    std::vector<std::size_t> rcm_to_internal(rcm_to_original.size());
+    for (std::size_t i = 0; i < rcm_to_original.size(); ++i)
+      rcm_to_internal[rcm_to_original[i]] = i;
     reordered_model_ =
-        std::make_shared<const Mrm>(permute_states(model, to_original_));
+        std::make_shared<const Mrm>(permute_states(*model_, rcm_to_original));
     model_ = reordered_model_.get();
+    if (to_internal_.empty()) {
+      to_internal_ = std::move(rcm_to_internal);
+    } else {
+      for (std::size_t& block : to_internal_)
+        block = rcm_to_internal[block];
+    }
   }
   if (!sat_cache_ && options_.cache_sat_sets)
     sat_cache_ = std::make_shared<SatCache>();
@@ -54,15 +84,14 @@ Checker::Checker(std::shared_ptr<const ModelArtifacts> artifacts,
       sat_cache_(std::move(sat_cache)),
       artifacts_(std::move(artifacts)) {
   if (options_.validate) validation::set_level(*options_.validate);
-  // Reordering was decided when the artifact was built; consume the flag
-  // so internally-derived checkers never permute again (see the model
-  // constructor above for the rationale).
+  // Lumping and reordering were decided when the artifact was built;
+  // consume the flags so internally-derived checkers never quotient or
+  // permute again (see the model constructor above for the rationale).
+  // The artifact keeps the quotient / reordered copies alive.
   options_.reorder_states = false;
-  to_original_ = artifacts_->to_original();
-  to_internal_ = artifacts_->to_internal();
-  reordered_model_ = artifacts_->reordered()
-                         ? artifacts_->internal_model_ptr()
-                         : nullptr;
+  options_.lump = false;
+  to_internal_ = artifacts_->projection();
+  lump_info_ = artifacts_->lumping_info();
   if (!sat_cache_ && options_.cache_sat_sets)
     sat_cache_ = std::make_shared<SatCache>();
   // The artifact already paid the O(nnz) fingerprint walk — the whole
@@ -93,17 +122,17 @@ std::vector<double> Checker::steady_probabilities(
 }
 
 std::vector<double> Checker::map_to_original(std::vector<double> values) const {
-  if (to_original_.empty()) return values;
-  std::vector<double> out(values.size());
-  for (std::size_t i = 0; i < values.size(); ++i)
-    out[to_original_[i]] = values[i];
+  if (to_internal_.empty()) return values;
+  std::vector<double> out(to_internal_.size());
+  for (std::size_t s = 0; s < out.size(); ++s) out[s] = values[to_internal_[s]];
   return out;
 }
 
 StateSet Checker::map_to_original(const StateSet& internal_set) const {
-  if (to_original_.empty()) return internal_set;
-  StateSet out(internal_set.size());
-  for (std::size_t i : internal_set.members()) out.insert(to_original_[i]);
+  if (to_internal_.empty()) return internal_set;
+  StateSet out(to_internal_.size());
+  for (std::size_t s = 0; s < to_internal_.size(); ++s)
+    if (internal_set.contains(to_internal_[s])) out.insert(s);
   return out;
 }
 
@@ -111,8 +140,29 @@ StateSet Checker::map_to_internal(const StateSet& original_set) const {
   if (to_internal_.empty()) return original_set;
   if (original_set.size() != to_internal_.size())
     throw ModelError("steady_probabilities: universe size mismatch");
-  StateSet out(original_set.size());
-  for (std::size_t s : original_set.members()) out.insert(to_internal_[s]);
+  const std::size_t internal_states = model_->num_states();
+  // Per internal state, how many originals project onto it and how many
+  // of those the argument holds: an internal state enters the image only
+  // when fully covered.  Partial coverage means the set splits a lumping
+  // block — it has no internal counterpart, and silently rounding either
+  // way would change the formula's meaning.  (Without lumping the
+  // projection is bijective, every count is 0 or 1, and this is the old
+  // member-by-member translation.)
+  std::vector<std::size_t> covered(internal_states, 0);
+  std::vector<std::size_t> sizes(internal_states, 0);
+  for (const std::size_t block : to_internal_) ++sizes[block];
+  for (const std::size_t s : original_set.members())
+    ++covered[to_internal_[s]];
+  StateSet out(internal_states);
+  for (std::size_t i = 0; i < internal_states; ++i) {
+    if (covered[i] == 0) continue;
+    if (covered[i] != sizes[i])
+      throw ModelError(
+          "steady_probabilities: the given state set splits a lumping "
+          "block and cannot be expressed on the quotient; pass a union of "
+          "blocks or check with CheckOptions::lump off");
+    out.insert(i);
+  }
   return out;
 }
 
@@ -222,6 +272,7 @@ CheckResult Checker::check(const Formula& f) const {
   result.report =
       scope.finish(engine_label(options_), model_->num_states(),
                    model_->rates().nnz(), engine_truncation_error(options_));
+  result.report->lumping = lump_info_;
   obs::write_report_if_requested(*result.report);
   return result;
 }

@@ -73,8 +73,8 @@ class Checker {
   /// obligation on the caller).  This is the stateless-engine form the
   /// resident service uses: one immutable artifact per registered model,
   /// any number of concurrent short-lived checkers on top of it.
-  /// `options.reorder_states` is ignored here — reordering is decided
-  /// when the artifact is built.
+  /// `options.reorder_states` and `options.lump` are ignored here —
+  /// reordering and lumping are decided when the artifact is built.
   explicit Checker(std::shared_ptr<const ModelArtifacts> artifacts,
                    CheckOptions options = {},
                    std::shared_ptr<SatCache> sat_cache = nullptr);
@@ -124,7 +124,8 @@ class Checker {
   std::vector<double> steady_probabilities(const StateSet& phi_states) const;
 
   /// The model as constructed — with CheckOptions::reorder_states the
-  /// checker computes on an internally renumbered copy, but this (like
+  /// checker computes on an internally renumbered copy, and with
+  /// CheckOptions::lump on the bisimulation quotient, but this (like
   /// every public result) always speaks the original numbering.
   const Mrm& model() const { return *original_model_; }
   const CheckOptions& options() const { return options_; }
@@ -132,8 +133,8 @@ class Checker {
  private:
   // The *_internal methods hold the actual checking logic and speak the
   // internal state numbering (identical to the public one unless
-  // reorder_states engaged).  The public methods above are thin wrappers
-  // that translate arguments and results at the boundary.
+  // reorder_states or lump engaged).  The public methods above are thin
+  // wrappers that translate arguments and results at the boundary.
   StateSet sat_internal(const Formula& f) const;
   std::vector<double> values_internal(const Formula& f) const;
   std::vector<double> path_probabilities_internal(const PathFormula& p) const;
@@ -142,8 +143,13 @@ class Checker {
       const StateSet& phi_states) const;
   BatchResult until_grid_internal(const BatchQuery& query) const;
 
-  // Boundary translation; all three are the identity when no reordering
-  // is in effect.
+  // Boundary translation through to_internal_; all three are the
+  // identity when neither lumping nor reordering is in effect.  Values
+  // and sets lift internal -> original by reading every original state's
+  // image (well-defined even when the projection is many-to-one);
+  // map_to_internal additionally verifies the argument is a union of
+  // lumping blocks and throws ModelError otherwise — an original-
+  // numbering set that splits a block has no internal counterpart.
   std::vector<double> map_to_original(std::vector<double> values) const;
   StateSet map_to_original(const StateSet& internal_set) const;
   StateSet map_to_internal(const StateSet& original_set) const;
@@ -171,8 +177,10 @@ class Checker {
       const StateSet& phi, const StateSet& psi, std::span<const double> times,
       std::span<const double> rewards) const;
 
-  // The model all checking runs on: the constructor argument, or the
-  // bandwidth-reduced copy when reorder_states engaged.
+  // The model all checking runs on: the constructor argument, the
+  // bisimulation quotient when lump engaged, the bandwidth-reduced copy
+  // when reorder_states engaged, or the quotient-then-reordered
+  // composition of both.
   const Mrm* model_;
   // The constructor argument, always; what model() returns.
   const Mrm* original_model_;
@@ -182,14 +190,21 @@ class Checker {
   // entries within the cache.
   std::shared_ptr<SatCache> sat_cache_;
   std::uint64_t model_fingerprint_ = 0;
-  // State reordering (CheckOptions::reorder_states).  The reordered copy
-  // is shared so checkers stay copyable; both index maps are empty when
-  // no reordering is in effect.
+  // Internal copies (CheckOptions::lump / reorder_states), shared so
+  // checkers stay copyable; null when the respective pass is off.
+  std::shared_ptr<const Mrm> lumped_model_;
   std::shared_ptr<const Mrm> reordered_model_;
-  std::vector<std::size_t> to_original_;  // internal index -> original
-  std::vector<std::size_t> to_internal_;  // original index -> internal
+  // Composed original index -> internal index projection: the lumping
+  // block map, the RCM renumbering, or reorder-of-block composition.
+  // Empty when the internal numbering is the public one; injective
+  // unless lumping engaged.
+  std::vector<std::size_t> to_internal_;
+  // Dimensions and refiner accounting of the lumping pass, for the
+  // RunReport "lumping" section; enabled is false when lump is off.
+  obs::RunReport::Lumping lump_info_;
   // Engaged by the artifacts constructor only: keeps the shared model
-  // (and its reordered copy) alive for this checker's lifetime.
+  // (and its quotient / reordered copies) alive for this checker's
+  // lifetime.
   std::shared_ptr<const ModelArtifacts> artifacts_;
 };
 

@@ -87,6 +87,22 @@ struct CheckOptions {
   /// generator order scatters neighbouring states far apart.
   bool reorder_states = false;
 
+  /// Collapse the model to its bisimulation quotient (mrm/lumping.hpp)
+  /// before checking.  Like reorder_states this is purely internal: the
+  /// checker quotients once at construction, checks on the (often far
+  /// smaller) quotient, and lifts every public result — Sat sets,
+  /// per-state vectors, until_grid lattices — back through the block
+  /// projection, so the public state numbering is unchanged.  Composes
+  /// with reorder_states (the quotient is what gets renumbered) and the
+  /// duality pipeline (derived checkers inherit the quotient and never
+  /// re-lump).  Unset resolves via the CSRL_LUMP environment variable
+  /// ("0"/"1"; malformed values warn and fall back), else off.  Off by
+  /// default — the refiner costs a few signature sweeps and only pays on
+  /// models with symmetric structure, where it pays enormously
+  /// (bench_ablation_lumping).  Construction throws ModelError when
+  /// impulse rewards prevent an exact quotient.
+  std::optional<bool> lump{};
+
   /// Number of threads for the parallel kernels and engine sweeps.
   /// 0 = automatic: the CSRL_THREADS environment variable if set, else
   /// std::thread::hardware_concurrency().  All checking through one

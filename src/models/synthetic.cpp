@@ -123,4 +123,37 @@ Mrm random_mrm(std::uint64_t seed, std::size_t num_states, double density,
              /*initial_state=*/0);
 }
 
+Mrm replicated_mrm(const Mrm& base, std::size_t clones) {
+  if (clones == 0) throw ModelError("replicated_mrm: need >= 1 clone");
+  const std::size_t n = base.num_states();
+  const std::size_t total = clones * n;
+  CsrBuilder rates(total, total);
+  CsrBuilder impulses(total, total);
+  std::vector<double> rewards(total, 0.0);
+  Labelling labelling(total);
+  for (const std::string& name : base.labelling().propositions())
+    labelling.add_proposition(name);
+  std::vector<double> initial(total, 0.0);
+  const double share = 1.0 / static_cast<double>(clones);
+  for (std::size_t c = 0; c < clones; ++c) {
+    const std::size_t offset = c * n;
+    for (std::size_t s = 0; s < n; ++s) {
+      for (const CsrEntry& e : base.rates().row_unchecked(s))
+        rates.add(offset + s, offset + e.col, e.value);
+      if (base.has_impulse_rewards())
+        for (const CsrEntry& e : base.impulse_rewards().row_unchecked(s))
+          impulses.add(offset + s, offset + e.col, e.value);
+      rewards[offset + s] = base.reward(s);
+      for (const std::string& name : base.labelling().labels_of(s))
+        labelling.add_label(offset + s, name);
+      initial[offset + s] = base.initial_distribution()[s] * share;
+    }
+  }
+  Mrm replicated(Ctmc(rates.build()), std::move(rewards),
+                 std::move(labelling), std::move(initial));
+  if (base.has_impulse_rewards())
+    replicated = replicated.with_impulses(impulses.build());
+  return replicated;
+}
+
 }  // namespace csrl

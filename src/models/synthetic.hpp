@@ -44,4 +44,16 @@ Mrm independent_machines_mrm(std::size_t machines, double failure_rate,
 Mrm random_mrm(std::uint64_t seed, std::size_t num_states, double density,
                double max_rate = 4.0, std::uint32_t max_reward = 3);
 
+/// `clones` disjoint copies of `base` glued into one MRM: state (c, s)
+/// is index c * base.num_states() + s, transitions (rates and impulses)
+/// stay within a clone, rewards and labels are copied, and the initial
+/// mass is split equally over the clones.  Every clone copy of a state
+/// is ordinarily lumpable with its siblings, and because transitions
+/// never cross clones each copy's CSR row equals the base row entry for
+/// entry — the workhorse model of the lumping differential tests, where
+/// it makes quotient-vs-full comparisons tight to FP noise rather than
+/// engine truncation.  Use a power-of-two clone count so the 1/clones
+/// initial masses are exact.
+Mrm replicated_mrm(const Mrm& base, std::size_t clones);
+
 }  // namespace csrl

@@ -11,14 +11,41 @@
 // Lumping is *the* enabler for checking models with symmetric structure:
 // k identical components produce ~2^k markings but only ~k+1 blocks.
 // bench_ablation_lumping quantifies the effect.
+//
+// The refiner is signature-based (DESIGN.md section 3j): each dirty state
+// gathers its (block, impulse, rate) outflow signature into a flat arena
+// slot, signatures are hashed and compared exactly, and only blocks whose
+// members' successors moved are revisited (predecessor-driven dirtying
+// over the transposed rate matrix).  The signature pass runs on the shared
+// ThreadPool; splitting is sequential and ordered, so block_of is bitwise
+// identical at any thread count.
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "mrm/mrm.hpp"
 
 namespace csrl {
+
+/// Work accounting of one lump() run, surfaced through the RunReport's
+/// "lumping" section and the deterministic lump/* counters.
+struct LumpingStats {
+  /// Refinement sweeps until the partition stabilised (>= 1 on any
+  /// non-empty model: the first sweep signs every state).
+  std::size_t sweeps = 0;
+  /// Blocks created beyond the initial (labels, reward) partition.
+  std::size_t splits = 0;
+  /// Signature computations across all sweeps (re-signed states counted
+  /// once per sweep that touched them).
+  std::size_t states_resigned = 0;
+  /// Outflow entries gathered by those computations (the refiner's true
+  /// work measure: one per transition of each re-signed state).
+  std::size_t signature_entries = 0;
+  /// Wall-clock of the whole lump() call.
+  double wall_seconds = 0.0;
+};
 
 /// Quotient model plus the projection onto it.
 struct LumpingResult {
@@ -26,6 +53,7 @@ struct LumpingResult {
   /// block_of[s] is the quotient state of original state s.
   std::vector<std::size_t> block_of;
   std::size_t num_blocks = 0;
+  LumpingStats stats;
 };
 
 /// Compute the coarsest lumpable partition refining (labels, reward) and
@@ -41,5 +69,13 @@ struct LumpingResult {
 /// every operator of the logic exact at the cost of occasionally missing a
 /// coarser partition.
 LumpingResult lump(const Mrm& model);
+
+/// Resolve the CheckOptions::lump knob: an explicit value wins; unset
+/// falls back to the CSRL_LUMP environment variable ("0" or "1"), else
+/// off.  Unlike resolve_rhs_block, a malformed environment value warns on
+/// stderr and falls back to off instead of throwing — lumping is a
+/// transparent optimisation and a typo in the environment must never turn
+/// a correct run into an error.
+bool resolve_lump(std::optional<bool> requested) noexcept;
 
 }  // namespace csrl

@@ -54,6 +54,18 @@ std::string RunReport::to_json() const {
   w.key("p999").value(latency_p999);
   w.end_object();
   w.key("spans_dropped").value(spans_dropped);
+  if (lumping.enabled) {
+    w.key("lumping").begin_object();
+    w.key("original_states").value(lumping.original_states);
+    w.key("original_transitions").value(lumping.original_transitions);
+    w.key("states").value(lumping.states);
+    w.key("transitions").value(lumping.transitions);
+    w.key("sweeps").value(lumping.sweeps);
+    w.key("splits").value(lumping.splits);
+    w.key("states_resigned").value(lumping.states_resigned);
+    w.key("wall_seconds").value(lumping.wall_seconds);
+    w.end_object();
+  }
   if (!grid_times.empty() || !grid_rewards.empty()) {
     w.key("grid").begin_object();
     w.key("times").begin_array();

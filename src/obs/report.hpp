@@ -114,6 +114,25 @@ struct RunReport {
   /// on stderr so a truncated trace is never mistaken for complete.
   std::uint64_t spans_dropped = 0;
 
+  /// Lumping preprocessing of the run (CheckOptions::lump): the original
+  /// vs quotient dimensions and the refiner's work accounting.  `states`
+  /// and `transitions` at the top of the report already describe the
+  /// quotient (the model the engines actually ran on); this section
+  /// carries the reduction it bought.  Emitted as a "lumping" object in
+  /// the JSON only when enabled.
+  struct Lumping {
+    bool enabled = false;
+    std::uint64_t original_states = 0;
+    std::uint64_t original_transitions = 0;
+    std::uint64_t states = 0;       // quotient blocks
+    std::uint64_t transitions = 0;  // quotient rate-matrix non-zeros
+    std::uint64_t sweeps = 0;
+    std::uint64_t splits = 0;
+    std::uint64_t states_resigned = 0;
+    double wall_seconds = 0.0;
+  };
+  Lumping lumping;
+
   /// Bound lattice of a batched grid run (Checker::check_until_grid):
   /// the time and reward axes the query evaluated.  Empty for point
   /// queries; emitted as a "grid" object in the JSON only when set.

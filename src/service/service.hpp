@@ -118,8 +118,9 @@ struct ServiceOptions {
   std::size_t max_batch = 0;
 
   /// Base CheckOptions for every checker the service builds (engine
-  /// choice, epsilons, rhs_block, ...).  reorder_states is honoured at
-  /// model registration (it is an artifact property).
+  /// choice, epsilons, rhs_block, ...).  lump and reorder_states are
+  /// honoured at model registration (quotient and renumbered copy are
+  /// artifact properties, built once and shared by every session).
   CheckOptions check{};
 };
 

@@ -367,7 +367,8 @@ class RealTreeTest(unittest.TestCase):
         for expected in ("matrix/csr.cpp:CsrMatrix::multiply",
                          "matrix/solvers.cpp:jacobi_sweep",
                          "ctmc/uniformisation.cpp:run_batch",
-                         "ctmc/uniformisation.cpp:accumulate_series"):
+                         "ctmc/uniformisation.cpp:accumulate_series",
+                         "mrm/lumping.cpp:sign_states"):
             self.assertIn(expected, roots)
         self.assertGreater(len(self.hot["closure"]), len(roots))
 

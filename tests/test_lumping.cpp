@@ -7,6 +7,7 @@
 #include "models/adhoc.hpp"
 #include "models/synthetic.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace csrl {
 namespace {
@@ -149,6 +150,54 @@ TEST(Lumping, ConflictingImpulsesIntoOneBlockThrow) {
   const Mrm m = Mrm(Ctmc(b.build()), {1.0, 0.0, 0.0}, Labelling(3), 0)
                     .with_impulses(imp.build());
   EXPECT_THROW((void)lump(m), ModelError);
+}
+
+TEST(Lumping, StatsAccountForTheRefinement) {
+  // With the popcount reward the initial partition already is the final
+  // one: the refiner sweeps once to confirm and never splits.
+  const Mrm m = independent_machines_mrm(5, 0.5, 1.0);
+  const LumpingResult confirmed = lump(m);
+  ASSERT_EQ(confirmed.num_blocks, 6u);
+  EXPECT_GE(confirmed.stats.sweeps, 1u);
+  EXPECT_EQ(confirmed.stats.splits, 0u);
+  EXPECT_GE(confirmed.stats.signature_entries, 1u);
+  EXPECT_GE(confirmed.stats.wall_seconds, 0.0);
+
+  // Zeroing the rewards leaves only the all_up / all_down / middle label
+  // partition, so reaching the popcount classes needs actual splits.
+  const Mrm flat(Ctmc(m.rates()), std::vector<double>(m.num_states(), 0.0),
+                 m.labelling(), m.initial_distribution());
+  const LumpingResult refined = lump(flat);
+  EXPECT_GE(refined.stats.sweeps, 2u);
+  EXPECT_GE(refined.stats.splits, 1u);
+  EXPECT_GE(refined.stats.states_resigned, m.num_states());
+  EXPECT_LT(refined.num_blocks, m.num_states());
+}
+
+TEST(Lumping, BlockMapIsBitwiseIdenticalAcrossThreadCounts) {
+  // The signature phase is parallel, every id assignment sequential: the
+  // partition must be reproducible bit for bit at any thread count.
+  // Replicated random models exercise non-trivial refinement (clone
+  // copies merge, the base's asymmetric states all split).
+  for (std::uint64_t seed : {1u, 2u, 3u, 5u, 7u, 11u, 13u, 42u}) {
+    const Mrm base = random_mrm(seed, 40, 0.1);
+    const Mrm model = replicated_mrm(base, 4);
+    std::vector<std::size_t> serial_blocks;
+    std::size_t serial_count = 0;
+    {
+      ForceSerialGuard serial;
+      LumpingResult lumped = lump(model);
+      serial_blocks = std::move(lumped.block_of);
+      serial_count = lumped.num_blocks;
+    }
+    ThreadPool::set_global_threads(4);
+    const LumpingResult threaded = lump(model);
+    ThreadPool::set_global_threads(0);
+    EXPECT_EQ(threaded.num_blocks, serial_count) << "seed " << seed;
+    EXPECT_TRUE(threaded.block_of == serial_blocks) << "seed " << seed;
+    // Clone copies of one base state always coalesce.
+    EXPECT_LE(threaded.num_blocks, base.num_states()) << "seed " << seed;
+  }
 }
 
 TEST(Lumping, SelfLoopsStayObservable) {

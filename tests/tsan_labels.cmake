@@ -7,7 +7,8 @@
 # Keep the stem -> speed pairs in sync with CSRL_SLOW_TESTS /
 # CSRL_TSAN_TESTS in CMakeLists.txt.
 foreach(entry IN ITEMS "test_thread_pool:fast" "test_parallel_determinism:slow"
-        "test_kernels:fast" "test_service:fast")
+        "test_kernels:fast" "test_service:fast" "test_lumping:fast"
+        "test_lump_checker:fast")
   string(REPLACE ":" ";" entry "${entry}")
   list(GET entry 0 stem)
   list(GET entry 1 speed)
